@@ -1,0 +1,69 @@
+"""Shared configuration and caching for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures at a reduced
+scale (smaller device, shorter measurement window) so the full suite
+finishes in minutes.  Experiment results are cached per process: the two
+panels of a figure (e.g. Fig. 2a IOPS and Fig. 2b WAF) come from the
+same sweep rather than running it twice.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments import (
+    Fig2Result,
+    Fig7Result,
+    ScenarioSpec,
+    run_fig2,
+    run_fig7,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+#: Reduced-scale scenario shared by all benches.
+def quick_spec() -> ScenarioSpec:
+    # The runner's default device scale (OP capacity in proportion to
+    # per-horizon traffic, as on the real SM843T) with shortened windows.
+    return ScenarioSpec(
+        blocks=1024,
+        pages_per_block=64,
+        warmup_s=10,
+        measure_s=40,
+    )
+
+
+_cache: Dict[str, object] = {}
+
+
+def fig2_result() -> Fig2Result:
+    if "fig2" not in _cache:
+        _cache["fig2"] = run_fig2(quick_spec())
+    return _cache["fig2"]
+
+
+def fig7_result() -> Fig7Result:
+    if "fig7" not in _cache:
+        _cache["fig7"] = run_fig7(quick_spec())
+    return _cache["fig7"]
+
+
+def table1_result():
+    if "table1" not in _cache:
+        _cache["table1"] = run_table1(quick_spec())
+    return _cache["table1"]
+
+
+def table2_result():
+    if "table2" not in _cache:
+        _cache["table2"] = run_table2(quick_spec())
+    return _cache["table2"]
+
+
+def table3_result():
+    if "table3" not in _cache:
+        _cache["table3"] = run_table3(quick_spec())
+    return _cache["table3"]

@@ -1,0 +1,64 @@
+"""Ablation benches for the design choices DESIGN.md calls out:
+CDH percentile, SIP filtering, predictor strictness, manager laziness.
+"""
+
+import sys
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+from _shared import quick_spec  # noqa: E402
+
+from repro.experiments import (
+    run_manager_laziness,
+    run_percentile_sweep,
+    run_predictor_strictness,
+    run_sip_ablation,
+)
+
+
+def test_ablation_cdh_percentile(benchmark):
+    spec = quick_spec()
+    spec.workload = "TPC-C"
+    result = benchmark.pedantic(
+        lambda: run_percentile_sweep(spec), rounds=1, iterations=1
+    )
+    print()
+    print(result.format())
+    assert len(result.raw) == 4
+
+
+def test_ablation_sip_filter(benchmark):
+    spec = quick_spec()
+    spec.workload = "Postmark"
+    result = benchmark.pedantic(lambda: run_sip_ablation(spec), rounds=1, iterations=1)
+    print()
+    print(result.format())
+    with_sip = result.raw["JIT-GC (SIP)"]
+    without = result.raw["JIT-GC (no SIP)"]
+    # SIP filtering must not increase write amplification.
+    assert with_sip.waf <= without.waf * 1.02
+
+
+def test_ablation_predictor_strictness(benchmark):
+    spec = quick_spec()
+    spec.workload = "YCSB"
+    result = benchmark.pedantic(
+        lambda: run_predictor_strictness(spec), rounds=1, iterations=1
+    )
+    print()
+    print(result.format())
+    assert len(result.raw) == 2
+
+
+def test_ablation_manager_laziness(benchmark):
+    spec = quick_spec()
+    spec.workload = "TPC-C"
+    result = benchmark.pedantic(
+        lambda: run_manager_laziness(spec), rounds=1, iterations=1
+    )
+    print()
+    print(result.format())
+    # Pure deferral must not beat full-horizon coverage on FGC avoidance.
+    assert (
+        result.raw["full-horizon guard"].fgc_invocations
+        <= result.raw["pure deferral"].fgc_invocations + 5
+    )

@@ -1,0 +1,23 @@
+"""Fig. 2(a): normalized IOPS vs the reserved capacity Cresv.
+
+Regenerates the paper's reserved-capacity sweep (0.5 ... 1.5 x C_OP,
+six benchmarks) and checks the shape: IOPS at the largest reserve beats
+IOPS at the smallest for the GC-sensitive benchmarks.
+"""
+
+import sys
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+from _shared import fig2_result  # noqa: E402
+
+
+def test_fig2a_iops(benchmark):
+    result = benchmark.pedantic(fig2_result, rounds=1, iterations=1)
+    print()
+    print(result.format().split("\n\n")[0])
+    # Shape: the aggressive end must not lose to the lazy end on average.
+    gains = []
+    for workload in result.raw:
+        iops = result.normalized_iops(workload)
+        gains.append(iops[max(result.reserve_points)] / iops[min(result.reserve_points)])
+    assert sum(gains) / len(gains) >= 1.0

@@ -1,0 +1,23 @@
+"""Fig. 2(b): normalized WAF vs the reserved capacity Cresv.
+
+Second panel of the Fig. 2 sweep (shares the cached runs of
+bench_fig2_iops).  Shape check: a larger reserve must not *reduce*
+write amplification on average -- premature collection migrates pages
+that would have died.
+"""
+
+import sys
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+from _shared import fig2_result  # noqa: E402
+
+
+def test_fig2b_waf(benchmark):
+    result = benchmark.pedantic(fig2_result, rounds=1, iterations=1)
+    print()
+    print(result.format().split("\n\n")[1])
+    ratios = []
+    for workload in result.raw:
+        waf = result.normalized_waf(workload)
+        ratios.append(waf[max(result.reserve_points)] / waf[min(result.reserve_points)])
+    assert sum(ratios) / len(ratios) >= 1.0

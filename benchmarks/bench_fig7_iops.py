@@ -1,0 +1,19 @@
+"""Fig. 7(a): normalized IOPS of L-BGC / A-BGC / ADP-GC / JIT-GC.
+
+The paper's headline performance result.  Shape checks: averaged over
+the six benchmarks, JIT-GC beats L-BGC and tracks A-BGC.
+"""
+
+import sys
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+from _shared import fig7_result  # noqa: E402
+
+
+def test_fig7a_iops(benchmark):
+    result = benchmark.pedantic(fig7_result, rounds=1, iterations=1)
+    print()
+    print(result.format().split("\n\n")[0])
+    assert result.mean_iops_gain_over("JIT-GC", "L-BGC") >= 1.0
+    # JIT-GC holds most of A-BGC's performance on average.
+    assert result.mean_iops_gain_over("JIT-GC", "A-BGC") >= 0.85

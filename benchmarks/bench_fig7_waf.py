@@ -1,0 +1,17 @@
+"""Fig. 7(b): normalized WAF of the four policies.
+
+The paper's headline lifetime result.  Shape check: JIT-GC reduces WAF
+relative to A-BGC on average (paper: -44 % on their testbed).
+"""
+
+import sys
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+from _shared import fig7_result  # noqa: E402
+
+
+def test_fig7b_waf(benchmark):
+    result = benchmark.pedantic(fig7_result, rounds=1, iterations=1)
+    print()
+    print(result.format().split("\n\n")[1])
+    assert result.mean_waf_reduction_over("JIT-GC", "A-BGC") >= 0.0

@@ -1,0 +1,28 @@
+"""Oracle bound: how close does JIT-GC get to the ideal (Sec 2) policy?
+
+The paper motivates JIT-GC as a practical approximation of the ideal
+policy that knows future writes.  This bench runs the two-pass
+capture/replay comparison and reports the remaining gap.
+"""
+
+import sys
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+from _shared import quick_spec  # noqa: E402
+
+from repro.experiments import run_oracle_comparison
+
+
+def test_oracle_bound(benchmark):
+    spec = quick_spec()
+    spec.workload = "TPC-C"
+    result = benchmark.pedantic(
+        lambda: run_oracle_comparison(spec), rounds=1, iterations=1
+    )
+    print()
+    print(result.format())
+    print(f"IOPS gap (JIT/ORACLE): {result.iops_gap():.3f}")
+    print(f"WAF  gap (JIT/ORACLE): {result.waf_gap():.3f}")
+    # The predictor-based policy cannot beat the oracle by much on IOPS
+    # (small wins are possible through second-order timing effects).
+    assert result.iops_gap() <= 1.1

@@ -1,0 +1,24 @@
+"""Table 1: buffered/direct write mix of the six benchmark models.
+
+Shape check: the measured mix follows the paper's ordering -- YCSB
+most buffered, TPC-C essentially all-direct -- within a coarse
+tolerance.
+"""
+
+import sys
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+from _shared import table1_result  # noqa: E402
+
+from repro.experiments.table1 import PAPER_BUFFERED_PCT
+
+
+def test_table1_write_mix(benchmark):
+    result = benchmark.pedantic(table1_result, rounds=1, iterations=1)
+    print()
+    print(result.format())
+    for workload, measured in result.buffered_pct.items():
+        assert abs(measured - PAPER_BUFFERED_PCT[workload]) < 15.0, (
+            f"{workload}: measured {measured:.1f}% buffered vs paper "
+            f"{PAPER_BUFFERED_PCT[workload]:.1f}%"
+        )

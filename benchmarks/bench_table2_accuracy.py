@@ -1,0 +1,20 @@
+"""Table 2: prediction accuracy of JIT-GC vs ADP-GC per benchmark.
+
+Shape check: averaged across benchmarks, the page-cache-aware JIT-GC
+predictor is at least as accurate as ADP-GC's device-internal CDH.
+"""
+
+import sys
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+from _shared import table2_result  # noqa: E402
+
+
+def test_table2_accuracy(benchmark):
+    result = benchmark.pedantic(table2_result, rounds=1, iterations=1)
+    print()
+    print(result.format())
+    workloads = list(result.accuracy_pct["JIT-GC"])
+    jit_mean = sum(result.accuracy_pct["JIT-GC"][w] for w in workloads) / len(workloads)
+    adp_mean = sum(result.accuracy_pct["ADP-GC"][w] for w in workloads) / len(workloads)
+    assert jit_mean >= adp_mean - 1.0

@@ -1,0 +1,20 @@
+"""Table 3: SIP-filtered GC victim selections per benchmark.
+
+Shape check: the filter is active on buffered-write-heavy benchmarks
+and near-inactive on TPC-C (no page-cache dirty data to speak of).
+"""
+
+import sys
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+from _shared import table3_result  # noqa: E402
+
+
+def test_table3_sip_filtering(benchmark):
+    result = benchmark.pedantic(table3_result, rounds=1, iterations=1)
+    print()
+    print(result.format())
+    buffered_heavy = [
+        result.filtered_pct[w] for w in ("YCSB", "Postmark", "Filebench")
+    ]
+    assert max(buffered_heavy) >= result.filtered_pct["TPC-C"]

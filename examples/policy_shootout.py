@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Policy shoot-out: the paper's Fig. 7 comparison on one workload.
+
+Runs the same benchmark (choose with argv[1], default Postmark) under
+all four BGC policies -- L-BGC, A-BGC, ADP-GC and JIT-GC -- on an
+identical device with an identical workload replay, and prints the
+normalized IOPS/WAF exactly like the paper's bar charts.
+
+Run:  python examples/policy_shootout.py [YCSB|Postmark|Filebench|Bonnie++|Tiobench|TPC-C]
+"""
+
+import sys
+
+from repro.experiments import (
+    POLICY_FACTORIES,
+    ScenarioSpec,
+    format_table,
+    normalize_to,
+    run_policy_comparison,
+)
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "Postmark"
+    spec = ScenarioSpec(
+        workload=workload,
+        blocks=512,
+        pages_per_block=32,
+        warmup_s=15,
+        measure_s=60,
+    )
+    print(f"running {workload} under {len(POLICY_FACTORIES)} policies "
+          f"({spec.measure_s}s measured)...")
+    results = run_policy_comparison(spec)
+
+    iops = normalize_to({p: m.iops for p, m in results.items()}, "A-BGC")
+    waf = normalize_to({p: m.waf for p, m in results.items()}, "A-BGC")
+    rows = [
+        [
+            policy,
+            metrics.iops,
+            iops[policy],
+            metrics.waf,
+            waf[policy],
+            metrics.fgc_invocations,
+            metrics.bgc_blocks,
+        ]
+        for policy, metrics in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["Policy", "IOPS", "IOPS/A-BGC", "WAF", "WAF/A-BGC", "FGC", "BGC blocks"],
+            rows,
+            title=f"Fig. 7-style comparison on {workload}",
+        )
+    )
+    print()
+    print("Paper expectation: IOPS  L-BGC < ADP-GC <= JIT-GC ~ A-BGC;")
+    print("                   WAF   JIT-GC <= L-BGC < ADP-GC < A-BGC.")
+
+
+if __name__ == "__main__":
+    main()

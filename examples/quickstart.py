@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: build a simulated SSD + host, run JIT-GC under a YCSB-like
+workload and print what happened.
+
+This is the smallest complete tour of the public API:
+
+1. configure a device (`SsdConfig`),
+2. pick a GC policy (`JitGcPolicy` -- the paper's contribution),
+3. assemble the host stack (`HostSystem`),
+4. age the device and run a benchmark workload,
+5. read the metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import JitGcPolicy, SsdConfig
+from repro.host import HostSystem
+from repro.metrics.collector import MetricsCollector
+from repro.sim.simtime import SECOND
+from repro.workloads import Region, YcsbWorkload
+
+
+def main() -> None:
+    # A small device: 512 blocks x 32 pages x 4 KiB = 64 MiB physical,
+    # 7 % over-provisioning like the paper's Samsung SM843T.
+    config = SsdConfig.small(blocks=512, pages_per_block=32)
+    policy = JitGcPolicy()
+    host = HostSystem(config, policy, seed=1)
+
+    print(f"device: {config.geometry.total_blocks} blocks, "
+          f"user capacity {config.user_bytes >> 20} MiB, "
+          f"OP {config.op_bytes >> 20} MiB")
+
+    # Age the device: fill the working set (half the user capacity) and
+    # churn until the free space is down to the OP capacity -- the
+    # steady state where GC policy matters.
+    working_set = host.user_pages // 2
+    host.prefill(working_set)
+    print(f"prefilled {working_set} pages; free = {host.ftl.free_pages()} pages")
+
+    # Run a YCSB-like workload for one simulated minute.
+    metrics = MetricsCollector(host, "YCSB")
+    workload = YcsbWorkload(host, metrics, Region(0, working_set))
+    workload.start()
+    host.run_for(10 * SECOND)          # warm-up
+    metrics.begin()
+    host.run_for(60 * SECOND)          # measurement window
+    metrics.end()
+    workload.stop()
+
+    result = metrics.results()
+    print(f"\n--- {result.workload} under {result.policy} ---")
+    print(f"IOPS                : {result.iops:10.1f}")
+    print(f"WAF                 : {result.waf:10.3f}")
+    print(f"host pages written  : {result.host_pages_written:10d}")
+    print(f"GC pages migrated   : {result.gc_pages_migrated:10d}")
+    print(f"foreground GC stalls: {result.fgc_invocations:10d}")
+    print(f"background GC blocks: {result.bgc_blocks:10d}")
+    print(f"buffered write share: {result.buffered_fraction:10.1%}")
+    if result.prediction_accuracy_pct is not None:
+        print(f"prediction accuracy : {result.prediction_accuracy_pct:9.1f}%")
+    print(f"SIP-filtered victims: {result.sip_filtered}/{result.sip_selections}")
+
+    # The JIT-GC internals are inspectable too:
+    decision = policy.last_decision
+    if decision is not None:
+        print(f"\nlast manager tick: Creq={decision.creq_bytes >> 10} KiB, "
+              f"Cfree={decision.cfree_bytes >> 10} KiB, "
+              f"reclaim={decision.reclaim_bytes >> 10} KiB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Reserved-capacity trade-off sweep: the paper's Fig. 2 on one workload.
+
+Sweeps a fixed-reserve BGC policy's ``Cresv`` from 0.5 x C_OP to
+1.5 x C_OP and prints the IOPS/WAF trade-off curve that motivates
+JIT-GC: a bigger reserve buys performance but costs lifetime.
+
+Run:  python examples/tradeoff_sweep.py [workload]
+"""
+
+import sys
+
+from repro.core.policies import FixedReservePolicy
+from repro.experiments import ScenarioSpec, format_table, run_scenario
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "TPC-C"
+    points = (0.5, 0.75, 1.0, 1.25, 1.5)
+    rows = []
+    for point in points:
+        spec = ScenarioSpec(
+            workload=workload,
+            blocks=512,
+            pages_per_block=32,
+            warmup_s=15,
+            measure_s=45,
+        ).with_policy(f"{point:g}OP", lambda p=point: FixedReservePolicy(p))
+        metrics = run_scenario(spec)
+        rows.append(
+            [
+                f"{point:g} x OP",
+                metrics.iops,
+                metrics.waf,
+                metrics.fgc_invocations,
+                round(metrics.fgc_time_ns / 1e9, 2),
+                metrics.erases,
+            ]
+        )
+        print(f"  Cresv = {point:g} x OP done")
+    print()
+    print(
+        format_table(
+            ["Cresv", "IOPS", "WAF", "FGC stalls", "FGC time (s)", "erases"],
+            rows,
+            title=f"Fig. 2-style reserved-capacity sweep on {workload}",
+        )
+    )
+    print()
+    print("Expect IOPS to rise and WAF/erases to rise with the reserve --")
+    print("performance and lifetime pull in opposite directions.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (`pip install -e .`).
+
+The offline environment lacks the `wheel` package, so PEP 517 editable
+installs fail; this setup.py lets pip fall back to `setup.py develop`.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""repro -- a reproduction of *"To Collect or Not to Collect: Just-in-Time
+Garbage Collection for High-Performance SSDs with Long Lifetimes"*
+(Hahn, Lee, Kim -- DAC 2015).
+
+The package provides, bottom-up:
+
+* :mod:`repro.sim` -- a deterministic discrete-event simulation kernel;
+* :mod:`repro.nand` -- a timed NAND flash array model;
+* :mod:`repro.ftl` -- a page-mapped FTL with pluggable GC victim selection;
+* :mod:`repro.ssd` -- the SSD device (queueing, BGC hooks, extended
+  host interface);
+* :mod:`repro.oskernel` -- the host page cache, flusher thread and I/O
+  dispatcher;
+* :mod:`repro.core` -- **JIT-GC itself**: the buffered/direct future-write
+  predictors, the SIP list, the JIT-GC manager and the policy suite
+  (L-BGC, A-BGC, ADP-GC, JIT-GC);
+* :mod:`repro.workloads` -- models of the paper's six benchmarks;
+* :mod:`repro.metrics` / :mod:`repro.experiments` -- measurement and the
+  harnesses that regenerate every table and figure of the paper.
+
+Quickstart::
+
+    from repro import SsdConfig, JitGcPolicy
+    from repro.experiments import ScenarioSpec, run_scenario
+
+    spec = ScenarioSpec(workload="YCSB", policy="JIT-GC")
+    print(run_scenario(spec))
+"""
+
+from repro.host import HostSystem
+from repro.ssd.config import SsdConfig
+from repro.core.policies import (
+    GcPolicy,
+    NoBgcPolicy,
+    FixedReservePolicy,
+    lazy_bgc_policy,
+    aggressive_bgc_policy,
+    AdaptiveGcPolicy,
+    JitGcPolicy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HostSystem",
+    "SsdConfig",
+    "GcPolicy",
+    "NoBgcPolicy",
+    "FixedReservePolicy",
+    "lazy_bgc_policy",
+    "aggressive_bgc_policy",
+    "AdaptiveGcPolicy",
+    "JitGcPolicy",
+    "__version__",
+]

@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the library's experiment entry points so every paper
+artifact can be regenerated from a shell:
+
+* ``run``      -- one (workload, policy) scenario, metrics printed.
+* ``compare``  -- the four-policy Fig. 7 comparison on one workload.
+* ``fig2`` / ``fig7`` / ``table1`` / ``table2`` / ``table3``
+               -- the full paper artifacts.
+* ``oracle``   -- JIT-GC vs the ideal (future-knowing) policy.
+* ``list``     -- available workloads and policies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import (
+    POLICY_FACTORIES,
+    ScenarioSpec,
+    format_table,
+    normalize_to,
+    run_fig2,
+    run_fig7,
+    run_oracle_comparison,
+    run_policy_comparison,
+    run_scenario,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.workloads import BENCHMARKS
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", default="YCSB", choices=sorted(BENCHMARKS))
+    parser.add_argument("--blocks", type=int, default=1024)
+    parser.add_argument("--pages-per-block", type=int, default=64)
+    parser.add_argument("--warmup", type=int, default=20, metavar="S")
+    parser.add_argument("--measure", type=int, default=60, metavar="S")
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _spec_from(args: argparse.Namespace) -> ScenarioSpec:
+    return ScenarioSpec(
+        workload=args.workload,
+        blocks=args.blocks,
+        pages_per_block=args.pages_per_block,
+        warmup_s=args.warmup,
+        measure_s=args.measure,
+        seed=args.seed,
+    )
+
+
+def _print_metrics(metrics) -> None:
+    rows = [
+        ["IOPS", f"{metrics.iops:.1f}"],
+        ["WAF", f"{metrics.waf:.3f}"],
+        ["host pages written", metrics.host_pages_written],
+        ["GC pages migrated", metrics.gc_pages_migrated],
+        ["FGC invocations", metrics.fgc_invocations],
+        ["FGC stall time (s)", f"{metrics.fgc_time_ns / 1e9:.2f}"],
+        ["BGC blocks", metrics.bgc_blocks],
+        ["erases", metrics.erases],
+        ["buffered write share", f"{metrics.buffered_fraction:.1%}"],
+        ["mean op latency (ms)", f"{metrics.mean_latency_ns / 1e6:.3f}"],
+        ["p99 op latency (ms)", f"{metrics.p99_latency_ns / 1e6:.3f}"],
+    ]
+    if metrics.prediction_accuracy_pct is not None:
+        rows.append(["prediction accuracy", f"{metrics.prediction_accuracy_pct:.1f}%"])
+    if metrics.sip_selections:
+        rows.append(
+            ["SIP-filtered victims", f"{metrics.sip_filtered}/{metrics.sip_selections}"]
+        )
+    print(
+        format_table(
+            ["Metric", "Value"], rows, title=f"{metrics.workload} / {metrics.policy}"
+        )
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    spec = _spec_from(args)
+    spec.policy = args.policy
+    _print_metrics(run_scenario(spec))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    spec = _spec_from(args)
+    results = run_policy_comparison(spec)
+    iops = normalize_to({p: m.iops for p, m in results.items()}, "A-BGC")
+    waf = normalize_to({p: m.waf for p, m in results.items()}, "A-BGC")
+    rows = [
+        [p, m.iops, iops[p], m.waf, waf[p], m.fgc_invocations, m.bgc_blocks]
+        for p, m in results.items()
+    ]
+    print(
+        format_table(
+            ["Policy", "IOPS", "/A-BGC", "WAF", "/A-BGC", "FGC", "BGC"],
+            rows,
+            title=f"Policy comparison on {args.workload}",
+        )
+    )
+    return 0
+
+
+def cmd_oracle(args: argparse.Namespace) -> int:
+    print(run_oracle_comparison(_spec_from(args)).format())
+    return 0
+
+
+def _artifact_command(runner):
+    def command(args: argparse.Namespace) -> int:
+        spec = _spec_from(args)
+        print(runner(spec).format())
+        return 0
+
+    return command
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("workloads:", ", ".join(BENCHMARKS))
+    print("policies :", ", ".join(POLICY_FACTORIES))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="JIT-GC (DAC 2015) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one (workload, policy) scenario")
+    _add_scenario_args(run_parser)
+    run_parser.add_argument(
+        "--policy", default="JIT-GC", choices=sorted(POLICY_FACTORIES)
+    )
+    run_parser.set_defaults(func=cmd_run)
+
+    compare_parser = sub.add_parser("compare", help="four-policy comparison")
+    _add_scenario_args(compare_parser)
+    compare_parser.set_defaults(func=cmd_compare)
+
+    oracle_parser = sub.add_parser("oracle", help="JIT-GC vs the ideal policy")
+    _add_scenario_args(oracle_parser)
+    oracle_parser.set_defaults(func=cmd_oracle)
+
+    for name, runner, help_text in (
+        ("fig2", run_fig2, "reserved-capacity sweep (paper Fig. 2)"),
+        ("fig7", run_fig7, "four policies x six benchmarks (paper Fig. 7)"),
+        ("table1", run_table1, "buffered/direct write mix (paper Table 1)"),
+        ("table2", run_table2, "prediction accuracy (paper Table 2)"),
+        ("table3", run_table3, "SIP victim filtering (paper Table 3)"),
+    ):
+        artifact_parser = sub.add_parser(name, help=help_text)
+        _add_scenario_args(artifact_parser)
+        artifact_parser.set_defaults(func=_artifact_command(runner))
+
+    list_parser = sub.add_parser("list", help="available workloads and policies")
+    list_parser.set_defaults(func=cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""JIT-GC: the paper's primary contribution.
+
+* :mod:`repro.core.cdh` -- the cumulative data histogram (Fig. 5) used to
+  estimate direct-write demand.
+* :mod:`repro.core.sip` -- the soon-to-be-invalidated-page list.
+* :mod:`repro.core.buffered_predictor` -- page-cache-scanning predictor
+  for buffered write-back demand (Sec 3.2.1, Fig. 4).
+* :mod:`repro.core.direct_predictor` -- CDH-based predictor for direct
+  writes (Sec 3.2.2, Fig. 5).
+* :mod:`repro.core.manager` -- the JIT-GC manager: the ``Creq`` /
+  ``Tidle`` / ``Tgc`` decision rule (Sec 3.3, Fig. 6).
+* :mod:`repro.core.accuracy` -- prediction-accuracy tracking (Table 2).
+* :mod:`repro.core.policies` -- the four BGC policies evaluated in the
+  paper (L-BGC, A-BGC, ADP-GC, JIT-GC) plus the parametric fixed-reserve
+  policy behind the Fig. 2 sweep.
+"""
+
+from repro.core.cdh import CumulativeDataHistogram
+from repro.core.sip import SipList
+from repro.core.buffered_predictor import BufferedWritePredictor, BufferedPrediction
+from repro.core.direct_predictor import DirectWritePredictor
+from repro.core.manager import JitGcManager, ManagerDecision
+from repro.core.accuracy import PredictionAccuracyTracker
+from repro.core.policies import (
+    GcPolicy,
+    NoBgcPolicy,
+    FixedReservePolicy,
+    lazy_bgc_policy,
+    aggressive_bgc_policy,
+    AdaptiveGcPolicy,
+    JitGcPolicy,
+)
+from repro.core.oracle import (
+    FutureWriteLog,
+    FutureWriteRecorder,
+    OracleGcPolicy,
+)
+
+__all__ = [
+    "CumulativeDataHistogram",
+    "SipList",
+    "BufferedWritePredictor",
+    "BufferedPrediction",
+    "DirectWritePredictor",
+    "JitGcManager",
+    "ManagerDecision",
+    "PredictionAccuracyTracker",
+    "GcPolicy",
+    "NoBgcPolicy",
+    "FixedReservePolicy",
+    "lazy_bgc_policy",
+    "aggressive_bgc_policy",
+    "AdaptiveGcPolicy",
+    "JitGcPolicy",
+    "FutureWriteLog",
+    "FutureWriteRecorder",
+    "OracleGcPolicy",
+]

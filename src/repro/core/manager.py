@@ -1,0 +1,118 @@
+"""The JIT-GC manager (paper Sec 3.3, Fig. 6).
+
+At the start of every write-back interval the manager receives the two
+demand vectors ``Dbuf(t)`` and ``Ddir(t)`` plus the device's free
+capacity ``Cfree(t)`` and decides whether background GC must run *in the
+current interval*:
+
+1. ``Creq(t) = sum_i (Dbuf_i + Ddir_i)``.
+2. If ``Cfree >= Creq`` -- no BGC; the future is already funded.
+3. Otherwise estimate the idle time left in the prediction horizon,
+   ``Tidle = tau_expire - Tw`` with ``Tw = Creq / Bw``, and the GC time
+   needed, ``Tgc = (Creq - Cfree) / Bgc``.
+4. If ``Tidle > Tgc`` the reclaim can still be postponed (a later
+   interval will have enough idle time) -- schedule nothing now.
+5. If ``Tidle < Tgc`` the debt cannot wait: reclaim
+   ``Dreclaim = (Tgc - Tidle) * Bgc`` during the current interval.
+
+Step 4/5 is the *just-in-time* core: GC is deferred to the last interval
+where it still fits, which is what prevents the premature erasures of an
+aggressive policy while still avoiding foreground GC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.sim.simtime import SECOND
+
+
+@dataclass
+class ManagerDecision:
+    """Outcome of one manager tick (all byte/ns quantities >= 0).
+
+    Attributes:
+        creq_bytes: total predicted demand ``Creq``.
+        cfree_bytes: device free capacity at decision time.
+        tw_ns / tidle_ns / tgc_ns: the Sec 3.3 time estimates (0 when the
+            fast path ``Cfree >= Creq`` was taken).
+        reclaim_bytes: ``Dreclaim`` -- bytes BGC must reclaim now.
+    """
+
+    creq_bytes: int
+    cfree_bytes: int
+    tw_ns: int = 0
+    tidle_ns: int = 0
+    tgc_ns: int = 0
+    reclaim_bytes: int = 0
+
+    @property
+    def invokes_bgc(self) -> bool:
+        return self.reclaim_bytes > 0
+
+
+class JitGcManager:
+    """The decision rule, kept free of any device plumbing for testability.
+
+    Args:
+        tau_expire_ns: the prediction horizon.
+    """
+
+    def __init__(self, tau_expire_ns: int) -> None:
+        if tau_expire_ns <= 0:
+            raise ValueError(f"tau_expire must be positive, got {tau_expire_ns}")
+        self.tau_expire_ns = tau_expire_ns
+        self.decisions = 0
+        self.bgc_invocations = 0
+
+    def decide(
+        self,
+        dbuf_bytes: Sequence[int],
+        ddir_bytes: Sequence[int],
+        cfree_bytes: int,
+        write_bw_bytes_per_sec: float,
+        gc_bw_bytes_per_sec: float,
+    ) -> ManagerDecision:
+        """Run the Sec 3.3 rule once; returns the full decision record."""
+        if write_bw_bytes_per_sec <= 0 or gc_bw_bytes_per_sec <= 0:
+            raise ValueError("bandwidth estimates must be positive")
+        self.decisions += 1
+        creq = sum(dbuf_bytes) + sum(ddir_bytes)
+
+        if cfree_bytes >= creq:
+            return ManagerDecision(creq_bytes=creq, cfree_bytes=cfree_bytes)
+
+        tw = int(creq * SECOND / write_bw_bytes_per_sec)
+        tidle = max(0, self.tau_expire_ns - tw)
+        tgc = int((creq - cfree_bytes) * SECOND / gc_bw_bytes_per_sec)
+
+        if tidle > tgc:
+            # Enough future idle time remains: defer (the JIT deferral).
+            return ManagerDecision(
+                creq_bytes=creq,
+                cfree_bytes=cfree_bytes,
+                tw_ns=tw,
+                tidle_ns=tidle,
+                tgc_ns=tgc,
+            )
+
+        reclaim = int((tgc - tidle) * gc_bw_bytes_per_sec / SECOND)
+        # Never reclaim more than the actual shortfall.
+        reclaim = min(reclaim, creq - cfree_bytes)
+        if reclaim > 0:
+            self.bgc_invocations += 1
+        return ManagerDecision(
+            creq_bytes=creq,
+            cfree_bytes=cfree_bytes,
+            tw_ns=tw,
+            tidle_ns=tidle,
+            tgc_ns=tgc,
+            reclaim_bytes=reclaim,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<JitGcManager decisions={self.decisions} "
+            f"bgc={self.bgc_invocations}>"
+        )

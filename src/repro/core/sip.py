@@ -1,0 +1,48 @@
+"""The soon-to-be-invalidated page (SIP) list.
+
+Dirty pages in the host page cache have *old versions on flash* that the
+imminent write-back will invalidate.  Migrating those flash pages during
+GC is pure waste -- they die moments later.  The buffered-write predictor
+collects their logical addresses into a :class:`SipList`, which the JIT-GC
+manager downloads to the SSD; the extended garbage collector then avoids
+victim blocks dominated by SIP pages (paper Secs 3.1, 3.2.1; Table 3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Set
+
+
+class SipList:
+    """An immutable-ish snapshot of soon-to-be-invalidated LPNs.
+
+    Attributes:
+        created_at: simulated time the snapshot was taken.
+    """
+
+    def __init__(self, lpns: Iterable[int] = (), created_at: int = 0) -> None:
+        self._lpns: Set[int] = set(lpns)
+        self.created_at = created_at
+
+    def __len__(self) -> int:
+        return len(self._lpns)
+
+    def __contains__(self, lpn: int) -> bool:
+        return lpn in self._lpns
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._lpns)
+
+    def as_set(self) -> Set[int]:
+        """The LPN set (a copy; the snapshot stays intact)."""
+        return set(self._lpns)
+
+    def union(self, other: "SipList") -> "SipList":
+        """Merge two snapshots, keeping the newer timestamp."""
+        return SipList(
+            self._lpns | other._lpns,
+            created_at=max(self.created_at, other.created_at),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SipList n={len(self._lpns)} t={self.created_at}>"

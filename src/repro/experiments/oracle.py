@@ -1,0 +1,101 @@
+"""Oracle comparison: how close does JIT-GC get to the ideal policy?
+
+Two-pass experiment realising the paper's Sec 2 thought experiment:
+
+1. **Capture pass** -- run the scenario under JIT-GC while recording the
+   exact per-interval device write volumes.
+2. **Oracle pass** -- rerun the *identical* scenario under
+   :class:`~repro.core.oracle.OracleGcPolicy`, which reserves exactly
+   the captured future demand.
+
+The gap between JIT-GC and ORACLE is the cost of having to *predict*
+rather than *know* -- the headroom left for better predictors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.oracle import FutureWriteRecorder, OracleGcPolicy
+from repro.core.policies import JitGcPolicy
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ScenarioSpec
+from repro.host import HostSystem
+from repro.metrics.collector import MetricsCollector, RunMetrics
+from repro.sim.simtime import SECOND
+from repro.workloads import BENCHMARKS, Region
+
+
+@dataclass
+class OracleComparison:
+    """Metrics of the JIT-GC capture pass and the oracle replay."""
+
+    workload: str
+    raw: Dict[str, RunMetrics] = field(default_factory=dict)
+
+    def iops_gap(self) -> float:
+        """IOPS(JIT-GC) / IOPS(ORACLE); 1.0 means prediction is free."""
+        return self.raw["JIT-GC"].iops / self.raw["ORACLE"].iops
+
+    def waf_gap(self) -> float:
+        return self.raw["JIT-GC"].waf / self.raw["ORACLE"].waf
+
+    def format(self) -> str:
+        rows = [
+            [name, m.iops, m.waf, m.fgc_invocations, m.bgc_blocks]
+            for name, m in self.raw.items()
+        ]
+        return format_table(
+            ["Policy", "IOPS", "WAF", "FGC", "BGC blocks"],
+            rows,
+            title=f"Oracle comparison [{self.workload}]",
+        )
+
+
+def _run_pass(spec: ScenarioSpec, policy, record_interval_ns=None):
+    """One scenario pass, optionally recording future write volumes."""
+    config = spec.make_config()
+    host = HostSystem(
+        config,
+        policy,
+        seed=spec.seed,
+        flusher_period_ns=spec.flusher_period_s * SECOND,
+        tau_expire_ns=spec.tau_expire_s * SECOND,
+    )
+    recorder = None
+    if record_interval_ns is not None:
+        recorder = FutureWriteRecorder(host.device, record_interval_ns)
+    working_set = int(host.user_pages * spec.working_set_fraction)
+    host.prefill(working_set)
+    metrics = MetricsCollector(host, workload_name=spec.workload)
+    workload = BENCHMARKS[spec.workload](
+        host, metrics, Region(0, working_set), **spec.workload_kwargs
+    )
+    workload.start()
+    host.run_for(spec.warmup_s * SECOND)
+    metrics.begin()
+    host.run_for(spec.measure_s * SECOND)
+    metrics.end()
+    workload.stop()
+    return metrics.results(), recorder
+
+
+def run_oracle_comparison(spec: ScenarioSpec = None) -> OracleComparison:
+    """Capture under JIT-GC, replay under the oracle; returns both."""
+    spec = spec or ScenarioSpec(workload="TPC-C")
+    interval_ns = spec.flusher_period_s * SECOND
+    result = OracleComparison(workload=spec.workload)
+
+    jit_metrics, recorder = _run_pass(
+        spec, JitGcPolicy(), record_interval_ns=interval_ns
+    )
+    result.raw["JIT-GC"] = jit_metrics
+
+    future = recorder.log()
+    horizon = spec.tau_expire_s // spec.flusher_period_s
+    oracle_metrics, _ = _run_pass(
+        spec, OracleGcPolicy(future, horizon_intervals=horizon)
+    )
+    result.raw["ORACLE"] = oracle_metrics
+    return result

@@ -1,0 +1,69 @@
+"""Result persistence: save and reload experiment measurements as JSON.
+
+Long sweeps are expensive; persisting their :class:`RunMetrics` lets a
+study resume, diff runs across code versions, and feed external plotting
+without rerunning the simulator.  The format is one JSON object per
+result with an explicit ``schema`` tag so future field changes can be
+migrated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.metrics.collector import RunMetrics
+
+#: Format tag written into every file.
+SCHEMA = "repro.run-metrics.v1"
+
+
+def metrics_to_dict(metrics: RunMetrics) -> dict:
+    """Plain-dict form of one result (JSON-ready)."""
+    payload = dataclasses.asdict(metrics)
+    payload["schema"] = SCHEMA
+    return payload
+
+
+def metrics_from_dict(payload: dict) -> RunMetrics:
+    """Inverse of :func:`metrics_to_dict`; validates the schema tag."""
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(
+            f"unsupported schema {payload.get('schema')!r}; expected {SCHEMA}"
+        )
+    fields = {f.name for f in dataclasses.fields(RunMetrics)}
+    return RunMetrics(**{k: v for k, v in payload.items() if k in fields})
+
+
+def save_results(
+    results: Union[RunMetrics, List[RunMetrics], Dict[str, RunMetrics]],
+    path: Union[str, Path],
+) -> int:
+    """Write one result, a list, or a name->result mapping; returns the
+    number of results written."""
+    if isinstance(results, RunMetrics):
+        payload = metrics_to_dict(results)
+        count = 1
+    elif isinstance(results, dict):
+        payload = {name: metrics_to_dict(m) for name, m in results.items()}
+        count = len(results)
+    else:
+        payload = [metrics_to_dict(m) for m in results]
+        count = len(payload)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return count
+
+
+def load_results(path: Union[str, Path]):
+    """Load whatever :func:`save_results` wrote, with the same shape."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict) and "schema" in payload:
+        return metrics_from_dict(payload)
+    if isinstance(payload, dict):
+        return {name: metrics_from_dict(p) for name, p in payload.items()}
+    return [metrics_from_dict(p) for p in payload]

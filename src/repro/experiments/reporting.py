@@ -1,0 +1,58 @@
+"""Plain-text reporting helpers for experiment harnesses.
+
+The paper presents normalized bar charts and small tables; the harnesses
+print the same content as aligned text tables so a bench run's stdout is
+directly comparable to the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+Number = Union[int, float]
+
+
+def normalize_to(values: Dict[str, Number], reference_key: str) -> Dict[str, float]:
+    """Normalize a series so ``reference_key`` maps to 1.0 (paper style:
+    "all values normalized over A-BGC")."""
+    if reference_key not in values:
+        raise KeyError(f"reference {reference_key!r} missing from {sorted(values)}")
+    reference = values[reference_key]
+    if reference == 0:
+        raise ZeroDivisionError(f"reference value for {reference_key!r} is zero")
+    return {key: value / reference for key, value in values.items()}
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned text table.
+
+    Floats go through ``float_format``; everything else through ``str``.
+    """
+    rendered: List[List[str]] = []
+    for row in rows:
+        rendered.append(
+            [
+                float_format.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)

@@ -1,0 +1,149 @@
+"""The scenario runner: one function per measured (workload, policy) pair.
+
+Every experiment in the paper reduces to running one benchmark against
+one GC policy on an identically configured device and measuring IOPS and
+WAF over a steady-state window.  :func:`run_scenario` encapsulates that
+protocol:
+
+1. build the device + host stack with the policy installed,
+2. pre-fill the working set (half the user capacity, as in Sec 4.1),
+3. start the workload and let it run a warm-up period,
+4. measure for the configured duration,
+5. freeze a :class:`~repro.metrics.collector.RunMetrics`.
+
+All runs of one comparison share the same :class:`ScenarioSpec` except
+for the policy, and the same seed -- so the workloads replay identically
+and metric differences are attributable to the policy alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional
+
+from repro.core.policies import (
+    AdaptiveGcPolicy,
+    GcPolicy,
+    JitGcPolicy,
+    aggressive_bgc_policy,
+    lazy_bgc_policy,
+)
+from repro.host import HostSystem
+from repro.metrics.collector import MetricsCollector, RunMetrics
+from repro.sim.simtime import SECOND
+from repro.ssd.config import SsdConfig
+from repro.workloads import BENCHMARKS, Region
+
+#: Factories for the four policies of Fig. 7 (fresh instance per run).
+POLICY_FACTORIES: Dict[str, Callable[[], GcPolicy]] = {
+    "L-BGC": lazy_bgc_policy,
+    "A-BGC": aggressive_bgc_policy,
+    "ADP-GC": AdaptiveGcPolicy,
+    "JIT-GC": JitGcPolicy,
+}
+
+
+@dataclass
+class ScenarioSpec:
+    """One measured run's full parameterisation.
+
+    Attributes:
+        workload: a key of :data:`repro.workloads.BENCHMARKS`.
+        policy: a key of :data:`POLICY_FACTORIES`, or use
+            ``policy_factory`` for custom policies (Fig. 2's sweep).
+        blocks / pages_per_block: device scale.
+        op_ratio: over-provisioning ratio (SM843T: 7 %).
+        working_set_fraction: share of user capacity the benchmark
+            touches (paper: one half).
+        warmup_s / measure_s: simulated warm-up and measurement windows.
+        flusher_period_s / tau_expire_s: the write-back constants ``p``
+            and ``tau_expire``.  The paper uses 5 s / 30 s on a 240 GB
+            device; the scaled default (1 s / 6 s) keeps ``Nwb = 6`` and
+            keeps per-horizon traffic in the same proportion to the OP
+            capacity as on the real testbed.
+        seed: root random seed (shared across compared policies).
+        workload_kwargs: extra workload-constructor arguments.
+    """
+
+    workload: str = "YCSB"
+    policy: str = "JIT-GC"
+    policy_factory: Optional[Callable[[], GcPolicy]] = None
+    blocks: int = 1024
+    pages_per_block: int = 64
+    op_ratio: float = 0.07
+    working_set_fraction: float = 0.5
+    warmup_s: int = 40
+    measure_s: int = 180
+    flusher_period_s: int = 1
+    tau_expire_s: int = 6
+    seed: int = 42
+    workload_kwargs: dict = field(default_factory=dict)
+
+    def with_policy(self, policy: str, factory: Optional[Callable[[], GcPolicy]] = None):
+        """Same scenario, different policy (identical workload replay)."""
+        return replace(self, policy=policy, policy_factory=factory)
+
+    def make_policy(self) -> GcPolicy:
+        if self.policy_factory is not None:
+            return self.policy_factory()
+        if self.policy not in POLICY_FACTORIES:
+            raise KeyError(
+                f"unknown policy {self.policy!r}; known: {sorted(POLICY_FACTORIES)}"
+            )
+        return POLICY_FACTORIES[self.policy]()
+
+    def make_config(self) -> SsdConfig:
+        return SsdConfig.small(
+            blocks=self.blocks,
+            pages_per_block=self.pages_per_block,
+            op_ratio=self.op_ratio,
+        )
+
+
+def run_scenario(spec: ScenarioSpec) -> RunMetrics:
+    """Execute one scenario per the Sec 4.1 protocol; returns metrics."""
+    if spec.workload not in BENCHMARKS:
+        raise KeyError(
+            f"unknown workload {spec.workload!r}; known: {sorted(BENCHMARKS)}"
+        )
+    config = spec.make_config()
+    policy = spec.make_policy()
+    host = HostSystem(
+        config,
+        policy,
+        seed=spec.seed,
+        flusher_period_ns=spec.flusher_period_s * SECOND,
+        tau_expire_ns=spec.tau_expire_s * SECOND,
+    )
+
+    working_set = int(host.user_pages * spec.working_set_fraction)
+    host.prefill(working_set)
+
+    metrics = MetricsCollector(host, workload_name=spec.workload)
+    workload_cls = BENCHMARKS[spec.workload]
+    workload = workload_cls(
+        host, metrics, Region(0, working_set), **spec.workload_kwargs
+    )
+    workload.start()
+
+    host.run_for(spec.warmup_s * SECOND)
+    metrics.begin()
+    host.run_for(spec.measure_s * SECOND)
+    metrics.end()
+    workload.stop()
+    return metrics.results()
+
+
+def run_policy_comparison(
+    spec: ScenarioSpec,
+    policies: Optional[Dict[str, Callable[[], GcPolicy]]] = None,
+) -> Dict[str, RunMetrics]:
+    """Run one workload under several policies (identical everything else).
+
+    Returns ``{policy_name: RunMetrics}`` in the given order.
+    """
+    policies = policies or POLICY_FACTORIES
+    results: Dict[str, RunMetrics] = {}
+    for name, factory in policies.items():
+        results[name] = run_scenario(spec.with_policy(name, factory))
+    return results

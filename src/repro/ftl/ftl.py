@@ -1,0 +1,393 @@
+"""Page-mapped FTL with foreground and background garbage collection.
+
+:class:`PageMappedFtl` is the firmware model: it owns the logical→physical
+mapping, the free-block pool, the write frontiers and the GC engine.  It
+is deliberately synchronous -- every operation returns its NAND latency in
+nanoseconds -- and the SSD *device* model (:mod:`repro.ssd.device`) turns
+those latencies into simulated time, queueing and idleness.
+
+Write datapath (out-place update)::
+
+    host write LPN
+      -> frontier page in the active user block (allocate a new free
+         block when the frontier fills)
+      -> remap LPN, invalidating the previous physical page
+    if the free pool is at the watermark  ->  FOREGROUND GC (stall)
+
+GC datapath::
+
+    pick victim (pluggable selector; the paper's SIP filter plugs here)
+      -> migrate valid pages to the GC frontier
+      -> erase victim, return it to the wear-ordered free pool
+
+The separation of user and GC write frontiers gives the natural hot/cold
+separation real FTLs rely on: migrated (cold-ish) data does not share
+blocks with fresh (hot) data.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.ftl.mapping import PageMap
+from repro.ftl.space import SpaceModel
+from repro.ftl.stats import FtlStats
+from repro.ftl.victim import GreedySelector, VictimSelector
+from repro.ftl.wear import StaticWearLeveler, WearAwareAllocator
+from repro.nand.array import BlockState, NandArray
+
+
+class FtlError(RuntimeError):
+    """Base class for FTL failures."""
+
+
+class OutOfSpaceError(FtlError):
+    """The FTL cannot find a victim with reclaimable garbage.
+
+    Happens only when live data approaches the physical capacity; with
+    standard OP ratios it indicates a misconfigured scenario.
+    """
+
+
+class PageMappedFtl:
+    """Page-level FTL over a :class:`~repro.nand.array.NandArray`.
+
+    Args:
+        nand: the physical array.
+        space: user/OP capacity split.
+        victim_selector: GC victim policy (greedy by default; JIT-GC
+            installs a :class:`~repro.ftl.victim.SipFilteredSelector`).
+        fgc_watermark: free-pool size at or below which a host write must
+            run foreground GC first.  Must be >= 2 so GC migrations always
+            have a block to allocate.
+        fgc_penalty: latency multiplier applied to foreground GC.  A
+            foreground collection on a real drive costs more than the raw
+            NAND operations: the request pipeline drains, mapping-table
+            updates flush, and the host-interface queue stalls.  The
+            multiplier models that overhead (4.0 by default; 1.0 gives
+            the pure NAND-cost model).
+        clock: zero-arg callable returning the current simulated time in
+            nanoseconds (used for block-age bookkeeping); defaults to an
+            operation counter when the FTL is used standalone.
+        wear_leveler: optional static wear leveller.
+    """
+
+    def __init__(
+        self,
+        nand: NandArray,
+        space: SpaceModel,
+        victim_selector: Optional[VictimSelector] = None,
+        fgc_watermark: int = 2,
+        clock: Optional[Callable[[], int]] = None,
+        wear_leveler: Optional[StaticWearLeveler] = None,
+        fgc_penalty: float = 4.0,
+    ) -> None:
+        if space.geometry is not nand.geometry:
+            raise ValueError("space model and NAND array use different geometries")
+        if fgc_watermark < 2:
+            raise ValueError(f"fgc_watermark must be >= 2, got {fgc_watermark}")
+        if fgc_penalty < 1.0:
+            raise ValueError(f"fgc_penalty must be >= 1.0, got {fgc_penalty}")
+        self.nand = nand
+        self.space = space
+        self.geometry = nand.geometry
+        self.page_map = PageMap(nand.geometry, space.user_pages)
+        self.victim_selector = victim_selector or GreedySelector()
+        self.fgc_watermark = fgc_watermark
+        self.fgc_penalty = fgc_penalty
+        self.wear_leveler = wear_leveler
+        self.stats = FtlStats()
+
+        self._op_counter = 0
+        self._clock = clock or self._default_clock
+
+        #: LPNs the host reported as soon-to-be-invalidated (paper's SIP list).
+        self.sip_lpns: Set[int] = set()
+
+        good = [
+            block
+            for block in range(self.geometry.total_blocks)
+            if not nand.is_bad(block)
+        ]
+        if len(good) < fgc_watermark + 2:
+            raise FtlError("not enough good blocks to operate")
+        self.allocator = WearAwareAllocator(nand.endurance, initial_free=good)
+        #: Time each block was closed (frontier filled); for cost-benefit age.
+        self._close_time = np.zeros(self.geometry.total_blocks, dtype=np.int64)
+        #: True for blocks that are in use and completely programmed.
+        self._closed = np.zeros(self.geometry.total_blocks, dtype=bool)
+
+        self._active_user_block = self._allocate_block()
+        self._active_gc_block = self._allocate_block()
+        #: Erases since the last wear-levelling check.
+        self._erases_since_wl_check = 0
+
+    # ------------------------------------------------------------------
+    # Small helpers
+    # ------------------------------------------------------------------
+    def _default_clock(self) -> int:
+        return self._op_counter
+
+    def _allocate_block(self) -> int:
+        block = self.allocator.allocate()
+        if block is None:
+            raise FtlError("free-block pool exhausted (GC failed to keep up)")
+        return block
+
+    @property
+    def active_user_block(self) -> int:
+        return self._active_user_block
+
+    @property
+    def active_gc_block(self) -> int:
+        return self._active_gc_block
+
+    # ------------------------------------------------------------------
+    # Capacity queries (the paper's Cfree / Cused)
+    # ------------------------------------------------------------------
+    def free_pool_blocks(self) -> int:
+        return len(self.allocator)
+
+    def free_pages(self) -> int:
+        """Pages writable without any GC: pool blocks + open frontiers."""
+        ppb = self.geometry.pages_per_block
+        frontier_user = ppb - self.nand.next_programmable_page(self._active_user_block)
+        frontier_gc = ppb - self.nand.next_programmable_page(self._active_gc_block)
+        return len(self.allocator) * ppb + frontier_user + frontier_gc
+
+    def free_bytes(self) -> int:
+        """The paper's ``Cfree`` in bytes."""
+        return self.free_pages() * self.geometry.page_size
+
+    def used_pages(self) -> int:
+        """Live logical pages (the paper's ``Cused`` in pages)."""
+        return self.page_map.mapped_count
+
+    def reclaimable_garbage_pages(self) -> int:
+        """Invalid pages sitting in closed blocks (BGC's raw material)."""
+        closed = np.flatnonzero(self._closed)
+        if len(closed) == 0:
+            return 0
+        ppb = self.geometry.pages_per_block
+        valid = self.page_map.valid_counts()[closed]
+        return int((ppb - valid).sum())
+
+    # ------------------------------------------------------------------
+    # Host datapath
+    # ------------------------------------------------------------------
+    def host_write_page(self, lpn: int) -> int:
+        """Write one logical page; returns total NAND latency (ns).
+
+        Runs foreground GC first when the free pool is at the watermark;
+        the returned latency then includes the full stall.
+        """
+        latency = 0
+        if self.needs_foreground_gc():
+            latency += self._run_foreground_gc()
+        latency += self._program_user_page(lpn)
+        latency += self.nand.timing.transfer_ns_per_page
+        return latency
+
+    def host_read_page(self, lpn: int) -> int:
+        """Read one logical page; returns NAND latency (ns).
+
+        Reads of never-written pages return zeroes at transfer cost only
+        (no flash access), like a real drive.
+        """
+        ppn = self.page_map.lookup(lpn)
+        self.stats.host_pages_read += 1
+        if ppn is None:
+            return self.nand.timing.transfer_ns_per_page
+        latency = self.nand.read_page(self.page_map.block_of(ppn), self.page_map.page_of(ppn))
+        return latency + self.nand.timing.transfer_ns_per_page
+
+    def trim(self, lpns: Iterable[int]) -> int:
+        """TRIM logical pages; returns (negligible) latency.
+
+        TRIM creates garbage without writes -- file deletion in the
+        Postmark/Filebench workloads reaches the FTL through here.
+        """
+        count = 0
+        for lpn in lpns:
+            if self.page_map.unmap(lpn) is not None:
+                count += 1
+        self.stats.pages_trimmed += count
+        return 0
+
+    def _program_user_page(self, lpn: int) -> int:
+        self._op_counter += 1
+        block, page, extra = self._frontier_slot(user=True)
+        latency = extra + self.nand.program_page(block, page)
+        self.page_map.remap(lpn, self.page_map.ppn(block, page))
+        self.stats.host_pages_written += 1
+        return latency
+
+    def _frontier_slot(self, user: bool) -> Tuple[int, int, int]:
+        """Return (block, page, extra_latency) for the next frontier page,
+        rolling to a fresh free block when the current frontier is full."""
+        block = self._active_user_block if user else self._active_gc_block
+        page = self.nand.next_programmable_page(block)
+        extra = 0
+        if page >= self.geometry.pages_per_block:
+            self._close_block(block)
+            new_block = self._allocate_block()
+            if user:
+                self._active_user_block = new_block
+            else:
+                self._active_gc_block = new_block
+            block, page = new_block, 0
+        return block, page, extra
+
+    def _close_block(self, block: int) -> None:
+        self._closed[block] = True
+        self._close_time[block] = self._clock()
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+    def needs_foreground_gc(self) -> bool:
+        """True when a host write must stall for GC first."""
+        return len(self.allocator) <= self.fgc_watermark
+
+    def gc_candidates(self) -> np.ndarray:
+        """Closed in-use blocks eligible as GC victims."""
+        return np.flatnonzero(self._closed)
+
+    def has_victim(self) -> bool:
+        """True if some candidate holds reclaimable garbage."""
+        candidates = self.gc_candidates()
+        if len(candidates) == 0:
+            return False
+        valid = self.page_map.valid_counts()[candidates]
+        return bool((valid < self.geometry.pages_per_block).any())
+
+    def collect_one_block(
+        self,
+        background: bool,
+        forced_victim: Optional[int] = None,
+    ) -> int:
+        """Collect a single victim block; returns the NAND latency (ns).
+
+        Args:
+            background: attribute the work to BGC (idle-time) rather than
+                FGC (write-stall) counters.
+            forced_victim: bypass the selector (wear levelling).
+
+        Raises:
+            OutOfSpaceError: no candidate has any garbage to reclaim.
+        """
+        if forced_victim is not None:
+            victim: Optional[int] = forced_victim
+        else:
+            candidates = self.gc_candidates()
+            decision = self.victim_selector.select(
+                candidates,
+                self.page_map,
+                block_ages=self._ages(),
+                sip_lpns=self.sip_lpns,
+            )
+            victim = decision.block
+            if victim is not None:
+                self.stats.victim_selections += 1
+                if decision.filtered_by_sip > 0:
+                    self.stats.victims_filtered_by_sip += 1
+        if victim is None:
+            raise OutOfSpaceError("no GC victim available")
+        if self.page_map.valid_count(victim) >= self.geometry.pages_per_block:
+            raise OutOfSpaceError(
+                f"best victim {victim} has no invalid pages; device is full of live data"
+            )
+
+        latency = self._migrate_and_erase(victim)
+        if background:
+            self.stats.bgc_blocks_collected += 1
+            self.stats.bgc_time_ns += latency
+        else:
+            self.stats.fgc_blocks_collected += 1
+            self.stats.fgc_time_ns += latency
+        self._erases_since_wl_check += 1
+        return latency
+
+    def _migrate_and_erase(self, victim: int) -> int:
+        latency = 0
+        victims_pages: List[Tuple[int, int]] = list(self.page_map.valid_lpns_in_block(victim))
+        for offset, lpn in victims_pages:
+            latency += self.nand.read_page(victim, offset)
+            self.stats.gc_pages_read += 1
+            block, page, extra = self._frontier_slot(user=False)
+            latency += extra + self.nand.program_page(block, page)
+            self.page_map.remap(lpn, self.page_map.ppn(block, page))
+            self.stats.gc_pages_migrated += 1
+
+        self.page_map.clear_block(victim)
+        latency += self.nand.erase_block(victim)
+        self.stats.blocks_erased += 1
+        self._closed[victim] = False
+        if not self.nand.is_bad(victim):
+            self.allocator.release(victim)
+        return latency
+
+    def _run_foreground_gc(self) -> int:
+        """Collect until the pool is safely above the watermark."""
+        self.stats.fgc_invocations += 1
+        latency = 0
+        while len(self.allocator) <= self.fgc_watermark:
+            latency += self.collect_one_block(background=False)
+        penalised = int(latency * self.fgc_penalty)
+        self.stats.fgc_time_ns += penalised - latency
+        return penalised
+
+    def _ages(self) -> np.ndarray:
+        """Per-block age proxy for cost-benefit selection."""
+        now = self._clock()
+        return np.maximum(0, now - self._close_time)
+
+    # ------------------------------------------------------------------
+    # Wear levelling
+    # ------------------------------------------------------------------
+    def maybe_wear_level(self, check_interval_erases: int = 256) -> int:
+        """Run one static wear-levelling migration if the spread warrants.
+
+        Called opportunistically by the device during idle periods.
+        Returns the NAND latency spent (0 if nothing was done).
+        """
+        if self.wear_leveler is None:
+            return 0
+        if self._erases_since_wl_check < check_interval_erases:
+            return 0
+        self._erases_since_wl_check = 0
+        in_use = self.gc_candidates()
+        if not self.wear_leveler.needs_levelling(in_use):
+            return 0
+        cold = self.wear_leveler.pick_cold_block(in_use)
+        if cold is None:
+            return 0
+        latency = self.collect_one_block(background=True, forced_victim=cold)
+        self.stats.wl_blocks_collected += 1
+        return latency
+
+    # ------------------------------------------------------------------
+    # Host-interface extensions (paper Sec 3.1)
+    # ------------------------------------------------------------------
+    def set_sip_list(self, lpns: Iterable[int]) -> None:
+        """Install the soon-to-be-invalidated page list from the host."""
+        self.sip_lpns = set(lpns)
+
+    def invariant_check(self) -> None:
+        """Cross-structure consistency check used by tests."""
+        self.page_map.invariant_check()
+        for block in range(self.geometry.total_blocks):
+            in_pool = block in self.allocator
+            is_active = block in (self._active_user_block, self._active_gc_block)
+            if in_pool and (is_active or self._closed[block]):
+                raise AssertionError(f"block {block} both free and in use")
+            if in_pool and self.page_map.valid_count(block) != 0:
+                raise AssertionError(f"free block {block} holds valid pages")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<PageMappedFtl free={self.free_pool_blocks()}blk "
+            f"used={self.used_pages()}p waf={self.stats.waf():.3f}>"
+        )

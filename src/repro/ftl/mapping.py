@@ -1,0 +1,165 @@
+"""Page-level address mapping with validity tracking.
+
+:class:`PageMap` is the FTL's logical heart: the LPN→PPN table, the
+reverse PPN→LPN table, a per-page validity bitmap and per-block valid-page
+counters.  Out-place updates (the NAND erase-before-write consequence) are
+expressed here: remapping an LPN invalidates its previous physical page,
+creating the garbage that GC later reclaims.
+
+Physical page numbers are flat: ``ppn = block * pages_per_block + page``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.nand.geometry import NandGeometry
+
+#: Sentinel for "unmapped" entries in both translation directions.
+UNMAPPED: int = -1
+
+
+class PageMap:
+    """LPN↔PPN translation state.
+
+    Args:
+        geometry: NAND geometry (defines the physical page space).
+        user_pages: size of the logical page space.
+    """
+
+    def __init__(self, geometry: NandGeometry, user_pages: int) -> None:
+        if user_pages <= 0:
+            raise ValueError(f"user_pages must be positive, got {user_pages}")
+        self.geometry = geometry
+        self.user_pages = user_pages
+        self._l2p = np.full(user_pages, UNMAPPED, dtype=np.int64)
+        self._p2l = np.full(geometry.total_pages, UNMAPPED, dtype=np.int64)
+        self._valid = np.zeros(geometry.total_pages, dtype=bool)
+        self._valid_per_block = np.zeros(geometry.total_blocks, dtype=np.int32)
+        #: Number of LPNs currently mapped (the paper's ``Cused`` in pages).
+        self.mapped_count = 0
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+    def ppn(self, block: int, page: int) -> int:
+        return block * self.geometry.pages_per_block + page
+
+    def block_of(self, ppn: int) -> int:
+        return ppn // self.geometry.pages_per_block
+
+    def page_of(self, ppn: int) -> int:
+        return ppn % self.geometry.pages_per_block
+
+    def check_lpn(self, lpn: int) -> None:
+        if not 0 <= lpn < self.user_pages:
+            raise IndexError(f"LPN {lpn} out of range [0, {self.user_pages})")
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def remap(self, lpn: int, new_ppn: int) -> Optional[int]:
+        """Point ``lpn`` at ``new_ppn``; returns the invalidated old PPN.
+
+        The caller must have already programmed ``new_ppn``.  If the LPN
+        was mapped, its old physical page becomes invalid (garbage).
+        """
+        self.check_lpn(lpn)
+        old_ppn = int(self._l2p[lpn])
+        if old_ppn != UNMAPPED:
+            self._invalidate_ppn(old_ppn)
+        else:
+            self.mapped_count += 1
+        self._l2p[lpn] = new_ppn
+        self._p2l[new_ppn] = lpn
+        self._valid[new_ppn] = True
+        self._valid_per_block[self.block_of(new_ppn)] += 1
+        return old_ppn if old_ppn != UNMAPPED else None
+
+    def unmap(self, lpn: int) -> Optional[int]:
+        """TRIM: drop the mapping of ``lpn``; returns the freed PPN."""
+        self.check_lpn(lpn)
+        old_ppn = int(self._l2p[lpn])
+        if old_ppn == UNMAPPED:
+            return None
+        self._invalidate_ppn(old_ppn)
+        self._l2p[lpn] = UNMAPPED
+        self.mapped_count -= 1
+        return old_ppn
+
+    def _invalidate_ppn(self, ppn: int) -> None:
+        if not self._valid[ppn]:
+            raise RuntimeError(f"double invalidation of PPN {ppn}")
+        self._valid[ppn] = False
+        self._p2l[ppn] = UNMAPPED
+        self._valid_per_block[self.block_of(ppn)] -= 1
+
+    def clear_block(self, block: int) -> None:
+        """Reset per-page state of ``block`` after an erase.
+
+        All pages of the block must already be invalid (GC migrates valid
+        pages out before erasing); this is asserted to catch GC bugs.
+        """
+        if self._valid_per_block[block] != 0:
+            raise RuntimeError(
+                f"erasing block {block} with {self._valid_per_block[block]} valid pages"
+            )
+        start = block * self.geometry.pages_per_block
+        end = start + self.geometry.pages_per_block
+        self._p2l[start:end] = UNMAPPED
+        self._valid[start:end] = False
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def lookup(self, lpn: int) -> Optional[int]:
+        """Current PPN of ``lpn``, or None if unmapped."""
+        self.check_lpn(lpn)
+        ppn = int(self._l2p[lpn])
+        return None if ppn == UNMAPPED else ppn
+
+    def lpn_of_ppn(self, ppn: int) -> Optional[int]:
+        """LPN stored at ``ppn`` if that physical page is valid."""
+        lpn = int(self._p2l[ppn])
+        return None if lpn == UNMAPPED else lpn
+
+    def is_valid(self, ppn: int) -> bool:
+        return bool(self._valid[ppn])
+
+    def valid_count(self, block: int) -> int:
+        return int(self._valid_per_block[block])
+
+    def valid_counts(self) -> np.ndarray:
+        """Read-only view of per-block valid-page counters."""
+        return self._valid_per_block
+
+    def valid_lpns_in_block(self, block: int) -> Iterator[int]:
+        """Yield (page_offset, lpn) for each valid page in ``block``.
+
+        Yields in ascending page order, which keeps GC migration
+        deterministic.
+        """
+        start = block * self.geometry.pages_per_block
+        end = start + self.geometry.pages_per_block
+        valid = self._valid[start:end]
+        lpns = self._p2l[start:end]
+        for offset in np.flatnonzero(valid):
+            yield int(offset), int(lpns[offset])
+
+    def invariant_check(self) -> None:
+        """Full-state consistency check (used by tests; O(total pages))."""
+        if int(self._valid.sum()) != self.mapped_count:
+            raise AssertionError("valid-page population does not match mapped_count")
+        per_block = np.add.reduceat(
+            self._valid.astype(np.int32),
+            np.arange(0, self.geometry.total_pages, self.geometry.pages_per_block),
+        )
+        if not np.array_equal(per_block, self._valid_per_block):
+            raise AssertionError("per-block valid counters out of sync")
+        mapped = np.flatnonzero(self._l2p != UNMAPPED)
+        for lpn in mapped:
+            ppn = int(self._l2p[lpn])
+            if not self._valid[ppn] or int(self._p2l[ppn]) != lpn:
+                raise AssertionError(f"l2p/p2l mismatch at LPN {lpn}")

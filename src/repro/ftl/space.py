@@ -1,0 +1,108 @@
+"""The SSD space model of the paper's Fig. 1.
+
+The total physical capacity splits into a *user capacity* (addressable by
+the host) and an *over-provisioning capacity* ``C_OP`` reserved for the
+FTL.  At any instant the user capacity further splits into *used* space
+(``Cused``, logical pages the host has written) and *unused* space
+(``Cunused``).  A background-GC policy is characterised by its reserved
+capacity ``Cresv``:
+
+* lazy  -- ``Cresv < C_OP`` (paper's L-BGC uses ``0.5 x C_OP``),
+* aggressive -- ``Cresv > C_OP`` (A-BGC uses ``1.5 x C_OP``), capped at
+  ``Cunused + C_OP`` so BGC never chases space the host could not use.
+
+:class:`SpaceModel` holds the static split and converts between bytes,
+pages and blocks; dynamic quantities (Cused, Cfree) live in the FTL which
+owns the mapping state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nand.geometry import NandGeometry
+
+
+@dataclass(frozen=True)
+class SpaceModel:
+    """Static capacity split of an SSD.
+
+    Attributes:
+        geometry: the NAND geometry beneath.
+        user_pages: logical pages exposed to the host.
+    """
+
+    geometry: NandGeometry
+    user_pages: int
+
+    def __post_init__(self) -> None:
+        if self.user_pages <= 0:
+            raise ValueError(f"user_pages must be positive, got {self.user_pages}")
+        if self.user_pages >= self.geometry.total_pages:
+            raise ValueError(
+                f"user_pages ({self.user_pages}) must be smaller than the physical "
+                f"page count ({self.geometry.total_pages}) to leave OP space"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_op_ratio(cls, geometry: NandGeometry, op_ratio: float = 0.07) -> "SpaceModel":
+        """Build a split where ``C_OP = op_ratio x user capacity``.
+
+        The SM843T reserves 7 % of its 240 GB user capacity (16 GB) as OP,
+        which is the default here.
+        """
+        if not 0 < op_ratio < 1:
+            raise ValueError(f"op_ratio must be in (0, 1), got {op_ratio}")
+        total = geometry.total_pages
+        # user * (1 + op_ratio) = total  =>  user = total / (1 + op_ratio)
+        user_pages = int(total / (1.0 + op_ratio))
+        return cls(geometry=geometry, user_pages=user_pages)
+
+    # ------------------------------------------------------------------
+    @property
+    def user_bytes(self) -> int:
+        return self.user_pages * self.geometry.page_size
+
+    @property
+    def op_pages(self) -> int:
+        """Over-provisioning capacity ``C_OP`` in pages."""
+        return self.geometry.total_pages - self.user_pages
+
+    @property
+    def op_bytes(self) -> int:
+        return self.op_pages * self.geometry.page_size
+
+    @property
+    def op_ratio(self) -> float:
+        """OP capacity as a fraction of user capacity."""
+        return self.op_pages / self.user_pages
+
+    # ------------------------------------------------------------------
+    def reserved_pages(self, cresv_over_op: float) -> int:
+        """Pages of the reserved capacity ``Cresv = cresv_over_op x C_OP``.
+
+        ``cresv_over_op`` is the x-axis of the paper's Fig. 2
+        (0.5 ... 1.5).
+        """
+        if cresv_over_op < 0:
+            raise ValueError(f"cresv_over_op must be >= 0, got {cresv_over_op}")
+        return int(round(cresv_over_op * self.op_pages))
+
+    def clamp_reserved_pages(self, requested: int, used_pages: int) -> int:
+        """Apply the paper's cap ``Cresv <= Cunused + C_OP``.
+
+        An aggressive policy must not reserve more space than could ever
+        be free given the current amount of live user data.
+        """
+        unused = max(0, self.user_pages - used_pages)
+        return max(0, min(requested, unused + self.op_pages))
+
+    def pages_for_bytes(self, nbytes: int) -> int:
+        return self.geometry.pages_for_bytes(nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SpaceModel user={self.user_pages}p op={self.op_pages}p "
+            f"({self.op_ratio:.1%})>"
+        )

@@ -1,0 +1,24 @@
+"""Measurement instrumentation.
+
+* :mod:`repro.metrics.iops` -- application-level operation counting and
+  IOPS over a measurement window.
+* :mod:`repro.metrics.latency` -- latency percentiles via reservoir
+  sampling.
+* :mod:`repro.metrics.collector` -- the per-run measurement bundle used
+  by every experiment: IOPS + WAF (FTL-counter delta) + GC activity +
+  policy-specific extras, with explicit begin/end windows so the cold
+  ramp-up is excluded.
+"""
+
+from repro.metrics.iops import IopsMeter
+from repro.metrics.latency import LatencyRecorder
+from repro.metrics.collector import MetricsCollector, RunMetrics
+from repro.metrics.timeline import TimelineSampler
+
+__all__ = [
+    "IopsMeter",
+    "LatencyRecorder",
+    "MetricsCollector",
+    "RunMetrics",
+    "TimelineSampler",
+]

@@ -1,0 +1,138 @@
+"""The per-run measurement bundle.
+
+:class:`MetricsCollector` snapshots FTL counters at window begin/end so
+WAF, migrations and GC activity are measured over exactly the same
+steady-state window as IOPS.  :class:`RunMetrics` is the frozen result
+every experiment stores and formats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ftl.stats import FtlStats
+from repro.host import HostSystem
+from repro.metrics.iops import IopsMeter
+from repro.metrics.latency import LatencyRecorder
+from repro.sim.simtime import SECOND
+
+
+@dataclass
+class RunMetrics:
+    """Results of one measured run (window-scoped).
+
+    Attributes:
+        policy: policy name.
+        workload: workload name.
+        duration_ns: measurement-window length.
+        iops: application operations per second.
+        waf: write amplification over the window.
+        host_pages_written / gc_pages_migrated: window deltas.
+        fgc_invocations / fgc_time_ns: foreground-GC stalls in the window.
+        bgc_blocks: background-GC blocks collected in the window.
+        prediction_accuracy_pct: Table 2 metric (None for non-predicting
+            policies).
+        sip_selections / sip_filtered: Table 3 counters (JIT-GC only).
+        buffered_fraction: share of application write bytes that took the
+            buffered path (Table 1).
+        mean_latency_ns / p99_latency_ns: application op latency.
+    """
+
+    policy: str
+    workload: str
+    duration_ns: int
+    iops: float
+    waf: float
+    host_pages_written: int
+    gc_pages_migrated: int
+    fgc_invocations: int
+    fgc_time_ns: int
+    bgc_blocks: int
+    erases: int
+    prediction_accuracy_pct: Optional[float] = None
+    sip_selections: int = 0
+    sip_filtered: int = 0
+    buffered_fraction: float = 0.0
+    mean_latency_ns: float = 0.0
+    p99_latency_ns: int = 0
+
+    def sip_filtered_pct(self) -> float:
+        """Table 3: % of victim selections that filtered a candidate."""
+        if self.sip_selections == 0:
+            return 0.0
+        return 100.0 * self.sip_filtered / self.sip_selections
+
+
+class MetricsCollector:
+    """Instrumentation attached to one :class:`HostSystem` run."""
+
+    def __init__(self, host: HostSystem, workload_name: str = "") -> None:
+        self.host = host
+        self.workload_name = workload_name
+        self.iops_meter = IopsMeter()
+        self.latency = LatencyRecorder()
+        self._begin_stats: Optional[FtlStats] = None
+        self._begin_ns = 0
+        self._end_ns = -1
+        self._sip_begin = (0, 0)
+
+    # ------------------------------------------------------------------
+    # Workload-facing hooks
+    # ------------------------------------------------------------------
+    def record_op(self, latency_ns: Optional[int] = None) -> None:
+        """One application operation completed."""
+        self.iops_meter.record_op()
+        if latency_ns is not None:
+            self.latency.record(latency_ns)
+
+    # ------------------------------------------------------------------
+    # Window control
+    # ------------------------------------------------------------------
+    def begin(self) -> None:
+        now = self.host.sim.now
+        self.iops_meter.begin_window(now)
+        self._begin_stats = self.host.ftl.stats.snapshot()
+        self._begin_ns = now
+        self._sip_begin = self._sip_counters()
+
+    def end(self) -> None:
+        now = self.host.sim.now
+        self.iops_meter.end_window(now)
+        self._end_ns = now
+
+    def _sip_counters(self) -> tuple:
+        stats = self.host.ftl.stats
+        return (stats.victim_selections, stats.victims_filtered_by_sip)
+
+    # ------------------------------------------------------------------
+    def results(self) -> RunMetrics:
+        """Freeze the window into a :class:`RunMetrics`."""
+        if self._begin_stats is None or self._end_ns < 0:
+            raise RuntimeError("measurement window not begun/ended")
+        delta = self.host.ftl.stats.delta_since(self._begin_stats)
+        accuracy = None
+        policy = self.host.policy
+        tracker = getattr(policy, "accuracy", None)
+        if tracker is not None and tracker.intervals_scored > 0:
+            accuracy = tracker.accuracy_percent()
+        sip_end = self._sip_counters()
+        return RunMetrics(
+            policy=policy.name,
+            workload=self.workload_name,
+            duration_ns=self._end_ns - self._begin_ns,
+            iops=self.iops_meter.iops(),
+            waf=delta.waf(),
+            host_pages_written=delta.host_pages_written,
+            gc_pages_migrated=delta.gc_pages_migrated,
+            fgc_invocations=delta.fgc_invocations,
+            fgc_time_ns=delta.fgc_time_ns,
+            bgc_blocks=delta.bgc_blocks_collected,
+            erases=delta.blocks_erased,
+            prediction_accuracy_pct=accuracy,
+            sip_selections=sip_end[0] - self._sip_begin[0],
+            sip_filtered=sip_end[1] - self._sip_begin[1],
+            buffered_fraction=self.host.dispatcher.stats.buffered_fraction(),
+            mean_latency_ns=self.latency.mean(),
+            p99_latency_ns=self.latency.percentile(99),
+        )

@@ -1,0 +1,55 @@
+"""Application-level operation counting.
+
+IOPS here is the benchmark-level metric the paper reports: completed
+application operations per second of simulated time, measured over an
+explicit window so warm-up is excluded.
+"""
+
+from __future__ import annotations
+
+from repro.sim.simtime import SECOND
+
+
+class IopsMeter:
+    """Counts operations and computes IOPS over a begin/end window."""
+
+    def __init__(self) -> None:
+        self.total_ops = 0
+        self._window_start_ops = 0
+        self._window_start_ns = 0
+        self._window_end_ns: int = -1
+        self._window_open = False
+
+    def record_op(self, count: int = 1) -> None:
+        """Count ``count`` completed application operations."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self.total_ops += count
+
+    def begin_window(self, now_ns: int) -> None:
+        self._window_start_ops = self.total_ops
+        self._window_start_ns = now_ns
+        self._window_end_ns = -1
+        self._window_open = True
+
+    def end_window(self, now_ns: int) -> None:
+        if not self._window_open:
+            raise RuntimeError("no measurement window open")
+        if now_ns <= self._window_start_ns:
+            raise ValueError("window must have positive duration")
+        self._window_end_ns = now_ns
+        self._window_open = False
+
+    def window_ops(self) -> int:
+        end_ops = self.total_ops
+        return end_ops - self._window_start_ops
+
+    def iops(self) -> float:
+        """Operations per second over the closed window."""
+        if self._window_end_ns < 0:
+            raise RuntimeError("measurement window not closed")
+        duration = self._window_end_ns - self._window_start_ns
+        return self.window_ops() * SECOND / duration
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<IopsMeter total={self.total_ops}>"

@@ -1,0 +1,63 @@
+"""Latency recording with bounded memory.
+
+Keeps an exact list up to ``reservoir_size`` samples, then switches to
+uniform reservoir sampling, so multi-million-op runs stay O(1) in memory
+while percentiles remain statistically sound.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+
+class LatencyRecorder:
+    """Reservoir-sampled latency distribution (nanosecond samples)."""
+
+    def __init__(self, reservoir_size: int = 4096, seed: int = 0) -> None:
+        if reservoir_size <= 0:
+            raise ValueError(f"reservoir_size must be positive, got {reservoir_size}")
+        self.reservoir_size = reservoir_size
+        self._samples: List[int] = []
+        self._count = 0
+        self._sum = 0
+        self._max = 0
+        self._rng = random.Random(seed)
+
+    def record(self, latency_ns: int) -> None:
+        if latency_ns < 0:
+            raise ValueError(f"latency must be >= 0, got {latency_ns}")
+        self._count += 1
+        self._sum += latency_ns
+        self._max = max(self._max, latency_ns)
+        if len(self._samples) < self.reservoir_size:
+            self._samples.append(latency_ns)
+        else:
+            slot = self._rng.randrange(self._count)
+            if slot < self.reservoir_size:
+                self._samples[slot] = latency_ns
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def mean(self) -> float:
+        if self._count == 0:
+            return 0.0
+        return self._sum / self._count
+
+    def max(self) -> int:
+        return self._max
+
+    def percentile(self, q: float) -> int:
+        """q-th percentile (q in [0, 100]) of the sampled distribution."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        if not self._samples:
+            return 0
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<LatencyRecorder n={self._count} mean={self.mean():.0f}ns>"

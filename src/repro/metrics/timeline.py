@@ -1,0 +1,106 @@
+"""Periodic time-series sampling of system state.
+
+Experiments sometimes need more than end-of-window aggregates: the
+free-space trajectory shows *when* a policy reclaims, the dirty-page
+trajectory shows the write-back rhythm the predictors exploit.
+:class:`TimelineSampler` records configurable probes at a fixed period
+into plain columnar lists, exportable as CSV for plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Callable, Dict, List, Union
+
+from repro.host import HostSystem
+from repro.sim.events import EventPriority
+from repro.sim.simtime import SECOND
+
+
+class TimelineSampler:
+    """Samples named probes every ``period_ns`` of simulated time.
+
+    Args:
+        host: the host system to observe.
+        period_ns: sampling period (default 200 ms).
+        probes: mapping of column name to zero-arg callable; defaults to
+            the standard set (free pages, dirty pages, WAF, FGC stalls,
+            BGC blocks).
+    """
+
+    def __init__(
+        self,
+        host: HostSystem,
+        period_ns: int = SECOND // 5,
+        probes: Dict[str, Callable[[], float]] = None,
+    ) -> None:
+        if period_ns <= 0:
+            raise ValueError(f"period must be positive, got {period_ns}")
+        self.host = host
+        self.period_ns = period_ns
+        self.probes = probes or self.default_probes(host)
+        self.times_ns: List[int] = []
+        self.columns: Dict[str, List[float]] = {name: [] for name in self.probes}
+        self._running = False
+
+    @staticmethod
+    def default_probes(host: HostSystem) -> Dict[str, Callable[[], float]]:
+        ftl = host.ftl
+        return {
+            "free_pages": lambda: float(ftl.free_pages()),
+            "dirty_pages": lambda: float(host.cache.dirty_pages),
+            "waf": lambda: ftl.stats.waf(),
+            "fgc_invocations": lambda: float(ftl.stats.fgc_invocations),
+            "bgc_blocks": lambda: float(ftl.stats.bgc_blocks_collected),
+        }
+
+    # ------------------------------------------------------------------
+    def start(self) -> "TimelineSampler":
+        if self._running:
+            raise RuntimeError("sampler already running")
+        self._running = True
+        self.host.sim.schedule(
+            0, self._sample, priority=EventPriority.LOW, name="timeline"
+        )
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _sample(self) -> None:
+        if not self._running:
+            return
+        self.times_ns.append(self.host.sim.now)
+        for name, probe in self.probes.items():
+            self.columns[name].append(probe())
+        self.host.sim.schedule(
+            self.period_ns, self._sample, priority=EventPriority.LOW, name="timeline"
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def sample_count(self) -> int:
+        return len(self.times_ns)
+
+    def series(self, name: str) -> List[float]:
+        """One probe's samples, aligned with :attr:`times_ns`."""
+        return list(self.columns[name])
+
+    def minimum(self, name: str) -> float:
+        return min(self.columns[name]) if self.columns[name] else 0.0
+
+    def maximum(self, name: str) -> float:
+        return max(self.columns[name]) if self.columns[name] else 0.0
+
+    def save_csv(self, path: Union[str, Path]) -> int:
+        """Write all columns to CSV; returns rows written."""
+        names = list(self.probes)
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["time_ns"] + names)
+            for index, time_ns in enumerate(self.times_ns):
+                writer.writerow(
+                    [time_ns] + [self.columns[name][index] for name in names]
+                )
+        return len(self.times_ns)

@@ -1,0 +1,52 @@
+"""NAND flash memory model.
+
+Models the physical substrate the FTL manages:
+
+* :mod:`repro.nand.geometry` -- array organisation (channels, chips,
+  planes, blocks, pages) with flat block addressing for the FTL.
+* :mod:`repro.nand.timing` -- per-operation latencies with presets for
+  the NAND generations the paper cites (130 nm ... 20 nm MLC as used in
+  the Samsung SM843T).
+* :mod:`repro.nand.array` -- the physical state machine: sequential
+  in-block programming, erase-before-write, erase counting.
+* :mod:`repro.nand.endurance` -- wear statistics and wear-out model.
+* :mod:`repro.nand.errors` -- exception types for physical-rule violations.
+"""
+
+from repro.nand.geometry import NandGeometry
+from repro.nand.timing import (
+    NandTiming,
+    NAND_130NM_SLC,
+    NAND_25NM_MLC,
+    NAND_20NM_MLC,
+)
+from repro.nand.array import NandArray, BlockState
+from repro.nand.endurance import EnduranceModel, WearStats
+from repro.nand.reliability import BitErrorModel, EccConfig, ReadDisturbTracker
+from repro.nand.errors import (
+    NandError,
+    ProgramOrderError,
+    EraseBeforeWriteError,
+    BadBlockError,
+    AddressError,
+)
+
+__all__ = [
+    "NandGeometry",
+    "NandTiming",
+    "NAND_130NM_SLC",
+    "NAND_25NM_MLC",
+    "NAND_20NM_MLC",
+    "NandArray",
+    "BlockState",
+    "EnduranceModel",
+    "WearStats",
+    "BitErrorModel",
+    "EccConfig",
+    "ReadDisturbTracker",
+    "NandError",
+    "ProgramOrderError",
+    "EraseBeforeWriteError",
+    "BadBlockError",
+    "AddressError",
+]

@@ -1,0 +1,176 @@
+"""The NAND array physical state machine.
+
+:class:`NandArray` enforces the physical rules that drive the whole paper:
+
+* **erase-before-write** -- a programmed page cannot be reprogrammed until
+  its block is erased (out-place updates are therefore mandatory);
+* **sequential in-block programming** -- pages of a block must be
+  programmed in ascending order (MLC constraint);
+* erases operate on whole blocks and wear them out.
+
+It owns only *physical* state (program pointers, erase counts, bad-block
+marks).  Logical state -- which pages are valid, the LPN↔PPN mapping -- is
+the FTL's job (:mod:`repro.ftl`), mirroring the real hardware/firmware
+split.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+
+from repro.nand.endurance import EnduranceModel, WearStats
+from repro.nand.errors import (
+    BadBlockError,
+    EraseBeforeWriteError,
+    ProgramOrderError,
+)
+from repro.nand.geometry import NandGeometry
+from repro.nand.timing import NAND_20NM_MLC, NandTiming
+
+
+class BlockState(enum.IntEnum):
+    """Physical block lifecycle."""
+
+    ERASED = 0    #: fully erased; no page programmed yet
+    OPEN = 1      #: partially programmed (write frontier inside the block)
+    FULL = 2      #: every page programmed
+    BAD = 3       #: retired (manufacture defect or wear-out)
+
+
+class NandArray:
+    """Flat-addressed NAND array with timing and endurance accounting.
+
+    Each operation returns its latency in integer nanoseconds; the caller
+    (the SSD device model) accumulates these into simulated service times.
+
+    Args:
+        geometry: array organisation.
+        timing: per-operation latencies (defaults to 20 nm MLC).
+        endurance: erase-count model; a default one is created if omitted.
+        initial_bad_blocks: optional iterable of factory-bad block numbers.
+        read_disturb: optional per-block read-disturb tracker; reads are
+            counted and erases reset the counter.
+    """
+
+    def __init__(
+        self,
+        geometry: NandGeometry,
+        timing: NandTiming = NAND_20NM_MLC,
+        endurance: Optional[EnduranceModel] = None,
+        initial_bad_blocks: Optional[list] = None,
+        read_disturb: Optional["ReadDisturbTracker"] = None,
+    ) -> None:
+        self.geometry = geometry
+        self.timing = timing
+        self.endurance = endurance or EnduranceModel(geometry.total_blocks)
+        if self.endurance.num_blocks != geometry.total_blocks:
+            raise ValueError(
+                f"endurance model sized for {self.endurance.num_blocks} blocks, "
+                f"geometry has {geometry.total_blocks}"
+            )
+
+        n = geometry.total_blocks
+        #: Next programmable page index per block (== pages_per_block when full).
+        self._next_page = np.zeros(n, dtype=np.int32)
+        self._state = np.full(n, BlockState.ERASED, dtype=np.int8)
+
+        self.read_disturb = read_disturb
+
+        # Operation counters (for WAF and profiling).
+        self.page_reads = 0
+        self.page_programs = 0
+        self.block_erases = 0
+
+        for block in initial_bad_blocks or []:
+            geometry.check_block(block)
+            self._state[block] = BlockState.BAD
+
+    # ------------------------------------------------------------------
+    # Physical operations
+    # ------------------------------------------------------------------
+    def read_page(self, block: int, page: int) -> int:
+        """Read one page; returns tR latency (no transfer)."""
+        self._check_addr(block, page, "read")
+        self.page_reads += 1
+        if self.read_disturb is not None:
+            self.read_disturb.record_read(block)
+        return self.timing.read_ns
+
+    def program_page(self, block: int, page: int) -> int:
+        """Program one page; returns tPROG latency (no transfer).
+
+        Enforces sequential programming and erase-before-write.
+        """
+        self._check_addr(block, page, "program")
+        next_page = int(self._next_page[block])
+        if page < next_page:
+            raise EraseBeforeWriteError(block, page)
+        if page > next_page:
+            raise ProgramOrderError(block, page, next_page)
+        self._next_page[block] = next_page + 1
+        if self._next_page[block] >= self.geometry.pages_per_block:
+            self._state[block] = BlockState.FULL
+        else:
+            self._state[block] = BlockState.OPEN
+        self.page_programs += 1
+        return self.timing.program_ns
+
+    def erase_block(self, block: int) -> int:
+        """Erase a block; returns tBERS latency.
+
+        The block may wear out (becomes BAD) if the endurance limit is
+        reached; callers should check :meth:`is_bad` before reusing it.
+        """
+        self.geometry.check_block(block)
+        if self._state[block] == BlockState.BAD:
+            raise BadBlockError(block, "erase")
+        self.block_erases += 1
+        self._next_page[block] = 0
+        if self.read_disturb is not None:
+            self.read_disturb.reset(block)
+        if self.endurance.record_erase(block):
+            self._state[block] = BlockState.BAD
+        else:
+            self._state[block] = BlockState.ERASED
+        return self.timing.erase_ns
+
+    # ------------------------------------------------------------------
+    # State queries
+    # ------------------------------------------------------------------
+    def block_state(self, block: int) -> BlockState:
+        self.geometry.check_block(block)
+        return BlockState(int(self._state[block]))
+
+    def is_bad(self, block: int) -> bool:
+        return self.block_state(block) == BlockState.BAD
+
+    def next_programmable_page(self, block: int) -> int:
+        """Write frontier of ``block`` (== pages_per_block when full)."""
+        self.geometry.check_block(block)
+        return int(self._next_page[block])
+
+    def programmed_pages(self, block: int) -> int:
+        return self.next_programmable_page(block)
+
+    def good_blocks(self) -> int:
+        """Number of non-bad blocks in the array."""
+        return int(np.count_nonzero(self._state != BlockState.BAD))
+
+    def wear_stats(self) -> WearStats:
+        return self.endurance.stats()
+
+    # ------------------------------------------------------------------
+    def _check_addr(self, block: int, page: int, operation: str) -> None:
+        self.geometry.check_block(block)
+        self.geometry.check_page(page)
+        if self._state[block] == BlockState.BAD:
+            raise BadBlockError(block, operation)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<NandArray blocks={self.geometry.total_blocks} "
+            f"programs={self.page_programs} erases={self.block_erases}>"
+        )

@@ -1,0 +1,60 @@
+"""Exception hierarchy for NAND physical-rule violations.
+
+These exceptions indicate *FTL bugs*, not recoverable device conditions:
+a correct FTL never programs out of order, never writes a non-erased page
+and never touches a block it has been told is bad.  They are therefore
+plain programming errors and deliberately carry precise addresses.
+"""
+
+from __future__ import annotations
+
+
+class NandError(Exception):
+    """Base class for all NAND model errors."""
+
+
+class AddressError(NandError, IndexError):
+    """A block or page address is outside the device geometry."""
+
+    def __init__(self, kind: str, value: int, limit: int) -> None:
+        super().__init__(f"{kind} address {value} out of range [0, {limit})")
+        self.kind = kind
+        self.value = value
+        self.limit = limit
+
+
+class ProgramOrderError(NandError):
+    """Pages within a block must be programmed strictly in order.
+
+    Real NAND (especially MLC) forbids out-of-order page programming
+    within a block; the model enforces it to catch FTL allocator bugs.
+    """
+
+    def __init__(self, block: int, page: int, expected: int) -> None:
+        super().__init__(
+            f"block {block}: attempted to program page {page}, "
+            f"next programmable page is {expected}"
+        )
+        self.block = block
+        self.page = page
+        self.expected = expected
+
+
+class EraseBeforeWriteError(NandError):
+    """A page was programmed twice without an intervening block erase."""
+
+    def __init__(self, block: int, page: int) -> None:
+        super().__init__(
+            f"block {block} page {page} already programmed; erase the block first"
+        )
+        self.block = block
+        self.page = page
+
+
+class BadBlockError(NandError):
+    """An operation targeted a block marked bad (manufacture or wear-out)."""
+
+    def __init__(self, block: int, operation: str) -> None:
+        super().__init__(f"{operation} on bad block {block}")
+        self.block = block
+        self.operation = operation

@@ -1,0 +1,225 @@
+"""The write-back page cache.
+
+This is the data structure the paper's buffered-write predictor exploits:
+dirty pages carry their *last-update* timestamp, and the kernel flushes
+them once they are older than ``tau_expire`` -- so scanning the dirty set
+tells you, with near certainty, how much data will hit the SSD in each
+future write-back interval (paper Sec 3.2.1).
+
+The cache holds two page populations:
+
+* **dirty** pages -- written by applications, not yet issued to the SSD.
+  An overwrite *resets* the page's age (the paper's B -> B' example in
+  Fig. 4), delaying its flush.
+* **clean** pages -- either read from the SSD or dirty pages whose
+  write-back completed; kept for read hits, evicted LRU under capacity
+  pressure (dirty pages are never evicted, they must be written first).
+
+Dirty throttling: when dirty bytes exceed ``dirty_throttle_fraction`` of
+capacity, buffered writers must block until write-back drains the cache
+-- this is how a buffered-write workload ever feels SSD speed, and thus
+how GC stalls propagate to application IOPS.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List
+
+
+@dataclass
+class DirtyPage:
+    """One dirty cache page.
+
+    Attributes:
+        lpn: logical page number backing this cache page.
+        last_update: simulated time of the most recent write to the page
+            (an overwrite resets it, delaying the flush).
+    """
+
+    lpn: int
+    last_update: int
+
+
+class PageCache:
+    """Write-back page cache with dirty aging and throttling.
+
+    Args:
+        page_size: bytes per page (matches the device's logical pages).
+        capacity_bytes: total cache capacity.
+        dirty_throttle_fraction: dirty share of capacity beyond which
+            buffered writers must block (Linux ``dirty_ratio`` analogue).
+    """
+
+    def __init__(
+        self,
+        page_size: int,
+        capacity_bytes: int,
+        dirty_throttle_fraction: float = 0.4,
+    ) -> None:
+        if page_size <= 0 or capacity_bytes < page_size:
+            raise ValueError("cache must hold at least one page")
+        if not 0.0 < dirty_throttle_fraction <= 1.0:
+            raise ValueError(
+                f"dirty_throttle_fraction must be in (0, 1], got {dirty_throttle_fraction}"
+            )
+        self.page_size = page_size
+        self.capacity_pages = capacity_bytes // page_size
+        self.dirty_throttle_pages = max(
+            1, int(self.capacity_pages * dirty_throttle_fraction)
+        )
+
+        self._dirty: "OrderedDict[int, DirtyPage]" = OrderedDict()
+        self._clean: "OrderedDict[int, bool]" = OrderedDict()
+        #: Pages issued to the device but not yet acknowledged.
+        self._in_writeback: Dict[int, bool] = {}
+
+        #: Callbacks fired when dirty population drops below the throttle.
+        self.drain_listeners: List[Callable[[], None]] = []
+        #: Callbacks fired when a write pushes the cache into throttling
+        #: (the flusher subscribes to start background write-back early).
+        self.pressure_listeners: List[Callable[[], None]] = []
+        #: Callbacks fired when pages enter write-back; receive the list
+        #: of (lpn, last_update) pairs so observers can tell age-expired
+        #: flushes from early (fsync/volume-pressure) ones.
+        self.writeback_listeners: List[Callable[[List[tuple]], None]] = []
+
+        # Counters.
+        self.write_hits = 0
+        self.read_hits = 0
+        self.read_misses = 0
+
+    # ------------------------------------------------------------------
+    # Application-side operations
+    # ------------------------------------------------------------------
+    def write_page(self, lpn: int, now: int) -> None:
+        """Buffer a write to ``lpn`` at time ``now`` (marks/refreshes dirty).
+
+        Callers must check :meth:`throttled` first; writing while
+        throttled is allowed (the model keeps state consistent) but a
+        well-behaved dispatcher blocks the writer instead.
+        """
+        entry = self._dirty.get(lpn)
+        if entry is not None:
+            # Overwrite: age resets, flush is postponed (paper Fig. 4, B').
+            entry.last_update = now
+            self._dirty.move_to_end(lpn)
+            self.write_hits += 1
+            return
+        # A write to a page under write-back re-dirties it.
+        self._in_writeback.pop(lpn, None)
+        self._clean.pop(lpn, None)
+        self._dirty[lpn] = DirtyPage(lpn=lpn, last_update=now)
+        self._evict_if_needed()
+        if self.throttled():
+            for listener in list(self.pressure_listeners):
+                listener()
+
+    def read_page(self, lpn: int) -> bool:
+        """Look up ``lpn``; returns True on hit (and refreshes LRU)."""
+        if lpn in self._dirty or lpn in self._in_writeback:
+            self.read_hits += 1
+            return True
+        if lpn in self._clean:
+            self._clean.move_to_end(lpn)
+            self.read_hits += 1
+            return True
+        self.read_misses += 1
+        return False
+
+    def insert_clean(self, lpn: int) -> None:
+        """Cache a page fetched from the device."""
+        if lpn in self._dirty or lpn in self._in_writeback:
+            return
+        self._clean[lpn] = True
+        self._clean.move_to_end(lpn)
+        self._evict_if_needed()
+
+    def invalidate(self, lpns: Iterable[int]) -> None:
+        """Drop pages (file deletion, direct write over cached data)."""
+        for lpn in lpns:
+            self._dirty.pop(lpn, None)
+            self._clean.pop(lpn, None)
+            self._in_writeback.pop(lpn, None)
+
+    # ------------------------------------------------------------------
+    # Flusher-side operations
+    # ------------------------------------------------------------------
+    def expired_dirty(self, now: int, tau_expire: int) -> List[DirtyPage]:
+        """Dirty pages older than ``tau_expire`` at time ``now``."""
+        return [e for e in self._dirty.values() if now - e.last_update >= tau_expire]
+
+    def oldest_dirty(self) -> List[DirtyPage]:
+        """All dirty pages ordered oldest-first (by last update)."""
+        return sorted(self._dirty.values(), key=lambda e: (e.last_update, e.lpn))
+
+    def begin_writeback(self, lpns: Iterable[int]) -> None:
+        """Move pages from dirty to the in-flight write-back set."""
+        moved = []
+        for lpn in lpns:
+            entry = self._dirty.pop(lpn, None)
+            if entry is None:
+                raise KeyError(f"page {lpn} is not dirty")
+            self._in_writeback[lpn] = True
+            moved.append((lpn, entry.last_update))
+        if moved:
+            for listener in list(self.writeback_listeners):
+                listener(moved)
+
+    def complete_writeback(self, lpns: Iterable[int]) -> None:
+        """Acknowledge device completion; pages become clean.
+
+        Fires drain listeners if the dirty+writeback population dropped
+        below the throttle threshold.
+        """
+        for lpn in lpns:
+            if self._in_writeback.pop(lpn, None) is not None:
+                self._clean[lpn] = True
+        self._evict_if_needed()
+        if not self.throttled():
+            listeners, self.drain_listeners = self.drain_listeners, []
+            for listener in listeners:
+                listener()
+
+    # ------------------------------------------------------------------
+    # State queries
+    # ------------------------------------------------------------------
+    @property
+    def dirty_pages(self) -> int:
+        return len(self._dirty)
+
+    @property
+    def dirty_bytes(self) -> int:
+        return len(self._dirty) * self.page_size
+
+    @property
+    def writeback_pages(self) -> int:
+        return len(self._in_writeback)
+
+    @property
+    def cached_pages(self) -> int:
+        return len(self._dirty) + len(self._clean) + len(self._in_writeback)
+
+    def throttled(self) -> bool:
+        """True when buffered writers should block (dirty pressure)."""
+        return len(self._dirty) + len(self._in_writeback) >= self.dirty_throttle_pages
+
+    def dirty_items(self) -> List[DirtyPage]:
+        """Snapshot of dirty pages (the predictor's scan input)."""
+        return list(self._dirty.values())
+
+    def contains_dirty(self, lpn: int) -> bool:
+        return lpn in self._dirty
+
+    # ------------------------------------------------------------------
+    def _evict_if_needed(self) -> None:
+        """LRU-evict clean pages past capacity (dirty pages are pinned)."""
+        while self.cached_pages > self.capacity_pages and self._clean:
+            self._clean.popitem(last=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<PageCache dirty={self.dirty_pages} clean={len(self._clean)} "
+            f"wb={self.writeback_pages}/{self.capacity_pages}p>"
+        )

@@ -1,0 +1,223 @@
+"""A minimal extent-based file layer.
+
+Postmark and Filebench are *file* benchmarks: they create, append to,
+read and delete many small files, and their metadata/journal updates are
+synchronous (direct) writes.  :class:`SimpleFileSystem` provides just
+enough structure to generate that traffic faithfully:
+
+* files are allocated as single contiguous extents from a first-fit free
+  list over the device's logical space;
+* data I/O goes through the :class:`~repro.oskernel.iopath.IoDispatcher`
+  as buffered writes/reads;
+* each metadata-changing operation (create, delete, append) also writes
+  a small journal record to a dedicated journal region as a *direct*
+  write, mirroring ext4-style ``jbd2`` commits.
+
+Deleting a file TRIMs its extent, creating device garbage without device
+writes -- an important source of GC fodder in the file workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+class FsError(RuntimeError):
+    """File-layer failures (out of space, unknown file)."""
+
+
+@dataclass
+class _File:
+    file_id: int
+    start_lpn: int
+    pages: int          #: allocated extent length
+    used_pages: int     #: pages actually written (<= pages)
+
+
+class SimpleFileSystem:
+    """Extent-allocated flat file namespace over a logical page range.
+
+    Args:
+        dispatcher: kernel I/O entry point.
+        first_lpn / page_count: the logical region the filesystem manages.
+        journal_pages: size of the circular journal region carved from the
+            start of the managed range (journal writes are direct).
+    """
+
+    def __init__(
+        self,
+        dispatcher,
+        first_lpn: int,
+        page_count: int,
+        journal_pages: int = 64,
+        journal_record_pages: int = 1,
+    ) -> None:
+        if page_count <= journal_pages:
+            raise FsError("region too small for data plus journal")
+        if not 1 <= journal_record_pages <= journal_pages:
+            raise FsError("journal_record_pages must fit in the journal region")
+        self.dispatcher = dispatcher
+        self.journal_start = first_lpn
+        self.journal_pages = journal_pages
+        self.journal_record_pages = journal_record_pages
+        self._journal_head = 0
+        self.data_start = first_lpn + journal_pages
+        self.data_pages = page_count - journal_pages
+
+        #: Free extents as (start, length), sorted by start, coalesced.
+        self._free: List[Tuple[int, int]] = [(self.data_start, self.data_pages)]
+        self._files: Dict[int, _File] = {}
+        self._next_id = 0
+
+        self.journal_writes = 0
+
+    # ------------------------------------------------------------------
+    # Namespace operations
+    # ------------------------------------------------------------------
+    def create(
+        self,
+        pages: int,
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> int:
+        """Create a file with an extent of ``pages``; returns its id.
+
+        Writes the file data (buffered, asynchronous) and a journal
+        record (direct, synchronous).  ``on_complete`` fires when the
+        journal commit reaches the device -- the durability point a real
+        application transaction waits on.
+        """
+        if pages <= 0:
+            raise FsError(f"file size must be positive, got {pages}")
+        start = self._allocate(pages)
+        file_id = self._next_id
+        self._next_id += 1
+        self._files[file_id] = _File(file_id, start, pages, used_pages=pages)
+        self.dispatcher.write(start, pages, direct=False)
+        self._journal_commit(on_complete)
+        return file_id
+
+    def delete(
+        self,
+        file_id: int,
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Delete a file: TRIM of its extent plus a synchronous journal
+        commit (``on_complete`` fires at the commit)."""
+        handle = self._lookup(file_id)
+        del self._files[file_id]
+        self._release(handle.start_lpn, handle.pages)
+        self.dispatcher.trim(handle.start_lpn, handle.pages)
+        self._journal_commit(on_complete)
+
+    def append(
+        self,
+        file_id: int,
+        pages: int,
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Append by rewriting the tail extent (extent files cannot grow
+        in place, so appends reallocate like real extent filesystems do
+        for fragmented files).  Data is buffered/asynchronous; the
+        journal commit is synchronous."""
+        handle = self._lookup(file_id)
+        new_pages = handle.pages + pages
+        new_start = self._allocate(new_pages)
+        self._release(handle.start_lpn, handle.pages)
+        self.dispatcher.trim(handle.start_lpn, handle.pages)
+        handle.start_lpn = new_start
+        handle.pages = new_pages
+        handle.used_pages = new_pages
+        self.dispatcher.write(new_start, new_pages, direct=False)
+        self._journal_commit(on_complete)
+
+    def overwrite(
+        self,
+        file_id: int,
+        offset_pages: int,
+        pages: int,
+        direct: bool = False,
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Overwrite a range inside the file (no reallocation)."""
+        handle = self._lookup(file_id)
+        if offset_pages + pages > handle.pages:
+            raise FsError("overwrite beyond end of file")
+        self.dispatcher.write(
+            handle.start_lpn + offset_pages, pages, direct=direct, on_complete=on_complete
+        )
+
+    def read(
+        self,
+        file_id: int,
+        offset_pages: int,
+        pages: int,
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> None:
+        handle = self._lookup(file_id)
+        if offset_pages + pages > handle.pages:
+            raise FsError("read beyond end of file")
+        self.dispatcher.read(handle.start_lpn + offset_pages, pages, on_complete=on_complete)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def file_count(self) -> int:
+        return len(self._files)
+
+    def file_ids(self) -> List[int]:
+        return list(self._files.keys())
+
+    def file_pages(self, file_id: int) -> int:
+        return self._lookup(file_id).pages
+
+    def free_pages(self) -> int:
+        return sum(length for _, length in self._free)
+
+    def largest_free_extent(self) -> int:
+        return max((length for _, length in self._free), default=0)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _lookup(self, file_id: int) -> _File:
+        handle = self._files.get(file_id)
+        if handle is None:
+            raise FsError(f"unknown file id {file_id}")
+        return handle
+
+    def _journal_commit(self, on_complete: Optional[Callable[[], None]] = None) -> None:
+        """Synchronous journal record (circular log)."""
+        pages = self.journal_record_pages
+        if self._journal_head + pages > self.journal_pages:
+            self._journal_head = 0
+        lpn = self.journal_start + self._journal_head
+        self._journal_head += pages
+        self.journal_writes += 1
+        self.dispatcher.write(lpn, pages, direct=True, on_complete=on_complete)
+
+    def _allocate(self, pages: int) -> int:
+        for index, (start, length) in enumerate(self._free):
+            if length >= pages:
+                if length == pages:
+                    self._free.pop(index)
+                else:
+                    self._free[index] = (start + pages, length - pages)
+                return start
+        raise FsError(f"no free extent of {pages} pages (free={self.free_pages()})")
+
+    def _release(self, start: int, pages: int) -> None:
+        """Return an extent, keeping the free list sorted and coalesced."""
+        self._free.append((start, pages))
+        self._free.sort()
+        merged: List[Tuple[int, int]] = []
+        for extent_start, extent_len in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == extent_start:
+                merged[-1] = (merged[-1][0], merged[-1][1] + extent_len)
+            else:
+                merged.append((extent_start, extent_len))
+        self._free = merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SimpleFileSystem files={self.file_count} free={self.free_pages()}p>"

@@ -1,0 +1,168 @@
+"""The simulator event loop.
+
+:class:`Simulator` owns the clock and the event heap.  Components schedule
+callbacks with :meth:`Simulator.schedule` (relative delay) or
+:meth:`Simulator.schedule_at` (absolute time) and the loop dispatches them
+in deterministic ``(time, priority, sequence)`` order.
+
+The loop never advances time past the event being dispatched, so a callback
+always observes ``sim.now`` equal to its own firing time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.sim.events import Event, EventPriority
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduling bugs (negative delays, time travel, etc.)."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    A single instance is shared by every component of a scenario: the NAND
+    device, the FTL's background-GC machinery, the host page cache flusher
+    and the workload actors all schedule against the same clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(5 * SECOND, flusher.wake)
+        sim.run_until(3600 * SECOND)
+    """
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._heap: List[Event] = []
+        self._seq: int = 0
+        self._running: bool = False
+        self._stopped: bool = False
+        #: Number of events dispatched so far (monitoring / tests).
+        self.dispatched: int = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulated time in integer nanoseconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: int,
+        callback: Callable[[], Any],
+        *,
+        priority: int = EventPriority.NORMAL,
+        name: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` ticks from now.
+
+        Returns the :class:`Event`, which the caller may :meth:`~Event.cancel`.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} for {name or callback}")
+        return self.schedule_at(self._now + delay, callback, priority=priority, name=name)
+
+    def schedule_at(
+        self,
+        time: int,
+        callback: Callable[[], Any],
+        *,
+        priority: int = EventPriority.NORMAL,
+        name: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        event = Event(time=time, priority=int(priority), seq=self._seq, callback=callback, name=name)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Dispatch the single next pending event.
+
+        Returns ``False`` when the heap is empty (nothing was dispatched).
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.dispatched += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the event heap drains (or ``max_events`` dispatched).
+
+        Returns the number of events dispatched by this call.
+        """
+        self._stopped = False
+        count = 0
+        while not self._stopped:
+            if max_events is not None and count >= max_events:
+                break
+            if not self.step():
+                break
+            count += 1
+        return count
+
+    def run_until(self, time: int) -> int:
+        """Run events with timestamps ``<= time``, then set the clock to it.
+
+        Events scheduled beyond ``time`` stay pending; the clock is advanced
+        to exactly ``time`` so a subsequent ``run_until`` continues cleanly.
+        Returns the number of events dispatched.
+        """
+        if time < self._now:
+            raise SimulationError(f"run_until({time}) is in the past (now={self._now})")
+        self._stopped = False
+        count = 0
+        while not self._stopped and self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time > time:
+                break
+            self.step()
+            count += 1
+        if not self._stopped:
+            self._now = max(self._now, time)
+        return count
+
+    def stop(self) -> None:
+        """Ask the running loop to stop after the current event."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def peek_time(self) -> Optional[int]:
+        """Timestamp of the next live event, or ``None`` if idle."""
+        for event in sorted(self._heap):
+            if not event.cancelled:
+                return event.time
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator now={self._now} pending={self.pending()}>"

@@ -1,0 +1,71 @@
+"""Schedulable events with deterministic total ordering.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence number
+is assigned by the :class:`~repro.sim.engine.Simulator` at scheduling time,
+so two events scheduled for the same instant at the same priority always
+fire in scheduling order.  This determinism matters: GC-policy decisions
+depend on whether a device-idle notification is observed before or after a
+flusher tick at the same timestamp.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple
+
+
+class EventPriority(enum.IntEnum):
+    """Tie-break priority for events scheduled at the same instant.
+
+    Lower values fire first.  ``DEVICE`` completions are delivered before
+    ``CONTROL`` ticks (a policy tick at time *t* should see all I/O that
+    completed at *t*), and ``LOW`` runs last (bookkeeping, metric samples).
+    """
+
+    DEVICE = 0
+    NORMAL = 1
+    CONTROL = 2
+    LOW = 3
+
+
+@dataclass
+class Event:
+    """A single scheduled callback.
+
+    Attributes:
+        time: absolute simulated time (integer nanoseconds) at which the
+            event fires.
+        priority: tie-break class, see :class:`EventPriority`.
+        seq: scheduling sequence number; assigned by the simulator.
+        callback: zero-argument callable invoked when the event fires.
+        name: optional label used in error messages and traces.
+        cancelled: set via :meth:`cancel`; cancelled events are skipped
+            (lazily removed from the heap).
+    """
+
+    time: int
+    priority: int
+    seq: int
+    callback: Callable[[], Any]
+    name: Optional[str] = None
+    cancelled: bool = field(default=False, compare=False)
+
+    def sort_key(self) -> Tuple[int, int, int]:
+        """The total ordering key used by the event heap."""
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def cancel(self) -> None:
+        """Mark the event so the engine discards it instead of firing it.
+
+        Cancellation is O(1); the heap entry is dropped when it surfaces.
+        """
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        label = self.name or getattr(self.callback, "__qualname__", "callback")
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time} prio={self.priority} {label}{state}>"

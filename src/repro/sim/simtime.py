@@ -1,0 +1,57 @@
+"""Integer-nanosecond simulated time base.
+
+Every timestamp and duration in the simulator is an ``int`` number of
+nanoseconds.  Integer time makes event ordering exact and runs bit-for-bit
+reproducible; floating-point seconds would accumulate rounding differences
+between platforms and between mathematically equivalent schedules.
+
+The constants below are the only unit conversions the rest of the code
+should use::
+
+    sim.schedule(5 * SECOND, callback)
+    latency_us = elapsed / MICROSECOND
+"""
+
+from __future__ import annotations
+
+#: One nanosecond -- the base tick of the simulation clock.
+NANOSECOND: int = 1
+
+#: One microsecond in simulator ticks.
+MICROSECOND: int = 1_000
+
+#: One millisecond in simulator ticks.
+MILLISECOND: int = 1_000_000
+
+#: One second in simulator ticks.
+SECOND: int = 1_000_000_000
+
+
+def ns_from_seconds(seconds: float) -> int:
+    """Convert (possibly fractional) seconds to integer nanoseconds.
+
+    Rounds to the nearest nanosecond; callers that need exact values should
+    stick to integer arithmetic on the unit constants instead.
+    """
+    return int(round(seconds * SECOND))
+
+
+def seconds_from_ns(ticks: int) -> float:
+    """Convert integer nanoseconds to float seconds (for reporting only)."""
+    return ticks / SECOND
+
+
+def format_time(ticks: int) -> str:
+    """Render a timestamp with an adaptive unit, e.g. ``'12.500 ms'``.
+
+    Intended for log messages and error strings; never parse the output.
+    """
+    if ticks < 0:
+        return "-" + format_time(-ticks)
+    if ticks < MICROSECOND:
+        return f"{ticks} ns"
+    if ticks < MILLISECOND:
+        return f"{ticks / MICROSECOND:.3f} us"
+    if ticks < SECOND:
+        return f"{ticks / MILLISECOND:.3f} ms"
+    return f"{ticks / SECOND:.3f} s"

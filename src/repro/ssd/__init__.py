@@ -1,0 +1,31 @@
+"""SSD device model.
+
+Combines the NAND array and the FTL into a timed device with a request
+queue, idle-time background GC and the paper's extended host interface:
+
+* :mod:`repro.ssd.config` -- scenario-level device configuration.
+* :mod:`repro.ssd.request` -- host I/O request objects.
+* :mod:`repro.ssd.bandwidth` -- online ``Bw`` / ``Bgc`` estimators used by
+  the JIT-GC manager's ``Tidle``/``Tgc`` computation.
+* :mod:`repro.ssd.device` -- :class:`SsdDevice`: queueing, service,
+  idle-time BGC driven by a pluggable reclaim controller.
+* :mod:`repro.ssd.interface` -- :class:`ExtendedHostInterface`, the
+  SG_IO-style custom commands (Cfree query, SIP-list download, explicit
+  BGC invocation, WAF profiling).
+"""
+
+from repro.ssd.config import SsdConfig
+from repro.ssd.request import IoRequest, IoKind
+from repro.ssd.bandwidth import BandwidthEstimator
+from repro.ssd.device import SsdDevice, ReclaimController
+from repro.ssd.interface import ExtendedHostInterface
+
+__all__ = [
+    "SsdConfig",
+    "IoRequest",
+    "IoKind",
+    "BandwidthEstimator",
+    "SsdDevice",
+    "ReclaimController",
+    "ExtendedHostInterface",
+]

@@ -1,0 +1,98 @@
+"""Device-level configuration bundle.
+
+:class:`SsdConfig` collects everything needed to instantiate a device --
+geometry, timing, OP ratio, GC watermark, wear-levelling options -- and a
+:meth:`~SsdConfig.build_ftl` factory.  Experiments construct one config
+and reuse it across all policies under comparison, so every run sees an
+identical device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ftl.ftl import PageMappedFtl
+from repro.ftl.space import SpaceModel
+from repro.ftl.victim import VictimSelector
+from repro.ftl.wear import StaticWearLeveler
+from repro.nand.array import NandArray
+from repro.nand.endurance import EnduranceModel
+from repro.nand.geometry import NandGeometry
+from repro.nand.timing import NAND_20NM_MLC, NandTiming
+
+
+@dataclass
+class SsdConfig:
+    """Everything needed to build one simulated SSD.
+
+    Attributes:
+        geometry: NAND organisation; defaults to the 1/256-scaled SM843T.
+        timing: NAND latencies; defaults to 20 nm MLC.
+        op_ratio: over-provisioning as a fraction of user capacity
+            (SM843T: 7 %).
+        fgc_watermark: free-pool floor that triggers foreground GC.
+        pe_cycle_limit: endurance rating; None disables wear-out.
+        enable_wear_leveling: install a static wear leveller.
+        wear_level_threshold: allowed erase-count spread.
+        channel_parallelism: number of NAND operations the device overlaps
+            (channel striping); multi-page requests and GC complete up to
+            this factor faster than serial NAND timing.
+    """
+
+    geometry: NandGeometry = field(default_factory=NandGeometry.scaled_sm843t)
+    timing: NandTiming = NAND_20NM_MLC
+    op_ratio: float = 0.07
+    fgc_watermark: int = 2
+    pe_cycle_limit: Optional[int] = None
+    enable_wear_leveling: bool = False
+    wear_level_threshold: int = 64
+    channel_parallelism: int = 8
+    fgc_penalty: float = 4.0
+    #: Idle-detection grace before background GC may start (ns).  The
+    #: device only launches a BGC block after the host has been quiet
+    #: this long, so BGC never wedges into intra-burst think gaps.
+    bgc_idle_grace_ns: int = 1_000_000
+
+    def space_model(self) -> SpaceModel:
+        return SpaceModel.from_op_ratio(self.geometry, self.op_ratio)
+
+    def build_nand(self) -> NandArray:
+        endurance = EnduranceModel(self.geometry.total_blocks, self.pe_cycle_limit)
+        return NandArray(self.geometry, self.timing, endurance)
+
+    def build_ftl(
+        self,
+        victim_selector: Optional[VictimSelector] = None,
+        clock=None,
+    ) -> PageMappedFtl:
+        """Instantiate a fresh FTL (and NAND) per this configuration."""
+        nand = self.build_nand()
+        leveler = None
+        if self.enable_wear_leveling:
+            leveler = StaticWearLeveler(nand.endurance, self.wear_level_threshold)
+        return PageMappedFtl(
+            nand,
+            self.space_model(),
+            victim_selector=victim_selector,
+            fgc_watermark=self.fgc_watermark,
+            clock=clock,
+            wear_leveler=leveler,
+            fgc_penalty=self.fgc_penalty,
+        )
+
+    @property
+    def user_bytes(self) -> int:
+        return self.space_model().user_bytes
+
+    @property
+    def op_bytes(self) -> int:
+        return self.space_model().op_bytes
+
+    @classmethod
+    def small(cls, blocks: int = 512, pages_per_block: int = 64, **kwargs) -> "SsdConfig":
+        """A tiny device for unit tests and fast benchmark harness runs."""
+        geometry = NandGeometry(
+            page_size=4096, pages_per_block=pages_per_block, blocks_per_plane=blocks
+        )
+        return cls(geometry=geometry, **kwargs)

@@ -1,0 +1,304 @@
+"""The timed SSD device: queueing, service and idle-time background GC.
+
+:class:`SsdDevice` serializes host requests through a FIFO queue, charges
+each one the NAND latency the FTL reports (scaled by the configured
+channel parallelism) and -- whenever the queue drains -- consults a
+pluggable :class:`ReclaimController` to decide whether to spend the idle
+time collecting blocks in the background.  All GC-policy differences in
+this reproduction live in the controller (see :mod:`repro.core.policies`);
+the device mechanics are identical across policies, exactly as on the real
+SM843T where the firmware is fixed and the host drives BGC through the
+extended interface.
+
+Background GC runs one victim block at a time, so an arriving host request
+waits at most one block-collection before being served -- the standard
+preemption granularity of real drives.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from repro.ftl.victim import VictimSelector
+from repro.sim.engine import Simulator
+from repro.sim.events import EventPriority
+from repro.sim.simtime import MICROSECOND
+from repro.ssd.bandwidth import BandwidthEstimator
+from repro.ssd.config import SsdConfig
+from repro.ssd.request import IoKind, IoRequest
+
+
+class ReclaimController:
+    """Decides how much space BGC should reclaim right now.
+
+    The device calls :meth:`reclaim_demand_pages` whenever it goes idle
+    (and again after each collected block).  Returning 0 means "stay
+    idle".  Subclasses implement the paper's policies.
+    """
+
+    def reclaim_demand_pages(self, device: "SsdDevice") -> int:
+        """Pages of free space the controller still wants reclaimed."""
+        return 0
+
+    def on_block_collected(self, device: "SsdDevice", freed_pages: int) -> None:
+        """Notification after each BGC block (freed_pages = net gain)."""
+
+
+class SsdDevice:
+    """A simulated SSD with the paper's BGC hooks.
+
+    Args:
+        sim: shared simulator.
+        config: device configuration.
+        victim_selector: GC victim policy handed to the FTL.
+        controller: background-reclaim controller (may be set later via
+            :attr:`controller`).
+    """
+
+    #: Fixed service latency of a TRIM command.
+    TRIM_LATENCY_NS = 20 * MICROSECOND
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SsdConfig,
+        victim_selector: Optional[VictimSelector] = None,
+        controller: Optional[ReclaimController] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.ftl = config.build_ftl(victim_selector=victim_selector, clock=lambda: sim.now)
+        self.controller = controller
+        self.parallelism = max(1, config.channel_parallelism)
+
+        self._queue: Deque[IoRequest] = deque()
+        self._busy = False
+        self._bgc_active = False
+        #: Invalidates pending idle checks whenever host activity occurs.
+        self._idle_token = 0
+
+        timing = config.timing
+        page = config.geometry.page_size
+        write_prior = page * self.parallelism * 1e9 / timing.host_program_ns()
+        gc_prior = page * self.parallelism * 1e9 / timing.migrate_page_ns()
+        #: Online estimate of host-write bandwidth (the manager's ``Bw``).
+        self.write_bandwidth = BandwidthEstimator(write_prior)
+        #: Online estimate of GC reclaim bandwidth (the manager's ``Bgc``).
+        self.gc_bandwidth = BandwidthEstimator(gc_prior)
+
+        #: Completion listeners (metrics collectors subscribe here).
+        self.completion_listeners: List[Callable[[IoRequest], None]] = []
+
+        # Busy-time accounting.
+        self.busy_ns = 0
+        self.write_busy_ns = 0
+        self.read_busy_ns = 0
+        self.bgc_busy_ns = 0
+        self.requests_completed = 0
+
+    # ------------------------------------------------------------------
+    # Host-facing API
+    # ------------------------------------------------------------------
+    def submit(self, request: IoRequest) -> None:
+        """Queue a request; service starts immediately if the device is idle.
+
+        A request arriving during a BGC block waits for that block to
+        finish (BGC is preemptible at block granularity only).
+        """
+        request.submit_time = self.sim.now
+        self._idle_token += 1
+        self._queue.append(request)
+        if not self._busy:
+            self._start_next()
+
+    @property
+    def idle(self) -> bool:
+        """True when neither host service nor BGC occupies the device."""
+        return not self._busy and not self._queue
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def free_bytes(self) -> int:
+        """The paper's ``Cfree``."""
+        return self.ftl.free_bytes()
+
+    def free_pages(self) -> int:
+        return self.ftl.free_pages()
+
+    def kick_bgc(self) -> None:
+        """Prod the device to (re)consult its reclaim controller.
+
+        Policies call this from their periodic tick after raising demand.
+        """
+        if not self._busy:
+            self._maybe_bgc()
+
+    # ------------------------------------------------------------------
+    # Service loop
+    # ------------------------------------------------------------------
+    def _start_next(self) -> None:
+        if self._busy:
+            return
+        if not self._queue:
+            self._schedule_idle_check()
+            return
+        request = self._queue.popleft()
+        request.start_time = self.sim.now
+        raw_latency, fgc_ns = self._execute(request)
+        latency = self._scale_latency(raw_latency, request.page_count, fgc_ns)
+        self._busy = True
+        self.sim.schedule(
+            latency,
+            lambda: self._complete(request, latency, fgc_ns),
+            priority=EventPriority.DEVICE,
+            name="ssd.complete",
+        )
+
+    def _execute(self, request: IoRequest) -> tuple:
+        """Run the FTL state changes; returns (raw latency, FGC portion)."""
+        ftl = self.ftl
+        fgc_before = ftl.stats.fgc_time_ns
+        latency = 0
+        if request.kind == IoKind.READ:
+            for lpn in request.lpns:
+                latency += ftl.host_read_page(lpn)
+        elif request.is_write:
+            for lpn in request.lpns:
+                latency += ftl.host_write_page(lpn)
+        elif request.kind == IoKind.TRIM:
+            ftl.trim(request.lpns)
+            latency = self.TRIM_LATENCY_NS
+        else:  # pragma: no cover - enum is exhaustive
+            raise ValueError(f"unknown request kind {request.kind}")
+        fgc_ns = ftl.stats.fgc_time_ns - fgc_before
+        return latency, fgc_ns
+
+    def _scale_latency(self, raw_ns: int, pages: int, fgc_ns: int) -> int:
+        """Model channel striping: up to ``parallelism`` pages overlap.
+
+        The FTL reports serial per-page latencies; a multi-page request
+        (and the GC work inside it) overlaps across channels.
+        """
+        factor = min(self.parallelism, max(1, pages)) if fgc_ns == 0 else self.parallelism
+        return max(1, raw_ns // factor)
+
+    def _complete(self, request: IoRequest, latency: int, fgc_ns: int) -> None:
+        self._busy = False
+        request.complete_time = self.sim.now
+        self.busy_ns += latency
+        self.requests_completed += 1
+
+        nbytes = request.page_count * self.config.geometry.page_size
+        if request.is_write:
+            self.write_busy_ns += latency
+            # Exclude the FGC stall from the bandwidth sample: Bw is the
+            # device's clean write rate, which Tw = Creq/Bw relies on.
+            clean_ns = max(1, latency - fgc_ns // self.parallelism)
+            self.write_bandwidth.observe(nbytes, clean_ns)
+        elif request.kind == IoKind.READ:
+            self.read_busy_ns += latency
+
+        if request.on_complete is not None:
+            request.on_complete(request)
+        for listener in self.completion_listeners:
+            listener(request)
+
+        self._start_next()
+
+    # ------------------------------------------------------------------
+    # Background GC
+    # ------------------------------------------------------------------
+    def _schedule_idle_check(self) -> None:
+        """Arm BGC after the idle-detection grace period.
+
+        A real drive does not launch a multi-millisecond GC block the
+        microsecond its queue happens to be empty -- it waits until the
+        host has been quiet for a while (cf. adaptive idle-time GC,
+        Park et al.).  Any submit before the grace expires cancels the
+        check, so BGC never wedges itself between a burst's requests.
+        """
+        if self.controller is None:
+            return
+        grace = self.config.bgc_idle_grace_ns
+        if grace <= 0:
+            self._maybe_bgc()
+            return
+        self._idle_token += 1
+        token = self._idle_token
+        self.sim.schedule(
+            grace,
+            lambda: self._idle_check(token),
+            priority=EventPriority.LOW,
+            name="ssd.idle_check",
+        )
+
+    def _idle_check(self, token: int) -> None:
+        if token == self._idle_token and self.idle:
+            self._maybe_bgc()
+
+    def _maybe_bgc(self) -> None:
+        if self._busy or self._queue:
+            return
+        controller = self.controller
+        if controller is None:
+            return
+        demand = controller.reclaim_demand_pages(self)
+        if demand <= 0 or not self.ftl.has_victim():
+            self._maybe_wear_level()
+            return
+        free_before = self.ftl.free_pages()
+        raw_latency = self.ftl.collect_one_block(background=True)
+        latency = max(1, raw_latency // self.parallelism)
+        self._busy = True
+        self._bgc_active = True
+        self.sim.schedule(
+            latency,
+            lambda: self._bgc_done(latency, free_before),
+            priority=EventPriority.DEVICE,
+            name="ssd.bgc_done",
+        )
+
+    def _bgc_done(self, latency: int, free_before: int) -> None:
+        self._busy = False
+        self._bgc_active = False
+        self.busy_ns += latency
+        self.bgc_busy_ns += latency
+        freed_pages = self.ftl.free_pages() - free_before
+        freed_bytes = freed_pages * self.config.geometry.page_size
+        self.gc_bandwidth.observe(max(0, freed_bytes), latency)
+        if self.controller is not None:
+            self.controller.on_block_collected(self, freed_pages)
+        if self._queue:
+            self._start_next()
+        else:
+            # Chain consecutive BGC blocks without re-waiting the grace:
+            # the device is already in a confirmed idle period.
+            self._maybe_bgc()
+
+    def _maybe_wear_level(self) -> None:
+        raw = self.ftl.maybe_wear_level()
+        if raw <= 0:
+            return
+        latency = max(1, raw // self.parallelism)
+        self._busy = True
+        self.sim.schedule(
+            latency,
+            lambda: self._wl_done(latency),
+            priority=EventPriority.DEVICE,
+            name="ssd.wl_done",
+        )
+
+    def _wl_done(self, latency: int) -> None:
+        self._busy = False
+        self.busy_ns += latency
+        self.bgc_busy_ns += latency
+        self._start_next()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SsdDevice t={self.sim.now} queue={len(self._queue)} "
+            f"busy={self._busy} free={self.ftl.free_pool_blocks()}blk>"
+        )

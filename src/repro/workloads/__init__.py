@@ -1,0 +1,50 @@
+"""Workload generators for the paper's six benchmarks plus utilities.
+
+The registry :data:`BENCHMARKS` maps the paper's benchmark names to their
+generator classes in the order the paper's tables list them.
+"""
+
+from repro.workloads.base import Region, Workload, ZipfGenerator
+from repro.workloads.ycsb import YcsbWorkload
+from repro.workloads.postmark import PostmarkWorkload
+from repro.workloads.filebench import FilebenchWorkload
+from repro.workloads.bonnie import BonnieWorkload
+from repro.workloads.tiobench import TiobenchWorkload
+from repro.workloads.tpcc import TpccWorkload
+from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.trace import (
+    TraceRecord,
+    TraceRecorder,
+    TraceWorkload,
+    load_trace,
+    save_trace,
+)
+
+#: The paper's benchmark suite, in Table 1 order.
+BENCHMARKS = {
+    "YCSB": YcsbWorkload,
+    "Postmark": PostmarkWorkload,
+    "Filebench": FilebenchWorkload,
+    "Bonnie++": BonnieWorkload,
+    "Tiobench": TiobenchWorkload,
+    "TPC-C": TpccWorkload,
+}
+
+__all__ = [
+    "Region",
+    "Workload",
+    "ZipfGenerator",
+    "YcsbWorkload",
+    "PostmarkWorkload",
+    "FilebenchWorkload",
+    "BonnieWorkload",
+    "TiobenchWorkload",
+    "TpccWorkload",
+    "SyntheticWorkload",
+    "TraceRecord",
+    "TraceRecorder",
+    "TraceWorkload",
+    "load_trace",
+    "save_trace",
+    "BENCHMARKS",
+]

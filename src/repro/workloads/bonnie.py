@@ -1,0 +1,101 @@
+"""Bonnie++-like workload (filesystem throughput phases).
+
+Bonnie++ measures storage through distinct sequential and random phases.
+The write-relevant cycle modelled here per actor:
+
+1. **sequential write** of a large file region (buffered, large extents),
+2. **rewrite** -- read + modify + write back of the same region,
+3. **sequential read** of the region,
+4. **random seeks** -- small scattered writes a fraction of which are
+   fsync'd, i.e. direct (this phase supplies the 27.6 % direct share of
+   Table 1).
+
+The sequential phases produce long device-busy stretches followed by
+idle gaps -- the bursty pattern where BGC timing matters most.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from repro.workloads.base import Region, Workload
+
+
+class BonnieWorkload(Workload):
+    """Phase-structured sequential/random filesystem benchmark."""
+
+    name = "Bonnie++"
+    paper_buffered_fraction = 0.724
+
+    #: Extent size of sequential-phase writes.
+    SEQ_EXTENT_PAGES = 16
+    #: Random-phase ops per cycle relative to sequential extents; sized
+    #: so the fsync'd seek phase carries Table 1's 27.6 % direct share.
+    SEEK_OPS_FACTOR = 8.0
+    #: Fraction of random-phase writes that are fsync'd (direct).
+    SEEK_DIRECT_FRACTION = 0.85
+
+    def __init__(
+        self,
+        host,
+        metrics,
+        region: Region,
+        actors: int = 2,
+        **kwargs,
+    ) -> None:
+        # Throughput benchmark: runs flat out during ON phases; the OFF
+        # phases model the inter-pass setup/teardown quiet periods.
+        kwargs.setdefault("think_ns", 10_000)
+        kwargs.setdefault("phase_on_ns", 2_000_000_000)
+        kwargs.setdefault("phase_off_ns", 2_000_000_000)
+        super().__init__(host, metrics, region, **kwargs)
+        self.actors = actors
+        self._lanes = region.split(actors)
+
+    def build_actors(self) -> List[Generator]:
+        return [self._actor(lane, index) for index, lane in enumerate(self._lanes)]
+
+    def _actor(self, lane: Region, index: int) -> Generator:
+        rng = self.actor_rng(index)
+        extents = max(1, lane.pages // self.SEQ_EXTENT_PAGES)
+        seek_ops = int(extents * self.SEEK_OPS_FACTOR)
+        while True:
+            # Phase 1: sequential write.
+            for extent in range(extents):
+                lpn = lane.start + extent * self.SEQ_EXTENT_PAGES
+                pages = min(self.SEQ_EXTENT_PAGES, lane.end - lpn)
+                yield from self.op_gate()
+                yield from self.op_write(lpn, pages, direct=False)
+                yield from self.think(rng)
+            # End of write phase: Bonnie++ fsyncs the file.
+            yield from self.op_gate()
+            yield from self.op_fsync(lane.start, lane.pages)
+
+            # Phase 2: rewrite (read-modify-write).
+            for extent in range(extents):
+                lpn = lane.start + extent * self.SEQ_EXTENT_PAGES
+                pages = min(self.SEQ_EXTENT_PAGES, lane.end - lpn)
+                yield from self.op_gate()
+                yield from self.op_read(lpn, pages)
+                yield from self.op_gate()
+                yield from self.op_write(lpn, pages, direct=False)
+                yield from self.think(rng)
+            yield from self.op_gate()
+            yield from self.op_fsync(lane.start, lane.pages)
+
+            # Phase 3: sequential read.
+            for extent in range(extents):
+                lpn = lane.start + extent * self.SEQ_EXTENT_PAGES
+                pages = min(self.SEQ_EXTENT_PAGES, lane.end - lpn)
+                yield from self.op_gate()
+                yield from self.op_read(lpn, pages)
+                yield from self.think(rng)
+            
+            # Phase 4: random small writes, mostly fsync'd.
+            for _ in range(seek_ops):
+                lpn = lane.start + int(rng.integers(0, lane.pages - 2))
+                direct = bool(rng.random() < self.SEEK_DIRECT_FRACTION)
+                yield from self.op_gate()
+                yield from self.op_write(lpn, 2, direct=direct)
+                yield from self.think(rng)
+            

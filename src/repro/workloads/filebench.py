@@ -1,0 +1,141 @@
+"""Filebench-like workload (fileserver personality).
+
+Filebench's fileserver profile emulates a departmental file server:
+larger files than Postmark, a read-heavier mix, and whole-file rewrites.
+Journal commits remain the direct-write source (Table 1: 14.2 % direct);
+the bigger per-file data writes push the buffered share above
+Postmark's.
+
+Structure mirrors :class:`~repro.workloads.postmark.PostmarkWorkload`
+(per-actor private filesystems) with fileserver-flavoured parameters and
+an explicit whole-file *rewrite* operation that generates large
+overwrites -- the pattern that leaves partially-invalid blocks behind
+for GC.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from repro.oskernel.files import FsError, SimpleFileSystem
+from repro.sim.process import WaitFor
+from repro.workloads.base import Region, Workload
+
+
+class FilebenchWorkload(Workload):
+    """Fileserver: mixed create/rewrite/append/read/delete on larger files."""
+
+    name = "Filebench"
+    paper_buffered_fraction = 0.858
+
+    MIN_FILE_PAGES = 4
+    MAX_FILE_PAGES = 24
+    TARGET_UTILISATION = 0.55
+
+    def __init__(
+        self,
+        host,
+        metrics,
+        region: Region,
+        actors: int = 3,
+        initial_files: int = 16,
+        **kwargs,
+    ) -> None:
+        # Fileserver phases: fewer, larger operations than Postmark,
+        # same journal-commit synchronisation.
+        kwargs.setdefault("think_ns", 20_000)
+        kwargs.setdefault("phase_on_ns", 2_000_000_000)
+        kwargs.setdefault("phase_off_ns", 2_000_000_000)
+        super().__init__(host, metrics, region, **kwargs)
+        self.actors = actors
+        self.initial_files = initial_files
+        self._filesystems: List[SimpleFileSystem] = []
+        for sub in region.split(actors):
+            self._filesystems.append(
+                SimpleFileSystem(
+                    host.dispatcher,
+                    first_lpn=sub.start,
+                    page_count=sub.pages,
+                    journal_pages=32,
+                    # Fileserver metadata transactions are fatter than
+                    # Postmark's (attributes, directory blocks) -- this
+                    # carries Table 1's 14.2 % direct share.
+                    journal_record_pages=2,
+                )
+            )
+
+    def _file_size(self, rng) -> int:
+        return int(rng.integers(self.MIN_FILE_PAGES, self.MAX_FILE_PAGES + 1))
+
+    def build_actors(self) -> List[Generator]:
+        return [
+            self._actor(fs, index) for index, fs in enumerate(self._filesystems)
+        ]
+
+    def _wait_op(self, start_action) -> Generator:
+        start = self.sim.now
+        waiter = WaitFor()
+        start_action(waiter.wake)
+        yield waiter
+        self.metrics.record_op(self.sim.now - start)
+
+    def _actor(self, fs: SimpleFileSystem, index: int) -> Generator:
+        rng = self.actor_rng(index)
+        for _ in range(self.initial_files):
+            size = self._file_size(rng)
+            if fs.largest_free_extent() <= size:
+                break
+            yield from self._wait_op(lambda done, s=size: fs.create(s, on_complete=done))
+
+        while True:
+            yield from self.op_gate()
+            yield from self._operation(fs, rng)
+            yield from self.think(rng)
+
+    def _operation(self, fs: SimpleFileSystem, rng) -> Generator:
+        utilisation = 1.0 - fs.free_pages() / max(1, fs.data_pages)
+        file_ids = fs.file_ids()
+        roll = rng.random()
+
+        if not file_ids or (roll < 0.2 and utilisation < self.TARGET_UTILISATION):
+            size = self._file_size(rng)
+            if fs.largest_free_extent() > size:
+                yield from self._wait_op(
+                    lambda done, s=size: fs.create(s, on_complete=done)
+                )
+                return
+            roll = 0.25
+
+        if not file_ids:
+            return
+        target = file_ids[int(rng.integers(0, len(file_ids)))]
+
+        if roll < 0.3 or utilisation >= self.TARGET_UTILISATION:
+            yield from self._wait_op(
+                lambda done, f=target: fs.delete(f, on_complete=done)
+            )
+        elif roll < 0.5:
+            # Whole-file rewrite: in-place overwrite of the full extent.
+            pages = fs.file_pages(target)
+            yield from self._wait_op(
+                lambda done, f=target, p=pages: fs.overwrite(
+                    f, 0, p, direct=False, on_complete=done
+                )
+            )
+        elif roll < 0.65:
+            append_pages = max(1, self._file_size(rng) // 4)
+            try:
+                yield from self._wait_op(
+                    lambda done, f=target, p=append_pages: fs.append(
+                        f, p, on_complete=done
+                    )
+                )
+            except FsError:
+                yield from self._wait_op(
+                    lambda done, f=target: fs.delete(f, on_complete=done)
+                )
+        else:
+            pages = fs.file_pages(target)
+            yield from self._wait_op(
+                lambda done, f=target, p=pages: fs.read(f, 0, p, on_complete=done)
+            )

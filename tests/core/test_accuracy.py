@@ -1,0 +1,75 @@
+"""Tests for the horizon-level prediction-accuracy tracker."""
+
+import pytest
+
+from repro.core.accuracy import PredictionAccuracyTracker
+
+
+def drive(tracker, prediction, actuals):
+    """Register one prediction, then feed per-interval actuals."""
+    tracker.predict(prediction)
+    for actual in actuals:
+        tracker.record_actual_bytes(actual)
+        tracker.on_tick()
+
+
+def test_perfect_prediction_scores_100():
+    tracker = PredictionAccuracyTracker(horizon_intervals=3)
+    drive(tracker, 300, [100, 100, 100])
+    assert tracker.intervals_scored == 1
+    assert tracker.accuracy_percent() == pytest.approx(100.0)
+
+
+def test_overprediction_scores_ratio():
+    tracker = PredictionAccuracyTracker(horizon_intervals=2)
+    drive(tracker, 200, [50, 50])  # actual 100, predicted 200
+    assert tracker.accuracy() == pytest.approx(0.5)
+
+
+def test_underprediction_symmetric():
+    tracker = PredictionAccuracyTracker(horizon_intervals=2)
+    drive(tracker, 100, [100, 100])  # actual 200
+    assert tracker.accuracy() == pytest.approx(0.5)
+
+
+def test_zero_zero_pairs_skipped():
+    tracker = PredictionAccuracyTracker(horizon_intervals=1)
+    drive(tracker, 0, [0])
+    assert tracker.intervals_scored == 0
+    assert tracker.accuracy() == 1.0  # vacuous
+
+
+def test_horizon_not_scored_early():
+    tracker = PredictionAccuracyTracker(horizon_intervals=3)
+    tracker.predict(300)
+    tracker.record_actual_bytes(100)
+    tracker.on_tick()
+    tracker.on_tick()
+    assert tracker.intervals_scored == 0
+    tracker.on_tick()
+    assert tracker.intervals_scored == 1
+
+
+def test_overlapping_predictions():
+    """One prediction per tick, horizons overlap (the policy pattern)."""
+    tracker = PredictionAccuracyTracker(horizon_intervals=2)
+    tracker.predict(20)          # covers intervals 0..1
+    tracker.record_actual_bytes(10)
+    tracker.on_tick()
+    tracker.predict(20)          # covers intervals 1..2
+    tracker.record_actual_bytes(10)
+    tracker.on_tick()            # first prediction ripe: actual 20 -> 1.0
+    tracker.record_actual_bytes(30)
+    tracker.on_tick()            # second ripe: actual 40 vs 20 -> 0.5
+    assert tracker.pairs() == [(20, 20), (20, 40)]
+    assert tracker.accuracy() == pytest.approx(0.75)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PredictionAccuracyTracker(horizon_intervals=0)
+    tracker = PredictionAccuracyTracker()
+    with pytest.raises(ValueError):
+        tracker.predict(-1)
+    with pytest.raises(ValueError):
+        tracker.record_actual_bytes(-1)

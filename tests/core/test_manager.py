@@ -1,0 +1,86 @@
+"""Tests for the JIT-GC manager, centred on the paper's Fig. 6 example."""
+
+import pytest
+
+from repro.core.manager import JitGcManager
+from repro.sim.simtime import SECOND
+
+MB = 1_000_000
+TAU = 30 * SECOND
+
+
+def test_paper_fig6a_no_bgc():
+    """Fig. 6(a): Creq=90MB, Cfree=50MB, Bw=40MB/s, Bgc=10MB/s ->
+    Tidle (27.75s) > Tgc (4s): no BGC, Dreclaim = 0."""
+    manager = JitGcManager(TAU)
+    decision = manager.decide(
+        dbuf_bytes=[0, 0, 0, 0, 20 * MB, 40 * MB],
+        ddir_bytes=[5 * MB] * 6,
+        cfree_bytes=50 * MB,
+        write_bw_bytes_per_sec=40 * MB,
+        gc_bw_bytes_per_sec=10 * MB,
+    )
+    assert decision.creq_bytes == 90 * MB
+    assert decision.tw_ns == pytest.approx(2.25 * SECOND)
+    assert decision.tidle_ns == pytest.approx(27.75 * SECOND)
+    assert decision.tgc_ns == pytest.approx(4 * SECOND)
+    assert not decision.invokes_bgc
+    assert decision.reclaim_bytes == 0
+
+
+def test_paper_fig6b_reclaims_12_5_mb():
+    """Fig. 6(b): Creq=290MB, Cfree=50MB -> Tidle (22.75s) < Tgc (24s):
+    Dreclaim = (24 - 22.75) x 10 MB/s = 12.5 MB."""
+    manager = JitGcManager(TAU)
+    decision = manager.decide(
+        dbuf_bytes=[0, 0, 20 * MB, 40 * MB, 0, 200 * MB],
+        ddir_bytes=[5 * MB] * 6,
+        cfree_bytes=50 * MB,
+        write_bw_bytes_per_sec=40 * MB,
+        gc_bw_bytes_per_sec=10 * MB,
+    )
+    assert decision.creq_bytes == 290 * MB
+    assert decision.tw_ns == pytest.approx(7.25 * SECOND)
+    assert decision.tidle_ns == pytest.approx(22.75 * SECOND)
+    assert decision.tgc_ns == pytest.approx(24 * SECOND)
+    assert decision.invokes_bgc
+    assert decision.reclaim_bytes == pytest.approx(12.5 * MB)
+
+
+def test_fast_path_when_cfree_covers_creq():
+    manager = JitGcManager(TAU)
+    decision = manager.decide([MB], [MB], cfree_bytes=10 * MB,
+                              write_bw_bytes_per_sec=MB, gc_bw_bytes_per_sec=MB)
+    assert not decision.invokes_bgc
+    assert decision.tw_ns == 0 and decision.tgc_ns == 0
+
+
+def test_reclaim_capped_at_shortfall():
+    """Never reclaim more than Creq - Cfree even when Tidle = 0."""
+    manager = JitGcManager(TAU)
+    decision = manager.decide(
+        dbuf_bytes=[10_000 * MB],
+        ddir_bytes=[0],
+        cfree_bytes=9_999 * MB,
+        write_bw_bytes_per_sec=MB,   # Tw enormous -> Tidle 0
+        gc_bw_bytes_per_sec=1000 * MB,
+    )
+    assert decision.reclaim_bytes <= MB
+
+
+def test_counters():
+    manager = JitGcManager(TAU)
+    manager.decide([0], [0], 10, MB, MB)
+    manager.decide([100 * MB], [0], 0, MB, MB)
+    assert manager.decisions == 2
+    assert manager.bgc_invocations == 1
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        JitGcManager(0)
+    manager = JitGcManager(TAU)
+    with pytest.raises(ValueError):
+        manager.decide([0], [0], 0, 0, MB)
+    with pytest.raises(ValueError):
+        manager.decide([0], [0], 0, MB, 0)

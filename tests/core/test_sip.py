@@ -1,0 +1,36 @@
+"""Tests for the SIP list."""
+
+from repro.core.sip import SipList
+
+
+def test_membership_and_len():
+    sip = SipList([1, 2, 3], created_at=5)
+    assert len(sip) == 3
+    assert 2 in sip
+    assert 9 not in sip
+    assert sip.created_at == 5
+
+
+def test_as_set_is_a_copy():
+    sip = SipList([1])
+    copy = sip.as_set()
+    copy.add(99)
+    assert 99 not in sip
+
+
+def test_union_keeps_newer_timestamp():
+    a = SipList([1, 2], created_at=10)
+    b = SipList([2, 3], created_at=20)
+    merged = a.union(b)
+    assert merged.as_set() == {1, 2, 3}
+    assert merged.created_at == 20
+
+
+def test_iteration():
+    assert sorted(SipList([3, 1, 2])) == [1, 2, 3]
+
+
+def test_empty():
+    sip = SipList()
+    assert len(sip) == 0
+    assert sip.as_set() == set()

@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+QUICK = ["--blocks", "256", "--pages-per-block", "16", "--warmup", "4", "--measure", "10"]
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "YCSB" in out and "TPC-C" in out
+    assert "JIT-GC" in out and "L-BGC" in out
+
+
+def test_run_command(capsys):
+    assert main(["run", "--workload", "YCSB", "--policy", "L-BGC", *QUICK]) == 0
+    out = capsys.readouterr().out
+    assert "YCSB / L-BGC" in out
+    assert "IOPS" in out and "WAF" in out
+
+
+def test_run_rejects_unknown_choices():
+    with pytest.raises(SystemExit):
+        main(["run", "--workload", "nope"])
+    with pytest.raises(SystemExit):
+        main(["run", "--policy", "nope"])
+
+
+def test_compare_command(capsys):
+    assert main(["compare", "--workload", "TPC-C", *QUICK]) == 0
+    out = capsys.readouterr().out
+    for policy in ("L-BGC", "A-BGC", "ADP-GC", "JIT-GC"):
+        assert policy in out
+
+
+def test_parser_has_all_artifact_commands():
+    parser = build_parser()
+    text = parser.format_help()
+    for command in ("fig2", "fig7", "table1", "table2", "table3", "oracle"):
+        assert command in text
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,69 @@
+"""Tests for result persistence."""
+
+import pytest
+
+from repro.experiments.persistence import (
+    SCHEMA,
+    load_results,
+    metrics_from_dict,
+    metrics_to_dict,
+    save_results,
+)
+from repro.metrics.collector import RunMetrics
+
+
+def sample(policy="JIT-GC", iops=123.5):
+    return RunMetrics(
+        policy=policy,
+        workload="YCSB",
+        duration_ns=10**9,
+        iops=iops,
+        waf=1.25,
+        host_pages_written=1000,
+        gc_pages_migrated=250,
+        fgc_invocations=3,
+        fgc_time_ns=5_000_000,
+        bgc_blocks=42,
+        erases=50,
+        prediction_accuracy_pct=91.5,
+        sip_selections=40,
+        sip_filtered=6,
+        buffered_fraction=0.88,
+    )
+
+
+def test_dict_roundtrip():
+    original = sample()
+    payload = metrics_to_dict(original)
+    assert payload["schema"] == SCHEMA
+    restored = metrics_from_dict(payload)
+    assert restored == original
+
+
+def test_schema_rejected():
+    payload = metrics_to_dict(sample())
+    payload["schema"] = "other.v9"
+    with pytest.raises(ValueError):
+        metrics_from_dict(payload)
+
+
+def test_single_file_roundtrip(tmp_path):
+    path = tmp_path / "one.json"
+    assert save_results(sample(), path) == 1
+    assert load_results(path) == sample()
+
+
+def test_list_roundtrip(tmp_path):
+    path = tmp_path / "many.json"
+    items = [sample("L-BGC", 10.0), sample("A-BGC", 20.0)]
+    assert save_results(items, path) == 2
+    assert load_results(path) == items
+
+
+def test_mapping_roundtrip(tmp_path):
+    path = tmp_path / "map.json"
+    mapping = {"L-BGC": sample("L-BGC"), "JIT-GC": sample("JIT-GC")}
+    assert save_results(mapping, path) == 2
+    restored = load_results(path)
+    assert set(restored) == {"L-BGC", "JIT-GC"}
+    assert restored["JIT-GC"].policy == "JIT-GC"

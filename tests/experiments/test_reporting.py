@@ -1,0 +1,41 @@
+"""Tests for reporting helpers."""
+
+import pytest
+
+from repro.experiments.reporting import format_table, normalize_to
+
+
+def test_normalize_to_reference():
+    values = {"a": 2.0, "b": 4.0, "ref": 8.0}
+    normalized = normalize_to(values, "ref")
+    assert normalized == {"a": 0.25, "b": 0.5, "ref": 1.0}
+
+
+def test_normalize_missing_reference():
+    with pytest.raises(KeyError):
+        normalize_to({"a": 1.0}, "missing")
+
+
+def test_normalize_zero_reference():
+    with pytest.raises(ZeroDivisionError):
+        normalize_to({"a": 0.0}, "a")
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ["Name", "Value"],
+        [["alpha", 1.5], ["b", 20]],
+        title="Demo",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Demo"
+    assert "Name" in lines[1] and "Value" in lines[1]
+    assert "-" in lines[2]
+    assert "1.500" in lines[3]
+    assert "20" in lines[4]
+
+
+def test_format_table_custom_float_format():
+    text = format_table(["x"], [[1.23456]], float_format="{:.1f}")
+    assert "1.2" in text
+    assert "1.23" not in text

@@ -1,0 +1,84 @@
+"""Tests for the scenario runner (small scale, quick)."""
+
+import pytest
+
+from repro.core.policies import FixedReservePolicy
+from repro.experiments.runner import (
+    POLICY_FACTORIES,
+    ScenarioSpec,
+    run_policy_comparison,
+    run_scenario,
+)
+
+
+def quick_spec(**kwargs):
+    defaults = dict(
+        workload="YCSB",
+        policy="L-BGC",
+        blocks=256,
+        pages_per_block=16,
+        warmup_s=5,
+        measure_s=15,
+    )
+    defaults.update(kwargs)
+    return ScenarioSpec(**defaults)
+
+
+def test_policy_factories_cover_fig7():
+    assert set(POLICY_FACTORIES) == {"L-BGC", "A-BGC", "ADP-GC", "JIT-GC"}
+
+
+def test_run_scenario_produces_metrics():
+    metrics = run_scenario(quick_spec())
+    assert metrics.policy == "L-BGC"
+    assert metrics.workload == "YCSB"
+    assert metrics.iops > 0
+    assert metrics.waf >= 1.0
+    assert 0.0 <= metrics.buffered_fraction <= 1.0
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(KeyError):
+        run_scenario(quick_spec(workload="nope"))
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(KeyError):
+        run_scenario(quick_spec(policy="nope"))
+
+
+def test_custom_policy_factory():
+    spec = quick_spec().with_policy("custom", lambda: FixedReservePolicy(0.75))
+    metrics = run_scenario(spec)
+    assert metrics.policy == "FIXED-0.75OP"
+
+
+def test_with_policy_preserves_everything_else():
+    spec = quick_spec(seed=99)
+    other = spec.with_policy("A-BGC")
+    assert other.seed == 99
+    assert other.workload == spec.workload
+    assert other.policy == "A-BGC"
+    assert spec.policy == "L-BGC"  # original untouched
+
+
+def test_runs_are_deterministic():
+    a = run_scenario(quick_spec())
+    b = run_scenario(quick_spec())
+    assert a.iops == b.iops
+    assert a.waf == b.waf
+    assert a.host_pages_written == b.host_pages_written
+
+
+def test_comparison_runs_identical_workload():
+    spec = quick_spec()
+    results = run_policy_comparison(
+        spec,
+        {
+            "L-BGC": POLICY_FACTORIES["L-BGC"],
+            "A-BGC": POLICY_FACTORIES["A-BGC"],
+        },
+    )
+    assert set(results) == {"L-BGC", "A-BGC"}
+    for name, metrics in results.items():
+        assert metrics.policy == name

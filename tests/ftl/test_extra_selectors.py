@@ -1,0 +1,47 @@
+"""Tests for the random and FIFO victim selectors."""
+
+import numpy as np
+
+from repro.ftl.mapping import PageMap
+from repro.ftl.victim import FifoSelector, RandomSelector
+from repro.nand.geometry import NandGeometry
+
+GEOMETRY = NandGeometry(page_size=4096, pages_per_block=4, blocks_per_plane=16)
+
+
+def build_map():
+    pm = PageMap(GEOMETRY, user_pages=GEOMETRY.total_pages)
+    pm.remap(1, pm.ppn(0, 0))
+    pm.remap(2, pm.ppn(1, 0))
+    pm.remap(3, pm.ppn(2, 0))
+    return pm
+
+
+def test_random_selector_deterministic_with_seed():
+    pm = build_map()
+    candidates = np.array([0, 1, 2])
+    a = RandomSelector(np.random.default_rng(5)).select(candidates, pm)
+    b = RandomSelector(np.random.default_rng(5)).select(candidates, pm)
+    assert a.block == b.block
+    assert a.block in (0, 1, 2)
+
+
+def test_random_selector_empty():
+    pm = build_map()
+    assert RandomSelector().select(np.array([], dtype=int), pm).block is None
+
+
+def test_fifo_picks_oldest_closed():
+    pm = build_map()
+    ages = np.zeros(GEOMETRY.total_blocks)
+    ages[0] = 5
+    ages[1] = 50
+    ages[2] = 20
+    decision = FifoSelector().select(np.array([0, 1, 2]), pm, block_ages=ages)
+    assert decision.block == 1
+
+
+def test_fifo_without_ages_falls_back_to_first():
+    pm = build_map()
+    decision = FifoSelector().select(np.array([2, 0]), pm)
+    assert decision.block == 2

@@ -1,0 +1,181 @@
+"""Tests for the page-mapped FTL: write path, FGC, BGC, SIP plumbing."""
+
+import pytest
+
+from repro.ftl.ftl import OutOfSpaceError, PageMappedFtl
+from repro.ftl.space import SpaceModel
+from repro.ftl.victim import SipFilteredSelector
+from repro.nand.array import NandArray
+from repro.nand.geometry import NandGeometry
+from repro.nand.timing import NandTiming
+
+GEOMETRY = NandGeometry(page_size=4096, pages_per_block=4, blocks_per_plane=16)
+TIMING = NandTiming(read_ns=10, program_ns=100, erase_ns=1000, transfer_ns_per_page=1)
+
+
+def make_ftl(op_ratio=0.25, selector=None, watermark=2):
+    nand = NandArray(GEOMETRY, TIMING)
+    space = SpaceModel.from_op_ratio(GEOMETRY, op_ratio=op_ratio)
+    return PageMappedFtl(nand, space, victim_selector=selector, fgc_watermark=watermark)
+
+
+def test_initial_capacity():
+    ftl = make_ftl()
+    # Two active blocks are held out of the pool.
+    assert ftl.free_pool_blocks() == GEOMETRY.total_blocks - 2
+    assert ftl.free_pages() == GEOMETRY.total_pages
+    assert ftl.used_pages() == 0
+
+
+def test_write_and_read_roundtrip_latencies():
+    ftl = make_ftl()
+    write_latency = ftl.host_write_page(0)
+    assert write_latency == TIMING.program_ns + TIMING.transfer_ns_per_page
+    read_latency = ftl.host_read_page(0)
+    assert read_latency == TIMING.read_ns + TIMING.transfer_ns_per_page
+
+
+def test_unmapped_read_costs_transfer_only():
+    ftl = make_ftl()
+    assert ftl.host_read_page(3) == TIMING.transfer_ns_per_page
+
+
+def test_write_decrements_free_pages():
+    ftl = make_ftl()
+    before = ftl.free_pages()
+    ftl.host_write_page(0)
+    assert ftl.free_pages() == before - 1
+
+
+def test_overwrite_keeps_used_constant():
+    ftl = make_ftl()
+    ftl.host_write_page(5)
+    ftl.host_write_page(5)
+    assert ftl.used_pages() == 1
+    assert ftl.stats.host_pages_written == 2
+
+
+def test_frontier_rolls_to_new_block():
+    ftl = make_ftl()
+    pool_before = ftl.free_pool_blocks()
+    for lpn in range(GEOMETRY.pages_per_block + 1):
+        ftl.host_write_page(lpn)
+    assert ftl.free_pool_blocks() == pool_before - 1
+
+
+def test_foreground_gc_triggers_and_reclaims():
+    ftl = make_ftl()
+    user = ftl.space.user_pages
+    # Overwrite a small working set far beyond capacity: plenty of garbage.
+    writes = GEOMETRY.total_pages * 3
+    for i in range(writes):
+        ftl.host_write_page(i % (user // 2))
+    assert ftl.stats.fgc_invocations > 0
+    assert ftl.free_pool_blocks() > ftl.fgc_watermark
+    ftl.invariant_check()
+
+
+def test_fgc_latency_charged_to_write():
+    ftl = make_ftl()
+    user = ftl.space.user_pages
+    saw_stall = False
+    for i in range(GEOMETRY.total_pages * 2):
+        latency = ftl.host_write_page(i % (user // 2))
+        if latency > TIMING.program_ns + TIMING.transfer_ns_per_page:
+            saw_stall = True
+    assert saw_stall
+    assert ftl.stats.fgc_time_ns > 0
+
+
+def test_waf_grows_under_gc():
+    import random
+
+    rng = random.Random(3)
+    ftl = make_ftl()
+    user = ftl.space.user_pages
+    # Random updates over most of the space: victims keep valid pages.
+    for _ in range(GEOMETRY.total_pages * 3):
+        ftl.host_write_page(rng.randrange(user * 3 // 4))
+    assert ftl.stats.waf() > 1.0
+    assert ftl.stats.gc_pages_migrated > 0
+
+
+def test_background_collection_frees_space():
+    ftl = make_ftl()
+    user = ftl.space.user_pages
+    for i in range(GEOMETRY.total_pages * 2):
+        ftl.host_write_page(i % (user // 2))
+    free_before = ftl.free_pages()
+    latency = ftl.collect_one_block(background=True)
+    assert latency > 0
+    assert ftl.free_pages() >= free_before
+    assert ftl.stats.bgc_blocks_collected == 1
+
+
+def test_trim_creates_garbage():
+    ftl = make_ftl()
+    for lpn in range(8):
+        ftl.host_write_page(lpn)
+    ftl.trim(range(8))
+    assert ftl.used_pages() == 0
+    assert ftl.stats.pages_trimmed == 8
+    ftl.invariant_check()
+
+
+def test_sequential_overwrite_gives_waf_near_one():
+    """Pure sequential overwrite: victims are fully invalid, WAF ~ 1."""
+    ftl = make_ftl(op_ratio=0.25)
+    user = ftl.space.user_pages
+    for sweep in range(4):
+        for lpn in range(user // 2):
+            ftl.host_write_page(lpn)
+    assert ftl.stats.waf() < 1.05
+
+
+def test_out_of_space_when_full_of_live_data():
+    ftl = make_ftl(op_ratio=0.25, watermark=2)
+    # Fill every logical page so nothing is garbage; then force GC.
+    with pytest.raises((OutOfSpaceError, Exception)):
+        for lpn in range(ftl.space.user_pages):
+            ftl.host_write_page(lpn)
+        # Device may survive the fill thanks to OP; explicit collection
+        # of garbage-free space must then fail.
+        while True:
+            ftl.collect_one_block(background=True)
+
+
+def test_sip_list_reaches_selector_and_stats():
+    selector = SipFilteredSelector(sip_fraction_threshold=0.5)
+    ftl = make_ftl(selector=selector)
+    user = ftl.space.user_pages
+    hot = list(range(4))
+    for i in range(GEOMETRY.total_pages * 2):
+        ftl.host_write_page(i % (user // 2))
+    ftl.set_sip_list(hot)
+    assert ftl.sip_lpns == set(hot)
+    for _ in range(6):
+        if ftl.has_victim():
+            ftl.collect_one_block(background=True)
+    assert ftl.stats.victim_selections > 0
+
+
+def test_invariant_check_after_mixed_workload():
+    ftl = make_ftl()
+    user = ftl.space.user_pages
+    for i in range(GEOMETRY.total_pages):
+        ftl.host_write_page((i * 7) % (user // 2))
+        if i % 13 == 0:
+            ftl.trim([(i * 3) % (user // 2)])
+    ftl.invariant_check()
+
+
+def test_has_victim_false_on_fresh_device():
+    ftl = make_ftl()
+    assert not ftl.has_victim()
+
+
+def test_watermark_validation():
+    nand = NandArray(GEOMETRY, TIMING)
+    space = SpaceModel.from_op_ratio(GEOMETRY)
+    with pytest.raises(ValueError):
+        PageMappedFtl(nand, space, fgc_watermark=1)

@@ -1,0 +1,106 @@
+"""Tests for LPN<->PPN mapping, validity tracking and invariants."""
+
+import pytest
+
+from repro.ftl.mapping import PageMap
+from repro.nand.geometry import NandGeometry
+
+GEOMETRY = NandGeometry(page_size=4096, pages_per_block=4, blocks_per_plane=8)
+
+
+def make_map(user_pages=16):
+    return PageMap(GEOMETRY, user_pages)
+
+
+def test_initially_unmapped():
+    pm = make_map()
+    assert pm.lookup(0) is None
+    assert pm.mapped_count == 0
+    assert pm.valid_count(0) == 0
+
+
+def test_first_write_maps():
+    pm = make_map()
+    assert pm.remap(5, pm.ppn(1, 0)) is None
+    assert pm.lookup(5) == pm.ppn(1, 0)
+    assert pm.is_valid(pm.ppn(1, 0))
+    assert pm.lpn_of_ppn(pm.ppn(1, 0)) == 5
+    assert pm.mapped_count == 1
+    assert pm.valid_count(1) == 1
+
+
+def test_update_invalidates_old_page():
+    pm = make_map()
+    first = pm.ppn(1, 0)
+    second = pm.ppn(2, 0)
+    pm.remap(5, first)
+    old = pm.remap(5, second)
+    assert old == first
+    assert not pm.is_valid(first)
+    assert pm.is_valid(second)
+    assert pm.valid_count(1) == 0
+    assert pm.valid_count(2) == 1
+    assert pm.mapped_count == 1  # still one live LPN
+
+
+def test_unmap_trim():
+    pm = make_map()
+    ppn = pm.ppn(0, 2)
+    pm.remap(7, ppn)
+    assert pm.unmap(7) == ppn
+    assert pm.lookup(7) is None
+    assert not pm.is_valid(ppn)
+    assert pm.mapped_count == 0
+    assert pm.unmap(7) is None  # idempotent
+
+
+def test_valid_lpns_in_block_order():
+    pm = make_map()
+    pm.remap(10, pm.ppn(3, 0))
+    pm.remap(11, pm.ppn(3, 1))
+    pm.remap(12, pm.ppn(3, 2))
+    pm.remap(11, pm.ppn(4, 0))  # moves LPN 11 out of block 3
+    pairs = list(pm.valid_lpns_in_block(3))
+    assert pairs == [(0, 10), (2, 12)]
+
+
+def test_clear_block_requires_no_valid_pages():
+    pm = make_map()
+    pm.remap(1, pm.ppn(2, 0))
+    with pytest.raises(RuntimeError):
+        pm.clear_block(2)
+    pm.remap(1, pm.ppn(3, 0))  # invalidates block 2's copy
+    pm.clear_block(2)  # now fine
+
+
+def test_lpn_bounds():
+    pm = make_map(user_pages=4)
+    with pytest.raises(IndexError):
+        pm.lookup(4)
+    with pytest.raises(IndexError):
+        pm.remap(-1, 0)
+
+
+def test_address_helpers_roundtrip():
+    pm = make_map()
+    ppn = pm.ppn(5, 3)
+    assert pm.block_of(ppn) == 5
+    assert pm.page_of(ppn) == 3
+
+
+def test_invariant_check_passes_after_workload():
+    pm = make_map(user_pages=16)
+    # Interleaved writes/updates/trims across blocks.
+    ppn_iter = iter(range(GEOMETRY.total_pages))
+    for lpn in [0, 1, 2, 0, 3, 1, 4, 2, 0]:
+        pm.remap(lpn, next(ppn_iter))
+    pm.unmap(3)
+    pm.invariant_check()
+
+
+def test_invariant_check_detects_corruption():
+    pm = make_map()
+    pm.remap(0, pm.ppn(0, 0))
+    pm._valid_per_block[0] = 9  # simulate corruption
+    with pytest.raises(AssertionError):
+        pm.invariant_check()

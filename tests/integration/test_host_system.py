@@ -1,0 +1,64 @@
+"""Tests for the HostSystem assembly."""
+
+import pytest
+
+from repro.core.policies import JitGcPolicy, NoBgcPolicy
+from repro.host import HostSystem
+from repro.sim.simtime import SECOND
+from repro.ssd.config import SsdConfig
+
+
+def test_default_assembly_ratios():
+    config = SsdConfig.small(blocks=128, pages_per_block=16)
+    host = HostSystem(config, NoBgcPolicy())
+    # Default cache is 1/4 of the user capacity.
+    assert host.cache.capacity_pages == pytest.approx(
+        config.user_bytes // 4 // 4096, rel=0.01
+    )
+    assert host.flusher.nwb == 6
+    assert host.user_pages == host.ftl.space.user_pages
+
+
+def test_custom_flusher_constants():
+    config = SsdConfig.small(blocks=128, pages_per_block=16)
+    host = HostSystem(
+        config, NoBgcPolicy(), flusher_period_ns=5 * SECOND, tau_expire_ns=30 * SECOND
+    )
+    assert host.flusher.period_ns == 5 * SECOND
+    assert host.flusher.nwb == 6
+
+
+def test_policy_attached_with_selector():
+    config = SsdConfig.small(blocks=128, pages_per_block=16)
+    policy = JitGcPolicy()
+    host = HostSystem(config, policy)
+    assert host.device.controller is policy
+    assert policy.interface.device is host.device
+
+
+def test_flusher_started_automatically():
+    config = SsdConfig.small(blocks=128, pages_per_block=16)
+    host = HostSystem(config, NoBgcPolicy())
+    host.run_for(3 * SECOND)
+    assert host.flusher.wakeups == 3
+
+
+def test_run_for_advances_clock():
+    host = HostSystem(SsdConfig.small(blocks=64, pages_per_block=8), NoBgcPolicy())
+    host.run_for(7 * SECOND)
+    assert host.sim.now == 7 * SECOND
+
+
+def test_prefill_without_aging():
+    host = HostSystem(SsdConfig.small(blocks=128, pages_per_block=16), NoBgcPolicy())
+    host.prefill(100, age=False)
+    assert host.ftl.used_pages() == 100
+    # Without aging, free space is far above the OP floor.
+    assert host.ftl.free_pages() > host.ftl.space.op_pages * 2
+
+
+def test_seeded_streams_differ_between_seeds():
+    config = SsdConfig.small(blocks=64, pages_per_block=8)
+    a = HostSystem(config, NoBgcPolicy(), seed=1).streams.numpy("x").integers(0, 10**9)
+    b = HostSystem(config, NoBgcPolicy(), seed=2).streams.numpy("x").integers(0, 10**9)
+    assert a != b

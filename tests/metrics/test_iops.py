@@ -1,0 +1,50 @@
+"""Tests for the IOPS meter."""
+
+import pytest
+
+from repro.metrics.iops import IopsMeter
+from repro.sim.simtime import SECOND
+
+
+def test_window_iops():
+    meter = IopsMeter()
+    meter.record_op(5)
+    meter.begin_window(0)
+    meter.record_op(100)
+    meter.end_window(2 * SECOND)
+    assert meter.window_ops() == 100
+    assert meter.iops() == pytest.approx(50.0)
+
+
+def test_ops_before_window_excluded():
+    meter = IopsMeter()
+    meter.record_op(42)
+    meter.begin_window(10 * SECOND)
+    meter.record_op(10)
+    meter.end_window(11 * SECOND)
+    assert meter.window_ops() == 10
+
+
+def test_iops_requires_closed_window():
+    meter = IopsMeter()
+    meter.begin_window(0)
+    with pytest.raises(RuntimeError):
+        meter.iops()
+
+
+def test_end_without_begin():
+    meter = IopsMeter()
+    with pytest.raises(RuntimeError):
+        meter.end_window(SECOND)
+
+
+def test_zero_duration_rejected():
+    meter = IopsMeter()
+    meter.begin_window(SECOND)
+    with pytest.raises(ValueError):
+        meter.end_window(SECOND)
+
+
+def test_negative_count_rejected():
+    with pytest.raises(ValueError):
+        IopsMeter().record_op(-1)

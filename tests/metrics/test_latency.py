@@ -1,0 +1,51 @@
+"""Tests for the reservoir-sampled latency recorder."""
+
+import pytest
+
+from repro.metrics.latency import LatencyRecorder
+
+
+def test_exact_stats_small_population():
+    rec = LatencyRecorder()
+    for value in (10, 20, 30, 40):
+        rec.record(value)
+    assert rec.count == 4
+    assert rec.mean() == pytest.approx(25.0)
+    assert rec.max() == 40
+    assert rec.percentile(0) == 10
+    assert rec.percentile(100) == 40
+    assert rec.percentile(50) in (20, 30)
+
+
+def test_empty_recorder():
+    rec = LatencyRecorder()
+    assert rec.mean() == 0.0
+    assert rec.percentile(99) == 0
+    assert rec.max() == 0
+
+
+def test_reservoir_bounds_memory():
+    rec = LatencyRecorder(reservoir_size=100)
+    for value in range(10_000):
+        rec.record(value)
+    assert rec.count == 10_000
+    assert len(rec._samples) == 100
+    # Percentiles remain sane estimates of the uniform distribution.
+    assert 3000 < rec.percentile(50) < 7000
+
+
+def test_mean_is_exact_despite_sampling():
+    rec = LatencyRecorder(reservoir_size=10)
+    for value in range(1000):
+        rec.record(value)
+    assert rec.mean() == pytest.approx(499.5)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LatencyRecorder(reservoir_size=0)
+    rec = LatencyRecorder()
+    with pytest.raises(ValueError):
+        rec.record(-1)
+    with pytest.raises(ValueError):
+        rec.percentile(101)

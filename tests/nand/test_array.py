@@ -1,0 +1,122 @@
+"""Tests for the NAND array state machine: erase-before-write, program
+order, bad blocks and operation counting."""
+
+import pytest
+
+from repro.nand.array import BlockState, NandArray
+from repro.nand.endurance import EnduranceModel
+from repro.nand.errors import (
+    BadBlockError,
+    EraseBeforeWriteError,
+    ProgramOrderError,
+)
+from repro.nand.geometry import NandGeometry
+from repro.nand.timing import NandTiming
+
+GEOMETRY = NandGeometry(page_size=4096, pages_per_block=4, blocks_per_plane=8)
+TIMING = NandTiming(read_ns=10, program_ns=100, erase_ns=1000, transfer_ns_per_page=1)
+
+
+def make_array(**kwargs):
+    return NandArray(GEOMETRY, TIMING, **kwargs)
+
+
+def test_initial_state_all_erased():
+    nand = make_array()
+    for block in range(GEOMETRY.total_blocks):
+        assert nand.block_state(block) == BlockState.ERASED
+        assert nand.next_programmable_page(block) == 0
+
+
+def test_program_returns_latency_and_advances_frontier():
+    nand = make_array()
+    assert nand.program_page(0, 0) == 100
+    assert nand.next_programmable_page(0) == 1
+    assert nand.block_state(0) == BlockState.OPEN
+
+
+def test_block_becomes_full():
+    nand = make_array()
+    for page in range(4):
+        nand.program_page(2, page)
+    assert nand.block_state(2) == BlockState.FULL
+
+
+def test_out_of_order_program_rejected():
+    nand = make_array()
+    nand.program_page(0, 0)
+    with pytest.raises(ProgramOrderError):
+        nand.program_page(0, 2)
+
+
+def test_reprogram_without_erase_rejected():
+    nand = make_array()
+    nand.program_page(0, 0)
+    with pytest.raises(EraseBeforeWriteError):
+        nand.program_page(0, 0)
+
+
+def test_erase_resets_frontier():
+    nand = make_array()
+    for page in range(4):
+        nand.program_page(1, page)
+    assert nand.erase_block(1) == 1000
+    assert nand.block_state(1) == BlockState.ERASED
+    assert nand.next_programmable_page(1) == 0
+    nand.program_page(1, 0)  # programmable again
+
+
+def test_read_latency_and_counter():
+    nand = make_array()
+    nand.program_page(0, 0)
+    assert nand.read_page(0, 0) == 10
+    assert nand.page_reads == 1
+
+
+def test_operation_counters():
+    nand = make_array()
+    nand.program_page(0, 0)
+    nand.program_page(0, 1)
+    nand.read_page(0, 0)
+    nand.erase_block(0)
+    assert nand.page_programs == 2
+    assert nand.page_reads == 1
+    assert nand.block_erases == 1
+
+
+def test_factory_bad_blocks_rejected_everywhere():
+    nand = make_array(initial_bad_blocks=[3])
+    assert nand.is_bad(3)
+    with pytest.raises(BadBlockError):
+        nand.program_page(3, 0)
+    with pytest.raises(BadBlockError):
+        nand.read_page(3, 0)
+    with pytest.raises(BadBlockError):
+        nand.erase_block(3)
+
+
+def test_wear_out_marks_block_bad():
+    endurance = EnduranceModel(GEOMETRY.total_blocks, pe_cycle_limit=2)
+    nand = NandArray(GEOMETRY, TIMING, endurance)
+    nand.erase_block(0)
+    assert not nand.is_bad(0)
+    nand.erase_block(0)
+    assert nand.is_bad(0)
+    assert nand.good_blocks() == GEOMETRY.total_blocks - 1
+
+
+def test_endurance_size_mismatch_rejected():
+    wrong = EnduranceModel(GEOMETRY.total_blocks + 1)
+    with pytest.raises(ValueError):
+        NandArray(GEOMETRY, TIMING, wrong)
+
+
+def test_wear_stats_reflect_erases():
+    nand = make_array()
+    nand.erase_block(0)
+    nand.erase_block(0)
+    nand.erase_block(1)
+    stats = nand.wear_stats()
+    assert stats.total_erases == 3
+    assert stats.max_erase_count == 2
+    assert stats.min_erase_count == 0

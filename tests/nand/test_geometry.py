@@ -1,0 +1,100 @@
+"""Tests for NAND geometry arithmetic and address validation."""
+
+import pytest
+
+from repro.nand.errors import AddressError
+from repro.nand.geometry import NandGeometry
+
+
+def make(**kwargs):
+    defaults = dict(
+        page_size=4096,
+        pages_per_block=64,
+        blocks_per_plane=32,
+        planes_per_chip=2,
+        chips_per_channel=2,
+        channels=2,
+    )
+    defaults.update(kwargs)
+    return NandGeometry(**defaults)
+
+
+def test_derived_counts():
+    g = make()
+    assert g.total_chips == 4
+    assert g.blocks_per_chip == 64
+    assert g.total_blocks == 256
+    assert g.total_pages == 256 * 64
+    assert g.block_bytes == 64 * 4096
+    assert g.total_bytes == 256 * 64 * 4096
+
+
+def test_chip_and_channel_of_block():
+    g = make()
+    assert g.chip_of_block(0) == 0
+    assert g.chip_of_block(63) == 0
+    assert g.chip_of_block(64) == 1
+    assert g.channel_of_block(0) == 0
+    assert g.channel_of_block(128) == 1
+
+
+def test_plane_of_block():
+    g = make()
+    assert g.plane_of_block(0) == 0
+    assert g.plane_of_block(31) == 0
+    assert g.plane_of_block(32) == 1
+    assert g.plane_of_block(64) == 0  # next chip starts at plane 0
+
+
+def test_block_bounds_checked():
+    g = make()
+    with pytest.raises(AddressError):
+        g.check_block(-1)
+    with pytest.raises(AddressError):
+        g.check_block(g.total_blocks)
+
+
+def test_page_bounds_checked():
+    g = make()
+    g.check_page(0)
+    g.check_page(63)
+    with pytest.raises(AddressError):
+        g.check_page(64)
+
+
+def test_pages_for_bytes_ceiling():
+    g = make()
+    assert g.pages_for_bytes(0) == 0
+    assert g.pages_for_bytes(1) == 1
+    assert g.pages_for_bytes(4096) == 1
+    assert g.pages_for_bytes(4097) == 2
+
+
+def test_pages_for_bytes_negative_rejected():
+    with pytest.raises(ValueError):
+        make().pages_for_bytes(-1)
+
+
+@pytest.mark.parametrize("field", ["page_size", "pages_per_block", "channels"])
+def test_nonpositive_fields_rejected(field):
+    with pytest.raises(ValueError):
+        make(**{field: 0})
+
+
+def test_scaled_sm843t_keeps_op_feasible():
+    g = NandGeometry.scaled_sm843t(256)
+    # ~1 GB physical array at 1/256 scale.
+    assert 0.8 * (1 << 30) < g.total_bytes < 1.3 * (1 << 30)
+    assert g.page_size == 4096
+    assert g.pages_per_block == 128
+
+
+def test_scaled_sm843t_monotone_in_scale():
+    big = NandGeometry.scaled_sm843t(128).total_blocks
+    small = NandGeometry.scaled_sm843t(512).total_blocks
+    assert big > small
+
+
+def test_scaled_sm843t_invalid_scale():
+    with pytest.raises(ValueError):
+        NandGeometry.scaled_sm843t(0)

@@ -1,0 +1,126 @@
+"""Tests for the NAND reliability models."""
+
+import pytest
+
+from repro.nand.array import NandArray
+from repro.nand.geometry import NandGeometry
+from repro.nand.reliability import BitErrorModel, EccConfig, ReadDisturbTracker
+from repro.nand.timing import NandTiming
+
+GEOMETRY = NandGeometry(page_size=4096, pages_per_block=4, blocks_per_plane=8)
+TIMING = NandTiming(read_ns=10, program_ns=100, erase_ns=1000, transfer_ns_per_page=1)
+
+
+# ----------------------------------------------------------------------
+# BitErrorModel
+# ----------------------------------------------------------------------
+def test_rber_monotone_in_wear():
+    model = BitErrorModel()
+    fresh = model.rber(0)
+    worn = model.rber(3000)
+    assert fresh < worn
+    assert fresh == pytest.approx(model.base_rber * 1.0, rel=1e-6)
+
+
+def test_rber_monotone_in_retention_and_disturbs():
+    model = BitErrorModel()
+    base = model.rber(1000)
+    assert model.rber(1000, retention_s=10**7) > base
+    assert model.rber(1000, read_disturbs=10**5) > base
+
+
+def test_rber_capped_at_half():
+    model = BitErrorModel()
+    assert model.rber(10**9, retention_s=10**12, read_disturbs=10**9) == 0.5
+
+
+def test_rber_validation():
+    model = BitErrorModel()
+    with pytest.raises(ValueError):
+        model.rber(-1)
+    with pytest.raises(ValueError):
+        BitErrorModel(base_rber=0)
+
+
+# ----------------------------------------------------------------------
+# EccConfig
+# ----------------------------------------------------------------------
+def test_ecc_zero_rber_never_fails():
+    ecc = EccConfig()
+    assert ecc.codeword_failure_probability(0.0) == 0.0
+    assert ecc.page_failure_probability(0.0) == 0.0
+
+
+def test_ecc_failure_monotone_in_rber():
+    ecc = EccConfig(codeword_bytes=512, correctable_bits=8)
+    low = ecc.codeword_failure_probability(1e-5)
+    high = ecc.codeword_failure_probability(1e-3)
+    assert 0.0 <= low < high <= 1.0
+
+
+def test_ecc_stronger_correction_fails_less():
+    weak = EccConfig(codeword_bytes=512, correctable_bits=4)
+    strong = EccConfig(codeword_bytes=512, correctable_bits=40)
+    rber = 1e-3
+    assert strong.codeword_failure_probability(rber) < weak.codeword_failure_probability(rber)
+
+
+def test_page_failure_aggregates_codewords():
+    ecc = EccConfig(codeword_bytes=1024, correctable_bits=4)
+    rber = 2e-3
+    per_codeword = ecc.codeword_failure_probability(rber)
+    per_page = ecc.page_failure_probability(rber, page_bytes=4096)
+    assert per_page >= per_codeword
+    assert per_page == pytest.approx(1 - (1 - per_codeword) ** 4)
+
+
+def test_ecc_validation():
+    with pytest.raises(ValueError):
+        EccConfig(codeword_bytes=0)
+    ecc = EccConfig()
+    with pytest.raises(ValueError):
+        ecc.codeword_failure_probability(1.5)
+
+
+def test_end_of_life_story():
+    """A worn, long-retained block must look much riskier than a fresh
+    one -- the quantitative link from WAF to lifetime.  Uses a weak ECC
+    so the probabilities stay in floating-point range."""
+    model = BitErrorModel()
+    ecc = EccConfig(codeword_bytes=512, correctable_bits=4)
+    fresh = ecc.page_failure_probability(model.rber(100, retention_s=86_400))
+    eol = ecc.page_failure_probability(model.rber(3000, retention_s=3 * 10**7))
+    assert eol > fresh
+    assert eol > 1e-9
+
+
+# ----------------------------------------------------------------------
+# ReadDisturbTracker (+ NandArray integration)
+# ----------------------------------------------------------------------
+def test_tracker_threshold():
+    tracker = ReadDisturbTracker(4, scrub_threshold=3)
+    assert tracker.record_read(0) is False
+    assert tracker.record_read(0) is False
+    assert tracker.record_read(0) is True
+    assert tracker.blocks_needing_scrub() == [0]
+    tracker.reset(0)
+    assert tracker.blocks_needing_scrub() == []
+
+
+def test_tracker_validation():
+    with pytest.raises(ValueError):
+        ReadDisturbTracker(0)
+    with pytest.raises(ValueError):
+        ReadDisturbTracker(4, scrub_threshold=0)
+
+
+def test_nand_integration_counts_and_resets():
+    tracker = ReadDisturbTracker(GEOMETRY.total_blocks, scrub_threshold=2)
+    nand = NandArray(GEOMETRY, TIMING, read_disturb=tracker)
+    nand.program_page(0, 0)
+    nand.read_page(0, 0)
+    nand.read_page(0, 0)
+    assert tracker.blocks_needing_scrub() == [0]
+    assert tracker.max_reads() == 2
+    nand.erase_block(0)
+    assert tracker.blocks_needing_scrub() == []

@@ -1,0 +1,147 @@
+"""Tests for the write-back page cache."""
+
+import pytest
+
+from repro.oskernel.cache import PageCache
+
+PAGE = 4096
+
+
+def make_cache(capacity_pages=64, throttle=0.5):
+    return PageCache(PAGE, capacity_pages * PAGE, dirty_throttle_fraction=throttle)
+
+
+def test_write_marks_dirty_with_timestamp():
+    cache = make_cache()
+    cache.write_page(5, now=100)
+    assert cache.dirty_pages == 1
+    assert cache.contains_dirty(5)
+    [entry] = cache.dirty_items()
+    assert entry.lpn == 5
+    assert entry.last_update == 100
+
+
+def test_overwrite_resets_age():
+    """The paper's B -> B' example: an update postpones the flush."""
+    cache = make_cache()
+    cache.write_page(5, now=100)
+    cache.write_page(5, now=900)
+    [entry] = cache.dirty_items()
+    assert entry.last_update == 900
+    assert cache.dirty_pages == 1
+    assert cache.write_hits == 1
+
+
+def test_read_hits_dirty_clean_and_writeback():
+    cache = make_cache()
+    cache.write_page(1, now=0)
+    cache.insert_clean(2)
+    assert cache.read_page(1)
+    assert cache.read_page(2)
+    assert not cache.read_page(3)
+    cache.begin_writeback([1])
+    assert cache.read_page(1)  # in-flight pages still hit
+    assert cache.read_hits == 3
+    assert cache.read_misses == 1
+
+
+def test_expired_dirty_by_age():
+    cache = make_cache()
+    cache.write_page(1, now=0)
+    cache.write_page(2, now=500)
+    expired = cache.expired_dirty(now=1000, tau_expire=600)
+    assert [e.lpn for e in expired] == [1]
+
+
+def test_oldest_dirty_order():
+    cache = make_cache()
+    cache.write_page(3, now=30)
+    cache.write_page(1, now=10)
+    cache.write_page(2, now=20)
+    assert [e.lpn for e in cache.oldest_dirty()] == [1, 2, 3]
+
+
+def test_writeback_lifecycle():
+    cache = make_cache()
+    cache.write_page(1, now=0)
+    cache.begin_writeback([1])
+    assert cache.dirty_pages == 0
+    assert cache.writeback_pages == 1
+    cache.complete_writeback([1])
+    assert cache.writeback_pages == 0
+    assert cache.read_page(1)  # now clean
+
+
+def test_begin_writeback_requires_dirty():
+    cache = make_cache()
+    with pytest.raises(KeyError):
+        cache.begin_writeback([9])
+
+
+def test_write_during_writeback_redirties():
+    cache = make_cache()
+    cache.write_page(1, now=0)
+    cache.begin_writeback([1])
+    cache.write_page(1, now=50)
+    assert cache.contains_dirty(1)
+    # Completion of the stale write-back must not mark it clean again.
+    cache.complete_writeback([1])
+    assert cache.contains_dirty(1)
+
+
+def test_throttle_threshold():
+    cache = make_cache(capacity_pages=10, throttle=0.5)
+    for lpn in range(4):
+        cache.write_page(lpn, now=0)
+    assert not cache.throttled()
+    cache.write_page(4, now=0)
+    assert cache.throttled()
+
+
+def test_pressure_listener_fires_on_throttle():
+    cache = make_cache(capacity_pages=10, throttle=0.5)
+    events = []
+    cache.pressure_listeners.append(lambda: events.append(1))
+    for lpn in range(5):
+        cache.write_page(lpn, now=0)
+    assert events  # fired at least when crossing the threshold
+
+
+def test_drain_listener_fires_when_below_throttle():
+    cache = make_cache(capacity_pages=10, throttle=0.5)
+    for lpn in range(5):
+        cache.write_page(lpn, now=0)
+    drained = []
+    cache.drain_listeners.append(lambda: drained.append(1))
+    cache.begin_writeback(list(range(5)))
+    cache.complete_writeback(list(range(5)))
+    assert drained == [1]
+
+
+def test_lru_eviction_of_clean_only():
+    cache = make_cache(capacity_pages=4)
+    cache.write_page(0, now=0)  # dirty: pinned
+    for lpn in range(10, 14):
+        cache.insert_clean(lpn)
+    assert cache.cached_pages <= 4
+    assert cache.contains_dirty(0)  # dirty page never evicted
+    assert not cache.read_page(10)  # oldest clean page evicted
+
+
+def test_invalidate_drops_everywhere():
+    cache = make_cache()
+    cache.write_page(1, now=0)
+    cache.insert_clean(2)
+    cache.write_page(3, now=0)
+    cache.begin_writeback([3])
+    cache.invalidate([1, 2, 3])
+    assert cache.dirty_pages == 0
+    assert cache.writeback_pages == 0
+    assert not cache.read_page(2)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PageCache(0, 4096)
+    with pytest.raises(ValueError):
+        PageCache(4096, 4096, dirty_throttle_fraction=0)

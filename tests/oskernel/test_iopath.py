@@ -1,0 +1,141 @@
+"""Tests for the I/O dispatcher: buffered/direct routing, throttling,
+reads, fsync and traffic accounting."""
+
+import pytest
+
+from repro.oskernel.cache import PageCache
+from repro.oskernel.iopath import IoDispatcher, _coalesce
+from repro.sim.engine import Simulator
+from repro.ssd.config import SsdConfig
+from repro.ssd.device import SsdDevice
+from repro.ssd.request import IoKind
+
+
+def make_stack(cache_pages=128, throttle=0.5):
+    sim = Simulator()
+    device = SsdDevice(sim, SsdConfig.small(blocks=64, pages_per_block=8))
+    cache = PageCache(4096, 4096 * cache_pages, dirty_throttle_fraction=throttle)
+    dispatcher = IoDispatcher(sim, cache, device)
+    return sim, device, cache, dispatcher
+
+
+def test_buffered_write_lands_in_cache_not_device():
+    sim, device, cache, dispatcher = make_stack()
+    done = []
+    dispatcher.write(0, 4, direct=False, on_complete=lambda: done.append(1))
+    sim.run()
+    assert done == [1]
+    assert cache.dirty_pages == 4
+    assert device.requests_completed == 0
+    assert dispatcher.stats.buffered_bytes == 4 * 4096
+
+
+def test_direct_write_goes_to_device():
+    sim, device, cache, dispatcher = make_stack()
+    done = []
+    dispatcher.write(0, 2, direct=True, on_complete=lambda: done.append(1))
+    sim.run()
+    assert done == [1]
+    assert cache.dirty_pages == 0
+    assert device.requests_completed == 1
+    assert dispatcher.stats.direct_bytes == 2 * 4096
+
+
+def test_direct_write_invalidates_cached_copies():
+    sim, device, cache, dispatcher = make_stack()
+    dispatcher.write(0, 2, direct=False)
+    sim.run()
+    dispatcher.write(0, 2, direct=True)
+    sim.run()
+    assert cache.dirty_pages == 0
+
+
+def test_buffered_fraction_accounting():
+    sim, _, _, dispatcher = make_stack()
+    dispatcher.write(0, 9, direct=False)
+    dispatcher.write(10, 1, direct=True)
+    sim.run()
+    assert dispatcher.stats.buffered_fraction() == pytest.approx(0.9)
+    assert dispatcher.stats.direct_fraction() == pytest.approx(0.1)
+
+
+def test_throttled_writer_parks_and_releases():
+    sim, device, cache, dispatcher = make_stack(cache_pages=16, throttle=0.5)
+    # Fill to the throttle (8 pages).
+    dispatcher.write(0, 8, direct=False)
+    sim.run()
+    assert cache.throttled()
+    done = []
+    dispatcher.write(20, 2, direct=False, on_complete=lambda: done.append(1))
+    assert dispatcher.blocked_writers == 1
+    assert dispatcher.stats.throttle_events == 1
+    # Drain via explicit write-back.
+    cache.begin_writeback(list(range(8)))
+    cache.complete_writeback(list(range(8)))
+    sim.run()
+    assert done == [1]
+    assert dispatcher.blocked_writers == 0
+
+
+def test_read_hit_avoids_device():
+    sim, device, cache, dispatcher = make_stack()
+    dispatcher.write(0, 2, direct=False)
+    sim.run()
+    done = []
+    dispatcher.read(0, 2, on_complete=lambda: done.append(1))
+    sim.run()
+    assert done == [1]
+    assert device.requests_completed == 0
+
+
+def test_read_miss_fetches_and_caches():
+    sim, device, cache, dispatcher = make_stack()
+    done = []
+    dispatcher.read(4, 3, on_complete=lambda: done.append(1))
+    sim.run()
+    assert done == [1]
+    assert device.requests_completed == 1
+    # Second read is a hit.
+    dispatcher.read(4, 3)
+    sim.run()
+    assert device.requests_completed == 1
+
+
+def test_trim_invalidates_and_reaches_device():
+    sim, device, cache, dispatcher = make_stack()
+    dispatcher.write(0, 4, direct=True)
+    sim.run()
+    dispatcher.trim(0, 4)
+    sim.run()
+    assert device.ftl.used_pages() == 0
+
+
+def test_fsync_waits_for_device():
+    sim, device, cache, dispatcher = make_stack()
+    dispatcher.write(0, 6, direct=False)
+    sim.run()
+    done = []
+    submitted = dispatcher.fsync(0, 6, on_complete=lambda: done.append(sim.now))
+    assert submitted == 6
+    assert not done  # not yet complete
+    sim.run()
+    assert done and done[0] > 0
+    assert cache.dirty_pages == 0
+    assert device.requests_completed >= 1
+    assert dispatcher.stats.fsync_ops == 1
+    # Data stays classified as buffered traffic.
+    assert dispatcher.stats.direct_bytes == 0
+
+
+def test_fsync_of_clean_range_completes_immediately():
+    sim, _, _, dispatcher = make_stack()
+    done = []
+    assert dispatcher.fsync(0, 8, on_complete=lambda: done.append(1)) == 0
+    sim.run()
+    assert done == [1]
+
+
+def test_coalesce_helper():
+    assert _coalesce([]) == []
+    assert _coalesce([1]) == [(1, 1)]
+    assert _coalesce([1, 2, 3, 7, 8, 11]) == [(1, 3), (7, 2), (11, 1)]

@@ -1,0 +1,40 @@
+"""Tests for Event ordering semantics."""
+
+from repro.sim.events import Event, EventPriority
+
+
+def make(time, priority=EventPriority.NORMAL, seq=0):
+    return Event(time=time, priority=int(priority), seq=seq, callback=lambda: None)
+
+
+def test_time_dominates():
+    assert make(1, EventPriority.LOW, 99) < make(2, EventPriority.DEVICE, 0)
+
+
+def test_priority_breaks_time_ties():
+    assert make(5, EventPriority.DEVICE, 9) < make(5, EventPriority.CONTROL, 0)
+
+
+def test_seq_breaks_full_ties():
+    assert make(5, EventPriority.NORMAL, 1) < make(5, EventPriority.NORMAL, 2)
+
+
+def test_priority_ordering_constants():
+    assert (
+        EventPriority.DEVICE
+        < EventPriority.NORMAL
+        < EventPriority.CONTROL
+        < EventPriority.LOW
+    )
+
+
+def test_cancel_flag():
+    event = make(1)
+    assert not event.cancelled
+    event.cancel()
+    assert event.cancelled
+
+
+def test_sort_key_shape():
+    event = make(7, EventPriority.CONTROL, 3)
+    assert event.sort_key() == (7, EventPriority.CONTROL, 3)

@@ -1,0 +1,54 @@
+"""Tests for the integer-nanosecond time base."""
+
+import pytest
+
+from repro.sim.simtime import (
+    MICROSECOND,
+    MILLISECOND,
+    NANOSECOND,
+    SECOND,
+    format_time,
+    ns_from_seconds,
+    seconds_from_ns,
+)
+
+
+def test_unit_ratios():
+    assert MICROSECOND == 1000 * NANOSECOND
+    assert MILLISECOND == 1000 * MICROSECOND
+    assert SECOND == 1000 * MILLISECOND
+
+
+def test_ns_from_seconds_exact():
+    assert ns_from_seconds(1) == SECOND
+    assert ns_from_seconds(0.5) == SECOND // 2
+    assert ns_from_seconds(0) == 0
+
+
+def test_ns_from_seconds_rounds():
+    assert ns_from_seconds(1e-9) == 1
+    assert ns_from_seconds(1.4e-9) == 1
+    assert ns_from_seconds(1.6e-9) == 2
+
+
+def test_seconds_from_ns_roundtrip():
+    assert seconds_from_ns(SECOND) == 1.0
+    assert seconds_from_ns(ns_from_seconds(2.25)) == pytest.approx(2.25)
+
+
+@pytest.mark.parametrize(
+    "ticks,expected",
+    [
+        (0, "0 ns"),
+        (999, "999 ns"),
+        (1000, "1.000 us"),
+        (1_500_000, "1.500 ms"),
+        (2 * SECOND, "2.000 s"),
+    ],
+)
+def test_format_time_units(ticks, expected):
+    assert format_time(ticks) == expected
+
+
+def test_format_time_negative():
+    assert format_time(-1500) == "-1.500 us"

@@ -1,0 +1,43 @@
+"""Tests for the device configuration bundle."""
+
+from repro.ssd.config import SsdConfig
+
+
+def test_default_config_builds():
+    config = SsdConfig.small()
+    ftl = config.build_ftl()
+    assert ftl.space.op_ratio > 0
+    assert ftl.free_pool_blocks() > 0
+
+
+def test_small_factory_dimensions():
+    config = SsdConfig.small(blocks=128, pages_per_block=32)
+    assert config.geometry.total_blocks == 128
+    assert config.geometry.pages_per_block == 32
+
+
+def test_wear_leveling_toggle():
+    config = SsdConfig.small(enable_wear_leveling=True, wear_level_threshold=5)
+    ftl = config.build_ftl()
+    assert ftl.wear_leveler is not None
+    assert ftl.wear_leveler.threshold == 5
+    assert SsdConfig.small().build_ftl().wear_leveler is None
+
+
+def test_independent_builds():
+    config = SsdConfig.small()
+    a = config.build_ftl()
+    b = config.build_ftl()
+    a.host_write_page(0)
+    assert b.used_pages() == 0
+
+
+def test_capacity_properties():
+    config = SsdConfig.small(blocks=128, pages_per_block=32)
+    assert config.user_bytes + config.op_bytes == config.geometry.total_bytes
+
+
+def test_pe_cycle_limit_plumbed():
+    config = SsdConfig.small(pe_cycle_limit=7)
+    ftl = config.build_ftl()
+    assert ftl.nand.endurance.pe_cycle_limit == 7

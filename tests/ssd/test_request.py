@@ -1,0 +1,44 @@
+"""Tests for I/O request objects."""
+
+import pytest
+
+from repro.ssd.request import IoKind, IoRequest
+
+
+def test_lpns_extent():
+    req = IoRequest(IoKind.READ, 10, 3)
+    assert req.lpns == [10, 11, 12]
+
+
+def test_is_write_classification():
+    assert IoRequest(IoKind.DIRECT_WRITE, 0, 1).is_write
+    assert IoRequest(IoKind.WRITEBACK, 0, 1).is_write
+    assert not IoRequest(IoKind.READ, 0, 1).is_write
+    assert not IoRequest(IoKind.TRIM, 0, 1).is_write
+
+
+def test_latency_requires_completion():
+    req = IoRequest(IoKind.READ, 0, 1)
+    with pytest.raises(ValueError):
+        req.latency()
+    req.submit_time = 10
+    req.complete_time = 35
+    assert req.latency() == 25
+
+
+def test_bytes_size():
+    req = IoRequest(IoKind.WRITEBACK, 0, 4)
+    assert req.bytes_size(4096) == 16384
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        IoRequest(IoKind.READ, 0, 0)
+    with pytest.raises(ValueError):
+        IoRequest(IoKind.READ, -1, 1)
+
+
+def test_request_ids_unique():
+    a = IoRequest(IoKind.READ, 0, 1)
+    b = IoRequest(IoKind.READ, 0, 1)
+    assert a.request_id != b.request_id
