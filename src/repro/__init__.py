@@ -27,6 +27,7 @@ Quickstart::
     print(run_scenario(spec))
 """
 
+from repro.faults import FAULT_PROFILES, FaultInjector, FaultProfile
 from repro.host import HostSystem
 from repro.ssd.config import SsdConfig
 from repro.core.policies import (
@@ -39,9 +40,12 @@ from repro.core.policies import (
     JitGcPolicy,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "FAULT_PROFILES",
+    "FaultInjector",
+    "FaultProfile",
     "HostSystem",
     "SsdConfig",
     "GcPolicy",

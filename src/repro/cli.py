@@ -8,6 +8,7 @@ artifact can be regenerated from a shell:
 * ``fig2`` / ``fig7`` / ``table1`` / ``table2`` / ``table3``
                -- the full paper artifacts.
 * ``oracle``   -- JIT-GC vs the ideal (future-knowing) policy.
+* ``sweep``    -- many scenarios with fault isolation and checkpointing.
 * ``list``     -- available workloads and policies.
 """
 
@@ -17,6 +18,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import __version__
 from repro.experiments import (
     POLICY_FACTORIES,
     ScenarioSpec,
@@ -27,10 +29,12 @@ from repro.experiments import (
     run_oracle_comparison,
     run_policy_comparison,
     run_scenario,
+    run_sweep,
     run_table1,
     run_table2,
     run_table3,
 )
+from repro.faults import FAULT_PROFILES
 from repro.workloads import BENCHMARKS
 
 
@@ -41,6 +45,12 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--warmup", type=int, default=20, metavar="S")
     parser.add_argument("--measure", type=int, default=60, metavar="S")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--faults",
+        default="none",
+        choices=sorted(FAULT_PROFILES),
+        help="media-fault injection profile (default: none)",
+    )
 
 
 def _spec_from(args: argparse.Namespace) -> ScenarioSpec:
@@ -51,7 +61,16 @@ def _spec_from(args: argparse.Namespace) -> ScenarioSpec:
         warmup_s=args.warmup,
         measure_s=args.measure,
         seed=args.seed,
+        fault_profile=getattr(args, "faults", "none"),
     )
+
+
+def _echo_run_header(spec: ScenarioSpec) -> None:
+    """State the resolved seed (and fault profile) so every printed
+    result is reproducible from its own transcript."""
+    faults = spec.fault_profile
+    tag = faults if isinstance(faults, str) else ("custom" if faults else "none")
+    print(f"seed={spec.seed} faults={tag}")
 
 
 def _print_metrics(metrics) -> None:
@@ -74,6 +93,19 @@ def _print_metrics(metrics) -> None:
         rows.append(
             ["SIP-filtered victims", f"{metrics.sip_filtered}/{metrics.sip_selections}"]
         )
+    if metrics.injected_faults or metrics.blocks_retired or metrics.device_read_only:
+        rows.extend(
+            [
+                ["injected faults", metrics.injected_faults],
+                ["read retries", metrics.read_retries],
+                ["uncorrectable reads", metrics.uncorrectable_reads],
+                ["program faults", metrics.program_faults],
+                ["erase faults", metrics.erase_faults],
+                ["blocks retired", metrics.blocks_retired],
+                ["effective OP pages", metrics.effective_op_pages],
+                ["device read-only", "yes" if metrics.device_read_only else "no"],
+            ]
+        )
     print(
         format_table(
             ["Metric", "Value"], rows, title=f"{metrics.workload} / {metrics.policy}"
@@ -84,12 +116,14 @@ def _print_metrics(metrics) -> None:
 def cmd_run(args: argparse.Namespace) -> int:
     spec = _spec_from(args)
     spec.policy = args.policy
+    _echo_run_header(spec)
     _print_metrics(run_scenario(spec))
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
     spec = _spec_from(args)
+    _echo_run_header(spec)
     results = run_policy_comparison(spec)
     iops = normalize_to({p: m.iops for p, m in results.items()}, "A-BGC")
     waf = normalize_to({p: m.waf for p, m in results.items()}, "A-BGC")
@@ -121,9 +155,40 @@ def _artifact_command(runner):
     return command
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    base = _spec_from(args)
+    specs = [base.with_policy(name) for name in sorted(POLICY_FACTORIES)]
+    _echo_run_header(base)
+    outcome = run_sweep(
+        specs,
+        checkpoint=args.checkpoint,
+        resume=not args.no_resume,
+        timeout_s=args.timeout,
+        on_result=lambda key, m: print(f"done {key}: {m.iops:.1f} IOPS"),
+    )
+    for key in outcome.skipped:
+        print(f"skipped {key} (already in checkpoint)")
+    for key, error in outcome.failures.items():
+        print(f"FAILED {key}: {error}")
+    rows = [
+        [key, f"{m.iops:.1f}", f"{m.waf:.3f}", m.blocks_retired,
+         "yes" if m.device_read_only else "no"]
+        for key, m in outcome.results.items()
+    ]
+    print(
+        format_table(
+            ["Scenario", "IOPS", "WAF", "Retired", "Read-only"],
+            rows,
+            title=f"Sweep on {args.workload} (faults={args.faults})",
+        )
+    )
+    return 0 if outcome.ok() else 1
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     print("workloads:", ", ".join(BENCHMARKS))
     print("policies :", ", ".join(POLICY_FACTORIES))
+    print("faults   :", ", ".join(sorted(FAULT_PROFILES)))
     return 0
 
 
@@ -131,6 +196,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="JIT-GC (DAC 2015) reproduction harness",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -159,6 +227,24 @@ def build_parser() -> argparse.ArgumentParser:
         artifact_parser = sub.add_parser(name, help=help_text)
         _add_scenario_args(artifact_parser)
         artifact_parser.set_defaults(func=_artifact_command(runner))
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="all policies on one workload, isolated + checkpointed"
+    )
+    _add_scenario_args(sweep_parser)
+    sweep_parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="persist per-scenario results here; resumable after a crash",
+    )
+    sweep_parser.add_argument(
+        "--no-resume", action="store_true",
+        help="re-run scenarios even if the checkpoint already has them",
+    )
+    sweep_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="wall-clock budget per scenario (seconds)",
+    )
+    sweep_parser.set_defaults(func=cmd_sweep)
 
     list_parser = sub.add_parser("list", help="available workloads and policies")
     list_parser.set_defaults(func=cmd_list)

@@ -300,6 +300,10 @@ class JitGcPolicy(GcPolicy):
 
     def _tick(self, now: int) -> None:
         """Runs right after each flusher wake-up (paper Sec 3.2.1)."""
+        if self.device.ftl.read_only:
+            # Terminal degraded state: there is no free capacity to fund
+            # and no BGC worth scheduling; the manager stands down.
+            return
         prediction = self.buffered_predictor.predict(now)
         age_fraction = self._age_rule_fraction()
         if age_fraction < 1.0:

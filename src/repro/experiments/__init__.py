@@ -15,8 +15,11 @@
 from repro.experiments.runner import (
     POLICY_FACTORIES,
     ScenarioSpec,
+    ScenarioTimeoutError,
+    SweepOutcome,
     run_policy_comparison,
     run_scenario,
+    run_sweep,
 )
 from repro.experiments.reporting import format_table, normalize_to
 from repro.experiments.fig2 import Fig2Result, run_fig2
@@ -32,13 +35,17 @@ from repro.experiments.ablations import (
     run_sip_ablation,
 )
 from repro.experiments.oracle import OracleComparison, run_oracle_comparison
-from repro.experiments.persistence import load_results, save_results
+from repro.experiments.persistence import SweepCheckpoint, load_results, save_results
 
 __all__ = [
     "POLICY_FACTORIES",
     "ScenarioSpec",
+    "ScenarioTimeoutError",
+    "SweepCheckpoint",
+    "SweepOutcome",
     "run_policy_comparison",
     "run_scenario",
+    "run_sweep",
     "format_table",
     "normalize_to",
     "Fig2Result",

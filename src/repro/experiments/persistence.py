@@ -1,16 +1,21 @@
-"""Result persistence: save and reload experiment measurements as JSON.
+"""Result persistence: save/reload measurements, sweep checkpointing.
 
 Long sweeps are expensive; persisting their :class:`RunMetrics` lets a
 study resume, diff runs across code versions, and feed external plotting
 without rerunning the simulator.  The format is one JSON object per
 result with an explicit ``schema`` tag so future field changes can be
 migrated.
+
+:class:`SweepCheckpoint` extends this to *crash-tolerant sweeps*: every
+finished (or failed) scenario is flushed to disk atomically, so a killed
+or crashed sweep resumes by skipping everything already measured.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from pathlib import Path
 from typing import Dict, List, Union
 
@@ -18,6 +23,8 @@ from repro.metrics.collector import RunMetrics
 
 #: Format tag written into every file.
 SCHEMA = "repro.run-metrics.v1"
+#: Format tag of sweep checkpoint files.
+SWEEP_SCHEMA = "repro.sweep-checkpoint.v1"
 
 
 def metrics_to_dict(metrics: RunMetrics) -> dict:
@@ -34,7 +41,11 @@ def metrics_from_dict(payload: dict) -> RunMetrics:
             f"unsupported schema {payload.get('schema')!r}; expected {SCHEMA}"
         )
     fields = {f.name for f in dataclasses.fields(RunMetrics)}
-    return RunMetrics(**{k: v for k, v in payload.items() if k in fields})
+    kwargs = {k: v for k, v in payload.items() if k in fields}
+    # JSON turns tuples into lists; restore the timeline's shape.
+    if "op_timeline" in kwargs:
+        kwargs["op_timeline"] = [tuple(entry) for entry in kwargs["op_timeline"]]
+    return RunMetrics(**kwargs)
 
 
 def save_results(
@@ -67,3 +78,80 @@ def load_results(path: Union[str, Path]):
     if isinstance(payload, dict):
         return {name: metrics_from_dict(p) for name, p in payload.items()}
     return [metrics_from_dict(p) for p in payload]
+
+
+class SweepCheckpoint:
+    """Durable, incrementally-updated record of a sweep in progress.
+
+    One JSON file holds every completed scenario's metrics plus every
+    failed scenario's error string.  Updates are atomic (write-to-temp
+    then :func:`os.replace`), so a sweep killed mid-flush never corrupts
+    the checkpoint; :func:`repro.experiments.runner.run_sweep` reloads it
+    and skips everything already measured.
+
+    Args:
+        path: checkpoint file location (created on the first record).
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        #: Scenario key -> frozen metrics.
+        self.completed: Dict[str, RunMetrics] = {}
+        #: Scenario key -> error string of the failed attempt.
+        self.failures: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def load(self) -> "SweepCheckpoint":
+        """Read the checkpoint from disk (no-op when absent)."""
+        if not self.path.exists():
+            return self
+        with open(self.path) as handle:
+            payload = json.load(handle)
+        if payload.get("schema") != SWEEP_SCHEMA:
+            raise ValueError(
+                f"unsupported checkpoint schema {payload.get('schema')!r}; "
+                f"expected {SWEEP_SCHEMA}"
+            )
+        self.completed = {
+            name: metrics_from_dict(entry)
+            for name, entry in payload.get("completed", {}).items()
+        }
+        self.failures = dict(payload.get("failures", {}))
+        return self
+
+    def record_success(self, name: str, metrics: RunMetrics) -> None:
+        """Persist one finished scenario (clears any stale failure)."""
+        self.completed[name] = metrics
+        self.failures.pop(name, None)
+        self._flush()
+
+    def record_failure(self, name: str, error: str) -> None:
+        """Persist one failed scenario's error for the sweep report."""
+        self.failures[name] = error
+        self._flush()
+
+    def is_completed(self, name: str) -> bool:
+        return name in self.completed
+
+    # ------------------------------------------------------------------
+    def _flush(self) -> None:
+        payload = {
+            "schema": SWEEP_SCHEMA,
+            "completed": {
+                name: metrics_to_dict(m) for name, m in self.completed.items()
+            },
+            "failures": self.failures,
+        }
+        # A typo'd directory must not cost the first scenario's work.
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, self.path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SweepCheckpoint {self.path} completed={len(self.completed)} "
+            f"failures={len(self.failures)}>"
+        )

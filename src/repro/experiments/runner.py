@@ -18,8 +18,11 @@ and metric differences are attributable to the policy alone.
 
 from __future__ import annotations
 
+import signal
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
 from repro.core.policies import (
     AdaptiveGcPolicy,
@@ -28,11 +31,17 @@ from repro.core.policies import (
     aggressive_bgc_policy,
     lazy_bgc_policy,
 )
+from repro.experiments.persistence import SweepCheckpoint
+from repro.ftl.ftl import DeviceReadOnlyError
 from repro.host import HostSystem
 from repro.metrics.collector import MetricsCollector, RunMetrics
 from repro.sim.simtime import SECOND
 from repro.ssd.config import SsdConfig
 from repro.workloads import BENCHMARKS, Region
+
+
+class ScenarioTimeoutError(RuntimeError):
+    """A scenario exceeded its wall-clock budget and was aborted."""
 
 #: Factories for the four policies of Fig. 7 (fresh instance per run).
 POLICY_FACTORIES: Dict[str, Callable[[], GcPolicy]] = {
@@ -63,6 +72,12 @@ class ScenarioSpec:
             capacity as on the real testbed.
         seed: root random seed (shared across compared policies).
         workload_kwargs: extra workload-constructor arguments.
+        fault_profile: media-fault injection -- a preset name
+            (``"light"``, ``"heavy"``, ``"wearout"``) or a
+            :class:`~repro.faults.injector.FaultProfile`; None disables.
+        timeout_s: optional wall-clock budget for this scenario; on
+            expiry :class:`ScenarioTimeoutError` is raised (and isolated
+            by :func:`run_sweep`).
     """
 
     workload: str = "YCSB"
@@ -78,10 +93,18 @@ class ScenarioSpec:
     tau_expire_s: int = 6
     seed: int = 42
     workload_kwargs: dict = field(default_factory=dict)
+    fault_profile: Optional[object] = None
+    timeout_s: Optional[float] = None
 
     def with_policy(self, policy: str, factory: Optional[Callable[[], GcPolicy]] = None):
         """Same scenario, different policy (identical workload replay)."""
         return replace(self, policy=policy, policy_factory=factory)
+
+    def key(self) -> str:
+        """Stable identity used for checkpointing and sweep reports."""
+        faults = self.fault_profile
+        fault_tag = faults if isinstance(faults, str) else ("custom" if faults else "none")
+        return f"{self.workload}/{self.policy}/seed{self.seed}/faults-{fault_tag}"
 
     def make_policy(self) -> GcPolicy:
         if self.policy_factory is not None:
@@ -97,41 +120,108 @@ class ScenarioSpec:
             blocks=self.blocks,
             pages_per_block=self.pages_per_block,
             op_ratio=self.op_ratio,
+            fault_profile=self.fault_profile,
         )
 
 
+@contextmanager
+def _wall_clock_limit(seconds: Optional[float]):
+    """Abort the enclosed block after ``seconds`` of real time.
+
+    Uses ``SIGALRM``, so it is active only on the main thread of a
+    platform that has it; elsewhere the limit is a silent no-op (the
+    sweep still has exception isolation, just no timeout).
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise ScenarioTimeoutError(f"scenario exceeded {seconds:g}s wall clock")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    # Repeating interval, not one-shot: a delivery that lands in an
+    # unraisable context (e.g. a __del__ frame during GC) is suppressed
+    # by the interpreter, and a one-shot timer would then never abort
+    # the scenario.  With an interval the next tick retries.
+    signal.setitimer(signal.ITIMER_REAL, float(seconds), float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
 def run_scenario(spec: ScenarioSpec) -> RunMetrics:
-    """Execute one scenario per the Sec 4.1 protocol; returns metrics."""
+    """Execute one scenario per the Sec 4.1 protocol; returns metrics.
+
+    A device that reaches its read-only terminal state mid-run (fault
+    profiles can exhaust the spare capacity) is not an error: the window
+    is frozen at the failure point and the returned metrics carry
+    ``device_read_only=True``.
+    """
     if spec.workload not in BENCHMARKS:
         raise KeyError(
             f"unknown workload {spec.workload!r}; known: {sorted(BENCHMARKS)}"
         )
-    config = spec.make_config()
-    policy = spec.make_policy()
-    host = HostSystem(
-        config,
-        policy,
-        seed=spec.seed,
-        flusher_period_ns=spec.flusher_period_s * SECOND,
-        tau_expire_ns=spec.tau_expire_s * SECOND,
-    )
+    with _wall_clock_limit(spec.timeout_s):
+        config = spec.make_config()
+        policy = spec.make_policy()
+        host = HostSystem(
+            config,
+            policy,
+            seed=spec.seed,
+            flusher_period_ns=spec.flusher_period_s * SECOND,
+            tau_expire_ns=spec.tau_expire_s * SECOND,
+        )
 
-    working_set = int(host.user_pages * spec.working_set_fraction)
-    host.prefill(working_set)
+        working_set = int(host.user_pages * spec.working_set_fraction)
+        try:
+            host.prefill(working_set)
+        except DeviceReadOnlyError:
+            # Spare capacity exhausted during preconditioning: still a
+            # measurable (fully degraded) outcome, not a harness error.
+            pass
 
-    metrics = MetricsCollector(host, workload_name=spec.workload)
-    workload_cls = BENCHMARKS[spec.workload]
-    workload = workload_cls(
-        host, metrics, Region(0, working_set), **spec.workload_kwargs
-    )
-    workload.start()
+        metrics = MetricsCollector(host, workload_name=spec.workload)
+        workload_cls = BENCHMARKS[spec.workload]
+        workload = workload_cls(
+            host, metrics, Region(0, working_set), **spec.workload_kwargs
+        )
+        workload.start()
 
-    host.run_for(spec.warmup_s * SECOND)
-    metrics.begin()
-    host.run_for(spec.measure_s * SECOND)
-    metrics.end()
-    workload.stop()
-    return metrics.results()
+        _advance_tolerating_death(host, spec.warmup_s * SECOND)
+        metrics.begin()
+        _advance_tolerating_death(host, spec.measure_s * SECOND)
+        metrics.end()
+        workload.stop()
+        return metrics.results()
+
+
+def _advance_tolerating_death(host: HostSystem, duration_ns: int) -> bool:
+    """Advance simulated time, tolerating the device going read-only.
+
+    Each write submitted against a read-only device raises out of its
+    event; the raising event has already been consumed, so draining to
+    the target time terminates.  Closed-loop workloads stall naturally
+    once their in-flight op dies, reads keep completing, and the clock
+    still reaches the window edge so the metrics stay well-formed.
+    Returns True when at least one event died.
+    """
+    target = host.sim.now + duration_ns
+    died = False
+    while host.sim.now < target:
+        try:
+            host.sim.run_until(target)
+        except DeviceReadOnlyError:
+            died = True
+    return died
 
 
 def run_policy_comparison(
@@ -147,3 +237,98 @@ def run_policy_comparison(
     for name, factory in policies.items():
         results[name] = run_scenario(spec.with_policy(name, factory))
     return results
+
+
+@dataclass
+class SweepOutcome:
+    """What a crash-tolerant sweep produced.
+
+    Attributes:
+        results: scenario key -> metrics for every scenario that has ever
+            completed (including ones restored from the checkpoint).
+        failures: scenario key -> ``"ExcType: message"`` for scenarios
+            that raised on *this* invocation (or remain failed from a
+            previous one and were not retried successfully).
+        skipped: keys that were already complete in the checkpoint and
+            were not re-run.
+    """
+
+    results: Dict[str, RunMetrics] = field(default_factory=dict)
+    failures: Dict[str, str] = field(default_factory=dict)
+    skipped: List[str] = field(default_factory=list)
+
+    def ok(self) -> bool:
+        """True when every scenario in the sweep has a result."""
+        return not self.failures
+
+
+def run_sweep(
+    specs: Union[Iterable[ScenarioSpec], Dict[str, ScenarioSpec]],
+    checkpoint: Optional[Union[str, SweepCheckpoint]] = None,
+    resume: bool = True,
+    timeout_s: Optional[float] = None,
+    on_result: Optional[Callable[[str, RunMetrics], None]] = None,
+) -> SweepOutcome:
+    """Run many scenarios with per-scenario fault isolation.
+
+    One scenario raising -- a bug, an injected-fault cascade, a
+    :class:`ScenarioTimeoutError` -- is recorded and the sweep moves on;
+    it never takes down the remaining scenarios.  With ``checkpoint``
+    set, every completed scenario is flushed to disk immediately, and a
+    re-run with ``resume=True`` skips everything already measured, so a
+    killed sweep loses at most the scenario it was inside.
+
+    Args:
+        specs: the scenarios, either keyed explicitly (dict) or keyed by
+            :meth:`ScenarioSpec.key`.  Duplicate keys are an error --
+            they would silently overwrite each other's results.
+        checkpoint: path or :class:`SweepCheckpoint` for durability;
+            None keeps everything in memory only.
+        resume: skip scenarios the checkpoint already holds.
+        timeout_s: wall-clock budget applied to every scenario that does
+            not set its own ``timeout_s``.
+        on_result: optional callback invoked after each fresh completion
+            (progress reporting).
+    """
+    if isinstance(specs, dict):
+        keyed = dict(specs)
+    else:
+        keyed = {}
+        for spec in specs:
+            key = spec.key()
+            if key in keyed:
+                raise ValueError(f"duplicate scenario key {key!r}; key specs explicitly")
+            keyed[key] = spec
+
+    store: Optional[SweepCheckpoint] = None
+    if checkpoint is not None:
+        store = (
+            checkpoint
+            if isinstance(checkpoint, SweepCheckpoint)
+            else SweepCheckpoint(checkpoint)
+        )
+        if resume:
+            store.load()
+
+    outcome = SweepOutcome()
+    for key, spec in keyed.items():
+        if store is not None and resume and store.is_completed(key):
+            outcome.results[key] = store.completed[key]
+            outcome.skipped.append(key)
+            continue
+        if spec.timeout_s is None and timeout_s is not None:
+            spec = replace(spec, timeout_s=timeout_s)
+        try:
+            metrics = run_scenario(spec)
+        except Exception as exc:  # noqa: BLE001 - isolation is the point
+            error = f"{type(exc).__name__}: {exc}"
+            outcome.failures[key] = error
+            if store is not None:
+                store.record_failure(key, error)
+            continue
+        outcome.results[key] = metrics
+        if store is not None:
+            store.record_success(key, metrics)
+        if on_result is not None:
+            on_result(key, metrics)
+    return outcome

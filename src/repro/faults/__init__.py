@@ -1,0 +1,24 @@
+"""Fault injection and recovery support.
+
+* :mod:`repro.faults.injector` -- the deterministic
+  :class:`FaultInjector`, the :class:`FaultProfile` configuration and the
+  named presets behind the CLI's ``--faults`` flag.
+
+Recovery itself lives where it belongs: the NAND array raises the
+recoverable fault exceptions (:mod:`repro.nand.errors`) and the FTL
+(:mod:`repro.ftl.ftl`) retries, rewrites and retires blocks.
+"""
+
+from repro.faults.injector import (
+    FAULT_PROFILES,
+    FaultInjector,
+    FaultProfile,
+    resolve_fault_profile,
+)
+
+__all__ = [
+    "FAULT_PROFILES",
+    "FaultInjector",
+    "FaultProfile",
+    "resolve_fault_profile",
+]

@@ -1,0 +1,265 @@
+"""Deterministic, seed-reproducible NAND fault injection.
+
+The paper's lifetime argument hinges on wear: JIT-GC wins because it
+avoids unnecessary P/E cycles, and P/E cycles matter because worn blocks
+eventually *fail*.  :class:`FaultInjector` turns that failure process
+into live events on the simulated I/O path: program status-fails, erase
+fails and ECC-uncorrectable reads, either at fixed per-operation rates or
+driven by per-block wear through the analytic
+:class:`~repro.nand.reliability.BitErrorModel` /
+:class:`~repro.nand.reliability.EccConfig` pair.
+
+Determinism is load-bearing.  Each fault category draws from its own
+seeded :class:`numpy.random.Generator`, so
+
+* two runs with the same seed and the same operation sequence inject a
+  byte-identical fault sequence (asserted by tests and logged via
+  :attr:`FaultInjector.fault_log`), and
+* enabling or disabling one category never perturbs the draws seen by
+  another (per-category streams, as in :class:`repro.sim.randomness`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nand.reliability import BitErrorModel, EccConfig
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Per-scenario fault configuration (all probabilities per operation).
+
+    Attributes:
+        program_fail_prob: chance one page program status-fails.
+        erase_fail_prob: chance one block erase fails.
+        read_uncorrectable_prob: chance one page read exceeds ECC
+            (ignored when ``wear_driven`` is set).
+        read_retry_success_prob: chance each read-retry attempt recovers
+            an uncorrectable read (voltage-shifted re-sense).
+        wear_driven: derive the uncorrectable-read probability from the
+            block's P/E count via ``bit_error_model``/``ecc`` instead of
+            the flat rate, and scale program/erase fail rates linearly in
+            wear past ``wear_onset_pe`` cycles.
+        wear_onset_pe: P/E count where wear starts scaling the
+            program/erase fail rates.
+        wear_fail_scale: added program/erase fail probability per full
+            ``wear_onset_pe`` of cycles past the onset.
+        retention_s: retention age fed to the bit-error model (the worst
+            case the ECC must handle, not tracked per page).
+    """
+
+    program_fail_prob: float = 0.0
+    erase_fail_prob: float = 0.0
+    read_uncorrectable_prob: float = 0.0
+    read_retry_success_prob: float = 0.75
+    wear_driven: bool = False
+    wear_onset_pe: int = 1000
+    wear_fail_scale: float = 1e-3
+    retention_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "program_fail_prob",
+            "erase_fail_prob",
+            "read_uncorrectable_prob",
+            "read_retry_success_prob",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.wear_onset_pe <= 0:
+            raise ValueError(f"wear_onset_pe must be positive, got {self.wear_onset_pe}")
+        if self.wear_fail_scale < 0:
+            raise ValueError(f"wear_fail_scale must be >= 0, got {self.wear_fail_scale}")
+        if self.retention_s < 0:
+            raise ValueError(f"retention_s must be >= 0, got {self.retention_s}")
+
+    @property
+    def enabled(self) -> bool:
+        """True when the profile can ever inject a fault."""
+        return (
+            self.wear_driven
+            or self.program_fail_prob > 0
+            or self.erase_fail_prob > 0
+            or self.read_uncorrectable_prob > 0
+        )
+
+
+#: Named presets for the CLI's ``--faults`` flag and sweep scenarios.
+FAULT_PROFILES: Dict[str, FaultProfile] = {
+    "none": FaultProfile(),
+    # A handful of faults over a short measured run: every recovery path
+    # exercises without materially moving IOPS/WAF.
+    "light": FaultProfile(
+        program_fail_prob=2e-4,
+        erase_fail_prob=2e-4,
+        read_uncorrectable_prob=5e-5,
+    ),
+    # Aggressive rates that visibly erode OP during a normal run.
+    "heavy": FaultProfile(
+        program_fail_prob=2e-3,
+        erase_fail_prob=5e-3,
+        read_uncorrectable_prob=5e-4,
+        read_retry_success_prob=0.5,
+    ),
+    # Reliability coupled to wear through the analytic RBER/ECC models:
+    # a fresh device injects almost nothing; a cycled one degrades.
+    "wearout": FaultProfile(
+        program_fail_prob=1e-5,
+        erase_fail_prob=1e-5,
+        wear_driven=True,
+        wear_onset_pe=500,
+        wear_fail_scale=5e-3,
+        retention_s=2_500_000.0,
+    ),
+}
+
+
+def resolve_fault_profile(profile) -> FaultProfile:
+    """Accept a :class:`FaultProfile`, a preset name, or ``None``."""
+    if profile is None:
+        return FAULT_PROFILES["none"]
+    if isinstance(profile, FaultProfile):
+        return profile
+    if isinstance(profile, str):
+        try:
+            return FAULT_PROFILES[profile]
+        except KeyError:
+            raise KeyError(
+                f"unknown fault profile {profile!r}; known: {sorted(FAULT_PROFILES)}"
+            ) from None
+    raise TypeError(f"cannot resolve fault profile from {type(profile).__name__}")
+
+
+class FaultInjector:
+    """Decides, per NAND operation, whether an injected fault occurs.
+
+    The :class:`~repro.nand.array.NandArray` consults it on every read,
+    program and erase, passing the target block's current P/E count so
+    wear-driven profiles can couple failure rates to the block's life
+    history.
+
+    Args:
+        profile: rates / wear coupling.
+        seed: root seed; category streams derive from it.
+        bit_error_model: RBER model for ``wear_driven`` profiles.
+        ecc: ECC strength for ``wear_driven`` profiles.
+        log_limit: cap on :attr:`fault_log` entries (determinism checks
+            only need a prefix; unbounded logs would grow with the run).
+    """
+
+    _CATEGORIES = ("program", "erase", "read", "retry")
+
+    def __init__(
+        self,
+        profile: FaultProfile,
+        seed: int = 0,
+        bit_error_model: Optional[BitErrorModel] = None,
+        ecc: Optional[EccConfig] = None,
+        log_limit: int = 4096,
+    ) -> None:
+        self.profile = profile
+        self.seed = int(seed)
+        self.bit_error_model = bit_error_model or BitErrorModel()
+        self.ecc = ecc or EccConfig()
+        self.log_limit = log_limit
+
+        ss = np.random.SeedSequence(self.seed)
+        children = ss.spawn(len(self._CATEGORIES))
+        self._rngs: Dict[str, np.random.Generator] = {
+            name: np.random.default_rng(child)
+            for name, child in zip(self._CATEGORIES, children)
+        }
+
+        #: Injected-fault counters by category.
+        self.program_faults = 0
+        self.erase_faults = 0
+        self.read_faults = 0
+        #: Ordered (kind, block, page) record of every injected fault,
+        #: capped at ``log_limit`` -- the reproducibility witness.
+        self.fault_log: List[Tuple[str, int, int]] = []
+        #: Cache of wear-driven page-failure probabilities by P/E bucket
+        #: (the binomial tail in EccConfig is too slow per read).
+        self._page_fail_cache: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Per-operation decisions
+    # ------------------------------------------------------------------
+    def program_fails(self, block: int, page: int, pe_cycles: int) -> bool:
+        prob = self._wear_scaled(self.profile.program_fail_prob, pe_cycles)
+        if prob <= 0.0:
+            return False
+        if self._rngs["program"].random() >= prob:
+            return False
+        self.program_faults += 1
+        self._log("program", block, page)
+        return True
+
+    def erase_fails(self, block: int, pe_cycles: int) -> bool:
+        prob = self._wear_scaled(self.profile.erase_fail_prob, pe_cycles)
+        if prob <= 0.0:
+            return False
+        if self._rngs["erase"].random() >= prob:
+            return False
+        self.erase_faults += 1
+        self._log("erase", block, -1)
+        return True
+
+    def read_uncorrectable(self, block: int, page: int, pe_cycles: int) -> bool:
+        if self.profile.wear_driven:
+            prob = self._wear_read_prob(pe_cycles)
+        else:
+            prob = self.profile.read_uncorrectable_prob
+        if prob <= 0.0:
+            return False
+        if self._rngs["read"].random() >= prob:
+            return False
+        self.read_faults += 1
+        self._log("read", block, page)
+        return True
+
+    def read_retry_succeeds(self) -> bool:
+        """One voltage-shifted re-read attempt; True when it recovers."""
+        prob = self.profile.read_retry_success_prob
+        if prob >= 1.0:
+            return True
+        if prob <= 0.0:
+            return False
+        return bool(self._rngs["retry"].random() < prob)
+
+    # ------------------------------------------------------------------
+    def total_faults(self) -> int:
+        return self.program_faults + self.erase_faults + self.read_faults
+
+    def _log(self, kind: str, block: int, page: int) -> None:
+        if len(self.fault_log) < self.log_limit:
+            self.fault_log.append((kind, block, page))
+
+    def _wear_scaled(self, base: float, pe_cycles: int) -> float:
+        if not self.profile.wear_driven or pe_cycles <= self.profile.wear_onset_pe:
+            return base
+        excess = (pe_cycles - self.profile.wear_onset_pe) / self.profile.wear_onset_pe
+        return min(1.0, base + excess * self.profile.wear_fail_scale)
+
+    def _wear_read_prob(self, pe_cycles: int) -> float:
+        # Bucket P/E counts so the expensive binomial tail is evaluated
+        # once per ~64 cycles of wear rather than once per read.
+        bucket = pe_cycles >> 6
+        prob = self._page_fail_cache.get(bucket)
+        if prob is None:
+            rber = self.bit_error_model.rber(
+                bucket << 6, retention_s=self.profile.retention_s
+            )
+            prob = self.ecc.page_failure_probability(rber)
+            self._page_fail_cache[bucket] = prob
+        return prob
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<FaultInjector seed={self.seed} prog={self.program_faults} "
+            f"erase={self.erase_faults} read={self.read_faults}>"
+        )

@@ -37,6 +37,11 @@ from repro.ftl.stats import FtlStats
 from repro.ftl.victim import GreedySelector, VictimSelector
 from repro.ftl.wear import StaticWearLeveler, WearAwareAllocator
 from repro.nand.array import BlockState, NandArray
+from repro.nand.errors import (
+    EraseFailError,
+    ProgramFailError,
+    UncorrectableReadError,
+)
 
 
 class FtlError(RuntimeError):
@@ -48,6 +53,15 @@ class OutOfSpaceError(FtlError):
 
     Happens only when live data approaches the physical capacity; with
     standard OP ratios it indicates a misconfigured scenario.
+    """
+
+
+class DeviceReadOnlyError(FtlError):
+    """The device has entered its terminal read-only state.
+
+    Raised for writes once grown bad blocks have eaten the entire
+    over-provisioning capacity (or the spare pool), the graceful end of
+    life of a real SSD: reads still work, writes are refused.
     """
 
 
@@ -72,6 +86,12 @@ class PageMappedFtl:
             nanoseconds (used for block-age bookkeeping); defaults to an
             operation counter when the FTL is used standalone.
         wear_leveler: optional static wear leveller.
+        max_read_retries: voltage-shift re-reads attempted after an
+            uncorrectable read before declaring the data lost.
+        max_program_retries: frontier slots tried per logical page before
+            a program failure is considered fatal.
+        max_erase_retries: erase re-attempts before a block is retired as
+            grown-bad.
     """
 
     def __init__(
@@ -83,6 +103,9 @@ class PageMappedFtl:
         clock: Optional[Callable[[], int]] = None,
         wear_leveler: Optional[StaticWearLeveler] = None,
         fgc_penalty: float = 4.0,
+        max_read_retries: int = 4,
+        max_program_retries: int = 4,
+        max_erase_retries: int = 2,
     ) -> None:
         if space.geometry is not nand.geometry:
             raise ValueError("space model and NAND array use different geometries")
@@ -90,6 +113,13 @@ class PageMappedFtl:
             raise ValueError(f"fgc_watermark must be >= 2, got {fgc_watermark}")
         if fgc_penalty < 1.0:
             raise ValueError(f"fgc_penalty must be >= 1.0, got {fgc_penalty}")
+        for name, value in (
+            ("max_read_retries", max_read_retries),
+            ("max_program_retries", max_program_retries),
+            ("max_erase_retries", max_erase_retries),
+        ):
+            if value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
         self.nand = nand
         self.space = space
         self.geometry = nand.geometry
@@ -98,7 +128,19 @@ class PageMappedFtl:
         self.fgc_watermark = fgc_watermark
         self.fgc_penalty = fgc_penalty
         self.wear_leveler = wear_leveler
+        self.max_read_retries = max_read_retries
+        self.max_program_retries = max_program_retries
+        self.max_erase_retries = max_erase_retries
         self.stats = FtlStats()
+
+        #: Runtime-retired blocks (grown bad + worn out); excluded from
+        #: every allocation and victim-selection path.
+        self.retired_blocks: Set[int] = set()
+        #: ``(clock_ns, effective_op_pages)`` after each retirement --
+        #: the degraded-OP timeline surfaced in RunMetrics.
+        self.op_timeline: List[Tuple[int, int]] = []
+        #: Terminal state: spare capacity exhausted, writes refused.
+        self.read_only = False
 
         self._op_counter = 0
         self._clock = clock or self._default_clock
@@ -133,6 +175,12 @@ class PageMappedFtl:
     def _allocate_block(self) -> int:
         block = self.allocator.allocate()
         if block is None:
+            if self.retired_blocks:
+                self._enter_read_only()
+                raise DeviceReadOnlyError(
+                    "free-block pool exhausted after "
+                    f"{len(self.retired_blocks)} block retirements; device is read-only"
+                )
             raise FtlError("free-block pool exhausted (GC failed to keep up)")
         return block
 
@@ -175,6 +223,151 @@ class PageMappedFtl:
         return int((ppb - valid).sum())
 
     # ------------------------------------------------------------------
+    # Degraded capacity (fault recovery)
+    # ------------------------------------------------------------------
+    def retired_pages(self) -> int:
+        """Physical pages lost to runtime block retirement."""
+        return len(self.retired_blocks) * self.geometry.pages_per_block
+
+    def effective_op_pages(self) -> int:
+        """``C_OP`` net of retired capacity -- shrinks as blocks die."""
+        return self.space.effective_op_pages(self.retired_pages())
+
+    def _enter_read_only(self) -> None:
+        self.read_only = True
+
+    def _record_retirement(self, block: int) -> None:
+        """Account one grown-bad/worn-out block and degrade capacity.
+
+        Every retired block comes out of the effective over-provisioning
+        (the host-visible capacity cannot shrink); once the OP is gone,
+        or the spare pool can no longer sustain GC, the device goes
+        read-only -- the graceful terminal state.
+        """
+        if block in self.retired_blocks:
+            return
+        self.retired_blocks.add(block)
+        self._closed[block] = False
+        self.stats.blocks_retired += 1
+        self.op_timeline.append((self._clock(), self.effective_op_pages()))
+        min_good = self.fgc_watermark + 2
+        if self.effective_op_pages() <= 0 or self.nand.good_blocks() < min_good:
+            self._enter_read_only()
+
+    # ------------------------------------------------------------------
+    # Fault-recovery primitives
+    # ------------------------------------------------------------------
+    def _read_with_retry(self, block: int, page: int) -> Tuple[int, bool]:
+        """Read one physical page, retrying uncorrectable reads.
+
+        Returns ``(latency_ns, ok)``; ``ok`` is False when the data is
+        lost even after the retry budget (counted as an uncorrectable
+        read -- the host sees an I/O error for that page).
+        """
+        try:
+            return self.nand.read_page(block, page), True
+        except UncorrectableReadError as fault:
+            latency = fault.latency_ns
+        for _ in range(self.max_read_retries):
+            self.stats.read_retries += 1
+            try:
+                return latency + self.nand.reread_page(block, page), True
+            except UncorrectableReadError as fault:
+                latency += fault.latency_ns
+        self.stats.uncorrectable_reads += 1
+        return latency, False
+
+    def _program_frontier(self, user: bool) -> Tuple[int, int, int]:
+        """Program the next frontier page of the given stream, recovering
+        from injected program failures.
+
+        On a status-fail the spoiled block is retired (its live pages
+        relocated first) and the program is retried on a fresh frontier.
+        Returns ``(block, page, latency_ns)`` of the successful program.
+        """
+        latency = 0
+        for _ in range(self.max_program_retries + 1):
+            block, page, extra = self._frontier_slot(user=user)
+            latency += extra
+            try:
+                latency += self.nand.program_page(block, page)
+                return block, page, latency
+            except ProgramFailError as fault:
+                latency += fault.latency_ns
+                self.stats.program_faults += 1
+                latency += self._retire_failed_frontier(block, user)
+        raise FtlError(
+            f"program retry budget ({self.max_program_retries}) exhausted"
+        )
+
+    def _retire_failed_frontier(self, failed_block: int, user: bool) -> int:
+        """Retire the active block that just failed a program.
+
+        A fresh frontier replaces it first, then the failed block's live
+        pages are rewritten onto that frontier (reads recover via
+        read-retry; pages lost anyway are unmapped and counted).  Returns
+        the NAND latency spent on the relocation.
+        """
+        replacement = self._allocate_block()
+        if user:
+            self._active_user_block = replacement
+        else:
+            self._active_gc_block = replacement
+
+        latency = 0
+        for offset, lpn in list(self.page_map.valid_lpns_in_block(failed_block)):
+            read_ns, ok = self._read_with_retry(failed_block, offset)
+            latency += read_ns
+            self.stats.gc_pages_read += 1
+            if not ok:
+                # Data unrecoverable: drop the mapping; a later host read
+                # of this LPN returns an error (modelled as an unmapped
+                # read) rather than silently stale data.
+                self.page_map.unmap(lpn)
+                continue
+            programmed = False
+            for _ in range(self.max_program_retries + 1):
+                block, page, extra = self._frontier_slot(user=user)
+                latency += extra
+                try:
+                    latency += self.nand.program_page(block, page)
+                except ProgramFailError as fault:
+                    # Nested failure: the spoiled page becomes garbage;
+                    # keep trying the next slot without recursive
+                    # retirement so recovery terminates.
+                    latency += fault.latency_ns
+                    self.stats.program_faults += 1
+                    continue
+                self.page_map.remap(lpn, self.page_map.ppn(block, page))
+                self.stats.gc_pages_migrated += 1
+                programmed = True
+                break
+            if not programmed:
+                raise FtlError(
+                    "program retry budget exhausted while retiring "
+                    f"block {failed_block}"
+                )
+        self.page_map.clear_block(failed_block)
+        self.nand.mark_bad(failed_block)
+        self._record_retirement(failed_block)
+        return latency
+
+    def _erase_with_retry(self, block: int) -> Tuple[int, bool]:
+        """Erase ``block`` with bounded retries.
+
+        Returns ``(latency_ns, ok)``; ``ok`` False means every attempt
+        failed and the block must be retired as grown-bad.
+        """
+        latency = 0
+        for _ in range(self.max_erase_retries + 1):
+            try:
+                return latency + self.nand.erase_block(block), True
+            except EraseFailError as fault:
+                latency += fault.latency_ns
+                self.stats.erase_faults += 1
+        return latency, False
+
+    # ------------------------------------------------------------------
     # Host datapath
     # ------------------------------------------------------------------
     def host_write_page(self, lpn: int) -> int:
@@ -182,7 +375,16 @@ class PageMappedFtl:
 
         Runs foreground GC first when the free pool is at the watermark;
         the returned latency then includes the full stall.
+
+        Raises:
+            DeviceReadOnlyError: the device has exhausted its spare
+                capacity (terminal fault-degradation state).
         """
+        if self.read_only:
+            raise DeviceReadOnlyError(
+                "write rejected: device is read-only "
+                f"({len(self.retired_blocks)} blocks retired)"
+            )
         latency = 0
         if self.needs_foreground_gc():
             latency += self._run_foreground_gc()
@@ -200,7 +402,9 @@ class PageMappedFtl:
         self.stats.host_pages_read += 1
         if ppn is None:
             return self.nand.timing.transfer_ns_per_page
-        latency = self.nand.read_page(self.page_map.block_of(ppn), self.page_map.page_of(ppn))
+        latency, _ok = self._read_with_retry(
+            self.page_map.block_of(ppn), self.page_map.page_of(ppn)
+        )
         return latency + self.nand.timing.transfer_ns_per_page
 
     def trim(self, lpns: Iterable[int]) -> int:
@@ -218,8 +422,7 @@ class PageMappedFtl:
 
     def _program_user_page(self, lpn: int) -> int:
         self._op_counter += 1
-        block, page, extra = self._frontier_slot(user=True)
-        latency = extra + self.nand.program_page(block, page)
+        block, page, latency = self._program_frontier(user=True)
         self.page_map.remap(lpn, self.page_map.ppn(block, page))
         self.stats.host_pages_written += 1
         return latency
@@ -287,6 +490,7 @@ class PageMappedFtl:
                 self.page_map,
                 block_ages=self._ages(),
                 sip_lpns=self.sip_lpns,
+                excluded_blocks=self.retired_blocks,
             )
             victim = decision.block
             if victim is not None:
@@ -314,18 +518,33 @@ class PageMappedFtl:
         latency = 0
         victims_pages: List[Tuple[int, int]] = list(self.page_map.valid_lpns_in_block(victim))
         for offset, lpn in victims_pages:
-            latency += self.nand.read_page(victim, offset)
+            read_ns, ok = self._read_with_retry(victim, offset)
+            latency += read_ns
             self.stats.gc_pages_read += 1
-            block, page, extra = self._frontier_slot(user=False)
-            latency += extra + self.nand.program_page(block, page)
+            if not ok:
+                # Migration source unrecoverable: the logical page is
+                # lost; unmap it instead of propagating garbage.
+                self.page_map.unmap(lpn)
+                continue
+            block, page, program_ns = self._program_frontier(user=False)
+            latency += program_ns
             self.page_map.remap(lpn, self.page_map.ppn(block, page))
             self.stats.gc_pages_migrated += 1
 
         self.page_map.clear_block(victim)
-        latency += self.nand.erase_block(victim)
-        self.stats.blocks_erased += 1
+        erase_ns, erased = self._erase_with_retry(victim)
+        latency += erase_ns
         self._closed[victim] = False
-        if not self.nand.is_bad(victim):
+        if not erased:
+            # Grown bad block: every erase attempt failed.
+            self.nand.mark_bad(victim)
+            self._record_retirement(victim)
+            return latency
+        self.stats.blocks_erased += 1
+        if self.nand.is_bad(victim):
+            # The erase itself pushed the block past its P/E rating.
+            self._record_retirement(victim)
+        else:
             self.allocator.release(victim)
         return latency
 
@@ -334,7 +553,18 @@ class PageMappedFtl:
         self.stats.fgc_invocations += 1
         latency = 0
         while len(self.allocator) <= self.fgc_watermark:
-            latency += self.collect_one_block(background=False)
+            try:
+                latency += self.collect_one_block(background=False)
+            except OutOfSpaceError:
+                if self.retired_blocks:
+                    # Not a misconfigured scenario: retirements consumed
+                    # the spare capacity.  Degrade gracefully.
+                    self._enter_read_only()
+                    raise DeviceReadOnlyError(
+                        "foreground GC found no reclaimable victim after "
+                        f"{len(self.retired_blocks)} block retirements"
+                    ) from None
+                raise
         penalised = int(latency * self.fgc_penalty)
         self.stats.fgc_time_ns += penalised - latency
         return penalised
@@ -385,6 +615,13 @@ class PageMappedFtl:
                 raise AssertionError(f"block {block} both free and in use")
             if in_pool and self.page_map.valid_count(block) != 0:
                 raise AssertionError(f"free block {block} holds valid pages")
+        for block in self.retired_blocks:
+            if not self.nand.is_bad(block):
+                raise AssertionError(f"retired block {block} not marked bad")
+            if block in self.allocator or self._closed[block]:
+                raise AssertionError(f"retired block {block} still in service")
+            if self.page_map.valid_count(block) != 0:
+                raise AssertionError(f"retired block {block} holds valid pages")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -101,6 +101,25 @@ class SpaceModel:
     def pages_for_bytes(self, nbytes: int) -> int:
         return self.geometry.pages_for_bytes(nbytes)
 
+    # ------------------------------------------------------------------
+    # Degraded capacity (grown bad blocks eat the OP space)
+    # ------------------------------------------------------------------
+    def effective_op_pages(self, retired_pages: int) -> int:
+        """``C_OP`` after ``retired_pages`` of physical capacity retired.
+
+        Grown bad blocks cannot shrink the advertised user capacity, so
+        every retired page comes straight out of over-provisioning.
+        Clamped at zero: past that point the device can no longer hold
+        its advertised capacity and must go read-only.
+        """
+        if retired_pages < 0:
+            raise ValueError(f"retired_pages must be >= 0, got {retired_pages}")
+        return max(0, self.op_pages - retired_pages)
+
+    def effective_op_ratio(self, retired_pages: int) -> float:
+        """Degraded OP as a fraction of user capacity."""
+        return self.effective_op_pages(retired_pages) / self.user_pages
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"<SpaceModel user={self.user_pages}p op={self.op_pages}p "

@@ -47,6 +47,18 @@ class FtlStats:
     victim_selections: int = 0
     victims_filtered_by_sip: int = 0
 
+    #: Fault-recovery bookkeeping (repro.faults).
+    #: Read-retry attempts issued after an uncorrectable read.
+    read_retries: int = 0
+    #: Reads still uncorrectable after the retry budget (host sees EIO).
+    uncorrectable_reads: int = 0
+    #: Program status-fails recovered by rewriting elsewhere.
+    program_faults: int = 0
+    #: Erase failures (each failed attempt, incl. retries).
+    erase_faults: int = 0
+    #: Blocks retired at runtime: grown bad (program/erase fail) + worn out.
+    blocks_retired: int = 0
+
     def waf(self) -> float:
         """Write amplification factor; 1.0 before any GC migration."""
         if self.host_pages_written == 0:

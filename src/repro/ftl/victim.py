@@ -26,6 +26,26 @@ import numpy as np
 from repro.ftl.mapping import PageMap
 
 
+def filter_excluded(
+    candidates: np.ndarray, excluded_blocks: Optional[Set[int]]
+) -> np.ndarray:
+    """Drop candidates the FTL has excluded (e.g. retired bad blocks).
+
+    Retirement can race victim selection inside one recovery episode --
+    a block picked up as a candidate may be marked bad before the
+    selector runs -- so every selector filters defensively rather than
+    trusting the candidate list.
+    """
+    if not excluded_blocks or len(candidates) == 0:
+        return candidates
+    mask = np.fromiter(
+        (int(block) not in excluded_blocks for block in candidates),
+        dtype=bool,
+        count=len(candidates),
+    )
+    return candidates[mask]
+
+
 @dataclass
 class VictimDecision:
     """Outcome of one victim selection.
@@ -54,6 +74,7 @@ class VictimSelector:
         page_map: PageMap,
         block_ages: Optional[np.ndarray] = None,
         sip_lpns: Optional[Set[int]] = None,
+        excluded_blocks: Optional[Set[int]] = None,
     ) -> VictimDecision:
         """Pick a victim.
 
@@ -65,10 +86,12 @@ class VictimSelector:
                 block was closed); used by cost-benefit.
             sip_lpns: current soon-to-be-invalidated LPN set; used by the
                 SIP-filtered selector.
+            excluded_blocks: blocks that must never be chosen (retired
+                grown-bad blocks); filtered before ranking.
 
         Returns:
-            a :class:`VictimDecision`; ``block`` is None iff ``candidates``
-            is empty.
+            a :class:`VictimDecision`; ``block`` is None iff no eligible
+            candidate remains.
         """
         raise NotImplementedError
 
@@ -90,7 +113,9 @@ class GreedySelector(VictimSelector):
         page_map: PageMap,
         block_ages: Optional[np.ndarray] = None,
         sip_lpns: Optional[Set[int]] = None,
+        excluded_blocks: Optional[Set[int]] = None,
     ) -> VictimDecision:
+        candidates = filter_excluded(candidates, excluded_blocks)
         if len(candidates) == 0:
             return VictimDecision(block=None)
         counts = page_map.valid_counts()[candidates]
@@ -115,7 +140,9 @@ class CostBenefitSelector(VictimSelector):
         page_map: PageMap,
         block_ages: Optional[np.ndarray] = None,
         sip_lpns: Optional[Set[int]] = None,
+        excluded_blocks: Optional[Set[int]] = None,
     ) -> VictimDecision:
+        candidates = filter_excluded(candidates, excluded_blocks)
         if len(candidates) == 0:
             return VictimDecision(block=None)
         ppb = page_map.geometry.pages_per_block
@@ -147,7 +174,9 @@ class RandomSelector(VictimSelector):
         page_map: PageMap,
         block_ages: Optional[np.ndarray] = None,
         sip_lpns: Optional[Set[int]] = None,
+        excluded_blocks: Optional[Set[int]] = None,
     ) -> VictimDecision:
+        candidates = filter_excluded(candidates, excluded_blocks)
         if len(candidates) == 0:
             return VictimDecision(block=None)
         pick = int(candidates[int(self._rng.integers(0, len(candidates)))])
@@ -169,7 +198,9 @@ class FifoSelector(VictimSelector):
         page_map: PageMap,
         block_ages: Optional[np.ndarray] = None,
         sip_lpns: Optional[Set[int]] = None,
+        excluded_blocks: Optional[Set[int]] = None,
     ) -> VictimDecision:
+        candidates = filter_excluded(candidates, excluded_blocks)
         if len(candidates) == 0:
             return VictimDecision(block=None)
         if block_ages is None:
@@ -223,7 +254,9 @@ class SipFilteredSelector(VictimSelector):
         page_map: PageMap,
         block_ages: Optional[np.ndarray] = None,
         sip_lpns: Optional[Set[int]] = None,
+        excluded_blocks: Optional[Set[int]] = None,
     ) -> VictimDecision:
+        candidates = filter_excluded(candidates, excluded_blocks)
         if len(candidates) == 0:
             return VictimDecision(block=None)
         counts = page_map.valid_counts()[candidates]

@@ -64,7 +64,7 @@ class HostSystem:
 
         selector = policy.make_victim_selector()
         self.device = SsdDevice(
-            self.sim, config, victim_selector=selector, controller=policy
+            self.sim, config, victim_selector=selector, controller=policy, seed=seed
         )
 
         page_size = config.geometry.page_size

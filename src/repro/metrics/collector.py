@@ -8,8 +8,8 @@ every experiment stores and formats.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 from repro.ftl.stats import FtlStats
 from repro.host import HostSystem
@@ -37,6 +37,16 @@ class RunMetrics:
         buffered_fraction: share of application write bytes that took the
             buffered path (Table 1).
         mean_latency_ns / p99_latency_ns: application op latency.
+        injected_faults: media faults the injector fired over the whole
+            run (0 on a fault-free device).
+        read_retries / uncorrectable_reads / program_faults /
+        erase_faults / blocks_retired: window-scoped recovery counters
+            (see :class:`~repro.ftl.stats.FtlStats`).
+        effective_op_pages: OP capacity remaining at window end, net of
+            retired blocks.
+        op_timeline: ``(t_ns, effective_op_pages)`` degradation events
+            within the window.
+        device_read_only: the device hit its terminal read-only state.
     """
 
     policy: str
@@ -56,6 +66,19 @@ class RunMetrics:
     buffered_fraction: float = 0.0
     mean_latency_ns: float = 0.0
     p99_latency_ns: int = 0
+    injected_faults: int = 0
+    read_retries: int = 0
+    uncorrectable_reads: int = 0
+    program_faults: int = 0
+    erase_faults: int = 0
+    blocks_retired: int = 0
+    effective_op_pages: Optional[int] = None
+    op_timeline: List[Tuple[int, int]] = field(default_factory=list)
+    device_read_only: bool = False
+
+    def recovered_faults(self) -> int:
+        """Faults survived without data loss or scenario failure."""
+        return self.program_faults + self.erase_faults + self.read_retries
 
     def sip_filtered_pct(self) -> float:
         """Table 3: % of victim selections that filtered a candidate."""
@@ -117,6 +140,13 @@ class MetricsCollector:
         if tracker is not None and tracker.intervals_scored > 0:
             accuracy = tracker.accuracy_percent()
         sip_end = self._sip_counters()
+        ftl = self.host.ftl
+        injector = ftl.nand.fault_injector
+        op_timeline = [
+            (int(t), int(op))
+            for t, op in ftl.op_timeline
+            if self._begin_ns <= t <= self._end_ns
+        ]
         return RunMetrics(
             policy=policy.name,
             workload=self.workload_name,
@@ -135,4 +165,13 @@ class MetricsCollector:
             buffered_fraction=self.host.dispatcher.stats.buffered_fraction(),
             mean_latency_ns=self.latency.mean(),
             p99_latency_ns=self.latency.percentile(99),
+            injected_faults=injector.total_faults() if injector is not None else 0,
+            read_retries=delta.read_retries,
+            uncorrectable_reads=delta.uncorrectable_reads,
+            program_faults=delta.program_faults,
+            erase_faults=delta.erase_faults,
+            blocks_retired=delta.blocks_retired,
+            effective_op_pages=ftl.effective_op_pages(),
+            op_timeline=op_timeline,
+            device_read_only=ftl.read_only,
         )

@@ -17,7 +17,7 @@ split.
 from __future__ import annotations
 
 import enum
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -25,8 +25,15 @@ from repro.nand.endurance import EnduranceModel, WearStats
 from repro.nand.errors import (
     BadBlockError,
     EraseBeforeWriteError,
+    EraseFailError,
+    ProgramFailError,
     ProgramOrderError,
+    UncorrectableReadError,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector
+    from repro.nand.reliability import ReadDisturbTracker
 from repro.nand.geometry import NandGeometry
 from repro.nand.timing import NAND_20NM_MLC, NandTiming
 
@@ -53,6 +60,9 @@ class NandArray:
         initial_bad_blocks: optional iterable of factory-bad block numbers.
         read_disturb: optional per-block read-disturb tracker; reads are
             counted and erases reset the counter.
+        fault_injector: optional deterministic media-fault source; when
+            set, operations may raise the recoverable fault exceptions
+            (:class:`~repro.nand.errors.RecoverableNandFault`).
     """
 
     def __init__(
@@ -62,6 +72,7 @@ class NandArray:
         endurance: Optional[EnduranceModel] = None,
         initial_bad_blocks: Optional[list] = None,
         read_disturb: Optional["ReadDisturbTracker"] = None,
+        fault_injector: Optional["FaultInjector"] = None,
     ) -> None:
         self.geometry = geometry
         self.timing = timing
@@ -78,25 +89,56 @@ class NandArray:
         self._state = np.full(n, BlockState.ERASED, dtype=np.int8)
 
         self.read_disturb = read_disturb
+        self.fault_injector = fault_injector
 
         # Operation counters (for WAF and profiling).
         self.page_reads = 0
         self.page_programs = 0
         self.block_erases = 0
+        #: Blocks retired at runtime via :meth:`mark_bad` (grown bad blocks).
+        self.grown_bad_blocks = 0
+        self.factory_bad_blocks = 0
 
         for block in initial_bad_blocks or []:
             geometry.check_block(block)
-            self._state[block] = BlockState.BAD
+            if self._state[block] != BlockState.BAD:
+                self._state[block] = BlockState.BAD
+                self.factory_bad_blocks += 1
 
     # ------------------------------------------------------------------
     # Physical operations
     # ------------------------------------------------------------------
     def read_page(self, block: int, page: int) -> int:
-        """Read one page; returns tR latency (no transfer)."""
+        """Read one page; returns tR latency (no transfer).
+
+        Raises:
+            UncorrectableReadError: injected ECC failure; the tR latency
+                of the failed sensing is attached to the exception.
+        """
         self._check_addr(block, page, "read")
         self.page_reads += 1
         if self.read_disturb is not None:
             self.read_disturb.record_read(block)
+        if self.fault_injector is not None and self.fault_injector.read_uncorrectable(
+            block, page, self.endurance.erase_count(block)
+        ):
+            raise UncorrectableReadError(block, page, self.timing.read_ns)
+        return self.timing.read_ns
+
+    def reread_page(self, block: int, page: int) -> int:
+        """One read-retry attempt (voltage-shifted re-sense) on ``block``.
+
+        Used by FTL recovery after an :class:`UncorrectableReadError`;
+        success is decided by the fault injector's retry stream.  Returns
+        tR latency on success.
+
+        Raises:
+            UncorrectableReadError: the retry also failed to correct.
+        """
+        self._check_addr(block, page, "read")
+        self.page_reads += 1
+        if self.fault_injector is not None and not self.fault_injector.read_retry_succeeds():
+            raise UncorrectableReadError(block, page, self.timing.read_ns)
         return self.timing.read_ns
 
     def program_page(self, block: int, page: int) -> int:
@@ -110,11 +152,18 @@ class NandArray:
             raise EraseBeforeWriteError(block, page)
         if page > next_page:
             raise ProgramOrderError(block, page, next_page)
+        # The page is consumed whether or not the program succeeds: a
+        # status-failed page holds an undefined charge state and can
+        # never be reprogrammed without an erase.
         self._next_page[block] = next_page + 1
         if self._next_page[block] >= self.geometry.pages_per_block:
             self._state[block] = BlockState.FULL
         else:
             self._state[block] = BlockState.OPEN
+        if self.fault_injector is not None and self.fault_injector.program_fails(
+            block, page, self.endurance.erase_count(block)
+        ):
+            raise ProgramFailError(block, page, self.timing.program_ns)
         self.page_programs += 1
         return self.timing.program_ns
 
@@ -127,6 +176,13 @@ class NandArray:
         self.geometry.check_block(block)
         if self._state[block] == BlockState.BAD:
             raise BadBlockError(block, "erase")
+        if self.fault_injector is not None and self.fault_injector.erase_fails(
+            block, self.endurance.erase_count(block)
+        ):
+            # A failed erase still stresses the cells; the block keeps
+            # its (stale) contents and frontier until retried or retired.
+            self.endurance.record_erase(block)
+            raise EraseFailError(block, self.timing.erase_ns)
         self.block_erases += 1
         self._next_page[block] = 0
         if self.read_disturb is not None:
@@ -136,6 +192,16 @@ class NandArray:
         else:
             self._state[block] = BlockState.ERASED
         return self.timing.erase_ns
+
+    def mark_bad(self, block: int) -> None:
+        """Retire ``block`` as a grown bad block (program/erase failure).
+
+        Idempotent; the FTL calls this after relocating any live data.
+        """
+        self.geometry.check_block(block)
+        if self._state[block] != BlockState.BAD:
+            self._state[block] = BlockState.BAD
+            self.grown_bad_blocks += 1
 
     # ------------------------------------------------------------------
     # State queries

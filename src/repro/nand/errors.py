@@ -1,9 +1,18 @@
-"""Exception hierarchy for NAND physical-rule violations.
+"""Exception hierarchy for NAND physical-rule violations and media faults.
 
-These exceptions indicate *FTL bugs*, not recoverable device conditions:
-a correct FTL never programs out of order, never writes a non-erased page
-and never touches a block it has been told is bad.  They are therefore
-plain programming errors and deliberately carry precise addresses.
+Two distinct families live here:
+
+* **FTL bugs** (:class:`AddressError`, :class:`ProgramOrderError`,
+  :class:`EraseBeforeWriteError`, :class:`BadBlockError`) -- a correct
+  FTL never programs out of order, never writes a non-erased page and
+  never touches a block it has been told is bad.  These are plain
+  programming errors and deliberately carry precise addresses.
+* **Recoverable media faults** (:class:`RecoverableNandFault` and its
+  subclasses) -- live NAND failures a real drive survives every day:
+  program/erase operations that fail on worn cells and reads whose raw
+  bit errors exceed the ECC correction strength.  The FTL is expected to
+  *recover* from these (retry, rewrite elsewhere, retire the block), so
+  they carry the latency already spent on the failed attempt.
 """
 
 from __future__ import annotations
@@ -58,3 +67,61 @@ class BadBlockError(NandError):
         super().__init__(f"{operation} on bad block {block}")
         self.block = block
         self.operation = operation
+
+
+# ----------------------------------------------------------------------
+# Recoverable media faults (injected by repro.faults.FaultInjector)
+# ----------------------------------------------------------------------
+class RecoverableNandFault(NandError):
+    """Base class for media faults the FTL must recover from.
+
+    Distinct from the FTL-bug family above: catching ``NandError`` broadly
+    in recovery code would hide real bugs, so recovery paths catch this
+    class only.
+
+    Attributes:
+        block: the block the failed operation targeted.
+        latency_ns: NAND time already spent on the failed attempt; the
+            caller must charge it before retrying.
+    """
+
+    def __init__(self, message: str, block: int, latency_ns: int) -> None:
+        super().__init__(message)
+        self.block = block
+        self.latency_ns = latency_ns
+
+
+class ProgramFailError(RecoverableNandFault):
+    """A page program operation failed (status-fail on worn cells).
+
+    The target page is spoiled -- its charge state is undefined -- and
+    per datasheet guidance the block should be retired after its live
+    data is rewritten elsewhere.
+    """
+
+    def __init__(self, block: int, page: int, latency_ns: int) -> None:
+        super().__init__(
+            f"program failed at block {block} page {page}", block, latency_ns
+        )
+        self.page = page
+
+
+class EraseFailError(RecoverableNandFault):
+    """A block erase failed; the block is a grown-bad-block candidate."""
+
+    def __init__(self, block: int, latency_ns: int) -> None:
+        super().__init__(f"erase failed on block {block}", block, latency_ns)
+
+
+class UncorrectableReadError(RecoverableNandFault):
+    """Raw bit errors in a page exceeded the ECC correction strength.
+
+    Real controllers respond with read-retry (shifted sensing
+    voltages); the FTL models that as bounded re-reads.
+    """
+
+    def __init__(self, block: int, page: int, latency_ns: int) -> None:
+        super().__init__(
+            f"uncorrectable read at block {block} page {page}", block, latency_ns
+        )
+        self.page = page

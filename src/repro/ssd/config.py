@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.faults.injector import FaultInjector, FaultProfile, resolve_fault_profile
 from repro.ftl.ftl import PageMappedFtl
 from repro.ftl.space import SpaceModel
 from repro.ftl.victim import VictimSelector
@@ -38,6 +39,12 @@ class SsdConfig:
         channel_parallelism: number of NAND operations the device overlaps
             (channel striping); multi-page requests and GC complete up to
             this factor faster than serial NAND timing.
+        fault_profile: media-fault injection configuration -- a
+            :class:`~repro.faults.injector.FaultProfile`, a preset name
+            from :data:`~repro.faults.injector.FAULT_PROFILES`, or None
+            for a fault-free device.
+        max_read_retries / max_program_retries / max_erase_retries:
+            FTL recovery budgets (see :class:`PageMappedFtl`).
     """
 
     geometry: NandGeometry = field(default_factory=NandGeometry.scaled_sm843t)
@@ -53,21 +60,75 @@ class SsdConfig:
     #: device only launches a BGC block after the host has been quiet
     #: this long, so BGC never wedges into intra-burst think gaps.
     bgc_idle_grace_ns: int = 1_000_000
+    fault_profile: Optional[object] = None
+    max_read_retries: int = 4
+    max_program_retries: int = 4
+    max_erase_retries: int = 2
+
+    def __post_init__(self) -> None:
+        # Catch misconfiguration here, with a clear message, instead of
+        # as downstream arithmetic surprises (negative capacities, empty
+        # free pools, division by zero in the space model).
+        if self.geometry.page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {self.geometry.page_size}")
+        if self.geometry.total_blocks <= 0:
+            raise ValueError(
+                f"device capacity must be positive, got {self.geometry.total_blocks} blocks"
+            )
+        if not 0.0 < self.op_ratio < 1.0:
+            raise ValueError(
+                f"op_ratio must be in (0, 1) -- an OP of 100 % or more leaves "
+                f"no user capacity; got {self.op_ratio}"
+            )
+        if self.fgc_watermark < 2:
+            raise ValueError(f"fgc_watermark must be >= 2, got {self.fgc_watermark}")
+        if self.channel_parallelism < 1:
+            raise ValueError(
+                f"channel_parallelism must be >= 1, got {self.channel_parallelism}"
+            )
+        if self.fgc_penalty < 1.0:
+            raise ValueError(f"fgc_penalty must be >= 1.0, got {self.fgc_penalty}")
+        if self.pe_cycle_limit is not None and self.pe_cycle_limit <= 0:
+            raise ValueError(
+                f"pe_cycle_limit must be positive or None, got {self.pe_cycle_limit}"
+            )
+        if self.bgc_idle_grace_ns < 0:
+            raise ValueError(
+                f"bgc_idle_grace_ns must be >= 0, got {self.bgc_idle_grace_ns}"
+            )
+        # Resolve preset names eagerly so typos fail at config time.
+        self.fault_profile = (
+            resolve_fault_profile(self.fault_profile)
+            if self.fault_profile is not None
+            else None
+        )
 
     def space_model(self) -> SpaceModel:
         return SpaceModel.from_op_ratio(self.geometry, self.op_ratio)
 
-    def build_nand(self) -> NandArray:
+    def resolved_fault_profile(self) -> FaultProfile:
+        return resolve_fault_profile(self.fault_profile)
+
+    def build_nand(self, seed: int = 0) -> NandArray:
         endurance = EnduranceModel(self.geometry.total_blocks, self.pe_cycle_limit)
-        return NandArray(self.geometry, self.timing, endurance)
+        injector = None
+        profile = self.resolved_fault_profile()
+        if profile.enabled:
+            injector = FaultInjector(profile, seed=seed)
+        return NandArray(self.geometry, self.timing, endurance, fault_injector=injector)
 
     def build_ftl(
         self,
         victim_selector: Optional[VictimSelector] = None,
         clock=None,
+        seed: int = 0,
     ) -> PageMappedFtl:
-        """Instantiate a fresh FTL (and NAND) per this configuration."""
-        nand = self.build_nand()
+        """Instantiate a fresh FTL (and NAND) per this configuration.
+
+        ``seed`` feeds the fault injector (when a fault profile is set),
+        keeping fault sequences reproducible per scenario seed.
+        """
+        nand = self.build_nand(seed=seed)
         leveler = None
         if self.enable_wear_leveling:
             leveler = StaticWearLeveler(nand.endurance, self.wear_level_threshold)
@@ -79,6 +140,9 @@ class SsdConfig:
             clock=clock,
             wear_leveler=leveler,
             fgc_penalty=self.fgc_penalty,
+            max_read_retries=self.max_read_retries,
+            max_program_retries=self.max_program_retries,
+            max_erase_retries=self.max_erase_retries,
         )
 
     @property

@@ -54,6 +54,8 @@ class SsdDevice:
         victim_selector: GC victim policy handed to the FTL.
         controller: background-reclaim controller (may be set later via
             :attr:`controller`).
+        seed: scenario seed forwarded to the FTL build (drives the fault
+            injector when the config carries a fault profile).
     """
 
     #: Fixed service latency of a TRIM command.
@@ -65,10 +67,13 @@ class SsdDevice:
         config: SsdConfig,
         victim_selector: Optional[VictimSelector] = None,
         controller: Optional[ReclaimController] = None,
+        seed: int = 0,
     ) -> None:
         self.sim = sim
         self.config = config
-        self.ftl = config.build_ftl(victim_selector=victim_selector, clock=lambda: sim.now)
+        self.ftl = config.build_ftl(
+            victim_selector=victim_selector, clock=lambda: sim.now, seed=seed
+        )
         self.controller = controller
         self.parallelism = max(1, config.channel_parallelism)
 
@@ -241,6 +246,10 @@ class SsdDevice:
 
     def _maybe_bgc(self) -> None:
         if self._busy or self._queue:
+            return
+        if self.ftl.read_only:
+            # Terminal degraded state: no spare capacity left to reclaim
+            # into; background work would only burn the remaining blocks.
             return
         controller = self.controller
         if controller is None:

@@ -46,3 +46,41 @@ def test_parser_has_all_artifact_commands():
 def test_command_required():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_version_flag(capsys):
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert __version__ in capsys.readouterr().out
+
+
+def test_run_echoes_seed_and_fault_profile(capsys):
+    assert main(["run", "--seed", "99", "--faults", "light", *QUICK]) == 0
+    out = capsys.readouterr().out
+    assert "seed=99 faults=light" in out
+    assert "injected faults" in out
+    assert "device read-only" in out
+
+
+def test_run_rejects_unknown_fault_profile():
+    with pytest.raises(SystemExit):
+        main(["run", "--faults", "nope"])
+
+
+def test_sweep_command(tmp_path, capsys):
+    checkpoint = str(tmp_path / "sweep.json")
+    args = ["sweep", "--workload", "YCSB", "--blocks", "64",
+            "--pages-per-block", "8", "--warmup", "0", "--measure", "1",
+            "--checkpoint", checkpoint]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "Sweep on YCSB" in out
+    for policy in ("L-BGC", "A-BGC", "ADP-GC", "JIT-GC"):
+        assert policy in out
+    # Resumed: everything skips.
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert out.count("skipped") == 4

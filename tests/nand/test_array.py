@@ -120,3 +120,70 @@ def test_wear_stats_reflect_erases():
     assert stats.total_erases == 3
     assert stats.max_erase_count == 2
     assert stats.min_erase_count == 0
+
+
+def test_factory_and_grown_bad_block_counters():
+    nand = make_array(initial_bad_blocks=[3, 5, 3])  # duplicate counted once
+    assert nand.factory_bad_blocks == 2
+    assert nand.grown_bad_blocks == 0
+    nand.mark_bad(0)
+    nand.mark_bad(0)  # idempotent
+    assert nand.grown_bad_blocks == 1
+    assert nand.is_bad(0)
+    assert nand.good_blocks() == GEOMETRY.total_blocks - 3
+
+
+def test_mark_bad_rejects_all_operations():
+    nand = make_array()
+    nand.mark_bad(1)
+    with pytest.raises(BadBlockError):
+        nand.program_page(1, 0)
+    with pytest.raises(BadBlockError):
+        nand.erase_block(1)
+
+
+def test_reread_page_without_injector_succeeds():
+    nand = make_array()
+    nand.program_page(0, 0)
+    assert nand.reread_page(0, 0) == TIMING.read_ns
+    assert nand.page_reads == 1
+
+
+def test_injected_program_fail_consumes_frontier_page():
+    from repro.faults.injector import FaultInjector, FaultProfile
+    from repro.nand.errors import ProgramFailError
+
+    injector = FaultInjector(FaultProfile(program_fail_prob=1.0), seed=0)
+    nand = make_array(fault_injector=injector)
+    with pytest.raises(ProgramFailError):
+        nand.program_page(0, 0)
+    # The spoiled page can never be reprogrammed without an erase.
+    assert nand.next_programmable_page(0) == 1
+    assert nand.page_programs == 0
+
+
+def test_injected_erase_fail_keeps_contents_and_stresses_cells():
+    from repro.faults.injector import FaultInjector, FaultProfile
+    from repro.nand.errors import EraseFailError
+
+    injector = FaultInjector(FaultProfile(erase_fail_prob=1.0), seed=0)
+    nand = make_array(fault_injector=injector)
+    nand.program_page(0, 0)
+    with pytest.raises(EraseFailError):
+        nand.erase_block(0)
+    # Frontier untouched, but the failed erase still counted as a cycle.
+    assert nand.next_programmable_page(0) == 1
+    assert nand.endurance.erase_count(0) == 1
+    assert nand.block_erases == 0
+
+
+def test_injected_uncorrectable_read():
+    from repro.faults.injector import FaultInjector, FaultProfile
+    from repro.nand.errors import UncorrectableReadError
+
+    injector = FaultInjector(FaultProfile(read_uncorrectable_prob=1.0), seed=0)
+    nand = make_array(fault_injector=injector)
+    nand.program_page(0, 0)
+    with pytest.raises(UncorrectableReadError) as excinfo:
+        nand.read_page(0, 0)
+    assert excinfo.value.latency_ns == TIMING.read_ns

@@ -41,3 +41,49 @@ def test_pe_cycle_limit_plumbed():
     config = SsdConfig.small(pe_cycle_limit=7)
     ftl = config.build_ftl()
     assert ftl.nand.endurance.pe_cycle_limit == 7
+
+
+def test_invalid_capacity_rejected():
+    import pytest
+
+    from repro.nand.geometry import NandGeometry
+
+    with pytest.raises(ValueError):
+        SsdConfig(geometry=NandGeometry(page_size=0, pages_per_block=4, blocks_per_plane=8))
+    with pytest.raises(ValueError):
+        SsdConfig(geometry=NandGeometry(page_size=4096, pages_per_block=4, blocks_per_plane=0))
+
+
+def test_invalid_op_ratio_rejected():
+    import pytest
+
+    for bad in (0.0, -0.1, 1.0, 1.5):
+        with pytest.raises(ValueError, match="op_ratio"):
+            SsdConfig.small(op_ratio=bad)
+
+
+def test_other_validation_errors():
+    import pytest
+
+    with pytest.raises(ValueError):
+        SsdConfig.small(fgc_watermark=1)
+    with pytest.raises(ValueError):
+        SsdConfig.small(channel_parallelism=0)
+    with pytest.raises(ValueError):
+        SsdConfig.small(pe_cycle_limit=0)
+
+
+def test_unknown_fault_profile_fails_at_config_time():
+    import pytest
+
+    with pytest.raises(KeyError, match="no-such"):
+        SsdConfig.small(fault_profile="no-such")
+
+
+def test_fault_profile_builds_injector():
+    config = SsdConfig.small(fault_profile="light")
+    nand_a = config.build_nand(seed=11)
+    nand_b = config.build_nand(seed=11)
+    assert nand_a.fault_injector is not None
+    assert nand_a.fault_injector.seed == nand_b.fault_injector.seed == 11
+    assert SsdConfig.small().build_nand().fault_injector is None
