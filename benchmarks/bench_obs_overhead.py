@@ -1,0 +1,77 @@
+"""Disabled-observability overhead on the host write hot path.
+
+Components default to the shared no-op singletons (``NULL_TRACER``,
+``DISABLED_AUDIT``), so each instrumentation site on the hot path costs
+one ``.enabled`` attribute check.  This bench measures that check
+against the real per-write cost and asserts the aggregate guard
+overhead stays under the 3 % acceptance bound.  It deliberately avoids
+comparing two full simulation runs -- wall-clock deltas between runs
+are noise-dominated -- and instead bounds the *only* code the
+instrumentation added to the disabled path.
+"""
+
+import sys
+import time
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+
+from repro.core.policies import JitGcPolicy  # noqa: E402
+from repro.host import HostSystem  # noqa: E402
+from repro.obs.audit import DISABLED_AUDIT  # noqa: E402
+from repro.obs.tracer import NULL_TRACER  # noqa: E402
+from repro.ssd.config import SsdConfig  # noqa: E402
+
+#: Generous upper bound on guarded instrumentation sites one host write
+#: can cross (FTL write + GC victim selection + retirement + the
+#: amortised flusher/device shares).  The real count is lower.
+GUARD_SITES_PER_WRITE = 12
+OVERHEAD_BOUND = 0.03
+
+
+def _fresh_host():
+    host = HostSystem(SsdConfig.small(blocks=256, pages_per_block=32), JitGcPolicy())
+    host.prefill(host.user_pages // 2)
+    return host
+
+
+def _ns_per_write(host, writes=2_000):
+    ftl = host.ftl
+    user = host.user_pages
+    start = time.perf_counter_ns()
+    for i in range(writes):
+        ftl.host_write_page(i % user)
+    return (time.perf_counter_ns() - start) / writes
+
+
+def _ns_per_guard(checks=200_000):
+    tracer = NULL_TRACER
+    audit = DISABLED_AUDIT
+    hits = 0
+    start = time.perf_counter_ns()
+    for _ in range(checks):
+        if tracer.enabled:
+            hits += 1
+        if audit.enabled:
+            hits += 1
+    elapsed = time.perf_counter_ns() - start
+    assert hits == 0
+    return elapsed / (2 * checks)
+
+
+def test_disabled_guard_overhead_on_write_path(benchmark):
+    host = _fresh_host()
+    # An unconfigured host must carry the shared no-op instrumentation.
+    assert host.ftl.tracer is NULL_TRACER
+    assert host.ftl.audit is DISABLED_AUDIT
+
+    t_write = benchmark.pedantic(
+        lambda: min(_ns_per_write(host) for _ in range(5)), rounds=1, iterations=1
+    )
+    t_guard = min(_ns_per_guard() for _ in range(5))
+    overhead = GUARD_SITES_PER_WRITE * t_guard / t_write
+    print()
+    print(
+        f"write={t_write:.0f} ns, guard={t_guard:.2f} ns, "
+        f"overhead at {GUARD_SITES_PER_WRITE} sites/write = {overhead:.4%}"
+    )
+    assert overhead < OVERHEAD_BOUND

@@ -35,6 +35,8 @@ from repro.experiments import (
     run_table3,
 )
 from repro.faults import FAULT_PROFILES
+from repro.obs import TRACE_FORMATS, ObservabilityConfig
+from repro.sim.simtime import SECOND
 from repro.workloads import BENCHMARKS
 
 
@@ -51,6 +53,36 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
         choices=sorted(FAULT_PROFILES),
         help="media-fault injection profile (default: none)",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a simulation trace to PATH (see OBSERVABILITY.md)",
+    )
+    parser.add_argument(
+        "--trace-format", default="jsonl", choices=TRACE_FORMATS,
+        help="trace file format: jsonl, or chrome (Perfetto-loadable)",
+    )
+    parser.add_argument(
+        "--metrics-interval", type=float, default=1.0, metavar="S",
+        help="sim-time registry sampling period in seconds (0 disables)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="profile event-loop wall time and print the report",
+    )
+
+
+def _obs_config_from(args: argparse.Namespace):
+    trace = getattr(args, "trace", None)
+    profile = bool(getattr(args, "profile", False))
+    if trace is None and not profile:
+        return None
+    return ObservabilityConfig(
+        trace_path=trace,
+        trace_format=getattr(args, "trace_format", "jsonl"),
+        metrics_interval_ns=int(getattr(args, "metrics_interval", 1.0) * SECOND),
+        profile=profile,
+        audit=trace is not None,
+    )
 
 
 def _spec_from(args: argparse.Namespace) -> ScenarioSpec:
@@ -62,6 +94,7 @@ def _spec_from(args: argparse.Namespace) -> ScenarioSpec:
         measure_s=args.measure,
         seed=args.seed,
         fault_profile=getattr(args, "faults", "none"),
+        obs=_obs_config_from(args),
     )
 
 

@@ -47,9 +47,30 @@ class ManagerDecision:
     tgc_ns: int = 0
     reclaim_bytes: int = 0
 
+    #: Branch labels for :attr:`branch` (mirrored in repro.obs.audit).
+    BRANCH_NO_BGC = "no-bgc"
+    BRANCH_DEFER = "defer"
+    BRANCH_INVOKE = "invoke"
+
     @property
     def invokes_bgc(self) -> bool:
         return self.reclaim_bytes > 0
+
+    @property
+    def branch(self) -> str:
+        """Which Sec 3.3 rule fired: the decision-audit classification.
+
+        ``no-bgc`` -- the fast path (``Cfree >= Creq``: the future is
+        already funded); ``invoke`` -- a positive reclaim was scheduled;
+        ``defer`` -- demand exceeds ``Cfree`` but ``Tidle`` still covers
+        ``Tgc`` (the JIT deferral), including the boundary case where
+        integer rounding truncated the reclaim to zero.
+        """
+        if self.cfree_bytes >= self.creq_bytes:
+            return self.BRANCH_NO_BGC
+        if self.reclaim_bytes > 0:
+            return self.BRANCH_INVOKE
+        return self.BRANCH_DEFER
 
 
 class JitGcManager:

@@ -33,6 +33,8 @@ from repro.core.cdh import CumulativeDataHistogram
 from repro.core.direct_predictor import DirectWritePredictor
 from repro.core.manager import JitGcManager
 from repro.ftl.victim import SipFilteredSelector, VictimSelector
+from repro.obs.audit import DISABLED_AUDIT, ManagerTickRecord
+from repro.obs.tracer import NULL_TRACER
 from repro.oskernel.cache import PageCache
 from repro.oskernel.flusher import FlusherThread
 from repro.sim.engine import Simulator
@@ -47,10 +49,22 @@ class GcPolicy(ReclaimController):
 
     #: Short name used in experiment reports.
     name = "abstract"
+    #: Sim-time tracer / decision-audit log / metrics registry; the
+    #: class-level no-op defaults cost one attribute check on hot paths
+    #: and are replaced per instance by :meth:`observe`.
+    tracer = NULL_TRACER
+    audit = DISABLED_AUDIT
+    registry = None
 
     def make_victim_selector(self) -> Optional[VictimSelector]:
         """Victim selector to install in the FTL (None = FTL default)."""
         return None
+
+    def observe(self, obs) -> None:
+        """Adopt a run's :class:`~repro.obs.Observability` instruments."""
+        self.tracer = obs.tracer
+        self.audit = obs.audit
+        self.registry = obs.registry
 
     def attach(
         self,
@@ -171,6 +185,9 @@ class AdaptiveGcPolicy(GcPolicy):
         # CDH read-out (it has nothing finer-grained to offer).
         self.accuracy.on_tick()
         self.accuracy.predict(delta)
+
+        if self.tracer.enabled:
+            self.tracer.emit("manager", "adp.tick", target_bytes=delta)
 
         self.device.kick_bgc()
         self.sim.schedule(self.period_ns, self._tick, priority=EventPriority.CONTROL)
@@ -313,7 +330,8 @@ class JitGcPolicy(GcPolicy):
         ddir = self.direct_predictor.predict(now)
         dearly = self.early_flush_predictor.predict(now)
         ddir = [d + e for d, e in zip(ddir, dearly)]
-        self.interface.set_sip_list(prediction.sip.as_set())
+        sip_set = prediction.sip.as_set()
+        self.interface.set_sip_list(sip_set)
 
         cfree = self.interface.query_free_capacity()
         decision = self.manager.decide(
@@ -349,7 +367,52 @@ class JitGcPolicy(GcPolicy):
         page = self.device.config.geometry.page_size
         reclaim_bytes = max(decision.reclaim_bytes, guard_bytes)
         self._quota_pages = -(-reclaim_bytes // page)  # ceil
+
+        if self.audit.enabled or self.tracer.enabled:
+            record = ManagerTickRecord(
+                t_ns=now,
+                dbuf_bytes=sum(prediction.demands_bytes),
+                ddir_bytes=sum(ddir),
+                creq_bytes=decision.creq_bytes,
+                cfree_bytes=decision.cfree_bytes,
+                tw_ns=decision.tw_ns,
+                tidle_ns=decision.tidle_ns,
+                tgc_ns=decision.tgc_ns,
+                reclaim_bytes=decision.reclaim_bytes,
+                guard_bytes=guard_bytes,
+                quota_pages=self._quota_pages,
+                branch=decision.branch,
+                write_bw=self.device.write_bandwidth.bytes_per_second,
+                gc_bw=self.device.gc_bandwidth.bytes_per_second,
+                sip_pages=len(sip_set),
+            )
+            self.audit.record_manager_tick(record)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "manager",
+                    "manager.tick",
+                    branch=record.branch,
+                    creq_bytes=record.creq_bytes,
+                    cfree_bytes=record.cfree_bytes,
+                    tw_ns=record.tw_ns,
+                    tidle_ns=record.tidle_ns,
+                    tgc_ns=record.tgc_ns,
+                    reclaim_bytes=record.reclaim_bytes,
+                    guard_bytes=record.guard_bytes,
+                    quota_pages=record.quota_pages,
+                    sip_pages=record.sip_pages,
+                )
+        if self.registry is not None:
+            self.registry.series("manager.creq_bytes").append(now, decision.creq_bytes)
+
         if self._quota_pages > 0:
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "manager",
+                    "bgc.invoke",
+                    quota_pages=self._quota_pages,
+                    reclaim_bytes=reclaim_bytes,
+                )
             self.interface.invoke_bgc()
 
     def reclaim_demand_pages(self, device: SsdDevice) -> int:

@@ -35,6 +35,7 @@ from repro.experiments.persistence import SweepCheckpoint
 from repro.ftl.ftl import DeviceReadOnlyError
 from repro.host import HostSystem
 from repro.metrics.collector import MetricsCollector, RunMetrics
+from repro.obs import Observability, ObservabilityConfig
 from repro.sim.simtime import SECOND
 from repro.ssd.config import SsdConfig
 from repro.workloads import BENCHMARKS, Region
@@ -78,6 +79,11 @@ class ScenarioSpec:
         timeout_s: optional wall-clock budget for this scenario; on
             expiry :class:`ScenarioTimeoutError` is raised (and isolated
             by :func:`run_sweep`).
+        obs: optional :class:`~repro.obs.ObservabilityConfig` -- tracing,
+            metrics sampling and profiling for this run.  Not part of
+            :meth:`key`: instrumentation never changes simulated
+            behaviour, so observed and unobserved runs are the same
+            scenario.
     """
 
     workload: str = "YCSB"
@@ -95,6 +101,7 @@ class ScenarioSpec:
     workload_kwargs: dict = field(default_factory=dict)
     fault_profile: Optional[object] = None
     timeout_s: Optional[float] = None
+    obs: Optional[ObservabilityConfig] = None
 
     def with_policy(self, policy: str, factory: Optional[Callable[[], GcPolicy]] = None):
         """Same scenario, different policy (identical workload replay)."""
@@ -102,9 +109,7 @@ class ScenarioSpec:
 
     def key(self) -> str:
         """Stable identity used for checkpointing and sweep reports."""
-        faults = self.fault_profile
-        fault_tag = faults if isinstance(faults, str) else ("custom" if faults else "none")
-        return f"{self.workload}/{self.policy}/seed{self.seed}/faults-{fault_tag}"
+        return f"{self.workload}/{self.policy}/seed{self.seed}/faults-{self.fault_tag()}"
 
     def make_policy(self) -> GcPolicy:
         if self.policy_factory is not None:
@@ -122,6 +127,25 @@ class ScenarioSpec:
             op_ratio=self.op_ratio,
             fault_profile=self.fault_profile,
         )
+
+    def fault_tag(self) -> str:
+        """Human-readable fault-profile label (trace headers, keys)."""
+        faults = self.fault_profile
+        return faults if isinstance(faults, str) else ("custom" if faults else "none")
+
+    def trace_header(self) -> dict:
+        """Attribution fields stamped into every trace/metrics file."""
+        return {
+            "scenario": self.key(),
+            "workload": self.workload,
+            "policy": self.policy,
+            "seed": self.seed,
+            "fault_profile": self.fault_tag(),
+            "blocks": self.blocks,
+            "pages_per_block": self.pages_per_block,
+            "warmup_s": self.warmup_s,
+            "measure_s": self.measure_s,
+        }
 
 
 @contextmanager
@@ -173,12 +197,18 @@ def run_scenario(spec: ScenarioSpec) -> RunMetrics:
     with _wall_clock_limit(spec.timeout_s):
         config = spec.make_config()
         policy = spec.make_policy()
+        obs = (
+            Observability.from_config(spec.obs, header=spec.trace_header())
+            if spec.obs is not None
+            else None
+        )
         host = HostSystem(
             config,
             policy,
             seed=spec.seed,
             flusher_period_ns=spec.flusher_period_s * SECOND,
             tau_expire_ns=spec.tau_expire_s * SECOND,
+            obs=obs,
         )
 
         working_set = int(host.user_pages * spec.working_set_fraction)
@@ -201,7 +231,12 @@ def run_scenario(spec: ScenarioSpec) -> RunMetrics:
         _advance_tolerating_death(host, spec.measure_s * SECOND)
         metrics.end()
         workload.stop()
-        return metrics.results()
+        results = metrics.results()
+        host.obs.finish()
+        report = host.obs.profile_report()
+        if report is not None:
+            print(report)
+        return results
 
 
 def _advance_tolerating_death(host: HostSystem, duration_ns: int) -> bool:
@@ -235,7 +270,12 @@ def run_policy_comparison(
     policies = policies or POLICY_FACTORIES
     results: Dict[str, RunMetrics] = {}
     for name, factory in policies.items():
-        results[name] = run_scenario(spec.with_policy(name, factory))
+        run_spec = spec.with_policy(name, factory)
+        if run_spec.obs is not None and run_spec.obs.trace_path:
+            # Per-policy trace files: compared runs never overwrite
+            # each other's output.
+            run_spec = replace(run_spec, obs=run_spec.obs.with_suffix(name))
+        results[name] = run_scenario(run_spec)
     return results
 
 
@@ -318,6 +358,8 @@ def run_sweep(
             continue
         if spec.timeout_s is None and timeout_s is not None:
             spec = replace(spec, timeout_s=timeout_s)
+        if spec.obs is not None and spec.obs.trace_path:
+            spec = replace(spec, obs=spec.obs.with_suffix(key.replace("/", "_")))
         try:
             metrics = run_scenario(spec)
         except Exception as exc:  # noqa: BLE001 - isolation is the point

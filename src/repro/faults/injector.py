@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.nand.reliability import BitErrorModel, EccConfig
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -185,6 +186,8 @@ class FaultInjector:
         #: Cache of wear-driven page-failure probabilities by P/E bucket
         #: (the binomial tail in EccConfig is too slow per read).
         self._page_fail_cache: Dict[int, float] = {}
+        #: Sim-time tracer; replaced by Observability.install when tracing.
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     # Per-operation decisions
@@ -238,6 +241,10 @@ class FaultInjector:
     def _log(self, kind: str, block: int, page: int) -> None:
         if len(self.fault_log) < self.log_limit:
             self.fault_log.append((kind, block, page))
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "faults", f"fault.inject.{kind}", block=block, page=page
+            )
 
     def _wear_scaled(self, base: float, pe_cycles: int) -> float:
         if not self.profile.wear_driven or pe_cycles <= self.profile.wear_onset_pe:

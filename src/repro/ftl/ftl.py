@@ -36,12 +36,15 @@ from repro.ftl.space import SpaceModel
 from repro.ftl.stats import FtlStats
 from repro.ftl.victim import GreedySelector, VictimSelector
 from repro.ftl.wear import StaticWearLeveler, WearAwareAllocator
-from repro.nand.array import BlockState, NandArray
+from repro.nand.array import NandArray
 from repro.nand.errors import (
     EraseFailError,
     ProgramFailError,
     UncorrectableReadError,
 )
+from repro.obs.audit import DISABLED_AUDIT, FaultRecord, VictimRecord
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
 
 
 class FtlError(RuntimeError):
@@ -106,6 +109,7 @@ class PageMappedFtl:
         max_read_retries: int = 4,
         max_program_retries: int = 4,
         max_erase_retries: int = 2,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if space.geometry is not nand.geometry:
             raise ValueError("space model and NAND array use different geometries")
@@ -136,9 +140,15 @@ class PageMappedFtl:
         #: Runtime-retired blocks (grown bad + worn out); excluded from
         #: every allocation and victim-selection path.
         self.retired_blocks: Set[int] = set()
-        #: ``(clock_ns, effective_op_pages)`` after each retirement --
-        #: the degraded-OP timeline surfaced in RunMetrics.
-        self.op_timeline: List[Tuple[int, int]] = []
+        #: Metrics registry -- the single source of truth for event-driven
+        #: series like the degraded-OP timeline.  A host system shares one
+        #: registry across components; a standalone FTL owns a private one.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._op_series = self.registry.series("ftl.effective_op_pages.events")
+        #: Sim-time tracer and decision-audit log; no-op defaults are
+        #: replaced by :meth:`repro.obs.Observability.install`.
+        self.tracer = NULL_TRACER
+        self.audit = DISABLED_AUDIT
         #: Terminal state: spare capacity exhausted, writes refused.
         self.read_only = False
 
@@ -233,8 +243,24 @@ class PageMappedFtl:
         """``C_OP`` net of retired capacity -- shrinks as blocks die."""
         return self.space.effective_op_pages(self.retired_pages())
 
+    @property
+    def op_timeline(self) -> List[Tuple[int, int]]:
+        """``(clock_ns, effective_op_pages)`` after each retirement.
+
+        Derived from the ``ftl.effective_op_pages.events`` registry
+        series -- the registry is the single source of truth; this
+        property keeps the historical RunMetrics shape.
+        """
+        return [(int(t), int(v)) for t, v in self._op_series.points]
+
     def _enter_read_only(self) -> None:
         self.read_only = True
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "ftl",
+                "ftl.read_only",
+                retired_blocks=len(self.retired_blocks),
+            )
 
     def _record_retirement(self, block: int) -> None:
         """Account one grown-bad/worn-out block and degrade capacity.
@@ -249,7 +275,15 @@ class PageMappedFtl:
         self.retired_blocks.add(block)
         self._closed[block] = False
         self.stats.blocks_retired += 1
-        self.op_timeline.append((self._clock(), self.effective_op_pages()))
+        effective_op = self.effective_op_pages()
+        self._op_series.append(self._clock(), effective_op)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "ftl",
+                "ftl.block_retired",
+                block=block,
+                effective_op_pages=effective_op,
+            )
         min_good = self.fgc_watermark + 2
         if self.effective_op_pages() <= 0 or self.nand.good_blocks() < min_good:
             self._enter_read_only()
@@ -257,6 +291,31 @@ class PageMappedFtl:
     # ------------------------------------------------------------------
     # Fault-recovery primitives
     # ------------------------------------------------------------------
+    def _note_fault(
+        self, kind: str, block: int, page: int, resolution: str, retries: int = 0
+    ) -> None:
+        """Audit one fault-recovery episode (injection + recovery path)."""
+        if self.audit.enabled:
+            self.audit.record_fault(
+                FaultRecord(
+                    t_ns=self._clock(),
+                    kind=kind,
+                    block=block,
+                    page=page,
+                    resolution=resolution,
+                    retries=retries,
+                )
+            )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "faults",
+                f"fault.{kind}",
+                block=block,
+                page=page,
+                resolution=resolution,
+                retries=retries,
+            )
+
     def _read_with_retry(self, block: int, page: int) -> Tuple[int, bool]:
         """Read one physical page, retrying uncorrectable reads.
 
@@ -268,13 +327,21 @@ class PageMappedFtl:
             return self.nand.read_page(block, page), True
         except UncorrectableReadError as fault:
             latency = fault.latency_ns
+        attempts = 0
         for _ in range(self.max_read_retries):
+            attempts += 1
             self.stats.read_retries += 1
             try:
-                return latency + self.nand.reread_page(block, page), True
+                latency += self.nand.reread_page(block, page)
             except UncorrectableReadError as fault:
                 latency += fault.latency_ns
+                continue
+            if self.audit.enabled or self.tracer.enabled:
+                self._note_fault("read", block, page, "read-retry", attempts)
+            return latency, True
         self.stats.uncorrectable_reads += 1
+        if self.audit.enabled or self.tracer.enabled:
+            self._note_fault("read", block, page, "data-lost", attempts)
         return latency, False
 
     def _program_frontier(self, user: bool) -> Tuple[int, int, int]:
@@ -350,6 +417,8 @@ class PageMappedFtl:
         self.page_map.clear_block(failed_block)
         self.nand.mark_bad(failed_block)
         self._record_retirement(failed_block)
+        if self.audit.enabled or self.tracer.enabled:
+            self._note_fault("program", failed_block, -1, "block-retired")
         return latency
 
     def _erase_with_retry(self, block: int) -> Tuple[int, bool]:
@@ -497,6 +566,27 @@ class PageMappedFtl:
                 self.stats.victim_selections += 1
                 if decision.filtered_by_sip > 0:
                     self.stats.victims_filtered_by_sip += 1
+                if self.audit.enabled or self.tracer.enabled:
+                    record = VictimRecord(
+                        t_ns=self._clock(),
+                        block=victim,
+                        valid_pages=decision.valid_pages,
+                        score=decision.score,
+                        candidates_considered=decision.candidates_considered,
+                        filtered_by_sip=decision.filtered_by_sip,
+                        background=background,
+                    )
+                    self.audit.record_victim(record)
+                    if self.tracer.enabled:
+                        self.tracer.emit(
+                            "ftl",
+                            "victim.select",
+                            block=victim,
+                            valid_pages=decision.valid_pages,
+                            score=decision.score,
+                            filtered_by_sip=decision.filtered_by_sip,
+                            background=background,
+                        )
         if victim is None:
             raise OutOfSpaceError("no GC victim available")
         if self.page_map.valid_count(victim) >= self.geometry.pages_per_block:
@@ -539,6 +629,10 @@ class PageMappedFtl:
             # Grown bad block: every erase attempt failed.
             self.nand.mark_bad(victim)
             self._record_retirement(victim)
+            if self.audit.enabled or self.tracer.enabled:
+                self._note_fault(
+                    "erase", victim, -1, "block-retired", self.max_erase_retries
+                )
             return latency
         self.stats.blocks_erased += 1
         if self.nand.is_bad(victim):

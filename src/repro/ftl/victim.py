@@ -55,11 +55,19 @@ class VictimDecision:
         candidates_considered: how many blocks were examined.
         filtered_by_sip: how many better-ranked candidates were skipped
             because of their SIP content (0 for SIP-oblivious selectors).
+        valid_pages: valid-page count of the chosen block (its migration
+            cost), when a block was chosen.
+        score: the selector's ranking score for the chosen block --
+            valid count for greedy-family selectors, the cost-benefit
+            value for :class:`CostBenefitSelector`, the age for
+            :class:`FifoSelector`.  Feeds the decision-audit log.
     """
 
     block: Optional[int]
     candidates_considered: int = 0
     filtered_by_sip: int = 0
+    valid_pages: Optional[int] = None
+    score: Optional[float] = None
 
 
 class VictimSelector:
@@ -119,8 +127,15 @@ class GreedySelector(VictimSelector):
         if len(candidates) == 0:
             return VictimDecision(block=None)
         counts = page_map.valid_counts()[candidates]
-        best = int(candidates[int(np.argmin(counts))])
-        return VictimDecision(block=best, candidates_considered=len(candidates))
+        pick = int(np.argmin(counts))
+        best = int(candidates[pick])
+        valid = int(counts[pick])
+        return VictimDecision(
+            block=best,
+            candidates_considered=len(candidates),
+            valid_pages=valid,
+            score=float(valid),
+        )
 
 
 class CostBenefitSelector(VictimSelector):
@@ -152,8 +167,14 @@ class CostBenefitSelector(VictimSelector):
         else:
             ages = block_ages[candidates].astype(np.float64) + 1.0
         score = (1.0 - utilisation) * ages / (1.0 + utilisation)
-        best = int(candidates[int(np.argmax(score))])
-        return VictimDecision(block=best, candidates_considered=len(candidates))
+        pick = int(np.argmax(score))
+        best = int(candidates[pick])
+        return VictimDecision(
+            block=best,
+            candidates_considered=len(candidates),
+            valid_pages=page_map.valid_count(best),
+            score=float(score[pick]),
+        )
 
 
 class RandomSelector(VictimSelector):
@@ -180,7 +201,11 @@ class RandomSelector(VictimSelector):
         if len(candidates) == 0:
             return VictimDecision(block=None)
         pick = int(candidates[int(self._rng.integers(0, len(candidates)))])
-        return VictimDecision(block=pick, candidates_considered=len(candidates))
+        return VictimDecision(
+            block=pick,
+            candidates_considered=len(candidates),
+            valid_pages=page_map.valid_count(pick),
+        )
 
 
 class FifoSelector(VictimSelector):
@@ -205,9 +230,17 @@ class FifoSelector(VictimSelector):
             return VictimDecision(block=None)
         if block_ages is None:
             best = int(candidates[0])
+            age = None
         else:
-            best = int(candidates[int(np.argmax(block_ages[candidates]))])
-        return VictimDecision(block=best, candidates_considered=len(candidates))
+            pick = int(np.argmax(block_ages[candidates]))
+            best = int(candidates[pick])
+            age = float(block_ages[candidates][pick])
+        return VictimDecision(
+            block=best,
+            candidates_considered=len(candidates),
+            valid_pages=page_map.valid_count(best),
+            score=age,
+        )
 
 
 class SipFilteredSelector(VictimSelector):
@@ -265,7 +298,13 @@ class SipFilteredSelector(VictimSelector):
         self.total_selections += 1
 
         if not sip_lpns:
-            return VictimDecision(block=ranked[0], candidates_considered=len(candidates))
+            valid = page_map.valid_count(ranked[0])
+            return VictimDecision(
+                block=ranked[0],
+                candidates_considered=len(candidates),
+                valid_pages=valid,
+                score=float(valid),
+            )
 
         ppb = page_map.geometry.pages_per_block
         filtered = 0
@@ -282,6 +321,8 @@ class SipFilteredSelector(VictimSelector):
                     block=block,
                     candidates_considered=len(candidates),
                     filtered_by_sip=filtered,
+                    valid_pages=valid,
+                    score=float(valid),
                 )
             sip_pages = self.sip_valid_pages(block, page_map, sip_lpns)
             if sip_pages / valid > self.sip_fraction_threshold:
@@ -292,15 +333,20 @@ class SipFilteredSelector(VictimSelector):
                 block=block,
                 candidates_considered=len(candidates),
                 filtered_by_sip=filtered,
+                valid_pages=valid,
+                score=float(valid),
             )
 
         # Everything in the scanned prefix was SIP-heavy; fall back to
         # plain greedy so GC still reclaims space.
         self.total_filtered += filtered
+        fallback_valid = page_map.valid_count(ranked[0])
         return VictimDecision(
             block=ranked[0],
             candidates_considered=len(candidates),
             filtered_by_sip=filtered,
+            valid_pages=fallback_valid,
+            score=float(fallback_valid),
         )
 
     def filtered_fraction(self) -> float:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.policies import GcPolicy
+from repro.obs import Observability
 from repro.oskernel.cache import PageCache
 from repro.oskernel.flusher import FlusherThread
 from repro.oskernel.iopath import IoDispatcher
@@ -44,6 +45,10 @@ class HostSystem:
             buffered writers block.
         tau_flush_fraction: dirty share of the cache that triggers
             volume flushing (kept high so age flushing dominates).
+        obs: observability for the run -- an
+            :class:`~repro.obs.Observability`, an
+            :class:`~repro.obs.ObservabilityConfig`, or None for the
+            disabled default (real metrics registry, no-op tracer).
     """
 
     def __init__(
@@ -56,15 +61,22 @@ class HostSystem:
         tau_expire_ns: int = 6 * SECOND,
         dirty_throttle_fraction: float = 0.8,
         tau_flush_fraction: float = 0.6,
+        obs=None,
     ) -> None:
         self.config = config
         self.policy = policy
         self.sim = Simulator()
         self.streams = RandomStreams(seed)
+        self.obs = Observability.resolve(obs)
 
         selector = policy.make_victim_selector()
         self.device = SsdDevice(
-            self.sim, config, victim_selector=selector, controller=policy, seed=seed
+            self.sim,
+            config,
+            victim_selector=selector,
+            controller=policy,
+            seed=seed,
+            registry=self.obs.registry,
         )
 
         page_size = config.geometry.page_size
@@ -85,6 +97,7 @@ class HostSystem:
 
         policy.attach(self.sim, self.device, self.cache, self.flusher)
         self.flusher.start()
+        self.obs.install(self)
 
     # ------------------------------------------------------------------
     @property

@@ -15,7 +15,6 @@ from repro.ftl.stats import FtlStats
 from repro.host import HostSystem
 from repro.metrics.iops import IopsMeter
 from repro.metrics.latency import LatencyRecorder
-from repro.sim.simtime import SECOND
 
 
 @dataclass
@@ -95,6 +94,10 @@ class MetricsCollector:
         self.workload_name = workload_name
         self.iops_meter = IopsMeter()
         self.latency = LatencyRecorder()
+        # The registry is the single source of truth: sampled alongside
+        # the gauges, host.ops becomes the per-interval IOPS series.
+        self._ops_counter = host.obs.registry.counter("host.ops")
+        self._latency_hist = host.obs.registry.histogram("host.op_latency_ns")
         self._begin_stats: Optional[FtlStats] = None
         self._begin_ns = 0
         self._end_ns = -1
@@ -106,8 +109,10 @@ class MetricsCollector:
     def record_op(self, latency_ns: Optional[int] = None) -> None:
         """One application operation completed."""
         self.iops_meter.record_op()
+        self._ops_counter.inc()
         if latency_ns is not None:
             self.latency.record(latency_ns)
+            self._latency_hist.observe(latency_ns)
 
     # ------------------------------------------------------------------
     # Window control
@@ -142,6 +147,8 @@ class MetricsCollector:
         sip_end = self._sip_counters()
         ftl = self.host.ftl
         injector = ftl.nand.fault_injector
+        # ftl.op_timeline is derived from the registry's
+        # ftl.effective_op_pages.events series (single source of truth).
         op_timeline = [
             (int(t), int(op))
             for t, op in ftl.op_timeline

@@ -36,6 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.nand.reliability import ReadDisturbTracker
 from repro.nand.geometry import NandGeometry
 from repro.nand.timing import NAND_20NM_MLC, NandTiming
+from repro.obs.tracer import NULL_TRACER
 
 
 class BlockState(enum.IntEnum):
@@ -90,6 +91,8 @@ class NandArray:
 
         self.read_disturb = read_disturb
         self.fault_injector = fault_injector
+        #: Sim-time tracer; replaced by Observability.install when tracing.
+        self.tracer = NULL_TRACER
 
         # Operation counters (for WAF and profiling).
         self.page_reads = 0
@@ -189,6 +192,13 @@ class NandArray:
             self.read_disturb.reset(block)
         if self.endurance.record_erase(block):
             self._state[block] = BlockState.BAD
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "nand",
+                    "nand.wearout",
+                    block=block,
+                    erase_count=self.endurance.erase_count(block),
+                )
         else:
             self._state[block] = BlockState.ERASED
         return self.timing.erase_ns
@@ -202,6 +212,8 @@ class NandArray:
         if self._state[block] != BlockState.BAD:
             self._state[block] = BlockState.BAD
             self.grown_bad_blocks += 1
+            if self.tracer.enabled:
+                self.tracer.emit("nand", "nand.mark_bad", block=block)
 
     # ------------------------------------------------------------------
     # State queries

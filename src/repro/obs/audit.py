@@ -1,0 +1,174 @@
+"""Decision-audit records: *why* the system did what it did, when.
+
+JIT-GC's claim is temporal -- BGC runs as late as possible, only when
+``Tidle < Tgc`` -- so end-of-window aggregates cannot falsify it.  The
+audit log captures every decision with its full inputs:
+
+* :class:`ManagerTickRecord` -- one per JIT-GC manager tick: the demand
+  vectors, ``Cfree``, the Sec 3.3 time estimates, the branch taken
+  (``no-bgc`` / ``defer`` / ``invoke``) and the reclaim quota issued.
+* :class:`VictimRecord` -- one per GC victim selection: chosen block,
+  its valid-page count and selector score, and the SIP-filter outcome
+  (how many better-ranked candidates were skipped).
+* :class:`FaultRecord` -- one per injected-fault *recovery*: the fault
+  kind and how the FTL resolved it (read-retry, rewrite-elsewhere,
+  block retirement, data loss).
+
+Records are plain frozen dataclasses so tests can assert on them
+directly; the log is bounded (oldest runs of a long simulation matter
+less than its recent behaviour is *not* assumed -- instead recording
+simply stops at the cap and the drop count is reported).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+#: Manager branch outcomes (see ManagerDecision.branch).
+BRANCH_NO_BGC = "no-bgc"
+BRANCH_DEFER = "defer"
+BRANCH_INVOKE = "invoke"
+
+
+@dataclass(frozen=True)
+class ManagerTickRecord:
+    """Full inputs and outcome of one JIT-GC manager tick.
+
+    Attributes:
+        t_ns: sim time of the tick.
+        dbuf_bytes / ddir_bytes: summed buffered / direct demand vectors
+            fed to the manager (``Creq = dbuf + ddir``).
+        creq_bytes / cfree_bytes: the Sec 3.3 comparison operands.
+        tw_ns / tidle_ns / tgc_ns: the time estimates (0 on the fast
+            ``Cfree >= Creq`` path).
+        reclaim_bytes: ``Dreclaim`` from the deferral rule.
+        guard_bytes: demand-coverage guard contribution (0 when the
+            deferral rule alone set the quota).
+        quota_pages: pages of reclaim actually handed to the device.
+        branch: which rule fired -- ``no-bgc``, ``defer`` or ``invoke``.
+        write_bw / gc_bw: bandwidth estimates (bytes/s) used for
+            ``Tw``/``Tgc``, recorded so the rule can be re-derived.
+        sip_pages: size of the SIP list downloaded this tick.
+    """
+
+    t_ns: int
+    dbuf_bytes: int
+    ddir_bytes: int
+    creq_bytes: int
+    cfree_bytes: int
+    tw_ns: int
+    tidle_ns: int
+    tgc_ns: int
+    reclaim_bytes: int
+    guard_bytes: int
+    quota_pages: int
+    branch: str
+    write_bw: float
+    gc_bw: float
+    sip_pages: int = 0
+
+
+@dataclass(frozen=True)
+class VictimRecord:
+    """One GC victim selection.
+
+    Attributes:
+        t_ns: sim time (FTL clock) of the selection.
+        block: the chosen victim.
+        valid_pages: its valid-page count (the migration cost).
+        score: selector-specific ranking score of the winner.
+        candidates_considered: candidate pool size examined.
+        filtered_by_sip: better-ranked candidates skipped as SIP-heavy.
+        background: True for BGC, False for a foreground stall.
+    """
+
+    t_ns: int
+    block: int
+    valid_pages: Optional[int]
+    score: Optional[float]
+    candidates_considered: int
+    filtered_by_sip: int
+    background: bool
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault-recovery episode on the FTL datapath.
+
+    Attributes:
+        t_ns: sim time (FTL clock).
+        kind: fault category (``read`` / ``program`` / ``erase``).
+        block / page: physical location (page -1 for block-level faults).
+        resolution: how the FTL resolved it -- ``read-retry``,
+            ``data-lost``, ``block-retired``, ``rewrite``.
+        retries: recovery attempts spent before resolution.
+    """
+
+    t_ns: int
+    kind: str
+    block: int
+    page: int
+    resolution: str
+    retries: int = 0
+
+
+@dataclass
+class DecisionAuditLog:
+    """Bounded in-memory store of decision records.
+
+    Hot paths guard recording with ``if audit.enabled:`` so the disabled
+    default (:data:`DISABLED_AUDIT`) costs one attribute check.
+    """
+
+    enabled: bool = True
+    limit: int = 200_000
+    manager_ticks: List[ManagerTickRecord] = field(default_factory=list)
+    victim_selections: List[VictimRecord] = field(default_factory=list)
+    faults: List[FaultRecord] = field(default_factory=list)
+    dropped: int = 0
+
+    # ------------------------------------------------------------------
+    def _append(self, store: List, record) -> None:
+        if len(store) < self.limit:
+            store.append(record)
+        else:
+            self.dropped += 1
+
+    def record_manager_tick(self, record: ManagerTickRecord) -> None:
+        if self.enabled:
+            self._append(self.manager_ticks, record)
+
+    def record_victim(self, record: VictimRecord) -> None:
+        if self.enabled:
+            self._append(self.victim_selections, record)
+
+    def record_fault(self, record: FaultRecord) -> None:
+        if self.enabled:
+            self._append(self.faults, record)
+
+    # ------------------------------------------------------------------
+    # Query helpers
+    # ------------------------------------------------------------------
+    def ticks(self, branch: Optional[str] = None) -> List[ManagerTickRecord]:
+        """Manager ticks, optionally filtered by branch taken."""
+        if branch is None:
+            return list(self.manager_ticks)
+        return [t for t in self.manager_ticks if t.branch == branch]
+
+    def filtered_selections(self) -> List[VictimRecord]:
+        """Victim selections in which at least one candidate was skipped."""
+        return [v for v in self.victim_selections if v.filtered_by_sip > 0]
+
+    def total_records(self) -> int:
+        return len(self.manager_ticks) + len(self.victim_selections) + len(self.faults)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<DecisionAuditLog ticks={len(self.manager_ticks)} "
+            f"victims={len(self.victim_selections)} faults={len(self.faults)}>"
+        )
+
+
+#: Shared disabled audit log; components default their ``audit`` to this.
+DISABLED_AUDIT = DecisionAuditLog(enabled=False)

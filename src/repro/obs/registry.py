@@ -1,0 +1,283 @@
+"""The metrics registry: counters, gauges, histograms and time series.
+
+One :class:`MetricsRegistry` per run is the single source of truth for
+every numeric observable.  Instruments are created on demand and looked
+up by name, so producers (the FTL, the device, policies) and consumers
+(the :class:`~repro.metrics.collector.MetricsCollector`, trace export)
+never hold diverging copies:
+
+* :class:`Counter` -- monotonically increasing count (host ops, faults).
+* :class:`Gauge` -- a zero-arg probe read at sampling time (``Cfree``,
+  dirty pages, WAF).
+* :class:`Histogram` -- power-of-two-bucketed value distribution.
+* :class:`TimeSeries` -- explicit ``(t_ns, value)`` points, either
+  event-driven (the FTL's effective-OP degradation timeline) or produced
+  by periodic sampling.
+
+:class:`MetricsSampler` schedules itself on the simulator at a fixed
+sim-time interval, snapshots every gauge and counter into same-named
+series, and (when a tracer is enabled) mirrors each sample as a Chrome
+counter event so Perfetto draws the trajectories as counter tracks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.sim.simtime import SECOND
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A named probe evaluated at sampling time."""
+
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name: str, fn: Callable[[], float]) -> None:
+        self.name = name
+        self.fn = fn
+
+    def read(self) -> float:
+        return float(self.fn())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Gauge {self.name}>"
+
+
+class Histogram:
+    """Power-of-two-bucketed distribution of non-negative values.
+
+    Bucket ``i`` counts values whose integer part has bit length ``i``
+    (i.e. value in ``[2^(i-1), 2^i)``; bucket 0 holds zeros), which is
+    enough resolution for latency/size distributions at O(1) memory.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"histogram {self.name} observed negative {value}")
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bucket = int(value).bit_length()
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean(),
+            "min": self.min,
+            "max": self.max,
+            "buckets": dict(sorted(self.buckets.items())),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Histogram {self.name} n={self.count} mean={self.mean():.1f}>"
+
+
+class TimeSeries:
+    """Append-only ``(t_ns, value)`` sequence."""
+
+    __slots__ = ("name", "times_ns", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.times_ns: List[int] = []
+        self.values: List[float] = []
+
+    def append(self, t_ns: int, value: float) -> None:
+        self.times_ns.append(t_ns)
+        self.values.append(value)
+
+    @property
+    def points(self) -> List[Tuple[int, float]]:
+        return list(zip(self.times_ns, self.values))
+
+    def __len__(self) -> int:
+        return len(self.times_ns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TimeSeries {self.name} n={len(self)}>"
+
+
+class MetricsRegistry:
+    """Name-indexed instrument store; instruments created on first use."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument factories (idempotent by name)
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str, fn: Callable[[], float]) -> Gauge:
+        """Register (or re-bind) a gauge probe."""
+        instrument = Gauge(name, fn)
+        self.gauges[name] = instrument
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram(name)
+        return instrument
+
+    def series(self, name: str) -> TimeSeries:
+        instrument = self._series.get(name)
+        if instrument is None:
+            instrument = self._series[name] = TimeSeries(name)
+        return instrument
+
+    def has_series(self, name: str) -> bool:
+        return name in self._series
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample(self, now_ns: int) -> Dict[str, float]:
+        """Read every gauge and counter into its same-named series.
+
+        Returns the sampled ``{name: value}`` row (used by the sampler
+        to mirror values into the trace).
+        """
+        row: Dict[str, float] = {}
+        for name, gauge in self.gauges.items():
+            value = gauge.read()
+            self.series(name).append(now_ns, value)
+            row[name] = value
+        for name, counter in self.counters.items():
+            self.series(name).append(now_ns, counter.value)
+            row[name] = counter.value
+        return row
+
+    def rate_points(self, name: str, per_ns: int = SECOND) -> List[Tuple[int, float]]:
+        """Per-interval rate derived from a cumulative series.
+
+        Point ``(t_i, r_i)`` is the increase over ``(t_{i-1}, t_i]``
+        scaled to ``per_ns`` (per-second by default) -- e.g. the sampled
+        ``host.ops`` counter becomes a per-interval IOPS trajectory.
+        """
+        series = self.series(name)
+        rates: List[Tuple[int, float]] = []
+        for index in range(1, len(series)):
+            dt = series.times_ns[index] - series.times_ns[index - 1]
+            if dt <= 0:
+                continue
+            dv = series.values[index] - series.values[index - 1]
+            rates.append((series.times_ns[index], dv * per_ns / dt))
+        return rates
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable view of everything the registry holds."""
+        return {
+            "counters": {name: c.value for name, c in self.counters.items()},
+            "gauges": sorted(self.gauges),
+            "histograms": {name: h.summary() for name, h in self.histograms.items()},
+            "series": {
+                name: {"times_ns": list(s.times_ns), "values": list(s.values)}
+                for name, s in self._series.items()
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<MetricsRegistry counters={len(self.counters)} "
+            f"gauges={len(self.gauges)} series={len(self._series)}>"
+        )
+
+
+class MetricsSampler:
+    """Samples a registry every ``period_ns`` of simulated time.
+
+    Sampling only *reads* system state (gauges are pure probes), so a
+    sampled run is behaviourally identical to an unsampled one -- the
+    determinism guarantee tracing relies on.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        period_ns: int,
+        tracer: Tracer = NULL_TRACER,
+        track: str = "metrics",
+    ) -> None:
+        if period_ns <= 0:
+            raise ValueError(f"sampling period must be positive, got {period_ns}")
+        self.registry = registry
+        self.period_ns = period_ns
+        self.tracer = tracer
+        self.track = track
+        self.samples_taken = 0
+        self._sim = None
+        self._running = False
+
+    def start(self, sim) -> "MetricsSampler":
+        """Begin sampling on ``sim`` (first sample fires immediately)."""
+        if self._running:
+            raise RuntimeError("sampler already running")
+        from repro.sim.events import EventPriority  # local: avoid cycle
+
+        self._sim = sim
+        self._priority = EventPriority.LOW
+        self._running = True
+        sim.schedule(0, self._tick, priority=self._priority, name="obs.sample")
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        now = self._sim.now
+        row = self.registry.sample(now)
+        self.samples_taken += 1
+        if self.tracer.enabled:
+            for name, value in row.items():
+                self.tracer.counter(self.track, name, {"value": value})
+        self._sim.schedule(
+            self.period_ns, self._tick, priority=self._priority, name="obs.sample"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<MetricsSampler period={self.period_ns} samples={self.samples_taken}>"

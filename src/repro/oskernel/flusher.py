@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence
 
+from repro.obs.tracer import NULL_TRACER
 from repro.oskernel.cache import PageCache
 from repro.sim.engine import Simulator
 from repro.sim.events import EventPriority
@@ -80,6 +81,8 @@ class FlusherThread:
         self.pages_flushed = 0
         #: Pages flushed by pressure-triggered background write-back.
         self.background_flushes = 0
+        #: Sim-time tracer; replaced by Observability.install when tracing.
+        self.tracer = NULL_TRACER
         self._started = False
         self._bg_flush_pending = False
         cache.pressure_listeners.append(self._on_pressure)
@@ -103,7 +106,19 @@ class FlusherThread:
     def _wake(self) -> None:
         self.wakeups += 1
         now = self.sim.now
-        self.flush_once(now)
+        pages = self.flush_once(now)
+        if self.tracer.enabled:
+            # Duration event on the flusher track (a wake-up is atomic in
+            # sim time, so dur=0) carrying what the wake-up issued.
+            self.tracer.complete(
+                "flusher",
+                "flusher.wakeup",
+                start_ns=now,
+                dur_ns=0,
+                pages_issued=pages,
+                dirty_pages=self.cache.dirty_pages,
+                wakeup=self.wakeups,
+            )
         for hook in list(self.tick_hooks):
             hook(now)
         self.sim.schedule(
@@ -160,7 +175,17 @@ class FlusherThread:
         self._bg_flush_pending = False
         to_flush: set = set()
         self._add_volume_excess(to_flush)
-        self.background_flushes += self._flush_set(to_flush)
+        pages = self._flush_set(to_flush)
+        self.background_flushes += pages
+        if self.tracer.enabled:
+            self.tracer.complete(
+                "flusher",
+                "flusher.bg_flush",
+                start_ns=self.sim.now,
+                dur_ns=0,
+                pages_issued=pages,
+                dirty_pages=self.cache.dirty_pages,
+            )
 
     def _issue(self, lpns: Sequence[int]) -> None:
         """Coalesce sorted LPNs into extents and submit WRITEBACK I/O."""

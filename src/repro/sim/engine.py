@@ -12,6 +12,7 @@ always observes ``sim.now`` equal to its own firing time.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter_ns
 from typing import Any, Callable, List, Optional
 
 from repro.sim.events import Event, EventPriority
@@ -43,6 +44,8 @@ class Simulator:
         self._stopped: bool = False
         #: Number of events dispatched so far (monitoring / tests).
         self.dispatched: int = 0
+        #: Optional wall-clock profiler (see :meth:`set_profiler`).
+        self._profiler = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -51,6 +54,24 @@ class Simulator:
     def now(self) -> int:
         """Current simulated time in integer nanoseconds."""
         return self._now
+
+    # ------------------------------------------------------------------
+    # Profiling
+    # ------------------------------------------------------------------
+    @property
+    def profiler(self):
+        """The attached :class:`~repro.obs.profiler.LoopProfiler`, if any."""
+        return self._profiler
+
+    def set_profiler(self, profiler) -> None:
+        """Attach (or with ``None`` detach) a wall-clock loop profiler.
+
+        With a profiler attached every dispatched event is timed with
+        ``perf_counter_ns`` and accounted under its event name (or the
+        callback's qualified name); with none attached the dispatch loop
+        pays only an ``is None`` check.
+        """
+        self._profiler = profiler
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -103,7 +124,16 @@ class Simulator:
                 continue
             self._now = event.time
             self.dispatched += 1
-            event.callback()
+            profiler = self._profiler
+            if profiler is None:
+                event.callback()
+            else:
+                label = event.name or getattr(
+                    event.callback, "__qualname__", "anonymous"
+                )
+                start = perf_counter_ns()
+                event.callback()
+                profiler.record(label, perf_counter_ns() - start)
             return True
         return False
 

@@ -122,11 +122,14 @@ class SsdConfig:
         victim_selector: Optional[VictimSelector] = None,
         clock=None,
         seed: int = 0,
+        registry=None,
     ) -> PageMappedFtl:
         """Instantiate a fresh FTL (and NAND) per this configuration.
 
         ``seed`` feeds the fault injector (when a fault profile is set),
         keeping fault sequences reproducible per scenario seed.
+        ``registry`` is an optional shared metrics registry; the FTL
+        creates a private one when omitted.
         """
         nand = self.build_nand(seed=seed)
         leveler = None
@@ -143,6 +146,7 @@ class SsdConfig:
             max_read_retries=self.max_read_retries,
             max_program_retries=self.max_program_retries,
             max_erase_retries=self.max_erase_retries,
+            registry=registry,
         )
 
     @property

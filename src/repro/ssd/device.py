@@ -21,6 +21,8 @@ from collections import deque
 from typing import Callable, Deque, List, Optional
 
 from repro.ftl.victim import VictimSelector
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.engine import Simulator
 from repro.sim.events import EventPriority
 from repro.sim.simtime import MICROSECOND
@@ -56,6 +58,9 @@ class SsdDevice:
             :attr:`controller`).
         seed: scenario seed forwarded to the FTL build (drives the fault
             injector when the config carries a fault profile).
+        registry: shared metrics registry handed down to the FTL (the
+            host system passes its Observability registry here so the
+            whole stack reports into one instrument namespace).
     """
 
     #: Fixed service latency of a TRIM command.
@@ -68,14 +73,20 @@ class SsdDevice:
         victim_selector: Optional[VictimSelector] = None,
         controller: Optional[ReclaimController] = None,
         seed: int = 0,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.sim = sim
         self.config = config
         self.ftl = config.build_ftl(
-            victim_selector=victim_selector, clock=lambda: sim.now, seed=seed
+            victim_selector=victim_selector,
+            clock=lambda: sim.now,
+            seed=seed,
+            registry=registry,
         )
         self.controller = controller
         self.parallelism = max(1, config.channel_parallelism)
+        #: Sim-time tracer; replaced by Observability.install when tracing.
+        self.tracer = NULL_TRACER
 
         self._queue: Deque[IoRequest] = deque()
         self._busy = False
@@ -195,6 +206,18 @@ class SsdDevice:
         request.complete_time = self.sim.now
         self.busy_ns += latency
         self.requests_completed += 1
+        if self.tracer.enabled and fgc_ns > 0:
+            # The request stalled on foreground GC: a duration event on
+            # the device track spanning the whole (stalled) service.
+            self.tracer.complete(
+                "device",
+                "fgc.stall",
+                start_ns=request.start_time,
+                dur_ns=latency,
+                fgc_ns=fgc_ns,
+                kind=request.kind.name,
+                pages=request.page_count,
+            )
 
         nbytes = request.page_count * self.config.geometry.page_size
         if request.is_write:
@@ -278,6 +301,14 @@ class SsdDevice:
         freed_pages = self.ftl.free_pages() - free_before
         freed_bytes = freed_pages * self.config.geometry.page_size
         self.gc_bandwidth.observe(max(0, freed_bytes), latency)
+        if self.tracer.enabled:
+            self.tracer.complete(
+                "device",
+                "bgc.block",
+                start_ns=self.sim.now - latency,
+                dur_ns=latency,
+                freed_pages=freed_pages,
+            )
         if self.controller is not None:
             self.controller.on_block_collected(self, freed_pages)
         if self._queue:
@@ -304,6 +335,13 @@ class SsdDevice:
         self._busy = False
         self.busy_ns += latency
         self.bgc_busy_ns += latency
+        if self.tracer.enabled:
+            self.tracer.complete(
+                "device",
+                "wear_level.block",
+                start_ns=self.sim.now - latency,
+                dur_ns=latency,
+            )
         self._start_next()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -84,3 +86,61 @@ def test_sweep_command(tmp_path, capsys):
     assert main(args) == 0
     out = capsys.readouterr().out
     assert out.count("skipped") == 4
+
+
+def test_run_with_jsonl_trace(tmp_path, capsys):
+    trace = tmp_path / "run.jsonl"
+    assert main(
+        ["run", "--seed", "13", "--faults", "light",
+         "--trace", str(trace), *QUICK]
+    ) == 0
+    lines = trace.read_text().splitlines()
+    header = json.loads(lines[0])
+    assert header["type"] == "header"
+    assert header["seed"] == 13
+    assert header["fault_profile"] == "light"
+    assert header["policy"] == "JIT-GC"
+    events = [json.loads(line) for line in lines[1:]]
+    assert events
+    assert all(e["type"] == "event" for e in events)
+    assert "manager.tick" in {e["name"] for e in events}
+
+
+def test_run_with_chrome_trace(tmp_path, capsys):
+    trace = tmp_path / "run.json"
+    assert main(
+        ["run", "--trace", str(trace), "--trace-format", "chrome", *QUICK]
+    ) == 0
+    document = json.loads(trace.read_text())
+    assert set(document) == {"traceEvents", "otherData", "displayTimeUnit"}
+    assert document["otherData"]["seed"] == 42
+    real = [e for e in document["traceEvents"] if e["ph"] != "M"]
+    assert real
+    for event in real:
+        assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+
+
+def test_run_rejects_unknown_trace_format(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["run", "--trace", str(tmp_path / "t"), "--trace-format", "xml"])
+
+
+def test_run_with_profile_prints_report(capsys):
+    assert main(["run", "--profile", *QUICK]) == 0
+    out = capsys.readouterr().out
+    assert "event-loop profile:" in out
+    assert "wall" in out
+
+
+def test_sweep_suffixes_traces_per_scenario(tmp_path, capsys):
+    trace = tmp_path / "sweep.jsonl"
+    args = ["sweep", "--workload", "YCSB", "--blocks", "64",
+            "--pages-per-block", "8", "--warmup", "0", "--measure", "1",
+            "--trace", str(trace)]
+    assert main(args) == 0
+    written = sorted(p.name for p in tmp_path.glob("sweep-*.jsonl"))
+    assert len(written) == 4
+    for path in tmp_path.glob("sweep-*.jsonl"):
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["type"] == "header"
+        assert "fault_profile" in header

@@ -1,0 +1,175 @@
+"""Tests for the decision-audit log, including the Sec 3.3 branch audit."""
+
+import pytest
+
+from repro.core.policies import JitGcPolicy
+from repro.host import HostSystem
+from repro.metrics.collector import MetricsCollector
+from repro.obs import Observability, ObservabilityConfig
+from repro.obs.audit import (
+    BRANCH_DEFER,
+    BRANCH_INVOKE,
+    BRANCH_NO_BGC,
+    DISABLED_AUDIT,
+    DecisionAuditLog,
+    FaultRecord,
+    ManagerTickRecord,
+    VictimRecord,
+)
+from repro.sim.simtime import SECOND
+from repro.ssd.config import SsdConfig
+from repro.workloads import BENCHMARKS, Region
+
+
+def _tick(branch, **overrides):
+    fields = dict(
+        t_ns=0, dbuf_bytes=0, ddir_bytes=0, creq_bytes=0, cfree_bytes=0,
+        tw_ns=0, tidle_ns=0, tgc_ns=0, reclaim_bytes=0, guard_bytes=0,
+        quota_pages=0, branch=branch, write_bw=1.0, gc_bw=1.0,
+    )
+    fields.update(overrides)
+    return ManagerTickRecord(**fields)
+
+
+def test_disabled_audit_records_nothing():
+    assert DISABLED_AUDIT.enabled is False
+    DISABLED_AUDIT.record_manager_tick(_tick(BRANCH_DEFER))
+    DISABLED_AUDIT.record_victim(
+        VictimRecord(0, 1, 2, 2.0, 3, 0, background=True)
+    )
+    DISABLED_AUDIT.record_fault(FaultRecord(0, "read", 1, 2, "read-retry"))
+    assert DISABLED_AUDIT.total_records() == 0
+
+
+def test_audit_log_caps_and_counts_drops():
+    audit = DecisionAuditLog(limit=2)
+    for i in range(5):
+        audit.record_fault(FaultRecord(i, "read", 0, 0, "read-retry"))
+    assert len(audit.faults) == 2
+    assert audit.dropped == 3
+
+
+def test_ticks_filter_by_branch():
+    audit = DecisionAuditLog()
+    audit.record_manager_tick(_tick(BRANCH_NO_BGC))
+    audit.record_manager_tick(_tick(BRANCH_DEFER))
+    audit.record_manager_tick(_tick(BRANCH_DEFER))
+    assert len(audit.ticks()) == 3
+    assert len(audit.ticks(BRANCH_DEFER)) == 2
+    assert audit.ticks(BRANCH_INVOKE) == []
+
+
+def test_filtered_selections_query():
+    audit = DecisionAuditLog()
+    audit.record_victim(VictimRecord(0, 1, 4, 4.0, 8, 0, background=True))
+    audit.record_victim(VictimRecord(1, 2, 4, 4.0, 8, 2, background=True))
+    assert [v.block for v in audit.filtered_selections()] == [2]
+
+
+@pytest.fixture(scope="module")
+def jit_audit_run():
+    """A short JIT-GC run tuned (tight tau_expire) to hit all branches."""
+    config = SsdConfig.small(blocks=256, pages_per_block=64)
+    policy = JitGcPolicy()
+    obs = Observability.from_config(ObservabilityConfig(audit=True))
+    host = HostSystem(
+        config,
+        policy,
+        seed=42,
+        flusher_period_ns=SECOND,
+        tau_expire_ns=2 * SECOND,
+        obs=obs,
+    )
+    working_set = int(host.user_pages * 0.5)
+    host.prefill(working_set)
+    metrics = MetricsCollector(host, workload_name="YCSB")
+    workload = BENCHMARKS["YCSB"](host, metrics, Region(0, working_set))
+    workload.start()
+    host.run_for(10 * SECOND)
+    return host, obs.audit
+
+
+def test_jit_run_audits_every_manager_tick(jit_audit_run):
+    host, audit = jit_audit_run
+    # One audit record per flusher wake-up (the device never went
+    # read-only in this scenario).
+    assert len(audit.manager_ticks) == host.flusher.wakeups
+    times = [t.t_ns for t in audit.manager_ticks]
+    assert times == sorted(times)
+
+
+def test_jit_run_hits_all_three_branches(jit_audit_run):
+    _, audit = jit_audit_run
+    branches = {t.branch for t in audit.manager_ticks}
+    assert branches == {BRANCH_NO_BGC, BRANCH_DEFER, BRANCH_INVOKE}
+
+
+def test_no_bgc_tick_has_funded_future(jit_audit_run):
+    _, audit = jit_audit_run
+    for tick in audit.ticks(BRANCH_NO_BGC):
+        assert tick.cfree_bytes >= tick.creq_bytes
+        assert tick.reclaim_bytes == 0
+        assert tick.tw_ns == tick.tidle_ns == tick.tgc_ns == 0
+
+
+def test_deferred_tick_has_idle_covering_gc(jit_audit_run):
+    _, audit = jit_audit_run
+    deferred = audit.ticks(BRANCH_DEFER)
+    assert deferred
+    for tick in deferred:
+        assert tick.cfree_bytes < tick.creq_bytes
+        assert tick.tidle_ns >= tick.tgc_ns
+        assert tick.reclaim_bytes == 0
+
+
+def test_invoked_tick_reclaim_matches_paper_rule(jit_audit_run):
+    """Sec 3.3: Dreclaim = (Tgc - Tidle) * Bgc, capped at the shortfall."""
+    _, audit = jit_audit_run
+    invoked = audit.ticks(BRANCH_INVOKE)
+    assert invoked
+    for tick in invoked:
+        assert tick.tidle_ns <= tick.tgc_ns
+        expected = int((tick.tgc_ns - tick.tidle_ns) * tick.gc_bw / SECOND)
+        expected = min(expected, tick.creq_bytes - tick.cfree_bytes)
+        assert tick.reclaim_bytes == expected
+        assert tick.reclaim_bytes > 0
+        assert tick.quota_pages > 0
+
+
+def test_jit_run_audits_victim_selections(jit_audit_run):
+    host, audit = jit_audit_run
+    assert len(audit.victim_selections) == host.ftl.stats.victim_selections
+    for record in audit.victim_selections:
+        assert record.valid_pages is not None
+        assert 0 <= record.valid_pages <= host.config.geometry.pages_per_block
+        assert record.candidates_considered > 0
+
+
+def test_faulty_run_audits_recovery_paths():
+    config = SsdConfig.small(blocks=256, pages_per_block=32, fault_profile="light")
+    policy = JitGcPolicy()
+    obs = Observability.from_config(ObservabilityConfig(audit=True))
+    host = HostSystem(
+        config,
+        policy,
+        seed=42,
+        flusher_period_ns=SECOND,
+        obs=obs,
+    )
+    working_set = int(host.user_pages * 0.5)
+    host.prefill(working_set)
+    metrics = MetricsCollector(host, workload_name="YCSB")
+    workload = BENCHMARKS["YCSB"](host, metrics, Region(0, working_set))
+    workload.start()
+    host.run_for(10 * SECOND)
+
+    faults = obs.audit.faults
+    assert faults, "light profile should exercise at least one recovery"
+    kinds = {f.kind for f in faults}
+    assert kinds == {"read", "program"}
+    resolutions = {f.resolution for f in faults}
+    assert resolutions == {"read-retry", "block-retired"}
+    for fault in faults:
+        if fault.resolution == "read-retry":
+            assert fault.retries >= 1
+    assert not host.ftl.read_only

@@ -1,0 +1,135 @@
+"""Tests for the sim-time tracer and its sinks."""
+
+import json
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    TRACE_FORMAT_VERSION,
+    ChromeTraceSink,
+    InMemorySink,
+    JsonlTraceSink,
+    NullTracer,
+    Tracer,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0
+
+    def __call__(self):
+        return self.now
+
+
+def test_tracer_stamps_sim_time():
+    sink = InMemorySink()
+    clock = FakeClock()
+    tracer = Tracer(sink, clock=clock)
+    clock.now = 1_500
+    tracer.emit("ftl", "victim.select", block=7)
+    clock.now = 2_500
+    tracer.emit("ftl", "victim.select", block=9)
+    assert [r["ts"] for r in sink.records] == [1_500, 2_500]
+    assert sink.records[0]["args"] == {"block": 7}
+    assert all(r["ph"] == "i" for r in sink.records)
+
+
+def test_tracer_complete_and_counter_phases():
+    sink = InMemorySink()
+    tracer = Tracer(sink)
+    tracer.complete("device", "bgc.block", start_ns=100, dur_ns=50, freed_pages=3)
+    tracer.counter("metrics", "ftl.waf", {"value": 1.5})
+    complete, counter = sink.records
+    assert complete["ph"] == "X"
+    assert complete["ts"] == 100 and complete["dur"] == 50
+    assert counter["ph"] == "C"
+    assert counter["args"] == {"value": 1.5}
+
+
+def test_null_tracer_is_disabled_and_silent():
+    tracer = NullTracer()
+    assert tracer.enabled is False
+    tracer.emit("x", "y", a=1)
+    tracer.complete("x", "y", start_ns=0, dur_ns=1)
+    tracer.counter("x", "y", {"v": 1})
+    tracer.close()  # must not raise
+    assert NULL_TRACER.enabled is False
+
+
+def test_in_memory_sink_by_name():
+    sink = InMemorySink()
+    tracer = Tracer(sink)
+    tracer.emit("a", "one")
+    tracer.emit("a", "two")
+    tracer.emit("b", "one")
+    assert len(sink.by_name("one")) == 2
+    tracer.close()
+    assert sink.closed
+
+
+def test_jsonl_sink_header_first_then_events(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    sink = JsonlTraceSink(path, header={"seed": 7, "fault_profile": "light"})
+    tracer = Tracer(sink, clock=lambda: 42)
+    tracer.emit("manager", "manager.tick", branch="defer")
+    tracer.close()
+
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert lines[0]["type"] == "header"
+    assert lines[0]["format"] == TRACE_FORMAT_VERSION
+    assert lines[0]["time_unit"] == "ns"
+    assert lines[0]["seed"] == 7
+    assert lines[0]["fault_profile"] == "light"
+    event = lines[1]
+    assert event["type"] == "event"
+    assert event["name"] == "manager.tick"
+    assert event["ts"] == 42
+    assert event["args"]["branch"] == "defer"
+
+
+def test_chrome_sink_produces_loadable_document(tmp_path):
+    path = tmp_path / "trace.json"
+    sink = ChromeTraceSink(path, header={"seed": 3})
+    tracer = Tracer(sink, clock=lambda: 2_000)
+    tracer.emit("manager", "manager.tick", branch="invoke")
+    tracer.complete("device", "fgc.stall", start_ns=1_000, dur_ns=3_000)
+    tracer.close()
+
+    document = json.loads(path.read_text())
+    assert set(document) == {"traceEvents", "otherData", "displayTimeUnit"}
+    assert document["otherData"]["seed"] == 3
+    events = document["traceEvents"]
+    # Metadata names the process and one thread per category.
+    meta = [e for e in events if e["ph"] == "M"]
+    assert {e["args"]["name"] for e in meta} >= {"repro-sim", "manager", "device"}
+    real = [e for e in events if e["ph"] != "M"]
+    for event in real:
+        assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+    instant = next(e for e in real if e["ph"] == "i")
+    assert instant["s"] == "t"
+    assert instant["ts"] == 2.0  # ns -> us
+    complete = next(e for e in real if e["ph"] == "X")
+    assert complete["ts"] == 1.0 and complete["dur"] == 3.0
+
+
+def test_chrome_sink_assigns_one_tid_per_category(tmp_path):
+    sink = ChromeTraceSink(tmp_path / "t.json")
+    tracer = Tracer(sink)
+    for _ in range(3):
+        tracer.emit("manager", "tick")
+        tracer.emit("flusher", "wakeup")
+    tracer.close()
+    document = json.loads((tmp_path / "t.json").read_text())
+    tids = {
+        e["cat"]: e["tid"] for e in document["traceEvents"] if e["ph"] != "M"
+    }
+    assert len(set(tids.values())) == 2
+
+
+def test_chrome_sink_close_is_idempotent(tmp_path):
+    sink = ChromeTraceSink(tmp_path / "t.json")
+    sink.write({"ph": "i", "cat": "a", "name": "n", "ts": 0})
+    sink.close()
+    sink.close()
+    document = json.loads((tmp_path / "t.json").read_text())
+    assert any(e["name"] == "n" for e in document["traceEvents"])

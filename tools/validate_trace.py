@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validate trace files produced by ``python -m repro run --trace``.
+
+Accepts any mix of JSONL and Chrome ``trace_event`` traces (the format
+is sniffed from the first byte) and checks the structural invariants
+the CI smoke job relies on:
+
+* JSONL: first line is a ``repro-trace/1`` header carrying ``seed`` and
+  ``fault_profile``; every following line is an ``event`` record with a
+  name and a sim-time ``ts``.
+* Chrome: a single JSON document with ``traceEvents`` / ``otherData`` /
+  ``displayTimeUnit``; every non-metadata event carries the keys a
+  Perfetto / ``chrome://tracing`` load requires, and timestamps are
+  monotone per track (tid).
+
+Exit status 0 when every file passes; 1 with a diagnostic otherwise.
+"""
+
+import json
+import sys
+
+REQUIRED_EVENT_KEYS = {"name", "ph", "ts", "pid", "tid"}
+
+
+def validate_jsonl(path: str) -> None:
+    with open(path, encoding="utf-8") as handle:
+        lines = [json.loads(line) for line in handle if line.strip()]
+    if not lines:
+        raise ValueError("empty trace")
+    header = lines[0]
+    if header.get("type") != "header":
+        raise ValueError("first line is not a header record")
+    if header.get("format") != "repro-trace/1":
+        raise ValueError(f"unexpected format {header.get('format')!r}")
+    for key in ("seed", "fault_profile", "time_unit"):
+        if key not in header:
+            raise ValueError(f"header missing {key!r}")
+    events = lines[1:]
+    if not events:
+        raise ValueError("no events after header")
+    for event in events:
+        if event.get("type") != "event":
+            raise ValueError(f"non-event record: {event}")
+        for key in ("name", "cat", "ts", "ph"):
+            if key not in event:
+                raise ValueError(f"event missing {key!r}: {event}")
+    print(f"{path}: ok (jsonl, {len(events)} events)")
+
+
+def validate_chrome(path: str) -> None:
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    for key in ("traceEvents", "otherData", "displayTimeUnit"):
+        if key not in document:
+            raise ValueError(f"document missing {key!r}")
+    for key in ("seed", "fault_profile"):
+        if key not in document["otherData"]:
+            raise ValueError(f"otherData missing {key!r}")
+    events = [e for e in document["traceEvents"] if e.get("ph") != "M"]
+    if not events:
+        raise ValueError("no non-metadata events")
+    last_ts = {}
+    for event in events:
+        missing = REQUIRED_EVENT_KEYS - set(event)
+        if missing:
+            raise ValueError(f"event missing {sorted(missing)}: {event}")
+        tid = event["tid"]
+        if event["ts"] < last_ts.get(tid, 0):
+            raise ValueError(f"timestamps not monotone on tid {tid}")
+        last_ts[tid] = event["ts"]
+    print(f"{path}: ok (chrome, {len(events)} events, {len(last_ts)} tracks)")
+
+
+def validate(path: str) -> None:
+    with open(path, encoding="utf-8") as handle:
+        first = handle.read(1)
+    # A chrome trace is one JSON object; JSONL starts with a header line.
+    if first == "{" and _is_single_document(path):
+        validate_chrome(path)
+    else:
+        validate_jsonl(path)
+
+
+def _is_single_document(path: str) -> bool:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            json.load(handle)
+        return True
+    except json.JSONDecodeError:
+        return False
+
+
+def main(argv) -> int:
+    if not argv:
+        print("usage: validate_trace.py TRACE [TRACE ...]", file=sys.stderr)
+        return 2
+    for path in argv:
+        try:
+            validate(path)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            print(f"{path}: FAIL: {error}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
