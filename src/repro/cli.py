@@ -157,7 +157,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     spec = _spec_from(args)
     _echo_run_header(spec)
-    results = run_policy_comparison(spec)
+    results = run_policy_comparison(spec, jobs=args.jobs)
     iops = normalize_to({p: m.iops for p, m in results.items()}, "A-BGC")
     waf = normalize_to({p: m.waf for p, m in results.items()}, "A-BGC")
     rows = [
@@ -179,6 +179,14 @@ def cmd_oracle(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for scenario execution (1 = in-process; "
+        "results are identical, only wall-clock changes — see PERFORMANCE.md)",
+    )
+
+
 def _artifact_command(runner):
     def command(args: argparse.Namespace) -> int:
         spec = _spec_from(args)
@@ -186,6 +194,11 @@ def _artifact_command(runner):
         return 0
 
     return command
+
+
+def cmd_fig2(args: argparse.Namespace) -> int:
+    print(run_fig2(_spec_from(args), jobs=args.jobs).format())
+    return 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -198,6 +211,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         resume=not args.no_resume,
         timeout_s=args.timeout,
         on_result=lambda key, m: print(f"done {key}: {m.iops:.1f} IOPS"),
+        jobs=args.jobs,
     )
     for key in outcome.skipped:
         print(f"skipped {key} (already in checkpoint)")
@@ -244,14 +258,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     compare_parser = sub.add_parser("compare", help="four-policy comparison")
     _add_scenario_args(compare_parser)
+    _add_jobs_arg(compare_parser)
     compare_parser.set_defaults(func=cmd_compare)
 
     oracle_parser = sub.add_parser("oracle", help="JIT-GC vs the ideal policy")
     _add_scenario_args(oracle_parser)
     oracle_parser.set_defaults(func=cmd_oracle)
 
+    fig2_parser = sub.add_parser("fig2", help="reserved-capacity sweep (paper Fig. 2)")
+    _add_scenario_args(fig2_parser)
+    _add_jobs_arg(fig2_parser)
+    fig2_parser.set_defaults(func=cmd_fig2)
+
     for name, runner, help_text in (
-        ("fig2", run_fig2, "reserved-capacity sweep (paper Fig. 2)"),
         ("fig7", run_fig7, "four policies x six benchmarks (paper Fig. 7)"),
         ("table1", run_table1, "buffered/direct write mix (paper Table 1)"),
         ("table2", run_table2, "prediction accuracy (paper Table 2)"),
@@ -277,6 +296,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=None, metavar="S",
         help="wall-clock budget per scenario (seconds)",
     )
+    _add_jobs_arg(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
 
     list_parser = sub.add_parser("list", help="available workloads and policies")

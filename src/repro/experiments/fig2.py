@@ -10,12 +10,13 @@ JIT-GC.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from functools import partial
 from typing import Dict, List, Sequence
 
 from repro.core.policies import FixedReservePolicy
 from repro.experiments.reporting import format_table, normalize_to
-from repro.experiments.runner import ScenarioSpec, run_scenario
+from repro.experiments.runner import ScenarioSpec, run_scenario, run_sweep
 from repro.metrics.collector import RunMetrics
 
 #: The paper's Fig. 2 x-axis.
@@ -71,21 +72,50 @@ class Fig2Result:
         )
 
 
+def fig2_specs(
+    base_spec: ScenarioSpec = None,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    reserve_points: Sequence[float] = RESERVE_POINTS,
+) -> Dict[str, ScenarioSpec]:
+    """The Fig. 2 grid as keyed scenario specs.
+
+    Policy factories are ``functools.partial`` (not lambdas) so the
+    specs survive pickling into :func:`run_sweep` worker processes.
+    """
+    base_spec = base_spec or ScenarioSpec()
+    specs: Dict[str, ScenarioSpec] = {}
+    for workload in workloads:
+        for point in reserve_points:
+            spec = base_spec.with_policy(
+                f"FIXED-{point:g}OP",
+                partial(FixedReservePolicy, point),
+            )
+            spec = replace(spec, workload=workload)
+            specs[spec.key()] = spec
+    return specs
+
+
 def run_fig2(
     base_spec: ScenarioSpec = None,
     workloads: Sequence[str] = DEFAULT_WORKLOADS,
     reserve_points: Sequence[float] = RESERVE_POINTS,
+    jobs: int = 1,
 ) -> Fig2Result:
     """Run the full Fig. 2 sweep; one scenario per (workload, Cresv)."""
     base_spec = base_spec or ScenarioSpec()
     result = Fig2Result(reserve_points=tuple(reserve_points))
+    specs = fig2_specs(base_spec, workloads, reserve_points)
+    if jobs <= 1:
+        metrics_by_key = {key: run_scenario(spec) for key, spec in specs.items()}
+    else:
+        outcome = run_sweep(specs, jobs=jobs)
+        if outcome.failures:
+            key, error = next(iter(outcome.failures.items()))
+            raise RuntimeError(f"fig2 scenario {key} failed: {error}")
+        metrics_by_key = outcome.results
     for workload in workloads:
         result.raw[workload] = {}
-        for point in reserve_points:
-            spec = base_spec.with_policy(
-                f"FIXED-{point:g}OP",
-                lambda p=point: FixedReservePolicy(p),
-            )
-            spec.workload = workload
-            result.raw[workload][point] = run_scenario(spec)
+    for key, spec in specs.items():
+        point = float(spec.policy.removeprefix("FIXED-").removesuffix("OP"))
+        result.raw[spec.workload][point] = metrics_by_key[key]
     return result

@@ -20,9 +20,12 @@ from __future__ import annotations
 
 import signal
 import threading
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterable, List, Optional, Union
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro import perf
 
 from repro.core.policies import (
     AdaptiveGcPolicy,
@@ -190,6 +193,15 @@ def run_scenario(spec: ScenarioSpec) -> RunMetrics:
     is frozen at the failure point and the returned metrics carry
     ``device_read_only=True``.
     """
+    return _run_scenario_host(spec)[0]
+
+
+def _run_scenario_host(spec: ScenarioSpec) -> Tuple[RunMetrics, HostSystem]:
+    """:func:`run_scenario`, also returning the live host.
+
+    Internal: the hot-path equivalence tests use the host to compare
+    decision-audit streams, not just the frozen metrics.
+    """
     if spec.workload not in BENCHMARKS:
         raise KeyError(
             f"unknown workload {spec.workload!r}; known: {sorted(BENCHMARKS)}"
@@ -236,7 +248,7 @@ def run_scenario(spec: ScenarioSpec) -> RunMetrics:
         report = host.obs.profile_report()
         if report is not None:
             print(report)
-        return results
+        return results, host
 
 
 def _advance_tolerating_death(host: HostSystem, duration_ns: int) -> bool:
@@ -259,24 +271,48 @@ def _advance_tolerating_death(host: HostSystem, duration_ns: int) -> bool:
     return died
 
 
+def _make_pool(jobs: int) -> ProcessPoolExecutor:
+    """Worker pool whose processes inherit the current perf-flag choice.
+
+    Worker processes re-read module globals at import, so without the
+    initializer a sweep launched inside :func:`repro.perf.scan_reference`
+    would silently run its workers on the indexed paths.
+    """
+    return ProcessPoolExecutor(
+        max_workers=jobs,
+        initializer=perf.set_hotpath_indexing,
+        initargs=(perf.hotpath_indexing_enabled(),),
+    )
+
+
 def run_policy_comparison(
     spec: ScenarioSpec,
     policies: Optional[Dict[str, Callable[[], GcPolicy]]] = None,
+    jobs: int = 1,
 ) -> Dict[str, RunMetrics]:
     """Run one workload under several policies (identical everything else).
+
+    With ``jobs > 1`` the per-policy runs execute in a process pool --
+    each scenario is already a self-contained deterministic replay (own
+    simulator, own seeded RNGs), so results are bit-identical to the
+    serial path and come back in the given policy order.
 
     Returns ``{policy_name: RunMetrics}`` in the given order.
     """
     policies = policies or POLICY_FACTORIES
-    results: Dict[str, RunMetrics] = {}
+    run_specs: Dict[str, ScenarioSpec] = {}
     for name, factory in policies.items():
         run_spec = spec.with_policy(name, factory)
         if run_spec.obs is not None and run_spec.obs.trace_path:
             # Per-policy trace files: compared runs never overwrite
             # each other's output.
             run_spec = replace(run_spec, obs=run_spec.obs.with_suffix(name))
-        results[name] = run_scenario(run_spec)
-    return results
+        run_specs[name] = run_spec
+    if jobs <= 1:
+        return {name: run_scenario(s) for name, s in run_specs.items()}
+    with _make_pool(jobs) as pool:
+        futures = {name: pool.submit(run_scenario, s) for name, s in run_specs.items()}
+        return {name: future.result() for name, future in futures.items()}
 
 
 @dataclass
@@ -308,6 +344,7 @@ def run_sweep(
     resume: bool = True,
     timeout_s: Optional[float] = None,
     on_result: Optional[Callable[[str, RunMetrics], None]] = None,
+    jobs: int = 1,
 ) -> SweepOutcome:
     """Run many scenarios with per-scenario fault isolation.
 
@@ -317,6 +354,17 @@ def run_sweep(
     set, every completed scenario is flushed to disk immediately, and a
     re-run with ``resume=True`` skips everything already measured, so a
     killed sweep loses at most the scenario it was inside.
+
+    With ``jobs > 1`` scenarios run in a ``ProcessPoolExecutor``.  Each
+    scenario is a self-contained deterministic replay (its own simulator
+    and seeded RNGs), so per-scenario results are bit-identical to a
+    serial run; only completion order varies, and ``results`` is
+    re-ordered to the input order before returning.  The checkpoint is
+    written exclusively by the parent process (one atomic write per
+    completion, exactly as in a serial run), so serial and parallel runs
+    can freely resume each other's checkpoints.  Per-scenario wall-clock
+    budgets still apply: ``SIGALRM`` timers run on each worker process's
+    main thread.
 
     Args:
         specs: the scenarios, either keyed explicitly (dict) or keyed by
@@ -328,7 +376,8 @@ def run_sweep(
         timeout_s: wall-clock budget applied to every scenario that does
             not set its own ``timeout_s``.
         on_result: optional callback invoked after each fresh completion
-            (progress reporting).
+            (progress reporting); called from the parent process.
+        jobs: worker processes (1 = run in-process, serially).
     """
     if isinstance(specs, dict):
         keyed = dict(specs)
@@ -351,6 +400,7 @@ def run_sweep(
             store.load()
 
     outcome = SweepOutcome()
+    pending: Dict[str, ScenarioSpec] = {}
     for key, spec in keyed.items():
         if store is not None and resume and store.is_completed(key):
             outcome.results[key] = store.completed[key]
@@ -359,18 +409,48 @@ def run_sweep(
         if spec.timeout_s is None and timeout_s is not None:
             spec = replace(spec, timeout_s=timeout_s)
         if spec.obs is not None and spec.obs.trace_path:
+            # Per-scenario trace files, same suffix rule serial or not.
             spec = replace(spec, obs=spec.obs.with_suffix(key.replace("/", "_")))
-        try:
-            metrics = run_scenario(spec)
-        except Exception as exc:  # noqa: BLE001 - isolation is the point
-            error = f"{type(exc).__name__}: {exc}"
+        pending[key] = spec
+
+    def _record(key: str, metrics: Optional[RunMetrics], error: Optional[str]) -> None:
+        if error is not None:
             outcome.failures[key] = error
             if store is not None:
                 store.record_failure(key, error)
-            continue
+            return
         outcome.results[key] = metrics
         if store is not None:
             store.record_success(key, metrics)
         if on_result is not None:
             on_result(key, metrics)
+
+    if jobs <= 1:
+        for key, spec in pending.items():
+            try:
+                metrics = run_scenario(spec)
+            except Exception as exc:  # noqa: BLE001 - isolation is the point
+                _record(key, None, f"{type(exc).__name__}: {exc}")
+                continue
+            _record(key, metrics, None)
+    elif pending:
+        with _make_pool(jobs) as pool:
+            futures = {
+                pool.submit(run_scenario, spec): key for key, spec in pending.items()
+            }
+            for future in as_completed(futures):
+                key = futures[future]
+                try:
+                    metrics = future.result()
+                except Exception as exc:  # noqa: BLE001 - isolation is the point
+                    # Includes BrokenProcessPool: a worker dying hard
+                    # fails every still-running scenario, each of which
+                    # stays retryable from the checkpoint.
+                    _record(key, None, f"{type(exc).__name__}: {exc}")
+                    continue
+                _record(key, metrics, None)
+        # Completion order is nondeterministic; reports should not be.
+        outcome.results = {
+            key: outcome.results[key] for key in keyed if key in outcome.results
+        }
     return outcome

@@ -31,8 +31,9 @@ from typing import Callable, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro import perf
 from repro.ftl.mapping import PageMap
-from repro.ftl.space import SpaceModel
+from repro.ftl.space import SipOverlapIndex, SpaceModel, ValidCountIndex
 from repro.ftl.stats import FtlStats
 from repro.ftl.victim import GreedySelector, VictimSelector
 from repro.ftl.wear import StaticWearLeveler, WearAwareAllocator
@@ -158,6 +159,19 @@ class PageMappedFtl:
         #: LPNs the host reported as soon-to-be-invalidated (paper's SIP list).
         self.sip_lpns: Set[int] = set()
 
+        #: Hot-path indexes (PERFORMANCE.md): candidate blocks ordered by
+        #: valid count, and per-block SIP-overlap counters.  None when the
+        #: process runs on the reference scan paths (repro.perf).
+        if perf.hotpath_indexing_enabled():
+            self.victim_index: Optional[ValidCountIndex] = ValidCountIndex()
+            self.sip_index: Optional[SipOverlapIndex] = SipOverlapIndex(
+                self.geometry.total_blocks
+            )
+            self.page_map.set_valid_observer(self._on_valid_delta)
+        else:
+            self.victim_index = None
+            self.sip_index = None
+
         good = [
             block
             for block in range(self.geometry.total_blocks)
@@ -181,6 +195,15 @@ class PageMappedFtl:
     # ------------------------------------------------------------------
     def _default_clock(self) -> int:
         return self._op_counter
+
+    def _on_valid_delta(self, block: int, lpn: int, delta: int) -> None:
+        """PageMap observer keeping the victim/SIP indexes current."""
+        index = self.victim_index
+        if index is not None:
+            index.adjust_if_tracked(block, delta)
+        sip = self.sip_index
+        if sip is not None:
+            sip.on_valid_delta(block, lpn, delta)
 
     def _allocate_block(self) -> int:
         block = self.allocator.allocate()
@@ -274,6 +297,8 @@ class PageMappedFtl:
             return
         self.retired_blocks.add(block)
         self._closed[block] = False
+        if self.victim_index is not None:
+            self.victim_index.untrack(block)
         self.stats.blocks_retired += 1
         effective_op = self.effective_op_pages()
         self._op_series.append(self._clock(), effective_op)
@@ -515,6 +540,8 @@ class PageMappedFtl:
     def _close_block(self, block: int) -> None:
         self._closed[block] = True
         self._close_time[block] = self._clock()
+        if self.victim_index is not None:
+            self.victim_index.track(block, self.page_map.valid_count(block))
 
     # ------------------------------------------------------------------
     # Garbage collection
@@ -529,6 +556,11 @@ class PageMappedFtl:
 
     def has_victim(self) -> bool:
         """True if some candidate holds reclaimable garbage."""
+        if self.victim_index is not None:
+            # O(1) amortized: the global minimum decides -- some block
+            # has garbage iff the fewest-valid block has garbage.
+            top = self.victim_index.peek_min()
+            return top is not None and top[0] < self.geometry.pages_per_block
         candidates = self.gc_candidates()
         if len(candidates) == 0:
             return False
@@ -553,14 +585,30 @@ class PageMappedFtl:
         if forced_victim is not None:
             victim: Optional[int] = forced_victim
         else:
-            candidates = self.gc_candidates()
-            decision = self.victim_selector.select(
-                candidates,
-                self.page_map,
-                block_ages=self._ages(),
-                sip_lpns=self.sip_lpns,
-                excluded_blocks=self.retired_blocks,
-            )
+            if self.victim_index is not None and getattr(
+                self.victim_selector, "uses_valid_index", False
+            ):
+                # Fast path: candidates come straight off the index; no
+                # candidate array, no O(blocks) age vector (the greedy
+                # family never reads block_ages).
+                decision = self.victim_selector.select(
+                    None,
+                    self.page_map,
+                    block_ages=None,
+                    sip_lpns=self.sip_lpns,
+                    excluded_blocks=self.retired_blocks,
+                    valid_index=self.victim_index,
+                    sip_overlap=self.sip_index,
+                )
+            else:
+                candidates = self.gc_candidates()
+                decision = self.victim_selector.select(
+                    candidates,
+                    self.page_map,
+                    block_ages=self._ages(),
+                    sip_lpns=self.sip_lpns,
+                    excluded_blocks=self.retired_blocks,
+                )
             victim = decision.block
             if victim is not None:
                 self.stats.victim_selections += 1
@@ -625,6 +673,8 @@ class PageMappedFtl:
         erase_ns, erased = self._erase_with_retry(victim)
         latency += erase_ns
         self._closed[victim] = False
+        if self.victim_index is not None:
+            self.victim_index.untrack(victim)
         if not erased:
             # Grown bad block: every erase attempt failed.
             self.nand.mark_bad(victim)
@@ -696,12 +746,40 @@ class PageMappedFtl:
     # Host-interface extensions (paper Sec 3.1)
     # ------------------------------------------------------------------
     def set_sip_list(self, lpns: Iterable[int]) -> None:
-        """Install the soon-to-be-invalidated page list from the host."""
-        self.sip_lpns = set(lpns)
+        """Install the soon-to-be-invalidated page list from the host.
+
+        With indexing enabled the per-block overlap counters are updated
+        from the *delta* against the previous list (plus per-page
+        validity events), so the SIP-filtered selector never recounts a
+        candidate block's pages.
+        """
+        if self.sip_index is not None:
+            self.sip_lpns = self.sip_index.replace(lpns, self.page_map)
+        else:
+            self.sip_lpns = set(lpns)
 
     def invariant_check(self) -> None:
         """Cross-structure consistency check used by tests."""
         self.page_map.invariant_check()
+        if self.victim_index is not None:
+            expected = {
+                int(block): self.page_map.valid_count(int(block))
+                for block in np.flatnonzero(self._closed)
+            }
+            if dict(self.victim_index.items()) != expected:
+                raise AssertionError(
+                    "valid-count index disagrees with the closed-block scan"
+                )
+        if self.sip_index is not None:
+            recounted = np.zeros(self.geometry.total_blocks, dtype=np.int32)
+            for lpn in self.sip_lpns:
+                ppn = self.page_map.lookup(lpn)
+                if ppn is not None:
+                    recounted[self.page_map.block_of(ppn)] += 1
+            if not np.array_equal(self.sip_index.snapshot(), recounted):
+                raise AssertionError(
+                    "SIP-overlap counters disagree with a full recount"
+                )
         for block in range(self.geometry.total_blocks):
             in_pool = block in self.allocator
             is_active = block in (self._active_user_block, self._active_gc_block)

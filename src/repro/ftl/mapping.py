@@ -11,7 +11,7 @@ Physical page numbers are flat: ``ppn = block * pages_per_block + page``.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Callable, Iterable, Iterator, Optional
 
 import numpy as np
 
@@ -40,6 +40,17 @@ class PageMap:
         self._valid_per_block = np.zeros(geometry.total_blocks, dtype=np.int32)
         #: Number of LPNs currently mapped (the paper's ``Cused`` in pages).
         self.mapped_count = 0
+        #: Single observer called as ``(block, lpn, delta)`` on every
+        #: per-page validity change (delta is +1 or -1).  The FTL's
+        #: victim/SIP indexes subscribe here; None costs one ``is None``
+        #: check per mutation.
+        self._observer: Optional[Callable[[int, int, int], None]] = None
+
+    def set_valid_observer(
+        self, observer: Optional[Callable[[int, int, int], None]]
+    ) -> None:
+        """Install (or with ``None`` remove) the validity-change observer."""
+        self._observer = observer
 
     # ------------------------------------------------------------------
     # Address helpers
@@ -75,7 +86,10 @@ class PageMap:
         self._l2p[lpn] = new_ppn
         self._p2l[new_ppn] = lpn
         self._valid[new_ppn] = True
-        self._valid_per_block[self.block_of(new_ppn)] += 1
+        block = self.block_of(new_ppn)
+        self._valid_per_block[block] += 1
+        if self._observer is not None:
+            self._observer(block, lpn, 1)
         return old_ppn if old_ppn != UNMAPPED else None
 
     def unmap(self, lpn: int) -> Optional[int]:
@@ -93,8 +107,12 @@ class PageMap:
         if not self._valid[ppn]:
             raise RuntimeError(f"double invalidation of PPN {ppn}")
         self._valid[ppn] = False
+        lpn = int(self._p2l[ppn])
         self._p2l[ppn] = UNMAPPED
-        self._valid_per_block[self.block_of(ppn)] -= 1
+        block = self.block_of(ppn)
+        self._valid_per_block[block] -= 1
+        if self._observer is not None:
+            self._observer(block, lpn, -1)
 
     def clear_block(self, block: int) -> None:
         """Reset per-page state of ``block`` after an erase.
@@ -124,6 +142,17 @@ class PageMap:
         """LPN stored at ``ppn`` if that physical page is valid."""
         lpn = int(self._p2l[ppn])
         return None if lpn == UNMAPPED else lpn
+
+    def mapped_blocks(self, lpns: Iterable[int]) -> np.ndarray:
+        """Block index of each currently-mapped LPN in ``lpns``.
+
+        Vectorized batch form of :meth:`lookup` + :meth:`block_of`;
+        unmapped LPNs are dropped.  A block appears once per mapped LPN
+        it holds, so the result feeds ``np.add.at`` style accumulation.
+        """
+        arr = np.fromiter(lpns, dtype=np.int64)
+        ppns = self._l2p[arr]
+        return ppns[ppns != UNMAPPED] // self.geometry.pages_per_block
 
     def is_valid(self, ppn: int) -> bool:
         return bool(self._valid[ppn])

@@ -14,13 +14,194 @@ capacity ``Cresv``:
 :class:`SpaceModel` holds the static split and converts between bytes,
 pages and blocks; dynamic quantities (Cused, Cfree) live in the FTL which
 owns the mapping state.
+
+This module also hosts the GC hot-path indexes (PERFORMANCE.md):
+:class:`ValidCountIndex` keeps victim candidates ordered by valid-page
+count so greedy selection stops rescanning every closed block, and
+:class:`SipOverlapIndex` keeps per-block counts of valid pages whose LPN
+is on the SIP list so the paper's filter stops recounting
+``valid_lpns_in_block x sip_lpns`` per GC invocation.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
 
 from repro.nand.geometry import NandGeometry
+
+
+class ValidCountIndex:
+    """Min-ordered index of GC candidates keyed by ``(valid_count, block)``.
+
+    Tracks the FTL's closed in-use blocks.  The heap holds stale entries
+    lazily: each tracked block carries a *generation* (bumped when the
+    block is re-closed after an erase) and an entry is live only when
+    both its generation and its count match the current tracked state.
+    A closed block's valid count only ever decreases (new programs go to
+    open frontier blocks), so pushing a fresh entry per decrement keeps
+    heap growth bounded by the invalidation rate.
+
+    Ranking is by ascending ``(count, block)``, which is bit-identical
+    to ``np.argmin`` / stable ``np.argsort`` over the ascending-block
+    candidate array the scan path uses.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, int]] = []
+        self._count: Dict[int, int] = {}
+        self._gen: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        """Number of tracked (closed, in-use) blocks."""
+        return len(self._count)
+
+    def tracks(self, block: int) -> bool:
+        return block in self._count
+
+    def count(self, block: int) -> int:
+        """Tracked valid count of ``block`` (must be tracked)."""
+        return self._count[block]
+
+    def items(self) -> Iterable[Tuple[int, int]]:
+        """``(block, count)`` view of the tracked population (tests)."""
+        return self._count.items()
+
+    def track(self, block: int, count: int) -> None:
+        """Start tracking ``block`` (it was just closed) at ``count``."""
+        gen = self._gen.get(block, 0) + 1
+        self._gen[block] = gen
+        self._count[block] = count
+        heapq.heappush(self._heap, (count, block, gen))
+
+    def untrack(self, block: int) -> None:
+        """Stop tracking ``block`` (erased or retired); idempotent."""
+        self._count.pop(block, None)
+
+    def adjust(self, block: int, delta: int) -> None:
+        """Apply a valid-count delta to a tracked block."""
+        count = self._count[block] + delta
+        self._count[block] = count
+        heapq.heappush(self._heap, (count, block, self._gen[block]))
+
+    def adjust_if_tracked(self, block: int, delta: int) -> None:
+        """One-lookup :meth:`tracks` + :meth:`adjust` (per-page hot path)."""
+        count = self._count.get(block)
+        if count is not None:
+            count += delta
+            self._count[block] = count
+            heapq.heappush(self._heap, (count, block, self._gen[block]))
+
+    def _is_live(self, entry: Tuple[int, int, int]) -> bool:
+        count, block, gen = entry
+        return self._gen.get(block) == gen and self._count.get(block) == count
+
+    def peek_min(self) -> Optional[Tuple[int, int]]:
+        """``(count, block)`` of the best candidate, or None when empty.
+
+        Dead heads are discarded permanently, so the amortized cost is
+        O(log n) per superseded entry.
+        """
+        heap = self._heap
+        while heap and not self._is_live(heap[0]):
+            heapq.heappop(heap)
+        if not heap:
+            return None
+        count, block, _gen = heap[0]
+        return count, block
+
+    def ranked_prefix(
+        self, k: int, excluded: Optional[Set[int]] = None
+    ) -> List[Tuple[int, int]]:
+        """First ``k`` tracked blocks by ascending ``(count, block)``.
+
+        Returns ``(block, count)`` pairs, skipping ``excluded`` blocks.
+        Live entries popped during the walk are pushed back, so the call
+        is read-only with O((k + stale) log n) cost.
+        """
+        exclude = excluded or ()
+        heap = self._heap
+        popped: List[Tuple[int, int, int]] = []
+        result: List[Tuple[int, int]] = []
+        seen: Set[int] = set()
+        while heap and len(result) < k:
+            entry = heapq.heappop(heap)
+            if not self._is_live(entry) or entry[1] in seen:
+                continue
+            popped.append(entry)
+            seen.add(entry[1])
+            if entry[1] in exclude:
+                continue
+            result.append((entry[1], entry[0]))
+        for entry in popped:
+            heapq.heappush(heap, entry)
+        return result
+
+    def min_block(self, excluded: Optional[Set[int]] = None) -> Optional[Tuple[int, int]]:
+        """Best ``(block, count)`` candidate outside ``excluded``."""
+        if not excluded:
+            top = self.peek_min()
+            return None if top is None else (top[1], top[0])
+        ranked = self.ranked_prefix(1, excluded)
+        return ranked[0] if ranked else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ValidCountIndex tracked={len(self._count)} heap={len(self._heap)}>"
+
+
+class SipOverlapIndex:
+    """Per-block count of valid pages whose LPN is soon-to-be-invalidated.
+
+    Maintained from two event streams:
+
+    * :meth:`replace` -- the host installed a new SIP list; only the set
+      *delta* against the previous list is walked (one mapping lookup
+      per changed LPN).
+    * :meth:`on_valid_delta` -- a page became valid/invalid; O(1) set
+      membership test.
+
+    ``overlap(block)`` then answers the SIP-filtered selector's
+    per-candidate question in O(1) instead of O(pages/block).
+    """
+
+    def __init__(self, total_blocks: int) -> None:
+        self._counts = np.zeros(total_blocks, dtype=np.int32)
+        #: The authoritative current SIP LPN set.
+        self.lpns: Set[int] = set()
+
+    def overlap(self, block: int) -> int:
+        """Valid pages of ``block`` whose LPN is on the SIP list."""
+        return int(self._counts[block])
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the per-block overlap counters (tests)."""
+        return self._counts.copy()
+
+    def on_valid_delta(self, block: int, lpn: int, delta: int) -> None:
+        if lpn in self.lpns:
+            self._counts[block] += delta
+
+    def replace(self, lpns: Iterable[int], page_map) -> Set[int]:
+        """Swap in a new SIP list, adjusting counts by the set delta.
+
+        Returns the new set (also stored as :attr:`lpns`).
+        """
+        new = set(lpns)
+        old = self.lpns
+        removed = old - new
+        if removed:
+            np.subtract.at(self._counts, page_map.mapped_blocks(removed), 1)
+        added = new - old
+        if added:
+            np.add.at(self._counts, page_map.mapped_blocks(added), 1)
+        self.lpns = new
+        return new
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SipOverlapIndex sip={len(self.lpns)}>"
 
 
 @dataclass(frozen=True)

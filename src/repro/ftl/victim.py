@@ -19,7 +19,7 @@ This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Set
+from typing import Optional, Set
 
 import numpy as np
 
@@ -76,6 +76,12 @@ class VictimSelector:
     #: Human-readable policy name (reports, repr).
     name = "abstract"
 
+    #: True when :meth:`select` accepts ``candidates=None`` plus the
+    #: ``valid_index`` / ``sip_overlap`` fast-path keywords.  The FTL
+    #: only passes them when this is set, so selector subclasses with
+    #: the original signature keep working unchanged.
+    uses_valid_index = False
+
     def select(
         self,
         candidates: np.ndarray,
@@ -107,6 +113,19 @@ class VictimSelector:
         return f"<{type(self).__name__}>"
 
 
+def _considered_via_index(valid_index, excluded_blocks: Optional[Set[int]]) -> int:
+    """Candidate population as the scan path would report it.
+
+    The scan path counts ``len(filter_excluded(candidates))``; with the
+    index that is the tracked population minus any excluded block that
+    is (transiently) still tracked.
+    """
+    considered = len(valid_index)
+    if excluded_blocks:
+        considered -= sum(1 for block in excluded_blocks if valid_index.tracks(block))
+    return considered
+
+
 class GreedySelector(VictimSelector):
     """Choose the candidate with the fewest valid pages.
 
@@ -114,15 +133,33 @@ class GreedySelector(VictimSelector):
     """
 
     name = "greedy"
+    uses_valid_index = True
 
     def select(
         self,
-        candidates: np.ndarray,
+        candidates: Optional[np.ndarray],
         page_map: PageMap,
         block_ages: Optional[np.ndarray] = None,
         sip_lpns: Optional[Set[int]] = None,
         excluded_blocks: Optional[Set[int]] = None,
+        valid_index=None,
+        sip_overlap=None,
     ) -> VictimDecision:
+        if valid_index is not None and candidates is None:
+            # Fast path: the FTL's ValidCountIndex already holds the
+            # candidates in (count, block) order -- O(1) amortized.
+            pick = valid_index.min_block(excluded_blocks)
+            if pick is None:
+                return VictimDecision(block=None)
+            best, valid = pick
+            return VictimDecision(
+                block=best,
+                candidates_considered=_considered_via_index(
+                    valid_index, excluded_blocks
+                ),
+                valid_pages=valid,
+                score=float(valid),
+            )
         candidates = filter_excluded(candidates, excluded_blocks)
         if len(candidates) == 0:
             return VictimDecision(block=None)
@@ -262,6 +299,7 @@ class SipFilteredSelector(VictimSelector):
     """
 
     name = "sip-filtered-greedy"
+    uses_valid_index = True
 
     def __init__(self, sip_fraction_threshold: float = 0.5, max_rank_scan: int = 8) -> None:
         if not 0.0 < sip_fraction_threshold <= 1.0:
@@ -283,25 +321,41 @@ class SipFilteredSelector(VictimSelector):
 
     def select(
         self,
-        candidates: np.ndarray,
+        candidates: Optional[np.ndarray],
         page_map: PageMap,
         block_ages: Optional[np.ndarray] = None,
         sip_lpns: Optional[Set[int]] = None,
         excluded_blocks: Optional[Set[int]] = None,
+        valid_index=None,
+        sip_overlap=None,
     ) -> VictimDecision:
-        candidates = filter_excluded(candidates, excluded_blocks)
-        if len(candidates) == 0:
-            return VictimDecision(block=None)
-        counts = page_map.valid_counts()[candidates]
-        order = np.argsort(counts, kind="stable")
-        ranked: Sequence[int] = [int(candidates[i]) for i in order[: self.max_rank_scan]]
+        if valid_index is not None and candidates is None:
+            # Fast path: greedy-ranked prefix straight off the index,
+            # SIP content off the O(1) overlap counters.
+            considered = _considered_via_index(valid_index, excluded_blocks)
+            if considered == 0:
+                return VictimDecision(block=None)
+            ranked = [
+                block
+                for block, _count in valid_index.ranked_prefix(
+                    self.max_rank_scan, excluded_blocks
+                )
+            ]
+        else:
+            candidates = filter_excluded(candidates, excluded_blocks)
+            if len(candidates) == 0:
+                return VictimDecision(block=None)
+            considered = len(candidates)
+            counts = page_map.valid_counts()[candidates]
+            order = np.argsort(counts, kind="stable")
+            ranked = [int(candidates[i]) for i in order[: self.max_rank_scan]]
         self.total_selections += 1
 
         if not sip_lpns:
             valid = page_map.valid_count(ranked[0])
             return VictimDecision(
                 block=ranked[0],
-                candidates_considered=len(candidates),
+                candidates_considered=considered,
                 valid_pages=valid,
                 score=float(valid),
             )
@@ -319,19 +373,22 @@ class SipFilteredSelector(VictimSelector):
                 self.total_filtered += filtered
                 return VictimDecision(
                     block=block,
-                    candidates_considered=len(candidates),
+                    candidates_considered=considered,
                     filtered_by_sip=filtered,
                     valid_pages=valid,
                     score=float(valid),
                 )
-            sip_pages = self.sip_valid_pages(block, page_map, sip_lpns)
+            if sip_overlap is not None:
+                sip_pages = sip_overlap.overlap(block)
+            else:
+                sip_pages = self.sip_valid_pages(block, page_map, sip_lpns)
             if sip_pages / valid > self.sip_fraction_threshold:
                 filtered += 1
                 continue
             self.total_filtered += filtered
             return VictimDecision(
                 block=block,
-                candidates_considered=len(candidates),
+                candidates_considered=considered,
                 filtered_by_sip=filtered,
                 valid_pages=valid,
                 score=float(valid),
@@ -343,7 +400,7 @@ class SipFilteredSelector(VictimSelector):
         fallback_valid = page_map.valid_count(ranked[0])
         return VictimDecision(
             block=ranked[0],
-            candidates_considered=len(candidates),
+            candidates_considered=considered,
             filtered_by_sip=filtered,
             valid_pages=fallback_valid,
             score=float(fallback_valid),

@@ -19,13 +19,24 @@ Dirty throttling: when dirty bytes exceed ``dirty_throttle_fraction`` of
 capacity, buffered writers must block until write-back drains the cache
 -- this is how a buffered-write workload ever feels SSD speed, and thus
 how GC stalls propagate to application IOPS.
+
+Hot-path acceleration (PERFORMANCE.md): the flusher and the buffered
+predictor interrogate the dirty set every tick.  By default the cache
+maintains a *last-update expiry index* -- dirty LPNs grouped into
+per-timestamp buckets kept in age order -- so :meth:`expired_dirty`
+costs O(pages expired) and :meth:`iter_oldest_dirty` streams
+oldest-first without sorting the whole population.  The original
+full-scan implementations remain as ``*_scan`` methods (the executable
+specification; selected via :mod:`repro.perf`).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List
+from typing import Callable, Dict, Iterable, Iterator, List, Tuple
+
+from repro import perf
 
 
 @dataclass
@@ -50,6 +61,8 @@ class PageCache:
         capacity_bytes: total cache capacity.
         dirty_throttle_fraction: dirty share of capacity beyond which
             buffered writers must block (Linux ``dirty_ratio`` analogue).
+        indexed: maintain the last-update expiry index (None reads the
+            :mod:`repro.perf` process default).
     """
 
     def __init__(
@@ -57,6 +70,7 @@ class PageCache:
         page_size: int,
         capacity_bytes: int,
         dirty_throttle_fraction: float = 0.4,
+        indexed: bool = None,
     ) -> None:
         if page_size <= 0 or capacity_bytes < page_size:
             raise ValueError("cache must hold at least one page")
@@ -69,11 +83,21 @@ class PageCache:
         self.dirty_throttle_pages = max(
             1, int(self.capacity_pages * dirty_throttle_fraction)
         )
+        self._indexed = (
+            perf.hotpath_indexing_enabled() if indexed is None else bool(indexed)
+        )
 
         self._dirty: "OrderedDict[int, DirtyPage]" = OrderedDict()
         self._clean: "OrderedDict[int, bool]" = OrderedDict()
         #: Pages issued to the device but not yet acknowledged.
         self._in_writeback: Dict[int, bool] = {}
+
+        #: Expiry index: last_update -> {lpn: None}, buckets kept in
+        #: ascending-timestamp order (sim time is monotone, so appends
+        #: are O(1); the out-of-order fallback only fires in synthetic
+        #: unit tests that rewind the clock).
+        self._by_time: "OrderedDict[int, Dict[int, None]]" = OrderedDict()
+        self._max_bucket_ts: int = -1
 
         #: Callbacks fired when dirty population drops below the throttle.
         self.drain_listeners: List[Callable[[], None]] = []
@@ -84,11 +108,47 @@ class PageCache:
         #: of (lpn, last_update) pairs so observers can tell age-expired
         #: flushes from early (fsync/volume-pressure) ones.
         self.writeback_listeners: List[Callable[[List[tuple]], None]] = []
+        #: Callbacks fired on every dirty-population change with
+        #: ``(added, removed)`` lists of ``(lpn, last_update)`` pairs.
+        #: Exactly ONE call per cache operation, however many pages the
+        #: operation touches -- the buffered predictor keeps its ``Dbuf``
+        #: histogram current from these without rescanning the cache.
+        self.dirty_listeners: List[
+            Callable[[List[Tuple[int, int]], List[Tuple[int, int]]], None]
+        ] = []
 
         # Counters.
         self.write_hits = 0
         self.read_hits = 0
         self.read_misses = 0
+
+    # ------------------------------------------------------------------
+    # Expiry-index maintenance
+    # ------------------------------------------------------------------
+    def _bucket_add(self, lpn: int, ts: int) -> None:
+        bucket = self._by_time.get(ts)
+        if bucket is None:
+            bucket = self._by_time[ts] = {}
+            if ts >= self._max_bucket_ts:
+                self._max_bucket_ts = ts
+            else:
+                # Clock went backwards (synthetic test input): restore
+                # ascending bucket order.  Never hit under a simulator.
+                for key in sorted(self._by_time):
+                    self._by_time.move_to_end(key)
+        bucket[lpn] = None
+
+    def _bucket_remove(self, lpn: int, ts: int) -> None:
+        bucket = self._by_time[ts]
+        del bucket[lpn]
+        if not bucket:
+            del self._by_time[ts]
+
+    def _notify_dirty(
+        self, added: List[Tuple[int, int]], removed: List[Tuple[int, int]]
+    ) -> None:
+        for listener in list(self.dirty_listeners):
+            listener(added, removed)
 
     # ------------------------------------------------------------------
     # Application-side operations
@@ -103,14 +163,24 @@ class PageCache:
         entry = self._dirty.get(lpn)
         if entry is not None:
             # Overwrite: age resets, flush is postponed (paper Fig. 4, B').
+            old_ts = entry.last_update
             entry.last_update = now
             self._dirty.move_to_end(lpn)
+            if self._indexed and old_ts != now:
+                self._bucket_remove(lpn, old_ts)
+                self._bucket_add(lpn, now)
             self.write_hits += 1
+            if self.dirty_listeners:
+                self._notify_dirty([(lpn, now)], [(lpn, old_ts)])
             return
         # A write to a page under write-back re-dirties it.
         self._in_writeback.pop(lpn, None)
         self._clean.pop(lpn, None)
         self._dirty[lpn] = DirtyPage(lpn=lpn, last_update=now)
+        if self._indexed:
+            self._bucket_add(lpn, now)
+        if self.dirty_listeners:
+            self._notify_dirty([(lpn, now)], [])
         self._evict_if_needed()
         if self.throttled():
             for listener in list(self.pressure_listeners):
@@ -137,33 +207,89 @@ class PageCache:
         self._evict_if_needed()
 
     def invalidate(self, lpns: Iterable[int]) -> None:
-        """Drop pages (file deletion, direct write over cached data)."""
+        """Drop pages (file deletion, direct write over cached data).
+
+        Dirty listeners observe the whole batch as ONE call, however
+        many pages are dropped.
+        """
+        removed: List[Tuple[int, int]] = []
         for lpn in lpns:
-            self._dirty.pop(lpn, None)
+            entry = self._dirty.pop(lpn, None)
+            if entry is not None:
+                if self._indexed:
+                    self._bucket_remove(lpn, entry.last_update)
+                removed.append((lpn, entry.last_update))
             self._clean.pop(lpn, None)
             self._in_writeback.pop(lpn, None)
+        if removed and self.dirty_listeners:
+            self._notify_dirty([], removed)
 
     # ------------------------------------------------------------------
     # Flusher-side operations
     # ------------------------------------------------------------------
     def expired_dirty(self, now: int, tau_expire: int) -> List[DirtyPage]:
-        """Dirty pages older than ``tau_expire`` at time ``now``."""
+        """Dirty pages older than ``tau_expire`` at time ``now``.
+
+        O(pages expired) on the expiry index (oldest bucket first, LPN
+        order within a bucket); the scan reference is
+        :meth:`expired_dirty_scan`.
+        """
+        if not self._indexed:
+            return self.expired_dirty_scan(now, tau_expire)
+        expired: List[DirtyPage] = []
+        for ts, bucket in self._by_time.items():
+            if now - ts < tau_expire:
+                break
+            expired.extend(self._dirty[lpn] for lpn in sorted(bucket))
+        return expired
+
+    def expired_dirty_scan(self, now: int, tau_expire: int) -> List[DirtyPage]:
+        """Reference implementation: full scan of the dirty set."""
         return [e for e in self._dirty.values() if now - e.last_update >= tau_expire]
 
     def oldest_dirty(self) -> List[DirtyPage]:
         """All dirty pages ordered oldest-first (by last update)."""
+        if not self._indexed:
+            return self.oldest_dirty_scan()
+        return list(self.iter_oldest_dirty())
+
+    def oldest_dirty_scan(self) -> List[DirtyPage]:
+        """Reference implementation: sort the whole dirty set."""
         return sorted(self._dirty.values(), key=lambda e: (e.last_update, e.lpn))
 
+    def iter_oldest_dirty(self) -> Iterator[DirtyPage]:
+        """Stream dirty pages oldest-first, lazily.
+
+        The flusher's volume condition only needs the oldest ``excess``
+        pages; with the index this stops after yielding them instead of
+        sorting the whole population.  Both implementations yield the
+        identical ``(last_update, lpn)`` order.
+        """
+        if not self._indexed:
+            yield from self.oldest_dirty_scan()
+            return
+        for bucket in self._by_time.values():
+            for lpn in sorted(bucket):
+                yield self._dirty[lpn]
+
     def begin_writeback(self, lpns: Iterable[int]) -> None:
-        """Move pages from dirty to the in-flight write-back set."""
+        """Move pages from dirty to the in-flight write-back set.
+
+        Writeback and dirty listeners each observe the whole batch as
+        ONE call (listener invocations do not scale with batch size).
+        """
         moved = []
         for lpn in lpns:
             entry = self._dirty.pop(lpn, None)
             if entry is None:
                 raise KeyError(f"page {lpn} is not dirty")
+            if self._indexed:
+                self._bucket_remove(lpn, entry.last_update)
             self._in_writeback[lpn] = True
             moved.append((lpn, entry.last_update))
         if moved:
+            if self.dirty_listeners:
+                self._notify_dirty([], moved)
             for listener in list(self.writeback_listeners):
                 listener(moved)
 
@@ -171,7 +297,8 @@ class PageCache:
         """Acknowledge device completion; pages become clean.
 
         Fires drain listeners if the dirty+writeback population dropped
-        below the throttle threshold.
+        below the throttle threshold (one notification per call, not
+        per page).
         """
         for lpn in lpns:
             if self._in_writeback.pop(lpn, None) is not None:
@@ -208,6 +335,10 @@ class PageCache:
     def dirty_items(self) -> List[DirtyPage]:
         """Snapshot of dirty pages (the predictor's scan input)."""
         return list(self._dirty.values())
+
+    def dirty_lpns(self) -> List[int]:
+        """Dirty LPNs in insertion order (the SIP-list snapshot)."""
+        return list(self._dirty.keys())
 
     def contains_dirty(self, lpn: int) -> bool:
         return lpn in self._dirty

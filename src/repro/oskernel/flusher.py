@@ -136,7 +136,7 @@ class FlusherThread:
         excess = self.cache.dirty_pages - len(to_flush) - self.tau_flush_pages
         if excess <= 0:
             return
-        for entry in self.cache.oldest_dirty():
+        for entry in self.cache.iter_oldest_dirty():
             if excess <= 0:
                 break
             if entry.lpn not in to_flush:

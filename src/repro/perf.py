@@ -1,0 +1,65 @@
+"""Hot-path acceleration switch: incremental indexes vs reference scans.
+
+The GC/flusher hot paths exist in two functionally identical
+implementations:
+
+* **indexed** (the default) -- incrementally maintained structures: the
+  page cache's last-update expiry index, the buffered-write predictor's
+  ``Dbuf`` interval histogram, and the FTL's valid-count /
+  SIP-overlap block indexes (see PERFORMANCE.md).
+* **scan** -- the original brute-force implementations that rescan the
+  whole dirty set / candidate list on every invocation.
+
+Both paths must produce **bit-identical** simulation results -- same
+:class:`~repro.metrics.collector.RunMetrics`, same decision-audit
+stream.  The scan path is kept as the executable specification: the
+equivalence suite (``tests/integration/test_hotpath_equivalence.py``)
+and the benchmark harness (``benchmarks/bench_hotpaths.py``) flip this
+switch to compare the two.
+
+The flag is read at *construction* time (``PageCache``,
+``BufferedWritePredictor``, ``PageMappedFtl``), so toggling it affects
+components built afterwards, never a live system -- which is exactly
+what an A/B scenario comparison needs.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Module-level switch; prefer the accessors below over direct writes.
+INDEXED_HOTPATHS: bool = True
+
+
+def hotpath_indexing_enabled() -> bool:
+    """True when newly built components should maintain incremental
+    indexes (the default)."""
+    return INDEXED_HOTPATHS
+
+
+def set_hotpath_indexing(enabled: bool) -> None:
+    """Select the implementation for components built from now on."""
+    global INDEXED_HOTPATHS
+    INDEXED_HOTPATHS = bool(enabled)
+
+
+@contextmanager
+def scan_reference() -> Iterator[None]:
+    """Build components on the original full-scan paths inside the block.
+
+    Used by the equivalence tests and ``bench_hotpaths.py`` to run the
+    reference implementation against the indexed one::
+
+        with perf.scan_reference():
+            baseline = run_scenario(spec)   # brute-force scans
+        indexed = run_scenario(spec)        # incremental indexes
+        assert baseline == indexed
+    """
+    global INDEXED_HOTPATHS
+    previous = INDEXED_HOTPATHS
+    INDEXED_HOTPATHS = False
+    try:
+        yield
+    finally:
+        INDEXED_HOTPATHS = previous

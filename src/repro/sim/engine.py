@@ -40,6 +40,7 @@ class Simulator:
         self._now: int = 0
         self._heap: List[Event] = []
         self._seq: int = 0
+        self._live: int = 0
         self._running: bool = False
         self._stopped: bool = False
         #: Number of events dispatched so far (monitoring / tests).
@@ -106,9 +107,14 @@ class Simulator:
                 f"cannot schedule event at {time} before current time {self._now}"
             )
         event = Event(time=time, priority=int(priority), seq=self._seq, callback=callback, name=name)
+        event._on_cancel = self._on_event_cancelled
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._heap, event)
         return event
+
+    def _on_event_cancelled(self) -> None:
+        self._live -= 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -122,6 +128,8 @@ class Simulator:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            event._on_cancel = None  # fired: a late cancel() is a no-op
+            self._live -= 1
             self._now = event.time
             self.dispatched += 1
             profiler = self._profiler
@@ -184,15 +192,19 @@ class Simulator:
     # Introspection
     # ------------------------------------------------------------------
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return self._live
 
     def peek_time(self) -> Optional[int]:
-        """Timestamp of the next live event, or ``None`` if idle."""
-        for event in sorted(self._heap):
-            if not event.cancelled:
-                return event.time
-        return None
+        """Timestamp of the next live event, or ``None`` if idle.
+
+        Cancelled heads are popped lazily, so the amortized cost is
+        O(log n) per cancelled event rather than a full heap sort per
+        call.
+        """
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Simulator now={self._now} pending={self.pending()}>"

@@ -50,6 +50,11 @@ class Event:
     callback: Callable[[], Any]
     name: Optional[str] = None
     cancelled: bool = field(default=False, compare=False)
+    #: Set by the scheduling simulator so cancellation can keep its
+    #: live-event counter exact without scanning the heap.
+    _on_cancel: Optional[Callable[[], None]] = field(
+        default=None, compare=False, repr=False
+    )
 
     def sort_key(self) -> Tuple[int, int, int]:
         """The total ordering key used by the event heap."""
@@ -62,8 +67,14 @@ class Event:
         """Mark the event so the engine discards it instead of firing it.
 
         Cancellation is O(1); the heap entry is dropped when it surfaces.
+        Idempotent, and a no-op after the event has already fired.
         """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel()
+            self._on_cancel = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         label = self.name or getattr(self.callback, "__qualname__", "callback")

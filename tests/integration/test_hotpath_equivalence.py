@@ -1,0 +1,241 @@
+"""Indexed hot paths must be bit-identical to the reference scans.
+
+The incremental indexes (PERFORMANCE.md) are pure accelerations: the
+page-cache expiry index, the predictor's interval histogram, the FTL's
+valid-count and SIP-overlap indexes, and the parallel sweep executor
+must all produce exactly the results of the original full-scan code.
+These tests drive both implementations -- property-style on the data
+structures, end-to-end on seed scenarios -- and assert equality of
+everything observable: query results, RunMetrics, and the decision-audit
+stream.
+"""
+
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import perf
+from repro.core.buffered_predictor import BufferedWritePredictor
+from repro.experiments.fig2 import fig2_specs
+from repro.experiments.runner import ScenarioSpec, _run_scenario_host, run_sweep
+from repro.ftl.ftl import PageMappedFtl
+from repro.ftl.space import SpaceModel
+from repro.ftl.victim import SipFilteredSelector
+from repro.nand.array import NandArray
+from repro.nand.geometry import NandGeometry
+from repro.nand.timing import NandTiming
+from repro.obs import ObservabilityConfig
+from repro.oskernel.cache import PageCache
+
+GEOMETRY = NandGeometry(page_size=4096, pages_per_block=4, blocks_per_plane=24)
+TIMING = NandTiming(read_ns=10, program_ns=100, erase_ns=1000, transfer_ns_per_page=1)
+
+
+# ----------------------------------------------------------------------
+# Page cache: expiry index vs full scan on random op sequences.
+# ----------------------------------------------------------------------
+cache_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["write", "invalidate", "writeback", "query"]),
+        st.integers(min_value=0, max_value=31),  # lpn
+        st.integers(min_value=0, max_value=40),  # time (may go backwards)
+    ),
+    max_size=80,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=cache_ops, tau=st.integers(min_value=1, max_value=20))
+def test_cache_expiry_index_matches_scan(ops, tau):
+    indexed = PageCache(page_size=4096, capacity_bytes=64 * 4096, indexed=True)
+    scan = PageCache(page_size=4096, capacity_bytes=64 * 4096, indexed=False)
+    now = 0
+    for op, lpn, t in ops:
+        now = max(now, t)
+        if op == "write":
+            indexed.write_page(lpn, t)
+            scan.write_page(lpn, t)
+        elif op == "invalidate":
+            indexed.invalidate([lpn])
+            scan.invalidate([lpn])
+        elif op == "writeback":
+            if scan.contains_dirty(lpn):
+                indexed.begin_writeback([lpn])
+                scan.begin_writeback([lpn])
+                indexed.complete_writeback([lpn])
+                scan.complete_writeback([lpn])
+        else:
+            assert indexed.oldest_dirty() == scan.oldest_dirty()
+            assert list(indexed.iter_oldest_dirty()) == scan.oldest_dirty_scan()
+            got = {e.lpn for e in indexed.expired_dirty(now, tau)}
+            want = {e.lpn for e in scan.expired_dirty_scan(now, tau)}
+            assert got == want
+    assert indexed.oldest_dirty() == scan.oldest_dirty_scan()
+    assert {e.lpn for e in indexed.expired_dirty(now, tau)} == {
+        e.lpn for e in scan.expired_dirty(now, tau)
+    }
+
+
+# ----------------------------------------------------------------------
+# Predictor: incremental Dbuf histogram vs full rescans at flusher ticks.
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    writes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=31),  # lpn
+            st.integers(min_value=0, max_value=60),  # time
+        ),
+        max_size=60,
+    ),
+    ticks=st.lists(st.integers(min_value=0, max_value=14), min_size=1, max_size=6),
+)
+def test_predictor_incremental_dbuf_matches_scan(writes, ticks):
+    period, tau = 5, 30
+    indexed_cache = PageCache(4096, 128 * 4096, indexed=True)
+    scan_cache = PageCache(4096, 128 * 4096, indexed=False)
+    indexed = BufferedWritePredictor(indexed_cache, period, tau, incremental=True)
+    scan = BufferedWritePredictor(scan_cache, period, tau, incremental=False)
+    for lpn, t in writes:
+        indexed_cache.write_page(lpn, t)
+        scan_cache.write_page(lpn, t)
+    for tick in sorted(ticks):
+        now = tick * period
+        a = indexed.predict(now)
+        b = scan.predict(now)
+        assert a.demands_bytes == b.demands_bytes
+        assert a.sip.as_set() == b.sip.as_set()
+
+
+# ----------------------------------------------------------------------
+# FTL: valid-count index, SIP-overlap counters, and victim decisions
+# agree with the scan implementation under random traffic.
+# ----------------------------------------------------------------------
+def _make_ftl(indexed: bool) -> PageMappedFtl:
+    def build() -> PageMappedFtl:
+        return PageMappedFtl(
+            NandArray(GEOMETRY, TIMING),
+            SpaceModel.from_op_ratio(GEOMETRY, 0.12),
+            victim_selector=SipFilteredSelector(),
+        )
+
+    if indexed:
+        return build()
+    with perf.scan_reference():
+        return build()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    writes=st.integers(min_value=50, max_value=300),
+)
+def test_ftl_indexes_match_scan_under_random_traffic(seed, writes):
+    import random
+
+    rng = random.Random(seed)
+    indexed = _make_ftl(indexed=True)
+    scan = _make_ftl(indexed=False)
+    assert indexed.victim_index is not None and indexed.sip_index is not None
+    assert scan.victim_index is None and scan.sip_index is None
+
+    user_pages = indexed.space.user_pages
+    for step in range(writes):
+        lpn = rng.randrange(user_pages // 2)
+        indexed.host_write_page(lpn)
+        scan.host_write_page(lpn)
+        if step % 17 == 0:
+            sip = [rng.randrange(user_pages // 2) for _ in range(rng.randrange(8))]
+            indexed.set_sip_list(sip)
+            scan.set_sip_list(sip)
+        if step % 13 == 0:
+            assert indexed.has_victim() == scan.has_victim()
+            if indexed.has_victim():
+                a = indexed.collect_one_block(background=True)
+                b = scan.collect_one_block(background=True)
+                assert a == b
+    # The index invariants hold, and both FTLs ended in the same state.
+    indexed.invariant_check()
+    scan.invariant_check()
+    assert dict(indexed.victim_index.items()) == {
+        int(block): scan.page_map.valid_count(int(block))
+        for block in scan.gc_candidates()
+    }
+    assert indexed.stats.__dict__ == scan.stats.__dict__
+
+
+# ----------------------------------------------------------------------
+# End-to-end: fig2- and fig7-style seed scenarios are bit-identical
+# (RunMetrics AND decision-audit streams) across the two paths.
+# ----------------------------------------------------------------------
+AUDIT_OBS = ObservabilityConfig(audit=True, metrics_interval_ns=0)
+
+
+def _run_both(spec: ScenarioSpec):
+    indexed_metrics, indexed_host = _run_scenario_host(spec)
+    with perf.scan_reference():
+        scan_metrics, scan_host = _run_scenario_host(spec)
+    return (indexed_metrics, indexed_host.obs.audit), (scan_metrics, scan_host.obs.audit)
+
+
+def _assert_identical(indexed, scan):
+    indexed_metrics, indexed_audit = indexed
+    scan_metrics, scan_audit = scan
+    assert indexed_metrics == scan_metrics
+    assert indexed_audit.manager_ticks == scan_audit.manager_ticks
+    assert indexed_audit.victim_selections == scan_audit.victim_selections
+    assert indexed_audit.faults == scan_audit.faults
+
+
+def test_fig7_seed_scenario_bit_identical():
+    spec = ScenarioSpec(
+        workload="YCSB",
+        policy="JIT-GC",
+        blocks=256,
+        pages_per_block=32,
+        warmup_s=10,
+        measure_s=30,
+        seed=7,
+        obs=AUDIT_OBS,
+    )
+    indexed, scan = _run_both(spec)
+    _assert_identical(indexed, scan)
+    # The run actually exercised the hot paths under test.
+    assert indexed[1].victim_selections
+
+
+def test_fig2_seed_scenario_bit_identical():
+    base = ScenarioSpec(
+        blocks=256, pages_per_block=32, warmup_s=10, measure_s=20, seed=7, obs=AUDIT_OBS
+    )
+    specs = fig2_specs(base, workloads=("YCSB",), reserve_points=(1.5,))
+    (spec,) = specs.values()
+    indexed, scan = _run_both(spec)
+    _assert_identical(indexed, scan)
+
+
+# ----------------------------------------------------------------------
+# Parallel executor: a --jobs run must agree with (and resume from) a
+# serial run's checkpoint.
+# ----------------------------------------------------------------------
+def test_parallel_sweep_resumes_serial_checkpoint(tmp_path):
+    base = ScenarioSpec(blocks=128, pages_per_block=32, warmup_s=5, measure_s=10, seed=3)
+    first = [base.with_policy(name) for name in ("L-BGC", "JIT-GC")]
+    checkpoint = os.fspath(tmp_path / "sweep.json")
+
+    serial = run_sweep(first, checkpoint=checkpoint)
+    assert serial.ok() and not serial.skipped
+
+    superset = first + [base.with_policy("A-BGC")]
+    parallel = run_sweep(superset, checkpoint=checkpoint, jobs=2)
+    assert parallel.ok()
+    # The serial results were resumed, not re-run...
+    assert sorted(parallel.skipped) == sorted(spec.key() for spec in first)
+    for spec in first:
+        assert parallel.results[spec.key()] == serial.results[spec.key()]
+    # ...results come back in input order, and the fresh scenario matches
+    # what a serial run of it produces.
+    assert list(parallel.results) == [spec.key() for spec in superset]
+    alone = run_sweep([superset[-1]])
+    assert parallel.results[superset[-1].key()] == alone.results[superset[-1].key()]

@@ -145,3 +145,67 @@ def test_validation():
         PageCache(0, 4096)
     with pytest.raises(ValueError):
         PageCache(4096, 4096, dirty_throttle_fraction=0)
+
+
+# ----------------------------------------------------------------------
+# Batched listener notification: one call per operation, regardless of
+# how many pages the operation touches.
+# ----------------------------------------------------------------------
+def test_listener_calls_do_not_scale_with_batch_size():
+    cache = make_cache(capacity_pages=256, throttle=1.0)
+    writeback_calls = []
+    dirty_calls = []
+    cache.writeback_listeners.append(lambda moved: writeback_calls.append(len(moved)))
+    cache.dirty_listeners.append(
+        lambda added, removed: dirty_calls.append((len(added), len(removed)))
+    )
+
+    for lpn in range(64):
+        cache.write_page(lpn, now=lpn)
+    assert dirty_calls == [(1, 0)] * 64
+
+    dirty_calls.clear()
+    cache.begin_writeback(list(range(32)))
+    assert writeback_calls == [32]  # one call for the whole batch
+    assert dirty_calls == [(0, 32)]
+    cache.complete_writeback(list(range(32)))
+
+    dirty_calls.clear()
+    cache.invalidate(range(32, 64))
+    assert dirty_calls == [(0, 32)]
+    assert cache.dirty_pages == 0
+
+
+def test_dirty_listener_reports_overwrite_as_move():
+    cache = make_cache()
+    events = []
+    cache.dirty_listeners.append(lambda added, removed: events.append((added, removed)))
+    cache.write_page(7, now=100)
+    cache.write_page(7, now=900)
+    assert events == [([(7, 100)], []), ([(7, 900)], [(7, 100)])]
+
+
+def test_iter_oldest_dirty_matches_oldest_dirty():
+    cache = make_cache()
+    for lpn, now in ((1, 30), (2, 10), (3, 20), (4, 10)):
+        cache.write_page(lpn, now=now)
+    assert [e.lpn for e in cache.iter_oldest_dirty()] == [2, 4, 3, 1]
+    assert list(cache.iter_oldest_dirty()) == cache.oldest_dirty()
+    assert cache.oldest_dirty() == cache.oldest_dirty_scan()
+
+
+def test_indexed_and_scan_caches_agree_after_churn():
+    indexed = PageCache(PAGE, 64 * PAGE, indexed=True)
+    scan = PageCache(PAGE, 64 * PAGE, indexed=False)
+    for c in (indexed, scan):
+        for lpn in range(16):
+            c.write_page(lpn, now=lpn % 5)
+        c.begin_writeback([0, 1, 2])
+        c.complete_writeback([0, 1, 2])
+        c.invalidate([3, 4])
+        c.write_page(1, now=9)
+    assert indexed.oldest_dirty() == scan.oldest_dirty()
+    for now, tau in ((10, 3), (10, 8), (4, 1)):
+        got = [e.lpn for e in indexed.expired_dirty(now, tau)]
+        want = [e.lpn for e in scan.expired_dirty(now, tau)]
+        assert sorted(got) == sorted(want)

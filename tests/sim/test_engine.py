@@ -149,3 +149,36 @@ def test_dispatched_counter():
         sim.schedule(i, lambda: None)
     sim.run()
     assert sim.dispatched == 4
+
+
+def test_pending_is_live_count_through_cancel_and_dispatch():
+    sim = Simulator()
+    events = [sim.schedule(i + 1, lambda: None) for i in range(4)]
+    assert sim.pending() == 4
+    events[0].cancel()
+    events[0].cancel()  # idempotent: must not double-decrement
+    assert sim.pending() == 3
+    sim.run()
+    assert sim.pending() == 0
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    event = sim.schedule(1, lambda: None)
+    sim.schedule(2, lambda: None)
+    sim.run(max_events=1)
+    event.cancel()  # already fired: must not corrupt the live count
+    assert sim.pending() == 1
+    assert sim.peek_time() == 2
+
+
+def test_peek_time_pops_cancelled_heads_lazily():
+    sim = Simulator()
+    head = [sim.schedule(i + 1, lambda: None) for i in range(3)]
+    survivor = sim.schedule(10, lambda: None)
+    for event in head:
+        event.cancel()
+    assert sim.peek_time() == 10
+    assert sim.pending() == 1
+    sim.run()
+    assert sim.now == survivor.time

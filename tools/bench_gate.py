@@ -1,0 +1,111 @@
+"""Regression gate for ``benchmarks/bench_hotpaths.py`` results.
+
+Benchmark numbers are machine-dependent, so the gate judges *ratios*
+(indexed vs scan on the same run), which transfer across hosts:
+
+1. The end-to-end ``events_per_sec`` speedup must clear ``--min-speedup``
+   (default 1.5x -- the CI floor; the committed full-mode baseline
+   documents >= 2x).
+2. Against ``--baseline`` (the committed ``BENCH_hotpaths.json``), no
+   metric's speedup may shrink by more than ``--tolerance`` (default 2x:
+   CI compares a quick-mode run against the full-mode baseline, so the
+   tolerance absorbs the scale difference; the absolute 1.5x floor in
+   (1) is the hard bar).
+3. The ``--jobs 2`` sweep must beat ``--jobs 1`` when the current host
+   actually has >= 2 CPUs; on single-core runners the check is skipped
+   (and says so).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py --quick --output /tmp/bench.json
+    python tools/bench_gate.py --current /tmp/bench.json --baseline BENCH_hotpaths.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Metrics whose indexed-vs-scan speedup is compared against the baseline.
+RATIO_METRICS = ("events_per_sec", "victim_selection_us", "flusher_tick_us")
+
+#: Minimum jobs1/jobs2 wall-clock ratio demanded on multi-core hosts.
+MIN_JOBS_SPEEDUP = 1.2
+
+
+def _load(path: Path) -> dict:
+    payload = json.loads(path.read_text())
+    if payload.get("schema") != "bench-hotpaths/v1":
+        raise SystemExit(f"{path}: unsupported schema {payload.get('schema')!r}")
+    return payload
+
+
+def check(current: dict, baseline: dict | None, min_speedup: float,
+          tolerance: float) -> list:
+    failures = []
+    results = current["results"]
+
+    speedup = results["events_per_sec"]["speedup"]
+    if speedup < min_speedup:
+        failures.append(
+            f"events_per_sec speedup {speedup}x is below the {min_speedup}x floor"
+        )
+
+    if baseline is not None:
+        for metric in RATIO_METRICS:
+            now = results[metric]["speedup"]
+            then = baseline["results"][metric]["speedup"]
+            floor = then / tolerance
+            if now < floor:
+                failures.append(
+                    f"{metric} speedup regressed: {now}x vs baseline {then}x "
+                    f"(floor {floor:.2f}x at tolerance {tolerance}x)"
+                )
+
+    jobs = results["sweep_jobs"]
+    cpus = jobs.get("cpu_count") or current.get("cpu_count") or 1
+    if cpus >= 2:
+        if jobs["speedup"] < MIN_JOBS_SPEEDUP:
+            failures.append(
+                f"sweep --jobs 2 speedup {jobs['speedup']}x is below "
+                f"{MIN_JOBS_SPEEDUP}x on a {cpus}-CPU host"
+            )
+    else:
+        print("[bench_gate] single-CPU host: skipping --jobs scaling check")
+
+    return failures
+
+
+def main(argv=None) -> int:
+    repo_root = Path(__file__).resolve().parents[1]
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current", type=Path, required=True, metavar="JSON",
+        help="results of the run under test",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=repo_root / "BENCH_hotpaths.json",
+        metavar="JSON", help="committed baseline (default: repo BENCH_hotpaths.json)",
+    )
+    parser.add_argument("--min-speedup", type=float, default=1.5)
+    parser.add_argument("--tolerance", type=float, default=2.0)
+    args = parser.parse_args(argv)
+
+    current = _load(args.current)
+    baseline = _load(args.baseline) if args.baseline.exists() else None
+    if baseline is None:
+        print(f"[bench_gate] no baseline at {args.baseline}; ratio-floor checks only")
+
+    failures = check(current, baseline, args.min_speedup, args.tolerance)
+    if failures:
+        for failure in failures:
+            print(f"[bench_gate] FAIL: {failure}")
+        return 1
+    print("[bench_gate] OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
