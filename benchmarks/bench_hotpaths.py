@@ -1,9 +1,12 @@
 """Hot-path benchmark: incremental indexes vs reference scans.
 
 Measures the costs the indexes attack (PERFORMANCE.md) and the parallel
-executor's wall-clock scaling, and writes the results to
-``BENCH_hotpaths.json`` -- the repo's perf-trajectory baseline that
-``tools/bench_gate.py`` guards in CI.
+executor's wall-clock scaling.  Without ``--output`` the run is
+*appended* to ``BENCH_hotpaths.json`` -- the repo's dated perf
+trajectory (``bench-hotpaths/v2``: one entry per run with date, commit
+and machine fingerprint) that ``tools/bench_gate.py`` gates against.
+With ``--output PATH`` a single-run ``bench-hotpaths/v1`` payload is
+written instead (what CI feeds the gate as the run under test).
 
 * ``events_per_sec``  -- end-to-end simulator throughput (dispatched
   events per wall second of the measurement window) on a GC-heavy
@@ -36,8 +39,11 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
 import os
+import platform
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -236,6 +242,52 @@ def bench_sweep_jobs(quick: bool) -> dict:
     return out
 
 
+def _machine_fingerprint() -> dict:
+    """Stable-ish identity of the host a trajectory entry was measured on.
+
+    Absolute numbers are only comparable within one fingerprint; the gate
+    therefore compares *ratios* (indexed/scan on the same host cancels
+    the machine out) but records the fingerprint so a human reading the
+    trajectory can tell which entries came from the same box.
+    """
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python_implementation": platform.python_implementation(),
+    }
+
+
+def _git_commit(repo_root: Path) -> str:
+    """Short commit hash of the measured tree (``unknown`` outside git)."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo_root, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+def _load_trajectory(path: Path) -> list:
+    """Existing trajectory entries; migrates a flat v1 payload in place."""
+    if not path.exists():
+        return []
+    payload = json.loads(path.read_text())
+    schema = payload.get("schema")
+    if schema == "bench-hotpaths/v2":
+        return list(payload["entries"])
+    if schema == "bench-hotpaths/v1":
+        # Pre-trajectory baseline: keep it as the first entry so the
+        # history starts where the repo's measurements started.
+        migrated = {"date": "unknown", "commit": "unknown",
+                    "machine": {}}
+        migrated.update(payload)
+        migrated.pop("schema", None)
+        return [migrated]
+    raise SystemExit(f"unsupported trajectory schema {schema!r} in {path}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -244,12 +296,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--output", default=None, metavar="PATH",
-        help="write results here (default: BENCH_hotpaths.json in the repo root)",
+        help="write a single-run payload here instead of appending to the "
+        "repo trajectory (BENCH_hotpaths.json)",
     )
     args = parser.parse_args(argv)
 
     repo_root = Path(__file__).resolve().parents[1]
-    output = Path(args.output) if args.output else repo_root / "BENCH_hotpaths.json"
 
     results = {}
     for name, bench in (
@@ -262,15 +314,32 @@ def main(argv=None) -> int:
         results[name] = bench(args.quick)
         print(f"[bench_hotpaths]   {json.dumps(results[name])}", flush=True)
 
-    payload = {
-        "schema": "bench-hotpaths/v1",
+    run = {
         "mode": "quick" if args.quick else "full",
         "python": sys.version.split()[0],
         "cpu_count": os.cpu_count(),
         "results": results,
     }
+    if args.output:
+        # Single measurement for the gate's --current input (CI).
+        payload = {"schema": "bench-hotpaths/v1", **run}
+        output = Path(args.output)
+        output.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"[bench_hotpaths] wrote {output}")
+        return 0
+
+    # Default: append a dated entry to the repo's perf trajectory.
+    output = repo_root / "BENCH_hotpaths.json"
+    entries = _load_trajectory(output)
+    entries.append({
+        "date": datetime.date.today().isoformat(),
+        "commit": _git_commit(repo_root),
+        "machine": _machine_fingerprint(),
+        **run,
+    })
+    payload = {"schema": "bench-hotpaths/v2", "entries": entries}
     output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"[bench_hotpaths] wrote {output}")
+    print(f"[bench_hotpaths] appended entry {len(entries)} to {output}")
     return 0
 
 

@@ -181,9 +181,10 @@ def cmd_oracle(args: argparse.Namespace) -> int:
 
 def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
-        help="worker processes for scenario execution (1 = in-process; "
-        "results are identical, only wall-clock changes — see PERFORMANCE.md)",
+        "--jobs", type=int, default=0, metavar="N",
+        help="worker processes for scenario execution (0 = adaptive: one "
+        "per CPU, capped at the scenario count; 1 = in-process; results "
+        "are identical, only wall-clock changes — see PERFORMANCE.md)",
     )
 
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.core.policies import GcPolicy
-from repro.sim.events import EventPriority
+from repro.sim.events import PRIORITY_CONTROL
 from repro.ssd.device import SsdDevice
 from repro.ssd.request import IoRequest
 
@@ -94,13 +94,13 @@ class OracleGcPolicy(GcPolicy):
     def attach(self, sim, device, cache, flusher) -> None:
         super().attach(sim, device, cache, flusher)
         sim.schedule(
-            self.future.interval_ns, self._tick, priority=EventPriority.CONTROL
+            self.future.interval_ns, self._tick, priority=PRIORITY_CONTROL
         )
 
     def _tick(self) -> None:
         self.device.kick_bgc()
         self.sim.schedule(
-            self.future.interval_ns, self._tick, priority=EventPriority.CONTROL
+            self.future.interval_ns, self._tick, priority=PRIORITY_CONTROL
         )
 
     def reclaim_demand_pages(self, device: SsdDevice) -> int:

@@ -38,7 +38,7 @@ from repro.obs.tracer import NULL_TRACER
 from repro.oskernel.cache import PageCache
 from repro.oskernel.flusher import FlusherThread
 from repro.sim.engine import Simulator
-from repro.sim.events import EventPriority
+from repro.sim.events import PRIORITY_CONTROL
 from repro.ssd.device import ReclaimController, SsdDevice
 from repro.ssd.interface import ExtendedHostInterface
 from repro.ssd.request import IoKind, IoRequest
@@ -161,7 +161,7 @@ class AdaptiveGcPolicy(GcPolicy):
         device.completion_listeners.append(self._on_completion)
         # The ADP tick is device-internal: it does not depend on the
         # flusher, so it runs on its own timer at the same period.
-        sim.schedule(self.period_ns, self._tick, priority=EventPriority.CONTROL)
+        sim.schedule(self.period_ns, self._tick, priority=PRIORITY_CONTROL)
 
     # ------------------------------------------------------------------
     def _on_completion(self, request: IoRequest) -> None:
@@ -190,7 +190,7 @@ class AdaptiveGcPolicy(GcPolicy):
             self.tracer.emit("manager", "adp.tick", target_bytes=delta)
 
         self.device.kick_bgc()
-        self.sim.schedule(self.period_ns, self._tick, priority=EventPriority.CONTROL)
+        self.sim.schedule(self.period_ns, self._tick, priority=PRIORITY_CONTROL)
 
     def reclaim_demand_pages(self, device: SsdDevice) -> int:
         page = device.config.geometry.page_size

@@ -17,6 +17,7 @@ from repro.experiments.runner import (
     ScenarioSpec,
     ScenarioTimeoutError,
     SweepOutcome,
+    resolve_jobs,
     run_policy_comparison,
     run_scenario,
     run_sweep,
@@ -43,6 +44,7 @@ __all__ = [
     "ScenarioTimeoutError",
     "SweepCheckpoint",
     "SweepOutcome",
+    "resolve_jobs",
     "run_policy_comparison",
     "run_scenario",
     "run_sweep",

@@ -13,7 +13,6 @@ or crashed sweep resumes by skipping everything already measured.
 
 from __future__ import annotations
 
-import dataclasses
 import json
 import os
 from pathlib import Path
@@ -29,7 +28,7 @@ SWEEP_SCHEMA = "repro.sweep-checkpoint.v1"
 
 def metrics_to_dict(metrics: RunMetrics) -> dict:
     """Plain-dict form of one result (JSON-ready)."""
-    payload = dataclasses.asdict(metrics)
+    payload = metrics.to_wire()
     payload["schema"] = SCHEMA
     return payload
 
@@ -40,12 +39,8 @@ def metrics_from_dict(payload: dict) -> RunMetrics:
         raise ValueError(
             f"unsupported schema {payload.get('schema')!r}; expected {SCHEMA}"
         )
-    fields = {f.name for f in dataclasses.fields(RunMetrics)}
-    kwargs = {k: v for k, v in payload.items() if k in fields}
-    # JSON turns tuples into lists; restore the timeline's shape.
-    if "op_timeline" in kwargs:
-        kwargs["op_timeline"] = [tuple(entry) for entry in kwargs["op_timeline"]]
-    return RunMetrics(**kwargs)
+    # JSON turns tuples into lists; from_wire restores the timeline's shape.
+    return RunMetrics.from_wire(payload)
 
 
 def save_results(

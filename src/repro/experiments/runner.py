@@ -18,11 +18,15 @@ and metric differences are attributable to the policy alone.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import signal
 import threading
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
+from queue import Empty
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro import perf
@@ -192,6 +196,11 @@ def run_scenario(spec: ScenarioSpec) -> RunMetrics:
     profiles can exhaust the spare capacity) is not an error: the window
     is frozen at the failure point and the returned metrics carry
     ``device_read_only=True``.
+
+    ``spec.timeout_s`` is enforced two ways: a monotonic deadline checked
+    at event-loop batch boundaries (works on any thread, including pool
+    workers), plus the ``SIGALRM`` backstop where available (covers
+    non-event phases like prefill on a main thread).
     """
     return _run_scenario_host(spec)[0]
 
@@ -206,6 +215,9 @@ def _run_scenario_host(spec: ScenarioSpec) -> Tuple[RunMetrics, HostSystem]:
         raise KeyError(
             f"unknown workload {spec.workload!r}; known: {sorted(BENCHMARKS)}"
         )
+    deadline: Optional[float] = None
+    if spec.timeout_s is not None and spec.timeout_s > 0:
+        deadline = time.monotonic() + spec.timeout_s
     with _wall_clock_limit(spec.timeout_s):
         config = spec.make_config()
         policy = spec.make_policy()
@@ -238,9 +250,13 @@ def _run_scenario_host(spec: ScenarioSpec) -> Tuple[RunMetrics, HostSystem]:
         )
         workload.start()
 
-        _advance_tolerating_death(host, spec.warmup_s * SECOND)
+        _advance_tolerating_death(
+            host, spec.warmup_s * SECOND, deadline, spec.timeout_s
+        )
         metrics.begin()
-        _advance_tolerating_death(host, spec.measure_s * SECOND)
+        _advance_tolerating_death(
+            host, spec.measure_s * SECOND, deadline, spec.timeout_s
+        )
         metrics.end()
         workload.stop()
         results = metrics.results()
@@ -251,7 +267,18 @@ def _run_scenario_host(spec: ScenarioSpec) -> Tuple[RunMetrics, HostSystem]:
         return results, host
 
 
-def _advance_tolerating_death(host: HostSystem, duration_ns: int) -> bool:
+#: Events dispatched between wall-clock deadline probes.  Large enough
+#: that the ``time.monotonic`` call is noise, small enough that a budget
+#: overrun is noticed within milliseconds.
+_DEADLINE_BATCH_EVENTS = 1024
+
+
+def _advance_tolerating_death(
+    host: HostSystem,
+    duration_ns: int,
+    deadline: Optional[float] = None,
+    budget_s: Optional[float] = None,
+) -> bool:
     """Advance simulated time, tolerating the device going read-only.
 
     Each write submitted against a read-only device raises out of its
@@ -260,44 +287,191 @@ def _advance_tolerating_death(host: HostSystem, duration_ns: int) -> bool:
     once their in-flight op dies, reads keep completing, and the clock
     still reaches the window edge so the metrics stay well-formed.
     Returns True when at least one event died.
+
+    With ``deadline`` set (``time.monotonic()`` value), events run in
+    batches of :data:`_DEADLINE_BATCH_EVENTS` and the deadline is checked
+    between batches -- the wall-clock budget mechanism that works on pool
+    worker threads where ``SIGALRM`` cannot (signals only reach a
+    process's main thread).
+
+    Raises:
+        ScenarioTimeoutError: the deadline passed.
     """
     target = host.sim.now + duration_ns
     died = False
+    monotonic = time.monotonic
     while host.sim.now < target:
         try:
-            host.sim.run_until(target)
+            if deadline is None:
+                host.sim.run_until(target)
+            else:
+                host.sim.run_until(target, max_events=_DEADLINE_BATCH_EVENTS)
+                if monotonic() > deadline:
+                    raise ScenarioTimeoutError(
+                        f"scenario exceeded {budget_s:g}s wall clock"
+                        if budget_s is not None
+                        else "scenario exceeded its wall-clock budget"
+                    )
         except DeviceReadOnlyError:
             died = True
     return died
 
 
-def _make_pool(jobs: int) -> ProcessPoolExecutor:
+def resolve_jobs(jobs: Optional[int], task_count: int) -> int:
+    """Concrete worker count for a requested ``--jobs`` value.
+
+    ``None`` or ``0`` means *adaptive*: one worker per CPU
+    (``os.cpu_count()``), never more than there are tasks.  Explicit
+    requests are honoured, capped at the task count (extra idle workers
+    only cost fork time).  Always returns at least 1.
+    """
+    if task_count <= 0:
+        return 1
+    if jobs is None or jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return max(1, min(jobs, task_count))
+
+
+#: Per-worker slot for the streamed-result queue proxy (set by the pool
+#: initializer; None in the parent and in serial runs).
+_WORKER_QUEUE = None
+
+
+def _pool_init(indexed: bool, queue=None) -> None:
+    """Worker-process initializer: perf flag + result-stream queue."""
+    global _WORKER_QUEUE
+    perf.set_hotpath_indexing(indexed)
+    _WORKER_QUEUE = queue
+
+
+def _make_pool(jobs: int, queue=None) -> ProcessPoolExecutor:
     """Worker pool whose processes inherit the current perf-flag choice.
 
     Worker processes re-read module globals at import, so without the
     initializer a sweep launched inside :func:`repro.perf.scan_reference`
-    would silently run its workers on the indexed paths.
+    would silently run its workers on the indexed paths.  ``queue`` (a
+    ``multiprocessing.Manager`` queue proxy -- raw ``mp.Queue`` objects
+    cannot pass through executor initargs) enables result streaming.
     """
     return ProcessPoolExecutor(
         max_workers=jobs,
-        initializer=perf.set_hotpath_indexing,
-        initargs=(perf.hotpath_indexing_enabled(),),
+        initializer=_pool_init,
+        initargs=(perf.hotpath_indexing_enabled(), queue),
     )
+
+
+def _stream_scenario(key: str, spec: ScenarioSpec) -> str:
+    """Pool worker: run one scenario, stream the outcome, return the key.
+
+    The metrics travel through the shared queue as a plain
+    :meth:`~repro.metrics.collector.RunMetrics.to_wire` dict; the future
+    carries only the key, so the parent never accumulates per-scenario
+    pickles while waiting.
+    """
+    try:
+        metrics = run_scenario(spec)
+    except Exception as exc:  # noqa: BLE001 - isolation is the point
+        _WORKER_QUEUE.put((key, None, f"{type(exc).__name__}: {exc}"))
+    else:
+        _WORKER_QUEUE.put((key, metrics.to_wire(), None))
+    return key
+
+
+def _run_streamed(
+    pending: Dict[str, ScenarioSpec],
+    jobs: int,
+    record: Callable[[str, Optional[RunMetrics], Optional[str]], None],
+) -> None:
+    """Run scenarios on ``jobs`` workers with streamed aggregation.
+
+    Submission is chunked to a window of two tasks per worker (enough to
+    keep every worker busy without materialising thousands of queued
+    pickled specs), and each finished scenario's metrics arrive through
+    a managed queue the moment the worker finishes -- ``record`` runs in
+    the parent, in completion order, exactly like the serial path's
+    per-scenario bookkeeping.
+
+    A worker process dying hard (``BrokenProcessPool``) surfaces through
+    the futures: any affected scenario without a streamed result is
+    recorded as failed, so checkpointed sweeps can retry it.
+    """
+    with multiprocessing.Manager() as manager:
+        queue = manager.Queue()
+        window = 2 * jobs
+        items = iter(pending.items())
+        outstanding: Dict[Future, str] = {}
+        delivered = set()
+
+        def _drain() -> None:
+            while True:
+                try:
+                    key, wire, error = queue.get_nowait()
+                except Empty:
+                    return
+                delivered.add(key)
+                record(
+                    key,
+                    RunMetrics.from_wire(wire) if wire is not None else None,
+                    error,
+                )
+
+        with _make_pool(jobs, queue) as pool:
+            exhausted = False
+            while True:
+                while not exhausted and len(outstanding) < window:
+                    try:
+                        key, spec = next(items)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    try:
+                        outstanding[pool.submit(_stream_scenario, key, spec)] = key
+                    except Exception as exc:  # noqa: BLE001 - broken pool
+                        # The pool is unusable; fail this and every
+                        # unsubmitted scenario (all retryable on resume).
+                        record(key, None, f"{type(exc).__name__}: {exc}")
+                        for key, _spec in items:
+                            record(key, None, f"{type(exc).__name__}: {exc}")
+                        exhausted = True
+                if not outstanding:
+                    break
+                done, _ = wait(outstanding, return_when=FIRST_COMPLETED)
+                crashed: Dict[str, str] = {}
+                for future in done:
+                    key = outstanding.pop(future)
+                    exc = future.exception()
+                    if exc is not None:
+                        # Hard worker death (e.g. BrokenProcessPool); the
+                        # queue may or may not hold its result already.
+                        crashed[key] = f"{type(exc).__name__}: {exc}"
+                # Workers enqueue before returning, so every cleanly
+                # finished future's message is already available here.
+                _drain()
+                for key, error in crashed.items():
+                    if key not in delivered:
+                        delivered.add(key)
+                        record(key, None, error)
 
 
 def run_policy_comparison(
     spec: ScenarioSpec,
     policies: Optional[Dict[str, Callable[[], GcPolicy]]] = None,
-    jobs: int = 1,
+    jobs: Optional[int] = 1,
 ) -> Dict[str, RunMetrics]:
     """Run one workload under several policies (identical everything else).
 
-    With ``jobs > 1`` the per-policy runs execute in a process pool --
-    each scenario is already a self-contained deterministic replay (own
-    simulator, own seeded RNGs), so results are bit-identical to the
-    serial path and come back in the given policy order.
+    With ``jobs > 1`` (or the adaptive ``jobs=0``/``None``, resolved via
+    :func:`resolve_jobs`) the per-policy runs execute in a process pool
+    with streamed result aggregation -- each scenario is already a
+    self-contained deterministic replay (own simulator, own seeded RNGs),
+    so results are bit-identical to the serial path and come back in the
+    given policy order.
 
     Returns ``{policy_name: RunMetrics}`` in the given order.
+
+    Raises:
+        RuntimeError: a parallel run failed (the serial path instead
+            propagates the scenario's original exception).
     """
     policies = policies or POLICY_FACTORIES
     run_specs: Dict[str, ScenarioSpec] = {}
@@ -308,11 +482,22 @@ def run_policy_comparison(
             # each other's output.
             run_spec = replace(run_spec, obs=run_spec.obs.with_suffix(name))
         run_specs[name] = run_spec
+    jobs = resolve_jobs(jobs, len(run_specs))
     if jobs <= 1:
         return {name: run_scenario(s) for name, s in run_specs.items()}
-    with _make_pool(jobs) as pool:
-        futures = {name: pool.submit(run_scenario, s) for name, s in run_specs.items()}
-        return {name: future.result() for name, future in futures.items()}
+    results: Dict[str, RunMetrics] = {}
+    failures: Dict[str, str] = {}
+
+    def _record(name: str, metrics: Optional[RunMetrics], error: Optional[str]) -> None:
+        if error is not None:
+            failures[name] = error
+        else:
+            results[name] = metrics
+
+    _run_streamed(run_specs, jobs, _record)
+    if failures:
+        raise RuntimeError(f"policy comparison failed: {failures}")
+    return {name: results[name] for name in run_specs}
 
 
 @dataclass
@@ -344,7 +529,7 @@ def run_sweep(
     resume: bool = True,
     timeout_s: Optional[float] = None,
     on_result: Optional[Callable[[str, RunMetrics], None]] = None,
-    jobs: int = 1,
+    jobs: Optional[int] = 1,
 ) -> SweepOutcome:
     """Run many scenarios with per-scenario fault isolation.
 
@@ -355,16 +540,22 @@ def run_sweep(
     re-run with ``resume=True`` skips everything already measured, so a
     killed sweep loses at most the scenario it was inside.
 
-    With ``jobs > 1`` scenarios run in a ``ProcessPoolExecutor``.  Each
-    scenario is a self-contained deterministic replay (its own simulator
-    and seeded RNGs), so per-scenario results are bit-identical to a
-    serial run; only completion order varies, and ``results`` is
+    With more than one worker (``jobs > 1``, or the adaptive
+    ``jobs=0``/``None`` resolved by :func:`resolve_jobs`), scenarios run
+    in a ``ProcessPoolExecutor`` with *streamed aggregation*: submission
+    is chunked, and workers push each scenario's metrics through a shared
+    queue as flat wire dicts the moment it completes, instead of
+    returning whole pickled :class:`RunMetrics` through their futures.
+    Each scenario is a self-contained deterministic replay (its own
+    simulator and seeded RNGs), so per-scenario results are bit-identical
+    to a serial run; only completion order varies, and ``results`` is
     re-ordered to the input order before returning.  The checkpoint is
     written exclusively by the parent process (one atomic write per
     completion, exactly as in a serial run), so serial and parallel runs
     can freely resume each other's checkpoints.  Per-scenario wall-clock
-    budgets still apply: ``SIGALRM`` timers run on each worker process's
-    main thread.
+    budgets apply in workers too: the runner checks a monotonic deadline
+    at event-loop batch boundaries (``SIGALRM`` only works on a process's
+    main thread, so the signal timer is merely a serial-path backstop).
 
     Args:
         specs: the scenarios, either keyed explicitly (dict) or keyed by
@@ -377,7 +568,8 @@ def run_sweep(
             not set its own ``timeout_s``.
         on_result: optional callback invoked after each fresh completion
             (progress reporting); called from the parent process.
-        jobs: worker processes (1 = run in-process, serially).
+        jobs: worker processes (1 = run in-process, serially; 0/None =
+            one per CPU, capped at the pending-scenario count).
     """
     if isinstance(specs, dict):
         keyed = dict(specs)
@@ -425,6 +617,7 @@ def run_sweep(
         if on_result is not None:
             on_result(key, metrics)
 
+    jobs = resolve_jobs(jobs, len(pending))
     if jobs <= 1:
         for key, spec in pending.items():
             try:
@@ -434,21 +627,7 @@ def run_sweep(
                 continue
             _record(key, metrics, None)
     elif pending:
-        with _make_pool(jobs) as pool:
-            futures = {
-                pool.submit(run_scenario, spec): key for key, spec in pending.items()
-            }
-            for future in as_completed(futures):
-                key = futures[future]
-                try:
-                    metrics = future.result()
-                except Exception as exc:  # noqa: BLE001 - isolation is the point
-                    # Includes BrokenProcessPool: a worker dying hard
-                    # fails every still-running scenario, each of which
-                    # stays retryable from the checkpoint.
-                    _record(key, None, f"{type(exc).__name__}: {exc}")
-                    continue
-                _record(key, metrics, None)
+        _run_streamed(pending, jobs, _record)
         # Completion order is nondeterministic; reports should not be.
         outcome.results = {
             key: outcome.results[key] for key in keyed if key in outcome.results

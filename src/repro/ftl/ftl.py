@@ -32,7 +32,7 @@ from typing import Callable, Iterable, List, Optional, Set, Tuple
 import numpy as np
 
 from repro import perf
-from repro.ftl.mapping import PageMap
+from repro.ftl.mapping import UNMAPPED, PageMap
 from repro.ftl.space import SipOverlapIndex, SpaceModel, ValidCountIndex
 from repro.ftl.stats import FtlStats
 from repro.ftl.victim import GreedySelector, VictimSelector
@@ -167,7 +167,9 @@ class PageMappedFtl:
             self.sip_index: Optional[SipOverlapIndex] = SipOverlapIndex(
                 self.geometry.total_blocks
             )
-            self.page_map.set_valid_observer(self._on_valid_delta)
+            self.page_map.set_valid_observer(
+                self.victim_index.make_fused_observer(self.sip_index)
+            )
         else:
             self.victim_index = None
             self.sip_index = None
@@ -180,6 +182,8 @@ class PageMappedFtl:
         if len(good) < fgc_watermark + 2:
             raise FtlError("not enough good blocks to operate")
         self.allocator = WearAwareAllocator(nand.endurance, initial_free=good)
+        # Cached int for the per-write frontier/address math below.
+        self._ppb = self.geometry.pages_per_block
         #: Time each block was closed (frontier filled); for cost-benefit age.
         self._close_time = np.zeros(self.geometry.total_blocks, dtype=np.int64)
         #: True for blocks that are in use and completely programmed.
@@ -197,7 +201,9 @@ class PageMappedFtl:
         return self._op_counter
 
     def _on_valid_delta(self, block: int, lpn: int, delta: int) -> None:
-        """PageMap observer keeping the victim/SIP indexes current."""
+        """Unfused PageMap observer (kept for tests/subclasses; the
+        constructor installs the fused closure from
+        :meth:`ValidCountIndex.make_fused_observer` instead)."""
         index = self.victim_index
         if index is not None:
             index.adjust_if_tracked(block, delta)
@@ -486,6 +492,102 @@ class PageMappedFtl:
         latency += self.nand.timing.transfer_ns_per_page
         return latency
 
+    @property
+    def supports_batched_writes(self) -> bool:
+        """True when :meth:`host_write_extent` is legal.
+
+        Requires the indexed data plane (victim index installed) and no
+        fault injection: per-op fault draws are RNG-stream ordered, so
+        fault runs must take the per-page loop on both paths.
+        """
+        return self.victim_index is not None and self.nand.fault_injector is None
+
+    def host_write_extent(self, lpn: int, count: int) -> int:
+        """Batched :meth:`host_write_page` over a contiguous LPN extent.
+
+        Bit-identical to ``sum(host_write_page(lpn + i) for i in
+        range(count))``: foreground-GC watermark checks, frontier rolls,
+        and the op-counter clock happen at exactly the per-page loop's
+        logical points.  The extent is consumed in frontier-sized chunks;
+        a chunk that rolls the frontier is one page long so the watermark
+        is re-checked before the next page, just as the per-page loop
+        re-checks it.  Index deltas are applied in aggregate (the
+        per-page observer is bypassed): intermediate heap entries the
+        per-page path would push are dead on arrival — only the final
+        ``(count, generation)`` pair is live — so victim selection is
+        unchanged.
+
+        Only legal when :attr:`supports_batched_writes` is true.
+        """
+        if self.read_only:
+            raise DeviceReadOnlyError(
+                "write rejected: device is read-only "
+                f"({len(self.retired_blocks)} blocks retired)"
+            )
+        nand = self.nand
+        page_map = self.page_map
+        vindex = self.victim_index
+        sip = self.sip_index
+        ppb = self._ppb
+        latency = 0
+        pos = 0
+        while pos < count:
+            if self.needs_foreground_gc():
+                latency += self._run_foreground_gc()
+            block = self._active_user_block
+            start = int(nand.program_ptr[block])
+            if start >= ppb:
+                # Frontier roll: replicate the per-page order (clock
+                # tick, close, allocate) and write a single page so the
+                # GC watermark is re-checked before the page after it.
+                self._op_counter += 1
+                self._close_block(block)
+                block = self._allocate_block()
+                self._active_user_block = block
+                start = 0
+                chunk = 1
+            else:
+                chunk = min(count - pos, ppb - start)
+                self._op_counter += chunk
+            latency += nand.program_pages_batch(block, start, chunk)
+            first = lpn + pos
+            old_ppns = page_map.remap_extent(first, chunk, block * ppb + start)
+            if vindex is not None:
+                # The old PPNs of a contiguous extent were themselves
+                # written as runs, so group consecutive same-block PPNs
+                # and adjust once per run (intermediate heap entries the
+                # per-page observer would push are dead on arrival, so
+                # aggregation is selection-equivalent).
+                adjust = vindex.adjust_if_tracked
+                prev = -1
+                run = 0
+                for ppn in old_ppns:
+                    if ppn == UNMAPPED:
+                        continue
+                    b = ppn // ppb
+                    if b != prev:
+                        if run:
+                            adjust(prev, -run)
+                        prev = b
+                        run = 1
+                    else:
+                        run += 1
+                if run:
+                    adjust(prev, -run)
+            if sip is not None and sip.lpns:
+                sip_set = sip.lpns
+                hits = [i for i in range(chunk) if (first + i) in sip_set]
+                if hits:
+                    hit_old = [
+                        old_ppns[i] // ppb
+                        for i in hits
+                        if old_ppns[i] != UNMAPPED
+                    ]
+                    sip.remap_batch(block, len(hits), hit_old)
+            self.stats.host_pages_written += chunk
+            pos += chunk
+        return latency + count * self.nand.timing.transfer_ns_per_page
+
     def host_read_page(self, lpn: int) -> int:
         """Read one logical page; returns NAND latency (ns).
 
@@ -517,17 +619,22 @@ class PageMappedFtl:
     def _program_user_page(self, lpn: int) -> int:
         self._op_counter += 1
         block, page, latency = self._program_frontier(user=True)
-        self.page_map.remap(lpn, self.page_map.ppn(block, page))
+        self.page_map.remap(lpn, block * self._ppb + page)
         self.stats.host_pages_written += 1
         return latency
 
     def _frontier_slot(self, user: bool) -> Tuple[int, int, int]:
         """Return (block, page, extra_latency) for the next frontier page,
-        rolling to a fresh free block when the current frontier is full."""
+        rolling to a fresh free block when the current frontier is full.
+
+        Reads the NAND's ``program_ptr`` vector directly: the active
+        block is FTL-owned, so re-validating its address through
+        :meth:`NandArray.next_programmable_page` per write is pure
+        overhead."""
         block = self._active_user_block if user else self._active_gc_block
-        page = self.nand.next_programmable_page(block)
+        page = int(self.nand.program_ptr[block])
         extra = 0
-        if page >= self.geometry.pages_per_block:
+        if page >= self._ppb:
             self._close_block(block)
             new_block = self._allocate_block()
             if user:
@@ -653,22 +760,10 @@ class PageMappedFtl:
         return latency
 
     def _migrate_and_erase(self, victim: int) -> int:
-        latency = 0
-        victims_pages: List[Tuple[int, int]] = list(self.page_map.valid_lpns_in_block(victim))
-        for offset, lpn in victims_pages:
-            read_ns, ok = self._read_with_retry(victim, offset)
-            latency += read_ns
-            self.stats.gc_pages_read += 1
-            if not ok:
-                # Migration source unrecoverable: the logical page is
-                # lost; unmap it instead of propagating garbage.
-                self.page_map.unmap(lpn)
-                continue
-            block, page, program_ns = self._program_frontier(user=False)
-            latency += program_ns
-            self.page_map.remap(lpn, self.page_map.ppn(block, page))
-            self.stats.gc_pages_migrated += 1
-
+        if self.victim_index is not None and self.nand.fault_injector is None:
+            latency = self._migrate_valid_pages_batched(victim)
+        else:
+            latency = self._migrate_valid_pages_scan(victim)
         self.page_map.clear_block(victim)
         erase_ns, erased = self._erase_with_retry(victim)
         latency += erase_ns
@@ -690,6 +785,80 @@ class PageMappedFtl:
             self._record_retirement(victim)
         else:
             self.allocator.release(victim)
+        return latency
+
+    def _migrate_valid_pages_scan(self, victim: int) -> int:
+        """Per-page migration loop (executable specification).
+
+        Also the only correct path under fault injection: every read and
+        program must draw from the injector's RNG streams in per-page
+        order, and any page may need retry/retirement recovery.
+        """
+        latency = 0
+        victims_pages: List[Tuple[int, int]] = list(self.page_map.valid_lpns_in_block(victim))
+        for offset, lpn in victims_pages:
+            read_ns, ok = self._read_with_retry(victim, offset)
+            latency += read_ns
+            self.stats.gc_pages_read += 1
+            if not ok:
+                # Migration source unrecoverable: the logical page is
+                # lost; unmap it instead of propagating garbage.
+                self.page_map.unmap(lpn)
+                continue
+            block, page, program_ns = self._program_frontier(user=False)
+            latency += program_ns
+            self.page_map.remap(lpn, self.page_map.ppn(block, page))
+            self.stats.gc_pages_migrated += 1
+        return latency
+
+    def _migrate_valid_pages_batched(self, victim: int) -> int:
+        """Array-batched migration: O(chunks) Python work, not O(pages).
+
+        Bit-identical externally to :meth:`_migrate_valid_pages_scan`
+        when no fault injector is attached (same NAND latencies, frontier
+        rolls, counters and final index state):
+
+        * valid pages are read/programmed in chunks bounded by the GC
+          frontier's remaining capacity, rolling frontiers exactly where
+          the per-page loop would;
+        * the mapping moves via :meth:`PageMap.migrate_pages`, which
+          bypasses the per-page observer, so the index deltas are applied
+          in bulk here instead.  The ``ValidCountIndex`` intermediate
+          decrements on the victim are skipped outright: nothing queries
+          the index mid-migration, the victim is untracked right after,
+          and destination frontiers are only tracked at close time --
+          after their chunk remaps have landed.
+        """
+        pm = self.page_map
+        offsets, lpns = pm.valid_pages_in_block(victim)
+        n = len(offsets)
+        if n == 0:
+            return 0
+        nand = self.nand
+        ppb = self.geometry.pages_per_block
+        sip = self.sip_index
+        latency = 0
+        pos = 0
+        while pos < n:
+            block = self._active_gc_block
+            start = int(nand.program_ptr[block])
+            if start >= ppb:
+                self._close_block(block)
+                block = self._allocate_block()
+                self._active_gc_block = block
+                start = 0
+            chunk = min(n - pos, ppb - start)
+            chunk_lpns = lpns[pos:pos + chunk]
+            latency += nand.read_pages_batch(victim, chunk)
+            latency += nand.program_pages_batch(block, start, chunk)
+            pm.migrate_pages(victim, offsets[pos:pos + chunk], chunk_lpns, block, start)
+            if sip is not None and sip.lpns:
+                sip.migrate(
+                    victim, block, len(sip.lpns.intersection(chunk_lpns.tolist()))
+                )
+            pos += chunk
+        self.stats.gc_pages_read += n
+        self.stats.gc_pages_migrated += n
         return latency
 
     def _run_foreground_gc(self) -> int:
@@ -772,10 +941,10 @@ class PageMappedFtl:
                 )
         if self.sip_index is not None:
             recounted = np.zeros(self.geometry.total_blocks, dtype=np.int32)
-            for lpn in self.sip_lpns:
-                ppn = self.page_map.lookup(lpn)
-                if ppn is not None:
-                    recounted[self.page_map.block_of(ppn)] += 1
+            if self.sip_lpns:
+                # Batched recount: one fancy-indexed lookup over the SIP
+                # set instead of a per-LPN Python loop.
+                np.add.at(recounted, self.page_map.mapped_blocks(self.sip_lpns), 1)
             if not np.array_equal(self.sip_index.snapshot(), recounted):
                 raise AssertionError(
                     "SIP-overlap counters disagree with a full recount"

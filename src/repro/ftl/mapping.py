@@ -11,7 +11,7 @@ Physical page numbers are flat: ``ppn = block * pages_per_block + page``.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Optional
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -34,6 +34,9 @@ class PageMap:
             raise ValueError(f"user_pages must be positive, got {user_pages}")
         self.geometry = geometry
         self.user_pages = user_pages
+        # Cached int: the per-write paths below do flat-address math per
+        # call and must not walk the geometry attribute chain each time.
+        self._ppb = geometry.pages_per_block
         self._l2p = np.full(user_pages, UNMAPPED, dtype=np.int64)
         self._p2l = np.full(geometry.total_pages, UNMAPPED, dtype=np.int64)
         self._valid = np.zeros(geometry.total_pages, dtype=bool)
@@ -56,13 +59,13 @@ class PageMap:
     # Address helpers
     # ------------------------------------------------------------------
     def ppn(self, block: int, page: int) -> int:
-        return block * self.geometry.pages_per_block + page
+        return block * self._ppb + page
 
     def block_of(self, ppn: int) -> int:
-        return ppn // self.geometry.pages_per_block
+        return ppn // self._ppb
 
     def page_of(self, ppn: int) -> int:
-        return ppn % self.geometry.pages_per_block
+        return ppn % self._ppb
 
     def check_lpn(self, lpn: int) -> None:
         if not 0 <= lpn < self.user_pages:
@@ -76,8 +79,13 @@ class PageMap:
 
         The caller must have already programmed ``new_ppn``.  If the LPN
         was mapped, its old physical page becomes invalid (garbage).
+
+        This is the per-host-write inner loop: address math is inlined
+        on the cached ``_ppb`` int (see :meth:`check_lpn` for the bounds
+        contract it preserves).
         """
-        self.check_lpn(lpn)
+        if not 0 <= lpn < self.user_pages:
+            raise IndexError(f"LPN {lpn} out of range [0, {self.user_pages})")
         old_ppn = int(self._l2p[lpn])
         if old_ppn != UNMAPPED:
             self._invalidate_ppn(old_ppn)
@@ -86,7 +94,7 @@ class PageMap:
         self._l2p[lpn] = new_ppn
         self._p2l[new_ppn] = lpn
         self._valid[new_ppn] = True
-        block = self.block_of(new_ppn)
+        block = new_ppn // self._ppb
         self._valid_per_block[block] += 1
         if self._observer is not None:
             self._observer(block, lpn, 1)
@@ -103,13 +111,79 @@ class PageMap:
         self.mapped_count -= 1
         return old_ppn
 
+    # Below this extent size the fixed overhead of the ~10 numpy vector
+    # ops exceeds the cost of a scalar loop (writeback chunks are
+    # typically a handful of pages).
+    _SCALAR_EXTENT_MAX = 32
+
+    def remap_extent(self, first_lpn: int, count: int, first_ppn: int) -> List[int]:
+        """Batched :meth:`remap` of a contiguous LPN extent onto a
+        contiguous just-programmed PPN run inside one block.
+
+        Semantically identical to ``remap(first_lpn + i, first_ppn + i)``
+        for ``i in range(count)``; returns the old-PPN list (``UNMAPPED``
+        where the LPN was fresh).  Like :meth:`migrate_pages` it does NOT
+        fire the per-page observer -- the caller (the FTL's batched host
+        write) applies the aggregated index deltas itself.  Small extents
+        take a scalar loop; large ones the vectorized path -- both apply
+        the exact same state transitions.
+        """
+        if first_lpn < 0 or first_lpn + count > self.user_pages:
+            raise IndexError(
+                f"LPN extent [{first_lpn}, {first_lpn + count}) out of range "
+                f"[0, {self.user_pages})"
+            )
+        l2p = self._l2p
+        p2l = self._p2l
+        valid = self._valid
+        per_block = self._valid_per_block
+        ppb = self._ppb
+        old_ppns = l2p[first_lpn:first_lpn + count].tolist()
+        if count <= self._SCALAR_EXTENT_MAX:
+            fresh = 0
+            lpn, ppn = first_lpn, first_ppn
+            for old in old_ppns:
+                if old != UNMAPPED:
+                    if not valid[old]:
+                        raise RuntimeError("double invalidation in remap_extent")
+                    valid[old] = False
+                    p2l[old] = UNMAPPED
+                    per_block[old // ppb] -= 1
+                else:
+                    fresh += 1
+                l2p[lpn] = ppn
+                p2l[ppn] = lpn
+                valid[ppn] = True
+                lpn += 1
+                ppn += 1
+            self.mapped_count += fresh
+        else:
+            old_arr = np.asarray(old_ppns, dtype=np.int64)
+            old = old_arr[old_arr != UNMAPPED]
+            if old.size:
+                if not valid[old].all():
+                    raise RuntimeError("double invalidation in remap_extent")
+                valid[old] = False
+                p2l[old] = UNMAPPED
+                np.subtract.at(per_block, old // ppb, 1)
+            self.mapped_count += count - int(old.size)
+            l2p[first_lpn:first_lpn + count] = np.arange(
+                first_ppn, first_ppn + count, dtype=np.int64
+            )
+            p2l[first_ppn:first_ppn + count] = np.arange(
+                first_lpn, first_lpn + count, dtype=np.int64
+            )
+            valid[first_ppn:first_ppn + count] = True
+        per_block[first_ppn // ppb] += count
+        return old_ppns
+
     def _invalidate_ppn(self, ppn: int) -> None:
         if not self._valid[ppn]:
             raise RuntimeError(f"double invalidation of PPN {ppn}")
         self._valid[ppn] = False
         lpn = int(self._p2l[ppn])
         self._p2l[ppn] = UNMAPPED
-        block = self.block_of(ppn)
+        block = ppn // self._ppb
         self._valid_per_block[block] -= 1
         if self._observer is not None:
             self._observer(block, lpn, -1)
@@ -177,8 +251,78 @@ class PageMap:
         for offset in np.flatnonzero(valid):
             yield int(offset), int(lpns[offset])
 
+    def valid_pages_in_block(self, block: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(page_offsets, lpns)`` arrays for the valid pages of ``block``.
+
+        Batch form of :meth:`valid_lpns_in_block` in the same ascending
+        page order (the order GC migration depends on for determinism).
+        """
+        start = block * self.geometry.pages_per_block
+        offsets = np.flatnonzero(self._valid[start:start + self.geometry.pages_per_block])
+        return offsets, self._p2l[start + offsets]
+
+    # ------------------------------------------------------------------
+    # Batched mutations (GC migration fast path)
+    # ------------------------------------------------------------------
+    def migrate_pages(
+        self,
+        src_block: int,
+        offsets: np.ndarray,
+        lpns: np.ndarray,
+        dst_block: int,
+        dst_start: int,
+    ) -> None:
+        """Move valid pages ``offsets`` of ``src_block`` (mapping ``lpns``)
+        onto consecutive pages of ``dst_block`` starting at ``dst_start``.
+
+        Array-batched equivalent of per-page ``remap(lpn, new_ppn)`` calls
+        during GC migration: the source pages become invalid, the LPNs
+        point at the destination pages, ``mapped_count`` is unchanged.
+        Deliberately does **not** fire the per-page validity observer --
+        the caller (the FTL's batched migration) applies the equivalent
+        index updates in bulk itself.
+        """
+        n = len(offsets)
+        if n == 0:
+            return
+        ppb = self.geometry.pages_per_block
+        old_ppns = src_block * ppb + offsets
+        if not self._valid[old_ppns].all():
+            raise RuntimeError(f"migrating invalid pages out of block {src_block}")
+        new_ppns = dst_block * ppb + dst_start + np.arange(n, dtype=np.int64)
+        self._valid[old_ppns] = False
+        self._p2l[old_ppns] = UNMAPPED
+        self._valid[new_ppns] = True
+        self._p2l[new_ppns] = lpns
+        self._l2p[lpns] = new_ppns
+        self._valid_per_block[src_block] -= n
+        self._valid_per_block[dst_block] += n
+
     def invariant_check(self) -> None:
-        """Full-state consistency check (used by tests; O(total pages))."""
+        """Full-state consistency check on batched array ops (O(total pages)).
+
+        Bit-identical verdicts to :meth:`invariant_check_scan`, which is
+        kept as the per-LPN executable specification.
+        """
+        if int(self._valid.sum()) != self.mapped_count:
+            raise AssertionError("valid-page population does not match mapped_count")
+        per_block = np.add.reduceat(
+            self._valid.astype(np.int32),
+            np.arange(0, self.geometry.total_pages, self.geometry.pages_per_block),
+        )
+        if not np.array_equal(per_block, self._valid_per_block):
+            raise AssertionError("per-block valid counters out of sync")
+        mapped = np.flatnonzero(self._l2p != UNMAPPED)
+        if len(mapped):
+            ppns = self._l2p[mapped]
+            bad = ~self._valid[ppns] | (self._p2l[ppns] != mapped)
+            if bad.any():
+                raise AssertionError(
+                    f"l2p/p2l mismatch at LPN {int(mapped[np.argmax(bad)])}"
+                )
+
+    def invariant_check_scan(self) -> None:
+        """Per-LPN reference recount of :meth:`invariant_check`."""
         if int(self._valid.sum()) != self.mapped_count:
             raise AssertionError("valid-page population does not match mapped_count")
         per_block = np.add.reduceat(

@@ -95,6 +95,36 @@ class ValidCountIndex:
             self._count[block] = count
             heapq.heappush(self._heap, (count, block, self._gen[block]))
 
+    def make_fused_observer(self, sip: "SipOverlapIndex"):
+        """A single ``(block, lpn, delta)`` callable fusing
+        :meth:`adjust_if_tracked` with :meth:`SipOverlapIndex.on_valid_delta`.
+
+        The page map fires its observer twice per host write; binding the
+        index internals into one closure removes two method-dispatch
+        layers from that path.  The bound containers (``_count``,
+        ``_gen``, ``_heap``, SIP counters) are created once and mutated
+        in place, so the closure never goes stale; the SIP LPN set is
+        re-read through ``sip`` because :meth:`SipOverlapIndex.replace`
+        rebinds it.
+        """
+        count_get = self._count.get
+        counts = self._count
+        gens = self._gen
+        heap = self._heap
+        heappush = heapq.heappush
+        sip_counts = sip._counts
+
+        def observer(block: int, lpn: int, delta: int) -> None:
+            count = count_get(block)
+            if count is not None:
+                count += delta
+                counts[block] = count
+                heappush(heap, (count, block, gens[block]))
+            if lpn in sip.lpns:
+                sip_counts[block] += delta
+
+        return observer
+
     def _is_live(self, entry: Tuple[int, int, int]) -> bool:
         count, block, gen = entry
         return self._gen.get(block) == gen and self._count.get(block) == count
@@ -183,6 +213,29 @@ class SipOverlapIndex:
     def on_valid_delta(self, block: int, lpn: int, delta: int) -> None:
         if lpn in self.lpns:
             self._counts[block] += delta
+
+    def migrate(self, src: int, dst: int, count: int) -> None:
+        """Move ``count`` SIP-overlapping pages from ``src`` to ``dst``.
+
+        Batched equivalent of ``count`` paired ``on_valid_delta(src, ·, -1)``
+        / ``on_valid_delta(dst, ·, +1)`` calls; used by the FTL's batched
+        GC migration, which bypasses the per-page observer.
+        """
+        if count:
+            self._counts[src] -= count
+            self._counts[dst] += count
+
+    def remap_batch(self, dest_block: int, gained: int, lost_blocks) -> None:
+        """Batched host-remap deltas (per-page observer bypassed).
+
+        ``gained`` SIP pages became valid on ``dest_block``; one SIP page
+        became invalid on each entry of ``lost_blocks`` (duplicates mean
+        multiple pages on that block).
+        """
+        if gained:
+            self._counts[dest_block] += gained
+        for block in lost_blocks:
+            self._counts[block] -= 1
 
     def replace(self, lpns: Iterable[int], page_map) -> Set[int]:
         """Swap in a new SIP list, adjusting counts by the set delta.

@@ -8,8 +8,9 @@ every experiment stores and formats.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Mapping, Optional, Tuple
 
 from repro.ftl.stats import FtlStats
 from repro.host import HostSystem
@@ -74,6 +75,27 @@ class RunMetrics:
     effective_op_pages: Optional[int] = None
     op_timeline: List[Tuple[int, int]] = field(default_factory=list)
     device_read_only: bool = False
+
+    def to_wire(self) -> dict:
+        """Flat plain-types dict safe for queues, pickles and JSON.
+
+        Sweep workers stream these through the result queue instead of
+        pickled :class:`RunMetrics` objects; :meth:`from_wire` restores
+        an equal instance (``from_wire(m.to_wire()) == m``).
+        """
+        wire = dataclasses.asdict(self)
+        wire["op_timeline"] = [[int(t), int(v)] for t, v in self.op_timeline]
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: Mapping) -> "RunMetrics":
+        """Inverse of :meth:`to_wire`; tolerates extra keys (schema tags)."""
+        names = {f.name for f in dataclasses.fields(cls)}
+        kwargs = {k: v for k, v in wire.items() if k in names}
+        kwargs["op_timeline"] = [
+            (int(t), int(v)) for t, v in kwargs.get("op_timeline", [])
+        ]
+        return cls(**kwargs)
 
     def recovered_faults(self) -> int:
         """Faults survived without data loss or scenario failure."""

@@ -14,7 +14,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Union
 
 from repro.host import HostSystem
-from repro.sim.events import EventPriority
+from repro.sim.events import PRIORITY_LOW
 from repro.sim.simtime import SECOND
 
 
@@ -61,7 +61,7 @@ class TimelineSampler:
             raise RuntimeError("sampler already running")
         self._running = True
         self.host.sim.schedule(
-            0, self._sample, priority=EventPriority.LOW, name="timeline"
+            0, self._sample, priority=PRIORITY_LOW, name="timeline"
         )
         return self
 
@@ -75,7 +75,7 @@ class TimelineSampler:
         for name, probe in self.probes.items():
             self.columns[name].append(probe())
         self.host.sim.schedule(
-            self.period_ns, self._sample, priority=EventPriority.LOW, name="timeline"
+            self.period_ns, self._sample, priority=PRIORITY_LOW, name="timeline"
         )
 
     # ------------------------------------------------------------------

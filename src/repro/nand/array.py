@@ -12,6 +12,16 @@ It owns only *physical* state (program pointers, erase counts, bad-block
 marks).  Logical state -- which pages are valid, the LPN↔PPN mapping -- is
 the FTL's job (:mod:`repro.ftl`), mirroring the real hardware/firmware
 split.
+
+Hot-path layout (PERFORMANCE.md): per-block state lives in flat int32
+vectors (``block_states``, ``program_ptr``, and the endurance model's
+``erase_counts``) plus a ``bytearray`` bad-block mirror, so the per-op
+address/state validation is a couple of int comparisons and one byte
+probe instead of a geometry-property chain.  The original
+geometry-backed validation is kept as the executable specification
+(:meth:`_check_addr_scan`) and selected at construction time by the
+:mod:`repro.perf` indexed/scan switch; both paths raise the exact same
+exception types for the same inputs.
 """
 
 from __future__ import annotations
@@ -21,8 +31,10 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
+from repro import perf
 from repro.nand.endurance import EnduranceModel, WearStats
 from repro.nand.errors import (
+    AddressError,
     BadBlockError,
     EraseBeforeWriteError,
     EraseFailError,
@@ -48,6 +60,15 @@ class BlockState(enum.IntEnum):
     BAD = 3       #: retired (manufacture defect or wear-out)
 
 
+#: Hoisted int values of :class:`BlockState` for the hot operation paths
+#: (IntEnum member access goes through the enum metaclass and shows up in
+#: per-page profiles).  ``block_states`` stores these raw ints.
+STATE_ERASED: int = int(BlockState.ERASED)
+STATE_OPEN: int = int(BlockState.OPEN)
+STATE_FULL: int = int(BlockState.FULL)
+STATE_BAD: int = int(BlockState.BAD)
+
+
 class NandArray:
     """Flat-addressed NAND array with timing and endurance accounting.
 
@@ -64,6 +85,12 @@ class NandArray:
         fault_injector: optional deterministic media-fault source; when
             set, operations may raise the recoverable fault exceptions
             (:class:`~repro.nand.errors.RecoverableNandFault`).
+
+    Attributes:
+        block_states: int32 vector of per-block :class:`BlockState` raw
+            values (authoritative physical state).
+        program_ptr: int32 vector of next programmable page per block
+            (== ``pages_per_block`` when full).
     """
 
     def __init__(
@@ -85,9 +112,21 @@ class NandArray:
             )
 
         n = geometry.total_blocks
+        # Cached geometry/timing ints: the per-op paths must not walk
+        # property chains (total_blocks alone is a multi-property product).
+        self._num_blocks = n
+        self._ppb = geometry.pages_per_block
+        self._read_ns = timing.read_ns
+        self._program_ns = timing.program_ns
+        self._erase_ns = timing.erase_ns
+
         #: Next programmable page index per block (== pages_per_block when full).
-        self._next_page = np.zeros(n, dtype=np.int32)
-        self._state = np.full(n, BlockState.ERASED, dtype=np.int8)
+        self.program_ptr = np.zeros(n, dtype=np.int32)
+        self.block_states = np.full(n, STATE_ERASED, dtype=np.int32)
+        # Bad-block mirror: the one-byte probe the fast address check
+        # reads.  Mutated only where block_states transitions to/from BAD
+        # (factory marks below, wear-out in erase_block, mark_bad).
+        self._bad = bytearray(n)
 
         self.read_disturb = read_disturb
         self.fault_injector = fault_injector
@@ -104,9 +143,24 @@ class NandArray:
 
         for block in initial_bad_blocks or []:
             geometry.check_block(block)
-            if self._state[block] != BlockState.BAD:
-                self._state[block] = BlockState.BAD
+            if self.block_states[block] != STATE_BAD:
+                self.block_states[block] = STATE_BAD
+                self._bad[block] = 1
                 self.factory_bad_blocks += 1
+
+        # Address validation implementation, chosen at construction time
+        # like every other repro.perf consumer: the fast path is a pair of
+        # int range checks plus the bytearray probe; the scan path is the
+        # original geometry-backed validation kept as executable spec.
+        if perf.hotpath_indexing_enabled():
+            self._check_addr = self._check_addr_fast
+        else:
+            self._check_addr = self._check_addr_scan
+
+    @property
+    def erase_counts(self) -> np.ndarray:
+        """Per-block erase-count vector (view of the endurance model's)."""
+        return self.endurance.erase_counts
 
     # ------------------------------------------------------------------
     # Physical operations
@@ -125,8 +179,8 @@ class NandArray:
         if self.fault_injector is not None and self.fault_injector.read_uncorrectable(
             block, page, self.endurance.erase_count(block)
         ):
-            raise UncorrectableReadError(block, page, self.timing.read_ns)
-        return self.timing.read_ns
+            raise UncorrectableReadError(block, page, self._read_ns)
+        return self._read_ns
 
     def reread_page(self, block: int, page: int) -> int:
         """One read-retry attempt (voltage-shifted re-sense) on ``block``.
@@ -141,8 +195,8 @@ class NandArray:
         self._check_addr(block, page, "read")
         self.page_reads += 1
         if self.fault_injector is not None and not self.fault_injector.read_retry_succeeds():
-            raise UncorrectableReadError(block, page, self.timing.read_ns)
-        return self.timing.read_ns
+            raise UncorrectableReadError(block, page, self._read_ns)
+        return self._read_ns
 
     def program_page(self, block: int, page: int) -> int:
         """Program one page; returns tPROG latency (no transfer).
@@ -150,7 +204,7 @@ class NandArray:
         Enforces sequential programming and erase-before-write.
         """
         self._check_addr(block, page, "program")
-        next_page = int(self._next_page[block])
+        next_page = int(self.program_ptr[block])
         if page < next_page:
             raise EraseBeforeWriteError(block, page)
         if page > next_page:
@@ -158,17 +212,17 @@ class NandArray:
         # The page is consumed whether or not the program succeeds: a
         # status-failed page holds an undefined charge state and can
         # never be reprogrammed without an erase.
-        self._next_page[block] = next_page + 1
-        if self._next_page[block] >= self.geometry.pages_per_block:
-            self._state[block] = BlockState.FULL
-        else:
-            self._state[block] = BlockState.OPEN
+        next_page += 1
+        self.program_ptr[block] = next_page
+        self.block_states[block] = (
+            STATE_FULL if next_page >= self._ppb else STATE_OPEN
+        )
         if self.fault_injector is not None and self.fault_injector.program_fails(
             block, page, self.endurance.erase_count(block)
         ):
-            raise ProgramFailError(block, page, self.timing.program_ns)
+            raise ProgramFailError(block, page, self._program_ns)
         self.page_programs += 1
-        return self.timing.program_ns
+        return self._program_ns
 
     def erase_block(self, block: int) -> int:
         """Erase a block; returns tBERS latency.
@@ -176,22 +230,21 @@ class NandArray:
         The block may wear out (becomes BAD) if the endurance limit is
         reached; callers should check :meth:`is_bad` before reusing it.
         """
-        self.geometry.check_block(block)
-        if self._state[block] == BlockState.BAD:
-            raise BadBlockError(block, "erase")
+        self._check_block(block, "erase")
         if self.fault_injector is not None and self.fault_injector.erase_fails(
             block, self.endurance.erase_count(block)
         ):
             # A failed erase still stresses the cells; the block keeps
             # its (stale) contents and frontier until retried or retired.
             self.endurance.record_erase(block)
-            raise EraseFailError(block, self.timing.erase_ns)
+            raise EraseFailError(block, self._erase_ns)
         self.block_erases += 1
-        self._next_page[block] = 0
+        self.program_ptr[block] = 0
         if self.read_disturb is not None:
             self.read_disturb.reset(block)
         if self.endurance.record_erase(block):
-            self._state[block] = BlockState.BAD
+            self.block_states[block] = STATE_BAD
+            self._bad[block] = 1
             if self.tracer.enabled:
                 self.tracer.emit(
                     "nand",
@@ -200,8 +253,8 @@ class NandArray:
                     erase_count=self.endurance.erase_count(block),
                 )
         else:
-            self._state[block] = BlockState.ERASED
-        return self.timing.erase_ns
+            self.block_states[block] = STATE_ERASED
+        return self._erase_ns
 
     def mark_bad(self, block: int) -> None:
         """Retire ``block`` as a grown bad block (program/erase failure).
@@ -209,18 +262,75 @@ class NandArray:
         Idempotent; the FTL calls this after relocating any live data.
         """
         self.geometry.check_block(block)
-        if self._state[block] != BlockState.BAD:
-            self._state[block] = BlockState.BAD
+        if self.block_states[block] != STATE_BAD:
+            self.block_states[block] = STATE_BAD
+            self._bad[block] = 1
             self.grown_bad_blocks += 1
             if self.tracer.enabled:
                 self.tracer.emit("nand", "nand.mark_bad", block=block)
+
+    # ------------------------------------------------------------------
+    # Batched operations (GC migration fast path)
+    # ------------------------------------------------------------------
+    def read_pages_batch(self, block: int, count: int) -> int:
+        """Read ``count`` pages of one block in bulk; returns total tR.
+
+        Semantically identical to ``count`` successful :meth:`read_page`
+        calls on in-range pages of ``block``: one address/state probe,
+        counters and the read-disturb tracker bumped in bulk.  Only legal
+        without a fault injector -- per-read fault-stream draws cannot be
+        batched without reordering the RNG stream, so callers (the FTL's
+        batched migration) must fall back to the per-page loop when
+        faults are enabled.
+        """
+        if count <= 0:
+            return 0
+        if self.fault_injector is not None:
+            raise RuntimeError("read_pages_batch requires fault_injector=None")
+        self._check_addr(block, 0, "read")
+        self.page_reads += count
+        if self.read_disturb is not None:
+            self.read_disturb.record_reads(block, count)
+        return self._read_ns * count
+
+    def program_pages_batch(self, block: int, start_page: int, count: int) -> int:
+        """Program ``count`` pages starting at the block's write frontier.
+
+        Semantically identical to sequential :meth:`program_page` calls
+        for pages ``start_page .. start_page+count-1``; enforces the same
+        ordering/erase-before-write/geometry rules with the same
+        exception types.  Only legal without a fault injector (same
+        RNG-stream argument as :meth:`read_pages_batch`).  Returns the
+        total tPROG latency.
+        """
+        if count <= 0:
+            return 0
+        if self.fault_injector is not None:
+            raise RuntimeError("program_pages_batch requires fault_injector=None")
+        self._check_addr(block, start_page, "program")
+        next_page = int(self.program_ptr[block])
+        if start_page < next_page:
+            raise EraseBeforeWriteError(block, start_page)
+        if start_page > next_page:
+            raise ProgramOrderError(block, start_page, next_page)
+        last_page = start_page + count - 1
+        if last_page >= self._ppb:
+            # The per-page loop would fault on the first out-of-range page.
+            raise AddressError("page", self._ppb, self._ppb)
+        next_page += count
+        self.program_ptr[block] = next_page
+        self.block_states[block] = (
+            STATE_FULL if next_page >= self._ppb else STATE_OPEN
+        )
+        self.page_programs += count
+        return self._program_ns * count
 
     # ------------------------------------------------------------------
     # State queries
     # ------------------------------------------------------------------
     def block_state(self, block: int) -> BlockState:
         self.geometry.check_block(block)
-        return BlockState(int(self._state[block]))
+        return BlockState(int(self.block_states[block]))
 
     def is_bad(self, block: int) -> bool:
         return self.block_state(block) == BlockState.BAD
@@ -228,27 +338,51 @@ class NandArray:
     def next_programmable_page(self, block: int) -> int:
         """Write frontier of ``block`` (== pages_per_block when full)."""
         self.geometry.check_block(block)
-        return int(self._next_page[block])
+        return int(self.program_ptr[block])
 
     def programmed_pages(self, block: int) -> int:
         return self.next_programmable_page(block)
 
     def good_blocks(self) -> int:
         """Number of non-bad blocks in the array."""
-        return int(np.count_nonzero(self._state != BlockState.BAD))
+        return int(np.count_nonzero(self.block_states != STATE_BAD))
 
     def wear_stats(self) -> WearStats:
         return self.endurance.stats()
 
     # ------------------------------------------------------------------
-    def _check_addr(self, block: int, page: int, operation: str) -> None:
+    # Address validation (fast probe vs geometry-backed executable spec)
+    # ------------------------------------------------------------------
+    def _check_addr_fast(self, block: int, page: int, operation: str) -> None:
+        """Bounds + bad-block validation via cached ints and one byte probe.
+
+        Explicit ``< 0`` checks matter: Python/bytearray indexing would
+        silently wrap negative addresses to the tail of the array.
+        """
+        if 0 <= block < self._num_blocks:
+            if not 0 <= page < self._ppb:
+                raise AddressError("page", page, self._ppb)
+            if self._bad[block]:
+                raise BadBlockError(block, operation)
+            return
+        raise AddressError("block", block, self._num_blocks)
+
+    def _check_addr_scan(self, block: int, page: int, operation: str) -> None:
+        """Original geometry-backed validation (executable specification)."""
         self.geometry.check_block(block)
         self.geometry.check_page(page)
-        if self._state[block] == BlockState.BAD:
+        if self.block_states[block] == STATE_BAD:
+            raise BadBlockError(block, operation)
+
+    def _check_block(self, block: int, operation: str) -> None:
+        """Block-only validation for whole-block ops (erase)."""
+        if not 0 <= block < self._num_blocks:
+            raise AddressError("block", block, self._num_blocks)
+        if self._bad[block]:
             raise BadBlockError(block, operation)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
-            f"<NandArray blocks={self.geometry.total_blocks} "
+            f"<NandArray blocks={self._num_blocks} "
             f"programs={self.page_programs} erases={self.block_erases}>"
         )

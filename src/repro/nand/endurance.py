@@ -49,7 +49,9 @@ class EnduranceModel:
             raise ValueError(f"pe_cycle_limit must be positive, got {pe_cycle_limit}")
         self.num_blocks = num_blocks
         self.pe_cycle_limit = pe_cycle_limit
-        self.erase_counts = np.zeros(num_blocks, dtype=np.int64)
+        # int32 is ample (rated limits are in the thousands) and keeps the
+        # per-block state vectors cache-dense alongside the NAND array's.
+        self.erase_counts = np.zeros(num_blocks, dtype=np.int32)
         self.total_erases = 0
 
     def record_erase(self, block: int) -> bool:

@@ -138,6 +138,13 @@ class ReadDisturbTracker:
         self.read_counts[block] += 1
         return bool(self.read_counts[block] >= self.scrub_threshold)
 
+    def record_reads(self, block: int, count: int) -> bool:
+        """Count ``count`` page reads in ``block`` at once; True when scrub
+        is due.  Equivalent to ``count`` :meth:`record_read` calls (the
+        tracker is observational, so only the final counter matters)."""
+        self.read_counts[block] += count
+        return bool(self.read_counts[block] >= self.scrub_threshold)
+
     def reset(self, block: int) -> None:
         """Clear the counter after the block is refreshed/erased."""
         self.read_counts[block] = 0

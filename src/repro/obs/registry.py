@@ -255,10 +255,10 @@ class MetricsSampler:
         """Begin sampling on ``sim`` (first sample fires immediately)."""
         if self._running:
             raise RuntimeError("sampler already running")
-        from repro.sim.events import EventPriority  # local: avoid cycle
+        from repro.sim.events import PRIORITY_LOW  # local: avoid cycle
 
         self._sim = sim
-        self._priority = EventPriority.LOW
+        self._priority = PRIORITY_LOW
         self._running = True
         sim.schedule(0, self._tick, priority=self._priority, name="obs.sample")
         return self

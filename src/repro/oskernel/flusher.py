@@ -26,7 +26,7 @@ from typing import Callable, List, Optional, Sequence
 from repro.obs.tracer import NULL_TRACER
 from repro.oskernel.cache import PageCache
 from repro.sim.engine import Simulator
-from repro.sim.events import EventPriority
+from repro.sim.events import PRIORITY_CONTROL
 from repro.sim.simtime import SECOND
 from repro.ssd.device import SsdDevice
 from repro.ssd.request import IoKind, IoRequest
@@ -99,7 +99,7 @@ class FlusherThread:
             raise RuntimeError("flusher already started")
         self._started = True
         self.sim.schedule(
-            self.period_ns, self._wake, priority=EventPriority.CONTROL, name="flusher"
+            self.period_ns, self._wake, priority=PRIORITY_CONTROL, name="flusher"
         )
 
     # ------------------------------------------------------------------
@@ -122,7 +122,7 @@ class FlusherThread:
         for hook in list(self.tick_hooks):
             hook(now)
         self.sim.schedule(
-            self.period_ns, self._wake, priority=EventPriority.CONTROL, name="flusher"
+            self.period_ns, self._wake, priority=PRIORITY_CONTROL, name="flusher"
         )
 
     def flush_once(self, now: int) -> int:
@@ -168,7 +168,7 @@ class FlusherThread:
             return
         self._bg_flush_pending = True
         self.sim.schedule(
-            0, self._background_flush, priority=EventPriority.CONTROL, name="bg-flush"
+            0, self._background_flush, priority=PRIORITY_CONTROL, name="bg-flush"
         )
 
     def _background_flush(self) -> None:
@@ -197,7 +197,7 @@ class FlusherThread:
             if contiguous and not full:
                 prev = lpn
                 continue
-            extent = list(range(start, prev + 1))
+            extent = range(start, prev + 1)
             self.device.submit(
                 IoRequest(
                     IoKind.WRITEBACK,

@@ -24,7 +24,14 @@ from repro.sim.simtime import (
     ns_from_seconds,
     seconds_from_ns,
 )
-from repro.sim.events import Event, EventPriority
+from repro.sim.events import (
+    PRIORITY_CONTROL,
+    PRIORITY_DEVICE,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    Event,
+    EventPriority,
+)
 from repro.sim.engine import Simulator, SimulationError
 from repro.sim.process import Process, Timeout, WaitFor, ProcessExit
 from repro.sim.randomness import RandomStreams
@@ -39,6 +46,10 @@ __all__ = [
     "seconds_from_ns",
     "Event",
     "EventPriority",
+    "PRIORITY_DEVICE",
+    "PRIORITY_NORMAL",
+    "PRIORITY_CONTROL",
+    "PRIORITY_LOW",
     "Simulator",
     "SimulationError",
     "Process",

@@ -7,15 +7,28 @@ in deterministic ``(time, priority, sequence)`` order.
 
 The loop never advances time past the event being dispatched, so a callback
 always observes ``sim.now`` equal to its own firing time.
+
+Hot-path layout (PERFORMANCE.md): the heap holds flat
+``(time, priority, seq, event)`` tuples.  ``seq`` is unique per event, so
+heap sifting is decided entirely by C-level int comparison -- the
+:class:`~repro.sim.events.Event` object rides along and is never compared.
+``run`` / ``run_until`` inline the dispatch instead of calling
+:meth:`step` per event.
 """
 
 from __future__ import annotations
 
 import heapq
 from time import perf_counter_ns
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
-from repro.sim.events import Event, EventPriority
+from repro.sim.events import PRIORITY_NORMAL, Event, EventPriority  # noqa: F401
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+#: Heap entry: ``(time, priority, seq, event)``.
+_HeapEntry = Tuple[int, int, int, Event]
 
 
 class SimulationError(RuntimeError):
@@ -38,7 +51,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now: int = 0
-        self._heap: List[Event] = []
+        self._heap: List[_HeapEntry] = []
         self._seq: int = 0
         self._live: int = 0
         self._running: bool = False
@@ -82,7 +95,7 @@ class Simulator:
         delay: int,
         callback: Callable[[], Any],
         *,
-        priority: int = EventPriority.NORMAL,
+        priority: int = PRIORITY_NORMAL,
         name: Optional[str] = None,
     ) -> Event:
         """Schedule ``callback`` to run ``delay`` ticks from now.
@@ -98,7 +111,7 @@ class Simulator:
         time: int,
         callback: Callable[[], Any],
         *,
-        priority: int = EventPriority.NORMAL,
+        priority: int = PRIORITY_NORMAL,
         name: Optional[str] = None,
     ) -> Event:
         """Schedule ``callback`` at absolute simulated ``time``."""
@@ -106,11 +119,12 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at {time} before current time {self._now}"
             )
-        event = Event(time=time, priority=int(priority), seq=self._seq, callback=callback, name=name)
+        seq = self._seq
+        event = Event(time, priority, seq, callback, name)
         event._on_cancel = self._on_event_cancelled
-        self._seq += 1
+        self._seq = seq + 1
         self._live += 1
-        heapq.heappush(self._heap, event)
+        _heappush(self._heap, (time, event.priority, seq, event))
         return event
 
     def _on_event_cancelled(self) -> None:
@@ -119,29 +133,34 @@ class Simulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _dispatch(self, time: int, event: Event) -> None:
+        """Fire one live event just popped off the heap."""
+        event._on_cancel = None  # fired: a late cancel() is a no-op
+        self._live -= 1
+        self._now = time
+        self.dispatched += 1
+        profiler = self._profiler
+        if profiler is None:
+            event.callback()
+        else:
+            label = event.name or getattr(
+                event.callback, "__qualname__", "anonymous"
+            )
+            start = perf_counter_ns()
+            event.callback()
+            profiler.record(label, perf_counter_ns() - start)
+
     def step(self) -> bool:
         """Dispatch the single next pending event.
 
         Returns ``False`` when the heap is empty (nothing was dispatched).
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            time, _prio, _seq, event = _heappop(heap)
             if event.cancelled:
                 continue
-            event._on_cancel = None  # fired: a late cancel() is a no-op
-            self._live -= 1
-            self._now = event.time
-            self.dispatched += 1
-            profiler = self._profiler
-            if profiler is None:
-                event.callback()
-            else:
-                label = event.name or getattr(
-                    event.callback, "__qualname__", "anonymous"
-                )
-                start = perf_counter_ns()
-                event.callback()
-                profiler.record(label, perf_counter_ns() - start)
+            self._dispatch(time, event)
             return True
         return False
 
@@ -152,33 +171,44 @@ class Simulator:
         """
         self._stopped = False
         count = 0
-        while not self._stopped:
+        heap = self._heap
+        while not self._stopped and heap:
             if max_events is not None and count >= max_events:
                 break
-            if not self.step():
-                break
+            time, _prio, _seq, event = _heappop(heap)
+            if event.cancelled:
+                continue
+            self._dispatch(time, event)
             count += 1
         return count
 
-    def run_until(self, time: int) -> int:
+    def run_until(self, time: int, max_events: Optional[int] = None) -> int:
         """Run events with timestamps ``<= time``, then set the clock to it.
 
         Events scheduled beyond ``time`` stay pending; the clock is advanced
         to exactly ``time`` so a subsequent ``run_until`` continues cleanly.
-        Returns the number of events dispatched.
+        With ``max_events`` the call returns early after that many
+        dispatches, leaving the clock at the last fired event so the caller
+        can interleave wall-clock deadline checks and resume (the worker
+        wall-clock budget in :mod:`repro.experiments.runner` relies on
+        this).  Returns the number of events dispatched.
         """
         if time < self._now:
             raise SimulationError(f"run_until({time}) is in the past (now={self._now})")
         self._stopped = False
         count = 0
-        while not self._stopped and self._heap:
-            head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
+        heap = self._heap
+        while not self._stopped and heap:
+            if max_events is not None and count >= max_events:
+                return count
+            head = heap[0]
+            if head[3].cancelled:
+                _heappop(heap)
                 continue
-            if head.time > time:
+            if head[0] > time:
                 break
-            self.step()
+            _heappop(heap)
+            self._dispatch(head[0], head[3])
             count += 1
         if not self._stopped:
             self._now = max(self._now, time)
@@ -202,9 +232,10 @@ class Simulator:
         O(log n) per cancelled event rather than a full heap sort per
         call.
         """
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            _heappop(heap)
+        return heap[0][0] if heap else None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Simulator now={self._now} pending={self.pending()}>"

@@ -27,7 +27,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, Optional
 
 from repro.sim.engine import Simulator
-from repro.sim.events import EventPriority
+from repro.sim.events import PRIORITY_NORMAL
 
 
 class ProcessExit(Exception):
@@ -140,7 +140,7 @@ class Process:
         self.sim.schedule(
             0,
             lambda: self._step(value),
-            priority=EventPriority.NORMAL,
+            priority=PRIORITY_NORMAL,
             name=f"{self.name}.resume",
         )
 

@@ -24,7 +24,7 @@ from repro.ftl.victim import VictimSelector
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER
 from repro.sim.engine import Simulator
-from repro.sim.events import EventPriority
+from repro.sim.events import PRIORITY_DEVICE, PRIORITY_LOW
 from repro.sim.simtime import MICROSECOND
 from repro.ssd.bandwidth import BandwidthEstimator
 from repro.ssd.config import SsdConfig
@@ -169,7 +169,7 @@ class SsdDevice:
         self.sim.schedule(
             latency,
             lambda: self._complete(request, latency, fgc_ns),
-            priority=EventPriority.DEVICE,
+            priority=PRIORITY_DEVICE,
             name="ssd.complete",
         )
 
@@ -182,8 +182,11 @@ class SsdDevice:
             for lpn in request.lpns:
                 latency += ftl.host_read_page(lpn)
         elif request.is_write:
-            for lpn in request.lpns:
-                latency += ftl.host_write_page(lpn)
+            if request.page_count > 1 and ftl.supports_batched_writes:
+                latency += ftl.host_write_extent(request.lpn, request.page_count)
+            else:
+                for lpn in request.lpns:
+                    latency += ftl.host_write_page(lpn)
         elif request.kind == IoKind.TRIM:
             ftl.trim(request.lpns)
             latency = self.TRIM_LATENCY_NS
@@ -259,7 +262,7 @@ class SsdDevice:
         self.sim.schedule(
             grace,
             lambda: self._idle_check(token),
-            priority=EventPriority.LOW,
+            priority=PRIORITY_LOW,
             name="ssd.idle_check",
         )
 
@@ -289,7 +292,7 @@ class SsdDevice:
         self.sim.schedule(
             latency,
             lambda: self._bgc_done(latency, free_before),
-            priority=EventPriority.DEVICE,
+            priority=PRIORITY_DEVICE,
             name="ssd.bgc_done",
         )
 
@@ -327,7 +330,7 @@ class SsdDevice:
         self.sim.schedule(
             latency,
             lambda: self._wl_done(latency),
-            priority=EventPriority.DEVICE,
+            priority=PRIORITY_DEVICE,
             name="ssd.wl_done",
         )
 

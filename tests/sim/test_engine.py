@@ -182,3 +182,42 @@ def test_peek_time_pops_cancelled_heads_lazily():
     assert sim.pending() == 1
     sim.run()
     assert sim.now == survivor.time
+
+
+def test_peek_time_none_when_every_event_cancelled():
+    sim = Simulator()
+    events = [sim.schedule(i + 1, lambda: None) for i in range(3)]
+    for event in events:
+        event.cancel()
+    assert sim.peek_time() is None
+    assert sim.pending() == 0
+    assert sim.run() == 0
+
+
+def test_cancel_then_reschedule_fires_only_replacement():
+    sim = Simulator()
+    fired = []
+    stale = sim.schedule(5, lambda: fired.append("stale"))
+    stale.cancel()
+    replacement = sim.schedule(5, lambda: fired.append("fresh"))
+    assert sim.pending() == 1
+    assert sim.peek_time() == 5
+    sim.run()
+    assert fired == ["fresh"]
+    assert sim.now == replacement.time
+    assert sim.pending() == 0
+
+
+def test_on_cancel_hook_detached_after_fire_and_after_cancel():
+    # The engine's live-count hook must not stay reachable from events a
+    # component keeps around after they fired or were cancelled.
+    sim = Simulator()
+    fired_event = sim.schedule(1, lambda: None)
+    cancelled_event = sim.schedule(2, lambda: None)
+    assert fired_event._on_cancel is not None
+    sim.run(max_events=1)
+    assert fired_event._on_cancel is None
+    cancelled_event.cancel()
+    assert cancelled_event._on_cancel is None
+    cancelled_event.cancel()  # idempotent with the hook already gone
+    assert sim.pending() == 0

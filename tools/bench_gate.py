@@ -4,13 +4,16 @@ Benchmark numbers are machine-dependent, so the gate judges *ratios*
 (indexed vs scan on the same run), which transfer across hosts:
 
 1. The end-to-end ``events_per_sec`` speedup must clear ``--min-speedup``
-   (default 1.5x -- the CI floor; the committed full-mode baseline
+   (default 1.5x -- the CI floor; the committed full-mode trajectory
    documents >= 2x).
-2. Against ``--baseline`` (the committed ``BENCH_hotpaths.json``), no
-   metric's speedup may shrink by more than ``--tolerance`` (default 2x:
-   CI compares a quick-mode run against the full-mode baseline, so the
-   tolerance absorbs the scale difference; the absolute 1.5x floor in
-   (1) is the hard bar).
+2. Against ``--baseline`` (the committed ``BENCH_hotpaths.json``
+   trajectory -- the gate picks the *latest entry with the same mode* as
+   the run under test, falling back to the latest entry overall), no
+   metric's speedup may shrink below a floor.  Same-mode comparisons use
+   the strict >20%-regression rule (floor = 0.8x the baseline speedup);
+   cross-mode comparisons use ``--tolerance`` (default 2x: a quick-mode
+   CI run against a full-mode entry differs in scale, so the tolerance
+   absorbs that; the absolute 1.5x floor in (1) is the hard bar).
 3. The ``--jobs 2`` sweep must beat ``--jobs 1`` when the current host
    actually has >= 2 CPUs; on single-core runners the check is skipped
    (and says so).
@@ -34,12 +37,46 @@ RATIO_METRICS = ("events_per_sec", "victim_selection_us", "flusher_tick_us")
 #: Minimum jobs1/jobs2 wall-clock ratio demanded on multi-core hosts.
 MIN_JOBS_SPEEDUP = 1.2
 
+#: Same-mode baseline comparisons fail when a speedup loses more than
+#: this fraction (the trajectory's ">20% regression" rule).
+MAX_SAME_MODE_REGRESSION = 0.20
 
-def _load(path: Path) -> dict:
+
+def _load_current(path: Path) -> dict:
+    """The run under test: always a flat single-run v1 payload."""
     payload = json.loads(path.read_text())
     if payload.get("schema") != "bench-hotpaths/v1":
         raise SystemExit(f"{path}: unsupported schema {payload.get('schema')!r}")
     return payload
+
+
+def _load_baseline(path: Path, mode: str) -> dict | None:
+    """Pick the baseline entry to gate against.
+
+    Accepts either a flat ``bench-hotpaths/v1`` payload (pre-trajectory
+    baseline, or another single run) or a ``bench-hotpaths/v2``
+    trajectory, from which the latest entry matching ``mode`` is chosen
+    -- entries are append-only and chronological -- falling back to the
+    latest entry of any mode.
+    """
+    payload = json.loads(path.read_text())
+    schema = payload.get("schema")
+    if schema == "bench-hotpaths/v1":
+        return payload
+    if schema == "bench-hotpaths/v2":
+        entries = payload.get("entries") or []
+        if not entries:
+            return None
+        same_mode = [e for e in entries if e.get("mode") == mode]
+        entry = same_mode[-1] if same_mode else entries[-1]
+        print(
+            f"[bench_gate] baseline: trajectory entry "
+            f"{entries.index(entry) + 1}/{len(entries)} "
+            f"(date={entry.get('date')} commit={entry.get('commit')} "
+            f"mode={entry.get('mode')})"
+        )
+        return entry
+    raise SystemExit(f"{path}: unsupported schema {schema!r}")
 
 
 def check(current: dict, baseline: dict | None, min_speedup: float,
@@ -54,14 +91,20 @@ def check(current: dict, baseline: dict | None, min_speedup: float,
         )
 
     if baseline is not None:
+        same_mode = baseline.get("mode") == current.get("mode")
         for metric in RATIO_METRICS:
             now = results[metric]["speedup"]
             then = baseline["results"][metric]["speedup"]
-            floor = then / tolerance
+            if same_mode:
+                floor = then * (1.0 - MAX_SAME_MODE_REGRESSION)
+                rule = f">{MAX_SAME_MODE_REGRESSION:.0%} same-mode regression"
+            else:
+                floor = then / tolerance
+                rule = f"cross-mode tolerance {tolerance}x"
             if now < floor:
                 failures.append(
                     f"{metric} speedup regressed: {now}x vs baseline {then}x "
-                    f"(floor {floor:.2f}x at tolerance {tolerance}x)"
+                    f"(floor {floor:.2f}x, {rule})"
                 )
 
     jobs = results["sweep_jobs"]
@@ -87,14 +130,18 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--baseline", type=Path, default=repo_root / "BENCH_hotpaths.json",
-        metavar="JSON", help="committed baseline (default: repo BENCH_hotpaths.json)",
+        metavar="JSON",
+        help="committed baseline or trajectory (default: repo BENCH_hotpaths.json)",
     )
     parser.add_argument("--min-speedup", type=float, default=1.5)
     parser.add_argument("--tolerance", type=float, default=2.0)
     args = parser.parse_args(argv)
 
-    current = _load(args.current)
-    baseline = _load(args.baseline) if args.baseline.exists() else None
+    current = _load_current(args.current)
+    baseline = (
+        _load_baseline(args.baseline, current.get("mode"))
+        if args.baseline.exists() else None
+    )
     if baseline is None:
         print(f"[bench_gate] no baseline at {args.baseline}; ratio-floor checks only")
 
