@@ -1,0 +1,165 @@
+"""Recovery-scan benchmark: full-device OOB scan throughput.
+
+Measures :func:`repro.ftl.recovery.recover_ftl` over a GC-churned
+device image -- the whole power-back-on path: the vectorized OOB scan,
+layout re-discovery, state installation and the invariant check.  Two
+numbers matter:
+
+* ``pages_per_sec``    -- wall-clock throughput of the scan (programmed
+  pages per host second).  This is the hot path of the crash-point
+  sweep harness (``repro.experiments.crashsweep``), which re-runs
+  recovery hundreds of times per sweep.
+* ``sim_scan_ms``      -- *simulated* recovery time (one flash read per
+  programmed page), the figure a device would show as power-on-ready
+  latency.
+
+Without ``--output`` the run is appended to ``BENCH_hotpaths.json``
+(the dated ``bench-hotpaths/v2`` trajectory) tagged
+``benchmark: "recovery_scan"``.  ``tools/bench_gate.py`` skips these
+entries -- they carry no indexed-vs-scan ratios -- but the trajectory
+keeps recovery throughput visible next to the hot-path history.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_recovery.py            # full
+    PYTHONPATH=src python benchmarks/bench_recovery.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):  # script invocation: make `repro` importable
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    from bench_hotpaths import _git_commit, _load_trajectory, _machine_fingerprint
+else:
+    from benchmarks.bench_hotpaths import (
+        _git_commit,
+        _load_trajectory,
+        _machine_fingerprint,
+    )
+
+import numpy as np
+
+from repro.ftl.ftl import PageMappedFtl
+from repro.ftl.recovery import recover_ftl
+from repro.ftl.space import SpaceModel
+from repro.nand.array import NandArray
+from repro.nand.geometry import NandGeometry
+from repro.nand.timing import NAND_20NM_MLC
+
+#: Device scale per mode.  Full mode scans ~2M pages; quick keeps the
+#: same churned shape at CI-smoke scale.
+SCALE = {
+    "full": dict(blocks=16384, pages_per_block=128, rounds=3),
+    "quick": dict(blocks=2048, pages_per_block=64, rounds=5),
+}
+
+
+def _churned_image(params: dict) -> NandArray:
+    """A crash image of a device that has lived: full map, stale copies,
+    torn frontiers."""
+    geometry = NandGeometry(
+        page_size=4096,
+        pages_per_block=params["pages_per_block"],
+        blocks_per_plane=params["blocks"],
+    )
+    space = SpaceModel.from_op_ratio(geometry, op_ratio=0.12)
+    ftl = PageMappedFtl(NandArray(geometry, NAND_20NM_MLC), space)
+    rng = np.random.default_rng(7)
+    for lpn in range(space.user_pages):
+        ftl.host_write_page(lpn)
+    # Skewed overwrites leave stale copies behind and trigger GC.
+    for lpn in rng.integers(0, space.user_pages // 4, space.user_pages // 2):
+        ftl.host_write_page(int(lpn))
+    crashed = NandArray.from_durable(
+        geometry, ftl.nand.capture_durable_state(), timing=NAND_20NM_MLC
+    )
+    for block in (ftl.active_user_block, ftl.active_gc_block):
+        if block is not None:
+            crashed.tear_frontier_page(block)
+    return crashed
+
+
+def bench_recovery_scan(quick: bool) -> dict:
+    params = SCALE["quick" if quick else "full"]
+    image = _churned_image(params)
+    space = SpaceModel.from_op_ratio(image.geometry, op_ratio=0.12)
+    durable = image.capture_durable_state()
+
+    walls = []
+    for _ in range(params["rounds"]):
+        nand = NandArray.from_durable(
+            image.geometry, durable, timing=NAND_20NM_MLC
+        )
+        start = time.perf_counter()
+        ftl, report = recover_ftl(nand, space)
+        walls.append(time.perf_counter() - start)
+    best = min(walls)
+    return {
+        "scenario": dict(params),
+        "pages_scanned": report.pages_scanned,
+        "mapped_lpns": report.mapped_lpns,
+        "stale_pages": report.stale_pages,
+        "torn_pages": report.torn_pages,
+        "wall_s": round(best, 4),
+        "pages_per_sec": round(report.pages_scanned / best, 1),
+        "sim_scan_ms": round(report.duration_ns / 1e6, 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced scale for CI smoke runs",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write a single-run payload here instead of appending to the "
+        "repo trajectory (BENCH_hotpaths.json)",
+    )
+    args = parser.parse_args(argv)
+    repo_root = Path(__file__).resolve().parents[1]
+
+    print("[bench_recovery] recovery_scan ...", flush=True)
+    results = {"recovery_scan": bench_recovery_scan(args.quick)}
+    print(f"[bench_recovery]   {json.dumps(results['recovery_scan'])}", flush=True)
+
+    run = {
+        "benchmark": "recovery_scan",
+        "mode": "quick" if args.quick else "full",
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "results": results,
+    }
+    if args.output:
+        output = Path(args.output)
+        output.write_text(
+            json.dumps({"schema": "bench-hotpaths/v1", **run}, indent=2) + "\n"
+        )
+        print(f"[bench_recovery] wrote {output}")
+        return 0
+
+    output = repo_root / "BENCH_hotpaths.json"
+    entries = _load_trajectory(output)
+    entries.append({
+        "date": datetime.date.today().isoformat(),
+        "commit": _git_commit(repo_root),
+        "machine": _machine_fingerprint(),
+        **run,
+    })
+    payload = {"schema": "bench-hotpaths/v2", "entries": entries}
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[bench_recovery] appended entry {len(entries)} to {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,13 @@ artifact can be regenerated from a shell:
                -- the full paper artifacts.
 * ``oracle``   -- JIT-GC vs the ideal (future-knowing) policy.
 * ``sweep``    -- many scenarios with fault isolation and checkpointing.
+* ``crash-sweep`` -- exhaustive power-loss crash-point verification.
 * ``list``     -- available workloads and policies.
+
+Power-loss emulation rides on ``run``: ``--spo-at T`` cuts power at
+simulated second T (repeatable), ``--spo-random N`` adds N seeded
+random cuts in the measurement window; the device recovers from its
+OOB metadata and the workload resumes.
 """
 
 from __future__ import annotations
@@ -23,18 +29,21 @@ from repro.experiments import (
     POLICY_FACTORIES,
     ScenarioSpec,
     format_table,
+    gc_heavy_spec,
     normalize_to,
+    run_crash_sweep,
     run_fig2,
     run_fig7,
     run_oracle_comparison,
     run_policy_comparison,
     run_scenario,
+    run_scenario_with_spo,
     run_sweep,
     run_table1,
     run_table2,
     run_table3,
 )
-from repro.faults import FAULT_PROFILES
+from repro.faults import FAULT_PROFILES, SpoPlan
 from repro.obs import TRACE_FORMATS, ObservabilityConfig
 from repro.sim.simtime import SECOND
 from repro.workloads import BENCHMARKS
@@ -146,12 +155,71 @@ def _print_metrics(metrics) -> None:
     )
 
 
+def _spo_plan_from(args: argparse.Namespace) -> SpoPlan:
+    try:
+        return SpoPlan(
+            at_ns=tuple(int(t * SECOND) for t in args.spo_at or ()),
+            random_cuts=args.spo_random,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro run: invalid SPO plan: {exc}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     spec = _spec_from(args)
     spec.policy = args.policy
     _echo_run_header(spec)
-    _print_metrics(run_scenario(spec))
+    plan = _spo_plan_from(args)
+    if plan.enabled:
+        outcome = run_scenario_with_spo(spec, plan)
+        metrics = outcome.metrics
+        for cut, report in zip(outcome.cuts, outcome.reports):
+            print(
+                f"power cut at {cut.t_ns / 1e9:.3f}s: {len(cut.torn)} torn "
+                f"pages, {cut.events_dropped} events dropped; recovered "
+                f"{report.mapped_lpns} LPNs in {report.duration_ns / 1e6:.1f}ms "
+                f"({report.pages_scanned} OOB reads)"
+            )
+        _print_metrics(metrics)
+        print(
+            f"survived {metrics.spo_count} power cuts; total recovery "
+            f"{metrics.recovery_time_ns / 1e6:.1f}ms"
+        )
+    else:
+        _print_metrics(run_scenario(spec))
     return 0
+
+
+def cmd_crash_sweep(args: argparse.Namespace) -> int:
+    spec = gc_heavy_spec(
+        blocks=args.blocks,
+        pages_per_block=args.pages_per_block,
+        seed=args.seed,
+        measure_s=args.measure,
+        fault_profile=args.faults,
+    )
+    _echo_run_header(spec)
+    ticks = {"n": 0}
+
+    def progress(check) -> None:
+        ticks["n"] += 1
+        if not check.ok:
+            print(f"point {check.index} @ {check.t_ns}ns FAILED: {check.error}")
+        elif ticks["n"] % 25 == 0:
+            print(
+                f"{ticks['n']} points verified "
+                f"(t={check.t_ns / 1e9:.2f}s, {check.torn_pages} torn)"
+            )
+
+    result = run_crash_sweep(
+        spec,
+        points=args.points,
+        stride_events=args.stride,
+        progress=progress,
+    )
+    print(result.summary())
+    return 0 if result.ok() else 1
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -255,6 +323,15 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--policy", default="JIT-GC", choices=sorted(POLICY_FACTORIES)
     )
+    run_parser.add_argument(
+        "--spo-at", type=float, action="append", default=None, metavar="S",
+        help="cut power at simulated second S and recover (repeatable)",
+    )
+    run_parser.add_argument(
+        "--spo-random", type=int, default=0, metavar="N",
+        help="additionally cut power at N seeded-random instants in the "
+        "measurement window",
+    )
     run_parser.set_defaults(func=cmd_run)
 
     compare_parser = sub.add_parser("compare", help="four-policy comparison")
@@ -299,6 +376,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_arg(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
+
+    crash_parser = sub.add_parser(
+        "crash-sweep",
+        help="verify crash-consistent recovery at many crash points of a "
+        "GC-heavy run",
+    )
+    crash_parser.add_argument("--blocks", type=int, default=256)
+    crash_parser.add_argument("--pages-per-block", type=int, default=64)
+    crash_parser.add_argument("--measure", type=int, default=30, metavar="S")
+    crash_parser.add_argument("--seed", type=int, default=42)
+    crash_parser.add_argument(
+        "--faults", default="none", choices=sorted(FAULT_PROFILES),
+        help="media-fault profile active while the sweep runs",
+    )
+    crash_parser.add_argument(
+        "--points", type=int, default=100, metavar="N",
+        help="crash points to verify (default: 100)",
+    )
+    crash_parser.add_argument(
+        "--stride", type=int, default=512, metavar="EVENTS",
+        help="simulator events between crash points (default: 512)",
+    )
+    crash_parser.set_defaults(func=cmd_crash_sweep)
 
     list_parser = sub.add_parser("list", help="available workloads and policies")
     list_parser.set_defaults(func=cmd_list)

@@ -10,6 +10,8 @@
 * :mod:`repro.experiments.ablations` -- design-choice sweeps from
   DESIGN.md (CDH percentile, SIP threshold, strict predictor, eager
   manager).
+* :mod:`repro.experiments.crashsweep` -- exhaustive crash-point sweep
+  and live sudden-power-off runs with post-recovery continuation.
 """
 
 from repro.experiments.runner import (
@@ -36,6 +38,17 @@ from repro.experiments.ablations import (
     run_sip_ablation,
 )
 from repro.experiments.oracle import OracleComparison, run_oracle_comparison
+from repro.experiments.crashsweep import (
+    CrashPointCheck,
+    CrashPointMismatch,
+    CrashSweepResult,
+    SpoRunResult,
+    gc_heavy_spec,
+    merge_phase_metrics,
+    run_crash_sweep,
+    run_scenario_with_spo,
+    verify_crash_point,
+)
 from repro.experiments.persistence import SweepCheckpoint, load_results, save_results
 
 __all__ = [
@@ -69,4 +82,13 @@ __all__ = [
     "run_oracle_comparison",
     "load_results",
     "save_results",
+    "CrashPointCheck",
+    "CrashPointMismatch",
+    "CrashSweepResult",
+    "SpoRunResult",
+    "gc_heavy_spec",
+    "merge_phase_metrics",
+    "run_crash_sweep",
+    "run_scenario_with_spo",
+    "verify_crash_point",
 ]

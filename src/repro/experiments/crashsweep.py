@@ -1,0 +1,556 @@
+"""Crash-point sweeps and mid-run power-loss experiments.
+
+Two entry points, both built on the durable-media capture of
+:mod:`repro.faults.powerloss` and the OOB recovery scan of
+:mod:`repro.ftl.recovery`:
+
+* :func:`run_crash_sweep` -- the exhaustive harness.  One live host runs
+  a GC-heavy scenario; every ``stride_events`` dispatched events the
+  harness snapshots the durable media image, tears the in-flight
+  frontier pages on the *copy* (exactly what a real cut at that instant
+  would do), recovers a fresh FTL from the copy and verifies it against
+  the still-running original: same L2P table, same valid counts, same
+  erase counts, and -- the read-identity witness -- the OOB ``(lpn,
+  seq)`` stamp of every mapped page matches, so any host read on the
+  recovered device returns the same physical page contents a
+  never-crashed device would serve.  Hundreds of crash points cost one
+  simulation, not hundreds.
+
+* :func:`run_scenario_with_spo` -- the live-cut experiment.  Power is
+  actually cut at each planned instant (:class:`~repro.faults.powerloss.
+  SpoPlan`): the event queue dies, the media image is captured, a new
+  device is recovered from it (fresh fault injector, same profile) and
+  the workload resumes on a new host at ``cut + scan`` time.  Per-phase
+  metrics are merged into one :class:`~repro.metrics.collector.
+  RunMetrics` with ``spo_count`` / ``recovery_time_ns`` filled in.
+
+The sweep's equality checks are strict because the scenarios it runs
+issue no TRIMs (see DESIGN.md "Power loss & recovery" for the TRIM
+resurrection caveat -- the one deliberate divergence of the recovery
+protocol).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.runner import ScenarioSpec
+from repro.faults.powerloss import PowerCut, PowerLossEmulator, SpoPlan
+from repro.ftl.ftl import DeviceReadOnlyError, FtlError, PageMappedFtl
+from repro.ftl.mapping import UNMAPPED
+from repro.ftl.recovery import RecoveryReport, recover_ftl
+from repro.host import HostSystem
+from repro.metrics.collector import MetricsCollector, RunMetrics
+from repro.nand.array import STATE_ERASED, STATE_OPEN, NandArray
+from repro.obs.audit import RecoveryRecord
+from repro.sim.simtime import SECOND
+from repro.ssd.config import SsdConfig
+from repro.workloads import BENCHMARKS, Region
+
+
+class CrashPointMismatch(AssertionError):
+    """Recovered state diverged from the live reference at a crash point."""
+
+
+# ----------------------------------------------------------------------
+# Crash-point verification
+# ----------------------------------------------------------------------
+@dataclass
+class CrashPointCheck:
+    """Outcome of one simulated crash point.
+
+    Attributes:
+        index: ordinal position in the sweep.
+        t_ns: sim time of the (simulated) cut.
+        events_dispatched: total events dispatched when the point fired.
+        ok: recovery passed every check.
+        error: failure description (empty when ``ok``).
+        torn_pages / pages_scanned / mapped_lpns / scan_ns: from the
+            recovery report.
+        read_only: the recovered device came back write-refusing.
+    """
+
+    index: int
+    t_ns: int
+    events_dispatched: int
+    ok: bool = False
+    error: str = ""
+    torn_pages: int = 0
+    pages_scanned: int = 0
+    mapped_lpns: int = 0
+    scan_ns: int = 0
+    read_only: bool = False
+
+
+@dataclass
+class CrashSweepResult:
+    """All crash points of one sweep plus the scenario identity."""
+
+    scenario: str
+    stride_events: int
+    points: List[CrashPointCheck] = field(default_factory=list)
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for p in self.points if p.ok)
+
+    @property
+    def failed(self) -> List[CrashPointCheck]:
+        return [p for p in self.points if not p.ok]
+
+    def ok(self) -> bool:
+        return bool(self.points) and not self.failed
+
+    def summary(self) -> str:
+        span = (
+            f"{self.points[0].t_ns}-{self.points[-1].t_ns} ns"
+            if self.points
+            else "empty"
+        )
+        torn = sum(p.torn_pages for p in self.points)
+        return (
+            f"crash sweep [{self.scenario}]: {self.passed}/{len(self.points)} "
+            f"points recovered consistently (span {span}, stride "
+            f"{self.stride_events} events, {torn} torn pages discarded)"
+        )
+
+
+def verify_crash_point(
+    live_ftl: PageMappedFtl,
+    config: SsdConfig,
+    sample_reads: int = 8,
+    rng: Optional[np.random.Generator] = None,
+) -> RecoveryReport:
+    """Crash the device *hypothetically* at this instant and verify.
+
+    Captures the durable media image of ``live_ftl`` without disturbing
+    it, replays the cut on a copy (frontier pages torn, DRAM discarded),
+    recovers a fresh FTL from the copy and checks it against the live
+    reference.  Raises :class:`CrashPointMismatch` on any divergence;
+    recovery-time failures (:class:`~repro.ftl.recovery.RecoveryError`)
+    propagate as-is.
+
+    The checks, in order of strength:
+
+    1. recovered L2P table identical to the live one;
+    2. per-block valid counts and total mapped count identical;
+    3. erase counters identical (wear survives the cut);
+    4. next write-sequence stamp identical (monotonicity across cuts);
+    5. read identity -- every mapped LPN's OOB ``(lpn, seq)`` stamp on
+       the recovered media equals the live one, and ``sample_reads``
+       random mapped LPNs serve an actual :meth:`host_read_page`;
+    6. free-pool size equals the torn image's erased-block count minus
+       the frontiers recovery had to open fresh (a frontier whose block
+       the cut left FULL -- or whose tear filled it -- cannot resume).
+    """
+    live_nand = live_ftl.nand
+    durable = live_nand.capture_durable_state()
+    nand = NandArray.from_durable(
+        config.geometry,
+        durable,
+        timing=config.timing,
+        pe_cycle_limit=config.pe_cycle_limit,
+        fault_injector=None,
+    )
+    for block in (live_ftl.active_user_block, live_ftl.active_gc_block):
+        if block is not None:
+            nand.tear_frontier_page(block)
+    # Media-visible free-pool expectation: every good ERASED block, less
+    # one per write stream that lacks an OPEN block to resume.
+    erased = int((nand.block_states == STATE_ERASED).sum())
+    open_count = int((nand.block_states == STATE_OPEN).sum())
+    expected_free = erased - max(0, 2 - open_count)
+
+    ftl, report = _recover(nand, config)
+
+    live_l2p = live_ftl.page_map.l2p_snapshot()
+    rec_l2p = ftl.page_map.l2p_snapshot()
+    if not np.array_equal(live_l2p, rec_l2p):
+        diff = int((live_l2p != rec_l2p).sum())
+        raise CrashPointMismatch(
+            f"L2P mismatch after recovery: {diff} LPNs map differently"
+        )
+    if ftl.page_map.mapped_count != live_ftl.page_map.mapped_count:
+        raise CrashPointMismatch(
+            f"mapped_count {ftl.page_map.mapped_count} != "
+            f"{live_ftl.page_map.mapped_count}"
+        )
+    if not np.array_equal(
+        ftl.page_map.valid_counts(), live_ftl.page_map.valid_counts()
+    ):
+        raise CrashPointMismatch("per-block valid counts diverged")
+    if not np.array_equal(nand.erase_counts, live_nand.erase_counts):
+        raise CrashPointMismatch("erase counters diverged across the cut")
+    if ftl._write_seq != live_ftl._write_seq:
+        raise CrashPointMismatch(
+            f"write_seq {ftl._write_seq} != live {live_ftl._write_seq}"
+        )
+
+    # Read identity: with page payloads not modelled, a physical page's
+    # content *is* its (lpn, seq) stamp -- equal stamps at equal PPNs
+    # means every post-recovery host read returns bit-identical data.
+    mapped = np.flatnonzero(live_l2p != UNMAPPED)
+    if mapped.size:
+        ppns = live_l2p[mapped]
+        if not (
+            np.array_equal(nand.oob_lpn[ppns], live_nand.oob_lpn[ppns])
+            and np.array_equal(nand.oob_seq[ppns], live_nand.oob_seq[ppns])
+        ):
+            raise CrashPointMismatch("OOB stamps of mapped pages diverged")
+        if sample_reads > 0:
+            rng = rng if rng is not None else np.random.default_rng(0)
+            picks = rng.choice(mapped, size=min(sample_reads, mapped.size))
+            for lpn in picks:
+                ftl.host_read_page(int(lpn))
+
+    if not report.read_only and ftl.free_pool_blocks() != expected_free:
+        raise CrashPointMismatch(
+            f"free pool {ftl.free_pool_blocks()} != expected {expected_free}"
+        )
+    return report
+
+
+def _recover(nand: NandArray, config: SsdConfig):
+    """Recover an FTL over an already-built (already-torn) NAND copy."""
+    return recover_ftl(
+        nand,
+        config.space_model(),
+        fgc_watermark=config.fgc_watermark,
+        fgc_penalty=config.fgc_penalty,
+        max_read_retries=config.max_read_retries,
+        max_program_retries=config.max_program_retries,
+        max_erase_retries=config.max_erase_retries,
+    )
+
+
+# ----------------------------------------------------------------------
+# The exhaustive sweep
+# ----------------------------------------------------------------------
+def gc_heavy_spec(
+    blocks: int = 256,
+    pages_per_block: int = 64,
+    seed: int = 42,
+    measure_s: int = 30,
+    fault_profile=None,
+) -> ScenarioSpec:
+    """A scenario tuned so GC runs constantly under the sweep.
+
+    A 90 % working set over a logically-full (prefilled + churned)
+    device keeps the free pool near the FGC watermark, so crash points
+    land inside foreground GC, background GC and frontier rolls -- the
+    states recovery must get right.
+    """
+    return ScenarioSpec(
+        workload="YCSB",
+        policy="JIT-GC",
+        blocks=blocks,
+        pages_per_block=pages_per_block,
+        op_ratio=0.07,
+        working_set_fraction=0.9,
+        warmup_s=2,
+        measure_s=measure_s,
+        flusher_period_s=1,
+        tau_expire_s=2,
+        seed=seed,
+        fault_profile=fault_profile,
+    )
+
+
+def run_crash_sweep(
+    spec: ScenarioSpec,
+    points: int = 100,
+    stride_events: int = 512,
+    sample_reads: int = 8,
+    progress: Optional[Callable[[CrashPointCheck], None]] = None,
+) -> CrashSweepResult:
+    """Verify crash-consistent recovery at up to ``points`` instants.
+
+    Drives one live host through ``spec`` and, every ``stride_events``
+    dispatched simulator events past warm-up, runs
+    :func:`verify_crash_point` against it.  The sweep stops early if the
+    measurement window ends or the simulation stalls (terminal
+    read-only device with a drained queue).
+
+    Every check failure is recorded, not raised -- the result object
+    reports pass/fail per point (``result.ok()`` for the verdict).
+    """
+    config = spec.make_config()
+    policy = spec.make_policy()
+    host = HostSystem(
+        config,
+        policy,
+        seed=spec.seed,
+        flusher_period_ns=spec.flusher_period_s * SECOND,
+        tau_expire_ns=spec.tau_expire_s * SECOND,
+        obs=spec.obs,
+    )
+    working_set = int(host.user_pages * spec.working_set_fraction)
+    try:
+        host.prefill(working_set)
+    except DeviceReadOnlyError:
+        pass
+    collector = MetricsCollector(host, workload_name=spec.workload)
+    workload = BENCHMARKS[spec.workload](
+        host, collector, Region(0, working_set), **spec.workload_kwargs
+    )
+    workload.start()
+
+    warmup_end = spec.warmup_s * SECOND
+    end = warmup_end + spec.measure_s * SECOND
+    _advance(host, warmup_end)
+
+    result = CrashSweepResult(scenario=spec.key(), stride_events=stride_events)
+    rng = np.random.default_rng(np.random.SeedSequence((spec.seed, 0xC4A5)))
+    for index in range(points):
+        if host.sim.now >= end:
+            break
+        before = host.sim.dispatched
+        try:
+            host.sim.run_until(end, max_events=stride_events)
+        except DeviceReadOnlyError:
+            pass
+        if host.sim.dispatched == before and host.sim.now >= end:
+            break
+        check = CrashPointCheck(
+            index=index,
+            t_ns=host.sim.now,
+            events_dispatched=host.sim.dispatched,
+        )
+        try:
+            report = verify_crash_point(
+                host.ftl, config, sample_reads=sample_reads, rng=rng
+            )
+            check.ok = True
+            check.torn_pages = report.torn_pages
+            check.pages_scanned = report.pages_scanned
+            check.mapped_lpns = report.mapped_lpns
+            check.scan_ns = report.duration_ns
+            check.read_only = report.read_only
+        except (CrashPointMismatch, FtlError) as exc:
+            check.error = f"{type(exc).__name__}: {exc}"
+        result.points.append(check)
+        if progress is not None:
+            progress(check)
+        if host.sim.dispatched == before:
+            break  # queue drained; no further state changes to crash into
+    workload.stop()
+    return result
+
+
+def _advance(host: HostSystem, target_ns: int) -> None:
+    """Advance to ``target_ns`` sim time, surviving device death."""
+    while host.sim.now < target_ns:
+        try:
+            host.sim.run_until(target_ns)
+        except DeviceReadOnlyError:
+            continue
+
+
+# ----------------------------------------------------------------------
+# Live SPO runs with post-recovery continuation
+# ----------------------------------------------------------------------
+@dataclass
+class SpoRunResult:
+    """One scenario run that survived real power cuts.
+
+    Attributes:
+        metrics: phase metrics merged into one run-level view
+            (``spo_count`` and ``recovery_time_ns`` populated).
+        phases: the per-phase windows as measured.
+        cuts: the emulated power cuts, in order.
+        reports: the recovery-scan report of each power-back-on.
+    """
+
+    metrics: RunMetrics
+    phases: List[RunMetrics] = field(default_factory=list)
+    cuts: List[PowerCut] = field(default_factory=list)
+    reports: List[RecoveryReport] = field(default_factory=list)
+
+
+def run_scenario_with_spo(spec: ScenarioSpec, plan: SpoPlan) -> SpoRunResult:
+    """Run ``spec`` with real power cuts per ``plan``.
+
+    Each cut kills the host mid-run (queued events die, frontier pages
+    tear, DRAM state is lost); a fresh device is recovered from the
+    durable media image (new fault injector over the same profile) and
+    a new host resumes the timeline at ``cut + recovery scan``.  The
+    measurement window is the same as a cut-free run's; metric windows
+    spanning a cut are split into phases and merged.
+    """
+    config = spec.make_config()
+    measure_start = spec.warmup_s * SECOND
+    measure_end = measure_start + spec.measure_s * SECOND
+    cuts_planned = [
+        t for t in plan.cut_times(measure_start, measure_end) if 0 < t < measure_end
+    ]
+    emulator = PowerLossEmulator()
+    reports: List[RecoveryReport] = []
+    phases: List[RunMetrics] = []
+
+    policy = spec.make_policy()
+    host = HostSystem(
+        config,
+        policy,
+        seed=spec.seed,
+        flusher_period_ns=spec.flusher_period_s * SECOND,
+        tau_expire_ns=spec.tau_expire_s * SECOND,
+        obs=spec.obs,
+    )
+    working_set = int(host.user_pages * spec.working_set_fraction)
+    try:
+        host.prefill(working_set)
+    except DeviceReadOnlyError:
+        pass
+    collector = MetricsCollector(host, workload_name=spec.workload)
+    workload = BENCHMARKS[spec.workload](
+        host, collector, Region(0, working_set), **spec.workload_kwargs
+    )
+    workload.start()
+
+    # Process the timeline's stop points in order.  "begin" sorts before
+    # a cut at the same instant so the window opens first.
+    stops: List[Tuple[int, int, str]] = sorted(
+        [(measure_start, 0, "begin")]
+        + [(t, 1, "cut") for t in cuts_planned]
+        + [(measure_end, 2, "end")]
+    )
+    measuring = False
+    phase = 0
+    for t, _, kind in stops:
+        if t > host.sim.now:
+            _advance(host, t)
+        if kind == "begin":
+            collector.begin()
+            measuring = True
+            continue
+        if kind == "end":
+            if measuring:
+                collector.end()
+                phases.append(collector.results())
+            break
+        # kind == "cut"
+        if measuring:
+            collector.end()
+            phases.append(collector.results())
+        cut = emulator.cut_power(host)
+        phase += 1
+        ftl, report = config.recover_from(
+            cut.durable,
+            victim_selector=None,  # the new policy installs its own below
+            seed=spec.seed + 7919 * phase + 1,
+        )
+        reports.append(report)
+        policy = spec.make_policy()
+        # recover_from built the FTL before the policy existed; give it
+        # the policy's selector so victim ranking matches a fresh device.
+        selector = policy.make_victim_selector()
+        if selector is not None:
+            ftl.victim_selector = selector
+        host = HostSystem(
+            config,
+            policy,
+            seed=spec.seed + 104_729 * phase,
+            flusher_period_ns=spec.flusher_period_s * SECOND,
+            tau_expire_ns=spec.tau_expire_s * SECOND,
+            ftl=ftl,
+            start_time_ns=cut.t_ns + report.duration_ns,
+        )
+        if host.ftl.audit.enabled:
+            host.ftl.audit.record_recovery(
+                RecoveryRecord(
+                    t_ns=cut.t_ns,
+                    duration_ns=report.duration_ns,
+                    pages_scanned=report.pages_scanned,
+                    torn_pages=report.torn_pages,
+                    stale_pages=report.stale_pages,
+                    mapped_lpns=report.mapped_lpns,
+                    free_blocks=report.free_blocks,
+                    closed_blocks=report.closed_blocks,
+                    retired_blocks=report.retired_blocks,
+                    read_only=report.read_only,
+                )
+            )
+        collector = MetricsCollector(host, workload_name=spec.workload)
+        workload = BENCHMARKS[spec.workload](
+            host, collector, Region(0, working_set), **spec.workload_kwargs
+        )
+        workload.start()
+        if measuring:
+            collector.begin()
+    workload.stop()
+
+    merged = merge_phase_metrics(
+        phases,
+        spo_count=len(emulator.cuts),
+        recovery_time_ns=sum(r.duration_ns for r in reports),
+    )
+    return SpoRunResult(
+        metrics=merged, phases=phases, cuts=emulator.cuts, reports=reports
+    )
+
+
+def merge_phase_metrics(
+    phases: List[RunMetrics], spo_count: int = 0, recovery_time_ns: int = 0
+) -> RunMetrics:
+    """Fold per-phase windows into one run-level :class:`RunMetrics`.
+
+    Counters sum; WAF is recomputed from the summed page counts; rates
+    and means are duration-weighted; p99 is the worst phase's (a
+    conservative tail bound -- per-phase histograms are not retained);
+    capacity fields take the final phase's value.
+    """
+    if not phases:
+        raise ValueError("cannot merge zero phases")
+    total = sum(p.duration_ns for p in phases)
+
+    def wavg(get) -> float:
+        if total == 0:
+            return 0.0
+        return sum(get(p) * p.duration_ns for p in phases) / total
+
+    host_pages = sum(p.host_pages_written for p in phases)
+    gc_pages = sum(p.gc_pages_migrated for p in phases)
+    accuracy = next(
+        (
+            p.prediction_accuracy_pct
+            for p in reversed(phases)
+            if p.prediction_accuracy_pct is not None
+        ),
+        None,
+    )
+    timeline: List[Tuple[int, int]] = []
+    for p in phases:
+        timeline.extend(p.op_timeline)
+    return RunMetrics(
+        policy=phases[-1].policy,
+        workload=phases[-1].workload,
+        duration_ns=total,
+        iops=wavg(lambda p: p.iops),
+        waf=(host_pages + gc_pages) / host_pages if host_pages else 0.0,
+        host_pages_written=host_pages,
+        gc_pages_migrated=gc_pages,
+        fgc_invocations=sum(p.fgc_invocations for p in phases),
+        fgc_time_ns=sum(p.fgc_time_ns for p in phases),
+        bgc_blocks=sum(p.bgc_blocks for p in phases),
+        erases=sum(p.erases for p in phases),
+        prediction_accuracy_pct=accuracy,
+        sip_selections=sum(p.sip_selections for p in phases),
+        sip_filtered=sum(p.sip_filtered for p in phases),
+        buffered_fraction=wavg(lambda p: p.buffered_fraction),
+        mean_latency_ns=wavg(lambda p: p.mean_latency_ns),
+        p99_latency_ns=max(p.p99_latency_ns for p in phases),
+        injected_faults=sum(p.injected_faults for p in phases),
+        read_retries=sum(p.read_retries for p in phases),
+        uncorrectable_reads=sum(p.uncorrectable_reads for p in phases),
+        program_faults=sum(p.program_faults for p in phases),
+        erase_faults=sum(p.erase_faults for p in phases),
+        blocks_retired=sum(p.blocks_retired for p in phases),
+        effective_op_pages=phases[-1].effective_op_pages,
+        op_timeline=timeline,
+        device_read_only=any(p.device_read_only for p in phases),
+        spo_count=spo_count,
+        recovery_time_ns=recovery_time_ns,
+    )

@@ -3,10 +3,15 @@
 * :mod:`repro.faults.injector` -- the deterministic
   :class:`FaultInjector`, the :class:`FaultProfile` configuration and the
   named presets behind the CLI's ``--faults`` flag.
+* :mod:`repro.faults.powerloss` -- sudden-power-off emulation: the
+  :class:`SpoPlan` schedule, the :class:`PowerLossEmulator` that tears
+  frontier pages / captures the durable media image / drops the event
+  queue, and the :class:`PowerCut` record recovery consumes.
 
 Recovery itself lives where it belongs: the NAND array raises the
 recoverable fault exceptions (:mod:`repro.nand.errors`) and the FTL
-(:mod:`repro.ftl.ftl`) retries, rewrites and retires blocks.
+(:mod:`repro.ftl.ftl`, :mod:`repro.ftl.recovery`) retries, rewrites,
+retires blocks and rebuilds its state after a power cut.
 """
 
 from repro.faults.injector import (
@@ -15,10 +20,14 @@ from repro.faults.injector import (
     FaultProfile,
     resolve_fault_profile,
 )
+from repro.faults.powerloss import PowerCut, PowerLossEmulator, SpoPlan
 
 __all__ = [
     "FAULT_PROFILES",
     "FaultInjector",
     "FaultProfile",
     "resolve_fault_profile",
+    "PowerCut",
+    "PowerLossEmulator",
+    "SpoPlan",
 ]

@@ -225,6 +225,32 @@ class FaultInjector:
         self._log("read", block, page)
         return True
 
+    def program_batch_clear(self, block: int, count: int, pe_cycles: int) -> bool:
+        """Pre-draw the program-fault stream for a ``count``-page batch.
+
+        Returns True when none of the next ``count`` program draws would
+        fail, leaving the stream exactly where ``count`` per-page
+        :meth:`program_fails` calls would have left it (one uniform per
+        page, drawn in the same order -- numpy's ``Generator.random(n)``
+        consumes the stream identically to ``n`` scalar draws).
+
+        Returns False when *any* draw in the batch would fail; the stream
+        is then **restored to its pre-call state** and no counters or log
+        entries are touched, so a per-page replay of the same pages sees
+        the same draws and fires (and accounts) the fault at the exact
+        per-page point.  ``pe_cycles`` is the block's current P/E count;
+        it is constant across a batch because programs never erase.
+        """
+        prob = self._wear_scaled(self.profile.program_fail_prob, pe_cycles)
+        if prob <= 0.0:
+            return True
+        rng = self._rngs["program"]
+        state = rng.bit_generator.state
+        if bool((rng.random(count) < prob).any()):
+            rng.bit_generator.state = state
+            return False
+        return True
+
     def read_retry_succeeds(self) -> bool:
         """One voltage-shifted re-read attempt; True when it recovers."""
         prob = self.profile.read_retry_success_prob

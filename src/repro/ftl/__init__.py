@@ -14,6 +14,9 @@ Implements the firmware half of the paper's storage system:
 * :mod:`repro.ftl.stats` -- WAF, migration and GC-invocation counters.
 * :mod:`repro.ftl.ftl` -- :class:`PageMappedFtl`, the write/read/trim
   datapath with foreground and background garbage collection.
+* :mod:`repro.ftl.recovery` -- post-power-loss reconstruction: the
+  full-device OOB scan, torn-page discard, newest-copy-wins mapping and
+  layout re-discovery.
 """
 
 from repro.ftl.space import SpaceModel
@@ -30,6 +33,14 @@ from repro.ftl.victim import (
 from repro.ftl.wear import WearAwareAllocator, StaticWearLeveler
 from repro.ftl.stats import FtlStats
 from repro.ftl.ftl import PageMappedFtl, FtlError, OutOfSpaceError
+from repro.ftl.recovery import (
+    RecoveredFtlState,
+    RecoveryError,
+    RecoveryReport,
+    recover_ftl,
+    rediscover_layout,
+    scan_oob,
+)
 
 __all__ = [
     "SpaceModel",
@@ -47,4 +58,10 @@ __all__ = [
     "PageMappedFtl",
     "FtlError",
     "OutOfSpaceError",
+    "RecoveredFtlState",
+    "RecoveryError",
+    "RecoveryReport",
+    "recover_ftl",
+    "rediscover_layout",
+    "scan_oob",
 ]

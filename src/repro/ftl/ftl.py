@@ -27,7 +27,7 @@ blocks with fresh (hot) data.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -39,6 +39,7 @@ from repro.ftl.victim import GreedySelector, VictimSelector
 from repro.ftl.wear import StaticWearLeveler, WearAwareAllocator
 from repro.nand.array import NandArray
 from repro.nand.errors import (
+    BatchFaultPending,
     EraseFailError,
     ProgramFailError,
     UncorrectableReadError,
@@ -46,6 +47,9 @@ from repro.nand.errors import (
 from repro.obs.audit import DISABLED_AUDIT, FaultRecord, VictimRecord
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ftl.recovery import RecoveredFtlState
 
 
 class FtlError(RuntimeError):
@@ -111,6 +115,7 @@ class PageMappedFtl:
         max_program_retries: int = 4,
         max_erase_retries: int = 2,
         registry: Optional[MetricsRegistry] = None,
+        recovered: Optional["RecoveredFtlState"] = None,
     ) -> None:
         if space.geometry is not nand.geometry:
             raise ValueError("space model and NAND array use different geometries")
@@ -155,6 +160,12 @@ class PageMappedFtl:
 
         self._op_counter = 0
         self._clock = clock or self._default_clock
+        #: Monotonic write-sequence stamp persisted in each programmed
+        #: page's OOB slot (power-loss recovery's "newest copy wins"
+        #: arbiter).  Consumed only by *successful* programs, so every
+        #: surviving stamp is unique and restoring ``max + 1`` after a
+        #: crash keeps monotonicity across power cycles.
+        self._write_seq = 0
 
         #: LPNs the host reported as soon-to-be-invalidated (paper's SIP list).
         self.sip_lpns: Set[int] = set()
@@ -174,6 +185,19 @@ class PageMappedFtl:
             self.victim_index = None
             self.sip_index = None
 
+        # Cached int for the per-write frontier/address math below.
+        self._ppb = self.geometry.pages_per_block
+        #: Time each block was closed (frontier filled); for cost-benefit age.
+        self._close_time = np.zeros(self.geometry.total_blocks, dtype=np.int64)
+        #: True for blocks that are in use and completely programmed.
+        self._closed = np.zeros(self.geometry.total_blocks, dtype=bool)
+        #: Erases since the last wear-levelling check.
+        self._erases_since_wl_check = 0
+
+        if recovered is not None:
+            self._install_recovered(recovered)
+            return
+
         good = [
             block
             for block in range(self.geometry.total_blocks)
@@ -182,17 +206,48 @@ class PageMappedFtl:
         if len(good) < fgc_watermark + 2:
             raise FtlError("not enough good blocks to operate")
         self.allocator = WearAwareAllocator(nand.endurance, initial_free=good)
-        # Cached int for the per-write frontier/address math below.
-        self._ppb = self.geometry.pages_per_block
-        #: Time each block was closed (frontier filled); for cost-benefit age.
-        self._close_time = np.zeros(self.geometry.total_blocks, dtype=np.int64)
-        #: True for blocks that are in use and completely programmed.
-        self._closed = np.zeros(self.geometry.total_blocks, dtype=bool)
 
         self._active_user_block = self._allocate_block()
         self._active_gc_block = self._allocate_block()
-        #: Erases since the last wear-levelling check.
-        self._erases_since_wl_check = 0
+
+    def _install_recovered(self, recovered: "RecoveredFtlState") -> None:
+        """Adopt the post-power-cut state reconstructed by the recovery
+        scan (:func:`repro.ftl.recovery.recover_ftl`) instead of
+        formatting a fresh device.
+
+        Volatile host-side state (SIP list, block close times, stats,
+        the op-counter clock) is deliberately *not* restored -- it lived
+        in controller DRAM and died with the power rail.
+        """
+        pm = self.page_map
+        pm.load_mapping(recovered.l2p)
+        self._write_seq = recovered.write_seq
+        self.retired_blocks = set(recovered.retired_blocks)
+        self.allocator = WearAwareAllocator(
+            self.nand.endurance, initial_free=recovered.free_blocks
+        )
+        for block in recovered.closed_blocks:
+            self._closed[block] = True
+            if self.victim_index is not None:
+                self.victim_index.track(block, pm.valid_count(block))
+        self._active_user_block = (
+            recovered.active_user_block
+            if recovered.active_user_block is not None
+            else self._allocate_block()
+        )
+        self._active_gc_block = (
+            recovered.active_gc_block
+            if recovered.active_gc_block is not None
+            else self._allocate_block()
+        )
+        if self.retired_blocks:
+            # Re-seed the degraded-OP timeline so post-recovery metrics
+            # start from the surviving capacity, not the nominal one.
+            self.stats.blocks_retired = len(self.retired_blocks)
+            self._op_series.append(self._clock(), self.effective_op_pages())
+        min_good = self.fgc_watermark + 2
+        if self.effective_op_pages() <= 0 or self.nand.good_blocks() < min_good:
+            self._enter_read_only()
 
     # ------------------------------------------------------------------
     # Small helpers
@@ -375,20 +430,24 @@ class PageMappedFtl:
             self._note_fault("read", block, page, "data-lost", attempts)
         return latency, False
 
-    def _program_frontier(self, user: bool) -> Tuple[int, int, int]:
+    def _program_frontier(self, user: bool, lpn: int) -> Tuple[int, int, int]:
         """Program the next frontier page of the given stream, recovering
         from injected program failures.
 
         On a status-fail the spoiled block is retired (its live pages
         relocated first) and the program is retried on a fresh frontier.
-        Returns ``(block, page, latency_ns)`` of the successful program.
+        The successful program stamps ``(lpn, seq)`` into the page's OOB;
+        failed attempts leave their consumed page unstamped (torn-like)
+        and do not burn a sequence number.  Returns
+        ``(block, page, latency_ns)`` of the successful program.
         """
         latency = 0
         for _ in range(self.max_program_retries + 1):
             block, page, extra = self._frontier_slot(user=user)
             latency += extra
             try:
-                latency += self.nand.program_page(block, page)
+                latency += self.nand.program_page(block, page, lpn, self._write_seq)
+                self._write_seq += 1
                 return block, page, latency
             except ProgramFailError as fault:
                 latency += fault.latency_ns
@@ -428,7 +487,10 @@ class PageMappedFtl:
                 block, page, extra = self._frontier_slot(user=user)
                 latency += extra
                 try:
-                    latency += self.nand.program_page(block, page)
+                    latency += self.nand.program_page(
+                        block, page, lpn, self._write_seq
+                    )
+                    self._write_seq += 1
                 except ProgramFailError as fault:
                     # Nested failure: the spoiled page becomes garbage;
                     # keep trying the next slot without recursive
@@ -496,11 +558,14 @@ class PageMappedFtl:
     def supports_batched_writes(self) -> bool:
         """True when :meth:`host_write_extent` is legal.
 
-        Requires the indexed data plane (victim index installed) and no
-        fault injection: per-op fault draws are RNG-stream ordered, so
-        fault runs must take the per-page loop on both paths.
+        Requires the indexed data plane (victim index installed).  Fault
+        injection no longer disables it wholesale: the NAND pre-draws the
+        injector's program stream per chunk and raises
+        :class:`~repro.nand.errors.BatchFaultPending` (stream restored)
+        when a fault lies inside, so only the chunks that actually fault
+        fall back to the per-page loop.
         """
-        return self.victim_index is not None and self.nand.fault_injector is None
+        return self.victim_index is not None
 
     def host_write_extent(self, lpn: int, count: int) -> int:
         """Batched :meth:`host_write_page` over a contiguous LPN extent.
@@ -519,11 +584,6 @@ class PageMappedFtl:
 
         Only legal when :attr:`supports_batched_writes` is true.
         """
-        if self.read_only:
-            raise DeviceReadOnlyError(
-                "write rejected: device is read-only "
-                f"({len(self.retired_blocks)} blocks retired)"
-            )
         nand = self.nand
         page_map = self.page_map
         vindex = self.victim_index
@@ -532,25 +592,46 @@ class PageMappedFtl:
         latency = 0
         pos = 0
         while pos < count:
+            # Checked per iteration, not just at entry: a mid-extent
+            # block retirement can flip the flag, and the per-page loop
+            # would reject the very next page.
+            if self.read_only:
+                raise DeviceReadOnlyError(
+                    "write rejected: device is read-only "
+                    f"({len(self.retired_blocks)} blocks retired)"
+                )
             if self.needs_foreground_gc():
                 latency += self._run_foreground_gc()
             block = self._active_user_block
             start = int(nand.program_ptr[block])
             if start >= ppb:
-                # Frontier roll: replicate the per-page order (clock
-                # tick, close, allocate) and write a single page so the
-                # GC watermark is re-checked before the page after it.
-                self._op_counter += 1
-                self._close_block(block)
-                block = self._allocate_block()
-                self._active_user_block = block
-                start = 0
-                chunk = 1
-            else:
-                chunk = min(count - pos, ppb - start)
-                self._op_counter += chunk
-            latency += nand.program_pages_batch(block, start, chunk)
+                # Frontier roll: take the per-page helper for exactly one
+                # page -- it replicates the per-page order (clock tick,
+                # close, allocate, program) and the GC watermark is
+                # re-checked before the page after it.
+                latency += self._program_user_page(lpn + pos)
+                pos += 1
+                continue
+            chunk = min(count - pos, ppb - start)
             first = lpn + pos
+            try:
+                program_ns = nand.program_pages_batch(
+                    block, start, chunk, first_lpn=first, first_seq=self._write_seq
+                )
+            except BatchFaultPending:
+                # An injected program fault lies somewhere in this chunk
+                # (no NAND state was touched; the injector's stream is
+                # restored).  Fall back exactly one page through the
+                # per-page helper: it replays the same draw, and when it
+                # is the failing one, runs the full retirement/retry
+                # recovery -- so a faulted run stays bit-identical to the
+                # per-page loop while clean chunks keep batching.
+                latency += self._program_user_page(lpn + pos)
+                pos += 1
+                continue
+            self._write_seq += chunk
+            self._op_counter += chunk
+            latency += program_ns
             old_ppns = page_map.remap_extent(first, chunk, block * ppb + start)
             if vindex is not None:
                 # The old PPNs of a contiguous extent were themselves
@@ -618,7 +699,7 @@ class PageMappedFtl:
 
     def _program_user_page(self, lpn: int) -> int:
         self._op_counter += 1
-        block, page, latency = self._program_frontier(user=True)
+        block, page, latency = self._program_frontier(user=True, lpn=lpn)
         self.page_map.remap(lpn, block * self._ppb + page)
         self.stats.host_pages_written += 1
         return latency
@@ -805,7 +886,7 @@ class PageMappedFtl:
                 # lost; unmap it instead of propagating garbage.
                 self.page_map.unmap(lpn)
                 continue
-            block, page, program_ns = self._program_frontier(user=False)
+            block, page, program_ns = self._program_frontier(user=False, lpn=lpn)
             latency += program_ns
             self.page_map.remap(lpn, self.page_map.ppn(block, page))
             self.stats.gc_pages_migrated += 1
@@ -850,7 +931,10 @@ class PageMappedFtl:
             chunk = min(n - pos, ppb - start)
             chunk_lpns = lpns[pos:pos + chunk]
             latency += nand.read_pages_batch(victim, chunk)
-            latency += nand.program_pages_batch(block, start, chunk)
+            latency += nand.program_pages_batch(
+                block, start, chunk, lpns=chunk_lpns, first_seq=self._write_seq
+            )
+            self._write_seq += chunk
             pm.migrate_pages(victim, offsets[pos:pos + chunk], chunk_lpns, block, start)
             if sip is not None and sip.lpns:
                 sip.migrate(

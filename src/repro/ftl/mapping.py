@@ -177,6 +177,33 @@ class PageMap:
         per_block[first_ppn // ppb] += count
         return old_ppns
 
+    def load_mapping(self, l2p: np.ndarray) -> None:
+        """Install a complete L2P table in one shot (recovery scan).
+
+        ``l2p`` is a full ``user_pages``-long PPN vector (``UNMAPPED``
+        where the LPN has no surviving copy); the reverse map, validity
+        bitmap, per-block counters and ``mapped_count`` are all rebuilt
+        from it.  Replaces any existing state and does **not** fire the
+        validity observer -- the recovery path rebuilds its indexes from
+        the resulting counters itself.
+        """
+        if len(l2p) != self.user_pages:
+            raise ValueError(
+                f"l2p table sized {len(l2p)}, map holds {self.user_pages} LPNs"
+            )
+        self._l2p[:] = l2p
+        self._p2l[:] = UNMAPPED
+        self._valid[:] = False
+        self._valid_per_block[:] = 0
+        lpns = np.flatnonzero(self._l2p != UNMAPPED)
+        ppns = self._l2p[lpns]
+        if len(np.unique(ppns)) != len(ppns):
+            raise ValueError("l2p table maps two LPNs to the same physical page")
+        self._p2l[ppns] = lpns
+        self._valid[ppns] = True
+        np.add.at(self._valid_per_block, ppns // self._ppb, 1)
+        self.mapped_count = int(len(lpns))
+
     def _invalidate_ppn(self, ppn: int) -> None:
         if not self._valid[ppn]:
             raise RuntimeError(f"double invalidation of PPN {ppn}")
@@ -206,6 +233,14 @@ class PageMap:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def l2p_snapshot(self) -> np.ndarray:
+        """Copy of the full LPN→PPN vector (``UNMAPPED`` where unmapped).
+
+        For recovery oracles and crash-sweep verification -- one array
+        compare instead of ``user_pages`` :meth:`lookup` calls.
+        """
+        return self._l2p.copy()
+
     def lookup(self, lpn: int) -> Optional[int]:
         """Current PPN of ``lpn``, or None if unmapped."""
         self.check_lpn(lpn)

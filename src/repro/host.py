@@ -49,6 +49,11 @@ class HostSystem:
             :class:`~repro.obs.Observability`, an
             :class:`~repro.obs.ObservabilityConfig`, or None for the
             disabled default (real metrics registry, no-op tracer).
+        ftl: pre-built FTL to serve instead of formatting a fresh device
+            -- the power-loss path passes the *recovered* FTL here.  Its
+            clock is rebound to this host's simulator.
+        start_time_ns: initial simulated time (power-loss recovery
+            resumes the pre-cut timeline: cut time + recovery scan).
     """
 
     def __init__(
@@ -62,10 +67,14 @@ class HostSystem:
         dirty_throttle_fraction: float = 0.8,
         tau_flush_fraction: float = 0.6,
         obs=None,
+        ftl=None,
+        start_time_ns: int = 0,
     ) -> None:
         self.config = config
         self.policy = policy
         self.sim = Simulator()
+        if start_time_ns:
+            self.sim.resume_at(start_time_ns)
         self.streams = RandomStreams(seed)
         self.obs = Observability.resolve(obs)
 
@@ -77,7 +86,14 @@ class HostSystem:
             controller=policy,
             seed=seed,
             registry=self.obs.registry,
+            ftl=ftl,
         )
+        if ftl is not None:
+            # The recovered FTL was built before this simulator existed;
+            # rebind its clock so block ages and audit records continue
+            # on the resumed timeline.
+            sim = self.sim
+            ftl._clock = lambda: sim.now
 
         page_size = config.geometry.page_size
         if cache_bytes is None:

@@ -75,6 +75,10 @@ class RunMetrics:
     effective_op_pages: Optional[int] = None
     op_timeline: List[Tuple[int, int]] = field(default_factory=list)
     device_read_only: bool = False
+    #: Sudden power-offs survived during the run (0 without SPO).
+    spo_count: int = 0
+    #: Total simulated time spent in post-SPO recovery scans.
+    recovery_time_ns: int = 0
 
     def to_wire(self) -> dict:
         """Flat plain-types dict safe for queues, pickles and JSON.

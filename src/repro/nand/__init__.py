@@ -20,7 +20,7 @@ from repro.nand.timing import (
     NAND_25NM_MLC,
     NAND_20NM_MLC,
 )
-from repro.nand.array import NandArray, BlockState
+from repro.nand.array import OOB_UNSTAMPED, BlockState, NandArray, NandDurableState
 from repro.nand.endurance import EnduranceModel, WearStats
 from repro.nand.reliability import BitErrorModel, EccConfig, ReadDisturbTracker
 from repro.nand.errors import (
@@ -28,6 +28,7 @@ from repro.nand.errors import (
     ProgramOrderError,
     EraseBeforeWriteError,
     BadBlockError,
+    BatchFaultPending,
     AddressError,
 )
 
@@ -38,7 +39,10 @@ __all__ = [
     "NAND_25NM_MLC",
     "NAND_20NM_MLC",
     "NandArray",
+    "NandDurableState",
+    "OOB_UNSTAMPED",
     "BlockState",
+    "BatchFaultPending",
     "EnduranceModel",
     "WearStats",
     "BitErrorModel",

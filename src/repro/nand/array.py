@@ -27,6 +27,7 @@ exception types for the same inputs.
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 import numpy as np
@@ -36,6 +37,7 @@ from repro.nand.endurance import EnduranceModel, WearStats
 from repro.nand.errors import (
     AddressError,
     BadBlockError,
+    BatchFaultPending,
     EraseBeforeWriteError,
     EraseFailError,
     ProgramFailError,
@@ -67,6 +69,34 @@ STATE_ERASED: int = int(BlockState.ERASED)
 STATE_OPEN: int = int(BlockState.OPEN)
 STATE_FULL: int = int(BlockState.FULL)
 STATE_BAD: int = int(BlockState.BAD)
+
+#: Sentinel for "never stamped" OOB slots (LPN and sequence columns).
+OOB_UNSTAMPED: int = -1
+
+
+@dataclass
+class NandDurableState:
+    """Everything that survives a sudden power-off, as flat arrays.
+
+    This is the media image the recovery scan works from: per-block
+    physical state and program pointers, per-block erase counts (real
+    drives keep wear counters in flash metadata), the bad-block table
+    (factory marks distinguished from grown marks, as in a real BBT) and
+    the per-page OOB columns.  Volatile controller state -- operation
+    counters, the fault injector's RNG position, tracers -- is
+    deliberately absent: it dies with the power rail.
+    """
+
+    block_states: np.ndarray
+    program_ptr: np.ndarray
+    erase_counts: np.ndarray
+    bad: bytes
+    factory_bad: np.ndarray
+    oob_lpn: np.ndarray
+    oob_seq: np.ndarray
+    torn_pages: int
+    factory_bad_blocks: int
+    grown_bad_blocks: int
 
 
 class NandArray:
@@ -127,6 +157,21 @@ class NandArray:
         # reads.  Mutated only where block_states transitions to/from BAD
         # (factory marks below, wear-out in erase_block, mark_bad).
         self._bad = bytearray(n)
+        #: Factory bad-block table (survives power loss; grown marks are
+        #: the set difference against :attr:`_bad`).
+        self._factory_bad = np.zeros(n, dtype=bool)
+
+        #: Per-page OOB metadata persisted atomically with each
+        #: *successful* program: the logical page stored there and the
+        #: FTL's monotonic write-sequence stamp.  ``OOB_UNSTAMPED`` (-1)
+        #: marks never-stamped slots -- a consumed page whose OOB is
+        #: unstamped is *torn* (program interrupted by power loss or a
+        #: status-fail) and is discarded at recovery.
+        total_pages = geometry.total_pages
+        self.oob_lpn = np.full(total_pages, OOB_UNSTAMPED, dtype=np.int64)
+        self.oob_seq = np.full(total_pages, OOB_UNSTAMPED, dtype=np.int64)
+        #: Pages consumed by a power-cut mid-program (never OOB-stamped).
+        self.torn_pages = 0
 
         self.read_disturb = read_disturb
         self.fault_injector = fault_injector
@@ -137,6 +182,9 @@ class NandArray:
         self.page_reads = 0
         self.page_programs = 0
         self.block_erases = 0
+        #: Batched program calls that landed on the bulk path (tests use
+        #: this to assert fault runs still batch clean extents).
+        self.batch_programs = 0
         #: Blocks retired at runtime via :meth:`mark_bad` (grown bad blocks).
         self.grown_bad_blocks = 0
         self.factory_bad_blocks = 0
@@ -146,6 +194,7 @@ class NandArray:
             if self.block_states[block] != STATE_BAD:
                 self.block_states[block] = STATE_BAD
                 self._bad[block] = 1
+                self._factory_bad[block] = True
                 self.factory_bad_blocks += 1
 
         # Address validation implementation, chosen at construction time
@@ -161,6 +210,16 @@ class NandArray:
     def erase_counts(self) -> np.ndarray:
         """Per-block erase-count vector (view of the endurance model's)."""
         return self.endurance.erase_counts
+
+    @property
+    def factory_bad(self) -> np.ndarray:
+        """Factory bad-block table (read-only view).
+
+        The recovery scan diffs this against the live bad marks to
+        re-discover *grown* bad blocks -- the set a real FTL keeps in its
+        flash-resident BBT.
+        """
+        return self._factory_bad
 
     # ------------------------------------------------------------------
     # Physical operations
@@ -198,10 +257,16 @@ class NandArray:
             raise UncorrectableReadError(block, page, self._read_ns)
         return self._read_ns
 
-    def program_page(self, block: int, page: int) -> int:
+    def program_page(
+        self, block: int, page: int, lpn: int = OOB_UNSTAMPED, seq: int = OOB_UNSTAMPED
+    ) -> int:
         """Program one page; returns tPROG latency (no transfer).
 
-        Enforces sequential programming and erase-before-write.
+        Enforces sequential programming and erase-before-write.  When
+        ``seq`` is given, the page's OOB slot is stamped with
+        ``(lpn, seq)`` -- but only on *success*: a status-failed program
+        leaves the consumed page unstamped, so recovery sees it exactly
+        like a power-cut torn page and discards it.
         """
         self._check_addr(block, page, "program")
         next_page = int(self.program_ptr[block])
@@ -221,6 +286,10 @@ class NandArray:
             block, page, self.endurance.erase_count(block)
         ):
             raise ProgramFailError(block, page, self._program_ns)
+        if seq != OOB_UNSTAMPED:
+            ppn = block * self._ppb + page
+            self.oob_lpn[ppn] = lpn
+            self.oob_seq[ppn] = seq
         self.page_programs += 1
         return self._program_ns
 
@@ -240,6 +309,9 @@ class NandArray:
             raise EraseFailError(block, self._erase_ns)
         self.block_erases += 1
         self.program_ptr[block] = 0
+        start = block * self._ppb
+        self.oob_lpn[start:start + self._ppb] = OOB_UNSTAMPED
+        self.oob_seq[start:start + self._ppb] = OOB_UNSTAMPED
         if self.read_disturb is not None:
             self.read_disturb.reset(block)
         if self.endurance.record_erase(block):
@@ -269,6 +341,96 @@ class NandArray:
             if self.tracer.enabled:
                 self.tracer.emit("nand", "nand.mark_bad", block=block)
 
+    def tear_frontier_page(self, block: int) -> Optional[int]:
+        """Consume ``block``'s next frontier page without stamping its OOB.
+
+        Models a program interrupted by sudden power loss: the cells were
+        partially charged (the page can never be reprogrammed without an
+        erase) but the atomic OOB stamp never landed, so the recovery
+        scan detects the page as torn and discards it.  Returns the torn
+        page index, or ``None`` when the block is bad or already full
+        (nothing was in flight there).
+        """
+        if not 0 <= block < self._num_blocks or self._bad[block]:
+            return None
+        page = int(self.program_ptr[block])
+        if page >= self._ppb:
+            return None
+        next_page = page + 1
+        self.program_ptr[block] = next_page
+        self.block_states[block] = (
+            STATE_FULL if next_page >= self._ppb else STATE_OPEN
+        )
+        self.torn_pages += 1
+        if self.tracer.enabled:
+            self.tracer.emit("nand", "nand.torn_page", block=block, page=page)
+        return page
+
+    # ------------------------------------------------------------------
+    # Durable-state capture / restore (power-loss emulation)
+    # ------------------------------------------------------------------
+    def capture_durable_state(self) -> NandDurableState:
+        """Snapshot the media image that survives a power cut.
+
+        Returns deep copies, so the snapshot stays valid while the live
+        array keeps running (the crash-point sweep recovers a copy at
+        each candidate point without disturbing the reference run).
+        """
+        return NandDurableState(
+            block_states=self.block_states.copy(),
+            program_ptr=self.program_ptr.copy(),
+            erase_counts=self.endurance.erase_counts.copy(),
+            bad=bytes(self._bad),
+            factory_bad=self._factory_bad.copy(),
+            oob_lpn=self.oob_lpn.copy(),
+            oob_seq=self.oob_seq.copy(),
+            torn_pages=self.torn_pages,
+            factory_bad_blocks=self.factory_bad_blocks,
+            grown_bad_blocks=self.grown_bad_blocks,
+        )
+
+    @classmethod
+    def from_durable(
+        cls,
+        geometry: NandGeometry,
+        state: NandDurableState,
+        timing: NandTiming = NAND_20NM_MLC,
+        pe_cycle_limit: Optional[int] = 3000,
+        fault_injector: Optional["FaultInjector"] = None,
+        read_disturb: Optional["ReadDisturbTracker"] = None,
+    ) -> "NandArray":
+        """Build an array from a post-power-cut media image.
+
+        The durable arrays are copied in (the snapshot stays reusable);
+        volatile operation counters start at zero, mirroring a controller
+        that just powered on.  ``pe_cycle_limit`` must match the original
+        device's endurance limit (None disables wear-out, as in
+        :class:`~repro.nand.endurance.EnduranceModel`) for wear-out
+        behaviour to continue correctly.
+        """
+        endurance = EnduranceModel(
+            geometry.total_blocks, pe_cycle_limit=pe_cycle_limit
+        )
+        nand = cls(
+            geometry,
+            timing=timing,
+            endurance=endurance,
+            read_disturb=read_disturb,
+            fault_injector=fault_injector,
+        )
+        nand.block_states[:] = state.block_states
+        nand.program_ptr[:] = state.program_ptr
+        nand._bad[:] = state.bad
+        nand._factory_bad[:] = state.factory_bad
+        nand.oob_lpn[:] = state.oob_lpn
+        nand.oob_seq[:] = state.oob_seq
+        nand.torn_pages = state.torn_pages
+        nand.factory_bad_blocks = state.factory_bad_blocks
+        nand.grown_bad_blocks = state.grown_bad_blocks
+        endurance.erase_counts[:] = state.erase_counts
+        endurance.total_erases = int(state.erase_counts.sum())
+        return nand
+
     # ------------------------------------------------------------------
     # Batched operations (GC migration fast path)
     # ------------------------------------------------------------------
@@ -293,20 +455,37 @@ class NandArray:
             self.read_disturb.record_reads(block, count)
         return self._read_ns * count
 
-    def program_pages_batch(self, block: int, start_page: int, count: int) -> int:
+    def program_pages_batch(
+        self,
+        block: int,
+        start_page: int,
+        count: int,
+        lpns: Optional[np.ndarray] = None,
+        first_lpn: int = OOB_UNSTAMPED,
+        first_seq: int = OOB_UNSTAMPED,
+    ) -> int:
         """Program ``count`` pages starting at the block's write frontier.
 
         Semantically identical to sequential :meth:`program_page` calls
         for pages ``start_page .. start_page+count-1``; enforces the same
         ordering/erase-before-write/geometry rules with the same
-        exception types.  Only legal without a fault injector (same
-        RNG-stream argument as :meth:`read_pages_batch`).  Returns the
-        total tPROG latency.
+        exception types.  Returns the total tPROG latency.
+
+        OOB stamping mirrors the per-page path: with ``first_seq`` set,
+        page ``i`` of the batch is stamped ``(lpn_i, first_seq + i)``
+        where ``lpn_i`` comes from the ``lpns`` array (GC migration) or
+        the contiguous ``first_lpn + i`` run (host extents).
+
+        With a fault injector attached, the injector's program stream is
+        pre-drawn for the whole batch
+        (:meth:`~repro.faults.injector.FaultInjector.program_batch_clear`):
+        a clean batch consumes exactly the draws the per-page loop would
+        and proceeds; a dirty one raises :class:`BatchFaultPending` with
+        the stream restored and **no state modified**, so the caller
+        replays the chunk per-page and hits the identical fault.
         """
         if count <= 0:
             return 0
-        if self.fault_injector is not None:
-            raise RuntimeError("program_pages_batch requires fault_injector=None")
         self._check_addr(block, start_page, "program")
         next_page = int(self.program_ptr[block])
         if start_page < next_page:
@@ -317,12 +496,28 @@ class NandArray:
         if last_page >= self._ppb:
             # The per-page loop would fault on the first out-of-range page.
             raise AddressError("page", self._ppb, self._ppb)
+        if self.fault_injector is not None and not self.fault_injector.program_batch_clear(
+            block, count, self.endurance.erase_count(block)
+        ):
+            raise BatchFaultPending(block, start_page, count)
         next_page += count
         self.program_ptr[block] = next_page
         self.block_states[block] = (
             STATE_FULL if next_page >= self._ppb else STATE_OPEN
         )
+        if first_seq != OOB_UNSTAMPED:
+            base = block * self._ppb + start_page
+            self.oob_seq[base:base + count] = np.arange(
+                first_seq, first_seq + count, dtype=np.int64
+            )
+            if lpns is not None:
+                self.oob_lpn[base:base + count] = lpns
+            else:
+                self.oob_lpn[base:base + count] = np.arange(
+                    first_lpn, first_lpn + count, dtype=np.int64
+                )
         self.page_programs += count
+        self.batch_programs += 1
         return self._program_ns * count
 
     # ------------------------------------------------------------------

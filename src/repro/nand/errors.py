@@ -125,3 +125,24 @@ class UncorrectableReadError(RecoverableNandFault):
             f"uncorrectable read at block {block} page {page}", block, latency_ns
         )
         self.page = page
+
+
+class BatchFaultPending(NandError):
+    """A batched program would hit an injected fault inside its range.
+
+    Raised by :meth:`~repro.nand.array.NandArray.program_pages_batch`
+    *before any state changes* when the fault injector's pre-clear draw
+    finds a failure somewhere in the chunk.  The injector's RNG stream
+    has already been restored to its pre-draw state, so the caller can
+    fall back to the per-page path and replay the exact same draws --
+    the mechanism behind fault-aware batched host writes.
+    """
+
+    def __init__(self, block: int, start_page: int, count: int) -> None:
+        super().__init__(
+            f"injected fault pending within batched program of block {block} "
+            f"pages [{start_page}, {start_page + count})"
+        )
+        self.block = block
+        self.start_page = start_page
+        self.count = count

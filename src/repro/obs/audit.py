@@ -113,6 +113,34 @@ class FaultRecord:
     retries: int = 0
 
 
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """One post-power-loss recovery scan.
+
+    Attributes:
+        t_ns: sim time of the power cut.
+        duration_ns: modelled scan cost (one OOB read per programmed page).
+        pages_scanned: programmed pages swept.
+        torn_pages: consumed-but-unstamped pages discarded.
+        stale_pages: out-place-superseded copies discarded.
+        mapped_lpns: logical pages whose newest copy survived.
+        free_blocks / closed_blocks / retired_blocks: re-discovered
+            layout (pool, GC candidates, grown-bad set).
+        read_only: the recovered device came back write-refusing.
+    """
+
+    t_ns: int
+    duration_ns: int
+    pages_scanned: int
+    torn_pages: int
+    stale_pages: int
+    mapped_lpns: int
+    free_blocks: int
+    closed_blocks: int
+    retired_blocks: int
+    read_only: bool = False
+
+
 @dataclass
 class DecisionAuditLog:
     """Bounded in-memory store of decision records.
@@ -126,6 +154,7 @@ class DecisionAuditLog:
     manager_ticks: List[ManagerTickRecord] = field(default_factory=list)
     victim_selections: List[VictimRecord] = field(default_factory=list)
     faults: List[FaultRecord] = field(default_factory=list)
+    recoveries: List[RecoveryRecord] = field(default_factory=list)
     dropped: int = 0
 
     # ------------------------------------------------------------------
@@ -147,6 +176,10 @@ class DecisionAuditLog:
         if self.enabled:
             self._append(self.faults, record)
 
+    def record_recovery(self, record: RecoveryRecord) -> None:
+        if self.enabled:
+            self._append(self.recoveries, record)
+
     # ------------------------------------------------------------------
     # Query helpers
     # ------------------------------------------------------------------
@@ -161,7 +194,12 @@ class DecisionAuditLog:
         return [v for v in self.victim_selections if v.filtered_by_sip > 0]
 
     def total_records(self) -> int:
-        return len(self.manager_ticks) + len(self.victim_selections) + len(self.faults)
+        return (
+            len(self.manager_ticks)
+            + len(self.victim_selections)
+            + len(self.faults)
+            + len(self.recoveries)
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -56,6 +56,7 @@ class Simulator:
         self._live: int = 0
         self._running: bool = False
         self._stopped: bool = False
+        self._dead: bool = False
         #: Number of events dispatched so far (monitoring / tests).
         self.dispatched: int = 0
         #: Optional wall-clock profiler (see :meth:`set_profiler`).
@@ -115,6 +116,8 @@ class Simulator:
         name: Optional[str] = None,
     ) -> Event:
         """Schedule ``callback`` at absolute simulated ``time``."""
+        if self._dead:
+            raise SimulationError("simulator is dead after a power cut")
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule event at {time} before current time {self._now}"
@@ -193,6 +196,8 @@ class Simulator:
         wall-clock budget in :mod:`repro.experiments.runner` relies on
         this).  Returns the number of events dispatched.
         """
+        if self._dead:
+            raise SimulationError("simulator is dead after a power cut")
         if time < self._now:
             raise SimulationError(f"run_until({time}) is in the past (now={self._now})")
         self._stopped = False
@@ -217,6 +222,42 @@ class Simulator:
     def stop(self) -> None:
         """Ask the running loop to stop after the current event."""
         self._stopped = True
+
+    def resume_at(self, time: int) -> None:
+        """Jump the idle clock forward to ``time`` (power-loss recovery).
+
+        A host rebuilt around a recovered FTL continues the *same*
+        timeline: its fresh simulator starts at the power-cut time plus
+        the recovery-scan duration rather than zero.  Only legal before
+        anything is scheduled -- moving the clock under pending events
+        would violate the no-time-travel guarantee.
+        """
+        if self._heap:
+            raise SimulationError("resume_at with events pending")
+        if time < self._now:
+            raise SimulationError(
+                f"resume_at({time}) is in the past (now={self._now})"
+            )
+        self._now = time
+
+    def power_cut(self) -> int:
+        """Drop every pending event and stop the loop (sudden power-off).
+
+        In-flight work dies with the power rail: nothing queued survives
+        into recovery, which starts from durable state only.  Returns
+        the number of live events discarded.  The simulator is dead
+        afterwards -- further scheduling or running raises
+        :class:`SimulationError`; recovery builds a fresh one
+        (:meth:`resume_at` continues the timeline).
+        """
+        dropped = self._live
+        for entry in self._heap:
+            entry[3]._on_cancel = None
+        self._heap.clear()
+        self._live = 0
+        self._stopped = True
+        self._dead = True
+        return dropped
 
     # ------------------------------------------------------------------
     # Introspection

@@ -14,10 +14,11 @@ from typing import Optional
 
 from repro.faults.injector import FaultInjector, FaultProfile, resolve_fault_profile
 from repro.ftl.ftl import PageMappedFtl
+from repro.ftl.recovery import recover_ftl
 from repro.ftl.space import SpaceModel
 from repro.ftl.victim import VictimSelector
 from repro.ftl.wear import StaticWearLeveler
-from repro.nand.array import NandArray
+from repro.nand.array import NandArray, NandDurableState
 from repro.nand.endurance import EnduranceModel
 from repro.nand.geometry import NandGeometry
 from repro.nand.timing import NAND_20NM_MLC, NandTiming
@@ -136,6 +137,54 @@ class SsdConfig:
         if self.enable_wear_leveling:
             leveler = StaticWearLeveler(nand.endurance, self.wear_level_threshold)
         return PageMappedFtl(
+            nand,
+            self.space_model(),
+            victim_selector=victim_selector,
+            fgc_watermark=self.fgc_watermark,
+            clock=clock,
+            wear_leveler=leveler,
+            fgc_penalty=self.fgc_penalty,
+            max_read_retries=self.max_read_retries,
+            max_program_retries=self.max_program_retries,
+            max_erase_retries=self.max_erase_retries,
+            registry=registry,
+        )
+
+    def recover_from(
+        self,
+        durable: NandDurableState,
+        victim_selector: Optional[VictimSelector] = None,
+        clock=None,
+        seed: int = 0,
+        registry=None,
+    ):
+        """Power the device back on from a captured media image.
+
+        Counterpart of :meth:`build_ftl` for the post-power-cut path:
+        rebuilds the NAND from ``durable``
+        (:meth:`~repro.nand.array.NandArray.from_durable`), arms a fresh
+        fault injector over the same profile (``seed`` keeps the
+        post-recovery fault sequence reproducible but independent of the
+        pre-cut stream) and runs the full OOB recovery scan.
+
+        Returns ``(ftl, report)`` -- see
+        :func:`~repro.ftl.recovery.recover_ftl`.
+        """
+        injector = None
+        profile = self.resolved_fault_profile()
+        if profile.enabled:
+            injector = FaultInjector(profile, seed=seed)
+        nand = NandArray.from_durable(
+            self.geometry,
+            durable,
+            timing=self.timing,
+            pe_cycle_limit=self.pe_cycle_limit,
+            fault_injector=injector,
+        )
+        leveler = None
+        if self.enable_wear_leveling:
+            leveler = StaticWearLeveler(nand.endurance, self.wear_level_threshold)
+        return recover_ftl(
             nand,
             self.space_model(),
             victim_selector=victim_selector,

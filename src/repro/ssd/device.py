@@ -61,6 +61,10 @@ class SsdDevice:
         registry: shared metrics registry handed down to the FTL (the
             host system passes its Observability registry here so the
             whole stack reports into one instrument namespace).
+        ftl: pre-built FTL to adopt instead of building a fresh one --
+            the power-loss path hands a *recovered* FTL here so the new
+            device serves the surviving state.  The caller must have
+            built it against the same config (and with a sim-now clock).
     """
 
     #: Fixed service latency of a TRIM command.
@@ -74,10 +78,11 @@ class SsdDevice:
         controller: Optional[ReclaimController] = None,
         seed: int = 0,
         registry: Optional[MetricsRegistry] = None,
+        ftl=None,
     ) -> None:
         self.sim = sim
         self.config = config
-        self.ftl = config.build_ftl(
+        self.ftl = ftl if ftl is not None else config.build_ftl(
             victim_selector=victim_selector,
             clock=lambda: sim.now,
             seed=seed,

@@ -132,6 +132,30 @@ def test_run_with_profile_prints_report(capsys):
     assert "wall" in out
 
 
+def test_run_with_spo_cuts(capsys):
+    assert main(["run", "--spo-at", "6", "--spo-random", "1", *QUICK]) == 0
+    out = capsys.readouterr().out
+    assert "power cut at" in out
+    assert "recovered" in out
+    assert "survived 2 power cuts" in out
+    assert "IOPS" in out and "WAF" in out
+
+
+def test_run_rejects_negative_spo_args():
+    with pytest.raises(SystemExit):
+        main(["run", "--spo-at", "-1", *QUICK])
+    with pytest.raises(SystemExit):
+        main(["run", "--spo-random", "-2", *QUICK])
+
+
+def test_crash_sweep_command(capsys):
+    args = ["crash-sweep", "--blocks", "96", "--pages-per-block", "16",
+            "--measure", "5", "--points", "6", "--stride", "192"]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "6/6 points recovered consistently" in out
+
+
 def test_sweep_suffixes_traces_per_scenario(tmp_path, capsys):
     trace = tmp_path / "sweep.jsonl"
     args = ["sweep", "--workload", "YCSB", "--blocks", "64",

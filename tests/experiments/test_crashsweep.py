@@ -1,0 +1,182 @@
+"""Tests for the crash-point sweep harness and live SPO runs."""
+
+import pytest
+
+from repro.experiments.crashsweep import (
+    gc_heavy_spec,
+    merge_phase_metrics,
+    run_crash_sweep,
+    run_scenario_with_spo,
+    verify_crash_point,
+)
+from repro.experiments.runner import ScenarioSpec, _run_scenario_host
+from repro.faults.powerloss import SpoPlan
+from repro.metrics.collector import RunMetrics
+from repro.obs import ObservabilityConfig
+from repro.sim.simtime import SECOND
+
+
+def small_spec(**kwargs):
+    defaults = dict(blocks=96, pages_per_block=16, measure_s=6, seed=9)
+    defaults.update(kwargs)
+    return gc_heavy_spec(**defaults)
+
+
+# ----------------------------------------------------------------------
+# The exhaustive sweep
+# ----------------------------------------------------------------------
+def test_sweep_verifies_every_point():
+    result = run_crash_sweep(small_spec(), points=12, stride_events=192)
+    assert result.ok()
+    assert len(result.points) == 12
+    assert "12/12" in result.summary()
+    # The sweep hit GC-active states: torn frontier pages were seen and
+    # every recovery actually swept programmed pages.
+    assert sum(p.torn_pages for p in result.points) > 0
+    assert all(p.pages_scanned > 0 and p.scan_ns > 0 for p in result.points)
+    # Points advance in simulated time.
+    times = [p.t_ns for p in result.points]
+    assert times == sorted(times)
+
+
+def test_sweep_composes_with_fault_profiles():
+    result = run_crash_sweep(
+        small_spec(fault_profile="light"), points=8, stride_events=192
+    )
+    assert result.ok()
+
+
+def test_sweep_reports_progress():
+    seen = []
+    run_crash_sweep(small_spec(), points=3, stride_events=128, progress=seen.append)
+    assert len(seen) == 3 and all(p.ok for p in seen)
+
+
+def test_verify_crash_point_leaves_live_ftl_untouched():
+    spec = small_spec()
+    _, host = _run_scenario_host(spec)
+    before = host.ftl.page_map.l2p_snapshot()
+    torn_before = host.ftl.nand.torn_pages
+    report = verify_crash_point(host.ftl, spec.make_config())
+    assert report.pages_scanned > 0
+    assert (host.ftl.page_map.l2p_snapshot() == before).all()
+    assert host.ftl.nand.torn_pages == torn_before
+    host.ftl.invariant_check()
+
+
+# ----------------------------------------------------------------------
+# Live SPO runs
+# ----------------------------------------------------------------------
+def test_spo_run_survives_cuts_and_merges_phases():
+    spec = small_spec()
+    cut_t = (spec.warmup_s + 2) * SECOND
+    outcome = run_scenario_with_spo(spec, SpoPlan(at_ns=(cut_t,), random_cuts=1, seed=5))
+    assert len(outcome.cuts) == 2
+    assert len(outcome.reports) == 2
+    assert len(outcome.phases) == 3
+    m = outcome.metrics
+    assert m.spo_count == 2
+    assert m.recovery_time_ns == sum(r.duration_ns for r in outcome.reports)
+    assert m.host_pages_written == sum(p.host_pages_written for p in outcome.phases)
+    assert m.duration_ns == sum(p.duration_ns for p in outcome.phases)
+    assert m.iops > 0
+    # Every recovery rebuilt a non-trivial mapping.
+    assert all(r.mapped_lpns > 0 for r in outcome.reports)
+
+
+def test_spo_run_is_seed_deterministic():
+    spec = small_spec(measure_s=4)
+    plan = SpoPlan(random_cuts=1, seed=11)
+    a = run_scenario_with_spo(spec, plan)
+    b = run_scenario_with_spo(spec, plan)
+    assert a.metrics == b.metrics
+    assert [c.t_ns for c in a.cuts] == [c.t_ns for c in b.cuts]
+
+
+def test_spo_records_recovery_audit():
+    spec = small_spec(measure_s=4)
+    spec.obs = ObservabilityConfig(audit=True, metrics_interval_ns=0)
+    outcome = run_scenario_with_spo(
+        spec, SpoPlan(at_ns=((spec.warmup_s + 1) * SECOND,))
+    )
+    assert len(outcome.cuts) == 1
+
+
+def test_spo_cuts_outside_window_are_skipped():
+    spec = small_spec(measure_s=4)
+    end = (spec.warmup_s + spec.measure_s) * SECOND
+    outcome = run_scenario_with_spo(spec, SpoPlan(at_ns=(end + SECOND,)))
+    assert outcome.cuts == []
+    assert outcome.metrics.spo_count == 0
+    assert len(outcome.phases) == 1
+
+
+# ----------------------------------------------------------------------
+# Phase merging
+# ----------------------------------------------------------------------
+def _metrics(**kwargs):
+    defaults = dict(
+        policy="JIT-GC",
+        workload="YCSB",
+        duration_ns=SECOND,
+        iops=1000.0,
+        waf=2.0,
+        host_pages_written=100,
+        gc_pages_migrated=100,
+        fgc_invocations=1,
+        fgc_time_ns=10,
+        bgc_blocks=2,
+        erases=5,
+    )
+    defaults.update(kwargs)
+    return RunMetrics(**defaults)
+
+
+def test_merge_phase_metrics_weights_and_sums():
+    a = _metrics(duration_ns=1 * SECOND, iops=1000.0, p99_latency_ns=50)
+    b = _metrics(
+        duration_ns=3 * SECOND,
+        iops=2000.0,
+        host_pages_written=300,
+        gc_pages_migrated=100,
+        p99_latency_ns=80,
+        device_read_only=True,
+    )
+    merged = merge_phase_metrics([a, b], spo_count=1, recovery_time_ns=42)
+    assert merged.duration_ns == 4 * SECOND
+    assert merged.iops == pytest.approx(1750.0)
+    assert merged.host_pages_written == 400
+    assert merged.gc_pages_migrated == 200
+    assert merged.waf == pytest.approx(600 / 400)
+    assert merged.p99_latency_ns == 80
+    assert merged.device_read_only
+    assert merged.spo_count == 1 and merged.recovery_time_ns == 42
+    # Wire format round-trips the new fields.
+    assert RunMetrics.from_wire(merged.to_wire()) == merged
+
+
+def test_merge_requires_at_least_one_phase():
+    with pytest.raises(ValueError):
+        merge_phase_metrics([])
+
+
+# ----------------------------------------------------------------------
+# Fault-aware batching regression (the PR 4 gate fix): a faulted run
+# must still batch its clean host-write extents instead of degrading
+# the whole run to per-page writes.
+# ----------------------------------------------------------------------
+def test_light_fault_runs_still_batch_clean_extents():
+    spec = ScenarioSpec(
+        workload="YCSB",
+        policy="JIT-GC",
+        blocks=96,
+        pages_per_block=16,
+        warmup_s=2,
+        measure_s=4,
+        seed=3,
+        fault_profile="light",
+    )
+    _, host = _run_scenario_host(spec)
+    assert host.ftl.supports_batched_writes
+    assert host.ftl.nand.batch_programs > 0
+    assert host.ftl.nand.fault_injector.total_faults() >= 0

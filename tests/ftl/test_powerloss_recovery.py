@@ -1,0 +1,202 @@
+"""Tests for crash-consistent FTL recovery: the OOB scan, torn-page
+discard, newest-copy-wins mapping and layout re-discovery."""
+
+import numpy as np
+import pytest
+
+from repro.ftl.ftl import PageMappedFtl
+from repro.ftl.mapping import UNMAPPED
+from repro.ftl.recovery import (
+    RecoveryError,
+    recover_ftl,
+    rediscover_layout,
+    scan_oob,
+)
+from repro.ftl.space import SpaceModel
+from repro.nand.array import NandArray
+from repro.nand.geometry import NandGeometry
+from repro.nand.timing import NandTiming
+
+GEOMETRY = NandGeometry(page_size=4096, pages_per_block=4, blocks_per_plane=16)
+TIMING = NandTiming(read_ns=10, program_ns=100, erase_ns=1000, transfer_ns_per_page=1)
+
+
+def make_ftl(op_ratio=0.25, **kwargs):
+    nand = NandArray(GEOMETRY, TIMING)
+    space = SpaceModel.from_op_ratio(GEOMETRY, op_ratio=op_ratio)
+    return PageMappedFtl(nand, space, **kwargs)
+
+
+def crashed_copy(ftl, tear=True):
+    """The media image a power cut at this instant would leave behind."""
+    nand = NandArray.from_durable(
+        GEOMETRY, ftl.nand.capture_durable_state(), timing=TIMING
+    )
+    if tear:
+        for block in (ftl.active_user_block, ftl.active_gc_block):
+            if block is not None:
+                nand.tear_frontier_page(block)
+    return nand
+
+
+# ----------------------------------------------------------------------
+# scan_oob
+# ----------------------------------------------------------------------
+def test_scan_rebuilds_map_and_charges_one_read_per_programmed_page():
+    ftl = make_ftl()
+    for lpn in range(10):
+        ftl.host_write_page(lpn)
+    nand = crashed_copy(ftl, tear=False)
+    l2p, write_seq, report = scan_oob(nand, ftl.space.user_pages)
+    assert np.array_equal(l2p, ftl.page_map.l2p_snapshot())
+    assert write_seq == ftl._write_seq
+    assert report.pages_scanned == 10
+    assert report.duration_ns == 10 * TIMING.read_ns
+    assert report.mapped_lpns == 10
+    assert report.stale_pages == 0
+
+
+def test_newest_copy_wins_over_stale_copies():
+    ftl = make_ftl()
+    for lpn in range(6):
+        ftl.host_write_page(lpn)
+    for _ in range(3):  # re-write LPN 0: two stale copies on the media
+        ftl.host_write_page(0)
+    nand = crashed_copy(ftl, tear=False)
+    l2p, _, report = scan_oob(nand, ftl.space.user_pages)
+    assert report.stale_pages >= 2
+    assert np.array_equal(l2p, ftl.page_map.l2p_snapshot())
+
+
+def test_torn_pages_are_discarded_not_mapped():
+    ftl = make_ftl()
+    for lpn in range(5):
+        ftl.host_write_page(lpn)
+    nand = crashed_copy(ftl, tear=True)
+    l2p, _, report = scan_oob(nand, ftl.space.user_pages)
+    assert report.torn_pages >= 1
+    assert report.torn_addresses
+    assert np.array_equal(l2p, ftl.page_map.l2p_snapshot())
+
+
+def test_corrupt_oob_stamp_is_rejected():
+    ftl = make_ftl()
+    ftl.host_write_page(0)
+    nand = crashed_copy(ftl, tear=False)
+    programmed = np.flatnonzero(nand.oob_seq != -1)
+    nand.oob_lpn[programmed[0]] = ftl.space.user_pages + 7
+    with pytest.raises(RecoveryError):
+        scan_oob(nand, ftl.space.user_pages)
+
+
+def test_scan_skips_bad_blocks():
+    ftl = make_ftl()
+    for lpn in range(4):
+        ftl.host_write_page(lpn)
+    nand = crashed_copy(ftl, tear=False)
+    victim_block = int(ftl.page_map.lookup(0)) // GEOMETRY.pages_per_block
+    nand.mark_bad(victim_block)
+    l2p, _, _ = scan_oob(nand, ftl.space.user_pages)
+    in_bad = ftl.page_map.l2p_snapshot() // GEOMETRY.pages_per_block == victim_block
+    assert (l2p[in_bad[: len(l2p)]] == UNMAPPED).all()
+
+
+# ----------------------------------------------------------------------
+# Layout re-discovery and full recovery
+# ----------------------------------------------------------------------
+def test_rediscover_layout_classifies_blocks():
+    ftl = make_ftl()
+    for lpn in range(GEOMETRY.pages_per_block + 1):
+        ftl.host_write_page(lpn)
+    nand = crashed_copy(ftl, tear=False)
+    nand.mark_bad(GEOMETRY.total_blocks - 1)
+    free, open_blocks, closed, retired = rediscover_layout(nand)
+    assert len(open_blocks) >= 1
+    assert closed  # the filled frontier block
+    assert retired == {GEOMETRY.total_blocks - 1}
+    total = len(free) + len(open_blocks) + len(closed) + len(retired)
+    assert total == GEOMETRY.total_blocks
+
+
+def test_recover_ftl_restores_full_state_and_passes_invariants():
+    ftl = make_ftl()
+    for lpn in range(30):
+        ftl.host_write_page(lpn)
+    for lpn in range(0, 30, 2):
+        ftl.host_write_page(lpn)
+    while ftl.has_victim():
+        ftl.collect_one_block(background=True)
+    nand = crashed_copy(ftl)
+    recovered, report = recover_ftl(nand, ftl.space)
+
+    assert np.array_equal(
+        recovered.page_map.l2p_snapshot(), ftl.page_map.l2p_snapshot()
+    )
+    assert np.array_equal(
+        recovered.page_map.valid_counts(), ftl.page_map.valid_counts()
+    )
+    assert recovered._write_seq == ftl._write_seq
+    assert np.array_equal(recovered.nand.erase_counts, ftl.nand.erase_counts)
+    assert not report.read_only
+    assert report.mapped_lpns == ftl.page_map.mapped_count
+    # Reads serve from the recovered mapping.
+    assert recovered.host_read_page(0) > 0
+
+
+def test_recovery_resumes_open_frontiers():
+    ftl = make_ftl()
+    for lpn in range(GEOMETRY.pages_per_block // 2):
+        ftl.host_write_page(lpn)
+    nand = crashed_copy(ftl, tear=False)
+    recovered, report = recover_ftl(nand, ftl.space)
+    assert report.open_blocks >= 1
+    assert recovered.active_user_block is not None
+    # Writing continues mid-block, right after the last surviving page.
+    recovered.host_write_page(recovered.space.user_pages - 1)
+    recovered.invariant_check()
+
+
+def test_recovery_rejects_more_than_two_open_blocks():
+    nand = NandArray(GEOMETRY, TIMING)
+    for block in range(3):
+        nand.program_page(block, 0, lpn=block, seq=block)
+    space = SpaceModel.from_op_ratio(GEOMETRY, op_ratio=0.25)
+    with pytest.raises(RecoveryError):
+        recover_ftl(nand, space)
+
+
+def test_recovery_carries_grown_bad_blocks_as_retired():
+    ftl = make_ftl()
+    for lpn in range(8):
+        ftl.host_write_page(lpn)
+    nand = crashed_copy(ftl)
+    spare = [
+        b
+        for b in range(GEOMETRY.total_blocks)
+        if nand.block_state(b).name == "ERASED"
+    ]
+    nand.mark_bad(spare[0])
+    recovered, report = recover_ftl(nand, ftl.space)
+    assert spare[0] in recovered.retired_blocks
+    assert report.retired_blocks == 1
+    assert recovered.stats.blocks_retired == 1
+    assert recovered.effective_op_pages() < ftl.effective_op_pages()
+
+
+def test_write_seq_monotonic_across_recovery():
+    ftl = make_ftl()
+    for lpn in range(12):
+        ftl.host_write_page(lpn)
+    nand = crashed_copy(ftl)
+    recovered, _ = recover_ftl(nand, ftl.space)
+    seq_before = recovered._write_seq
+    recovered.host_write_page(3)
+    new_ppn = recovered.page_map.lookup(3)
+    assert recovered.nand.oob_seq[new_ppn] == seq_before
+    # A second crash-recover sees the new write as the newest copy.
+    nand2 = NandArray.from_durable(
+        GEOMETRY, recovered.nand.capture_durable_state(), timing=TIMING
+    )
+    l2p, write_seq, _ = scan_oob(nand2, ftl.space.user_pages)
+    assert l2p[3] == new_ppn
+    assert write_seq == seq_before + 1

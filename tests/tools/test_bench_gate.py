@@ -1,0 +1,129 @@
+"""Tests for the benchmark regression gate's baseline handling.
+
+The gate must keep working -- exit 0, no traceback -- when the
+committed ``BENCH_hotpaths.json`` is missing, empty, corrupt, or holds
+only entries the gate cannot compare against (e.g. the recovery-scan
+benchmark appended to the v2 trajectory).
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+_spec = importlib.util.spec_from_file_location(
+    "bench_gate", REPO_ROOT / "tools" / "bench_gate.py"
+)
+bench_gate = importlib.util.module_from_spec(_spec)
+sys.modules["bench_gate"] = bench_gate
+_spec.loader.exec_module(bench_gate)
+
+
+def _current_payload(speedup=2.0):
+    return {
+        "schema": "bench-hotpaths/v1",
+        "mode": "quick",
+        "cpu_count": 1,
+        "results": {
+            "events_per_sec": {"speedup": speedup},
+            "victim_selection_us": {"speedup": speedup},
+            "flusher_tick_us": {"speedup": speedup},
+            "sweep_jobs": {"speedup": 1.0, "cpu_count": 1},
+        },
+    }
+
+
+def _write_current(tmp_path, **kwargs):
+    path = tmp_path / "current.json"
+    path.write_text(json.dumps(_current_payload(**kwargs)))
+    return path
+
+
+def _run(tmp_path, baseline_path):
+    current = _write_current(tmp_path)
+    return bench_gate.main(
+        ["--current", str(current), "--baseline", str(baseline_path)]
+    )
+
+
+def test_missing_baseline_passes(tmp_path, capsys):
+    assert _run(tmp_path, tmp_path / "nope.json") == 0
+    assert "no baseline" in capsys.readouterr().out
+
+
+def test_empty_baseline_passes(tmp_path, capsys):
+    baseline = tmp_path / "BENCH_hotpaths.json"
+    baseline.write_text("")
+    assert _run(tmp_path, baseline) == 0
+    assert "is empty" in capsys.readouterr().out
+
+
+def test_corrupt_baseline_passes(tmp_path, capsys):
+    baseline = tmp_path / "BENCH_hotpaths.json"
+    baseline.write_text("{not json")
+    assert _run(tmp_path, baseline) == 0
+    assert "not valid JSON" in capsys.readouterr().out
+
+
+def test_unsupported_schema_is_ignored(tmp_path, capsys):
+    baseline = tmp_path / "BENCH_hotpaths.json"
+    baseline.write_text(json.dumps({"schema": "bench-hotpaths/v99"}))
+    assert _run(tmp_path, baseline) == 0
+    assert "unsupported schema" in capsys.readouterr().out
+
+
+def test_trajectory_with_only_ungateable_entries_passes(tmp_path):
+    baseline = tmp_path / "BENCH_hotpaths.json"
+    baseline.write_text(
+        json.dumps(
+            {
+                "schema": "bench-hotpaths/v2",
+                "entries": [
+                    {
+                        "benchmark": "recovery_scan",
+                        "mode": "quick",
+                        "results": {"pages_per_sec": 1e6},
+                    }
+                ],
+            }
+        )
+    )
+    assert _run(tmp_path, baseline) == 0
+
+
+def test_gateable_trajectory_entry_is_still_compared(tmp_path):
+    entry = _current_payload(speedup=10.0)
+    entry["date"] = "2026-01-01"
+    baseline = tmp_path / "BENCH_hotpaths.json"
+    baseline.write_text(
+        json.dumps({"schema": "bench-hotpaths/v2", "entries": [entry]})
+    )
+    # Current run's speedups (2x) are >20% below the 10x baseline.
+    assert _run(tmp_path, baseline) == 1
+
+
+def test_ungateable_entries_are_skipped_not_chosen(tmp_path):
+    good = _current_payload(speedup=2.0)
+    good["date"] = "2026-01-01"
+    ungateable = {
+        "benchmark": "recovery_scan",
+        "mode": "quick",
+        "date": "2026-02-01",
+        "results": {"pages_per_sec": 1e6},
+    }
+    baseline = tmp_path / "BENCH_hotpaths.json"
+    baseline.write_text(
+        json.dumps(
+            {"schema": "bench-hotpaths/v2", "entries": [good, ungateable]}
+        )
+    )
+    # The newer recovery entry is skipped; the gate compares against the
+    # older hotpaths entry and passes (same speedups, no regression).
+    assert _run(tmp_path, baseline) == 0
+
+
+def test_committed_trajectory_still_loads():
+    baseline = bench_gate._load_baseline(REPO_ROOT / "BENCH_hotpaths.json", "full")
+    assert baseline is not None
+    assert bench_gate._gateable(baseline)

@@ -50,21 +50,53 @@ def _load_current(path: Path) -> dict:
     return payload
 
 
+def _gateable(entry: dict) -> bool:
+    """Whether an entry carries every speedup ratio the gate compares.
+
+    The v2 trajectory also records non-hotpath entries (e.g. the
+    recovery-scan benchmark), which have their own result shapes.
+    """
+    results = entry.get("results")
+    if not isinstance(results, dict):
+        return False
+    return all(
+        isinstance(results.get(m), dict) and "speedup" in results[m]
+        for m in RATIO_METRICS
+    )
+
+
 def _load_baseline(path: Path, mode: str) -> dict | None:
     """Pick the baseline entry to gate against.
 
     Accepts either a flat ``bench-hotpaths/v1`` payload (pre-trajectory
     baseline, or another single run) or a ``bench-hotpaths/v2``
-    trajectory, from which the latest entry matching ``mode`` is chosen
-    -- entries are append-only and chronological -- falling back to the
-    latest entry of any mode.
+    trajectory, from which the latest gateable entry matching ``mode``
+    is chosen -- entries are append-only and chronological -- falling
+    back to the latest gateable entry of any mode.  A missing, empty or
+    unreadable baseline is not an error: the gate runs its absolute
+    ratio-floor checks and passes or fails on those alone.
     """
-    payload = json.loads(path.read_text())
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        print(f"[bench_gate] baseline {path} unreadable ({exc}); ignoring it")
+        return None
+    if not text.strip():
+        print(f"[bench_gate] baseline {path} is empty; ignoring it")
+        return None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        print(f"[bench_gate] baseline {path} is not valid JSON ({exc}); ignoring it")
+        return None
+    if not isinstance(payload, dict):
+        print(f"[bench_gate] baseline {path} is not a JSON object; ignoring it")
+        return None
     schema = payload.get("schema")
     if schema == "bench-hotpaths/v1":
-        return payload
+        return payload if _gateable(payload) else None
     if schema == "bench-hotpaths/v2":
-        entries = payload.get("entries") or []
+        entries = [e for e in payload.get("entries") or [] if _gateable(e)]
         if not entries:
             return None
         same_mode = [e for e in entries if e.get("mode") == mode]
@@ -76,7 +108,8 @@ def _load_baseline(path: Path, mode: str) -> dict | None:
             f"mode={entry.get('mode')})"
         )
         return entry
-    raise SystemExit(f"{path}: unsupported schema {schema!r}")
+    print(f"[bench_gate] baseline {path}: unsupported schema {schema!r}; ignoring it")
+    return None
 
 
 def check(current: dict, baseline: dict | None, min_speedup: float,
