@@ -1,23 +1,28 @@
-"""Recovery-scan benchmark: full-device OOB scan throughput.
+"""Recovery benchmarks: full OOB scan vs checkpoint-bounded tail scan.
 
 Measures :func:`repro.ftl.recovery.recover_ftl` over a GC-churned
-device image -- the whole power-back-on path: the vectorized OOB scan,
+device image -- the whole power-back-on path: metadata load, OOB scan,
 layout re-discovery, state installation and the invariant check.  Two
-numbers matter:
+benchmarks:
 
-* ``pages_per_sec``    -- wall-clock throughput of the scan (programmed
-  pages per host second).  This is the hot path of the crash-point
-  sweep harness (``repro.experiments.crashsweep``), which re-runs
-  recovery hundreds of times per sweep.
-* ``sim_scan_ms``      -- *simulated* recovery time (one flash read per
-  programmed page), the figure a device would show as power-on-ready
-  latency.
+* ``recovery_scan``      -- the full-device scan (no checkpoints on the
+  image).  ``pages_per_sec`` is the wall-clock throughput (the hot path
+  of the crash-point sweep harness); ``sim_scan_ms`` the *simulated*
+  power-on-ready latency (one flash read per programmed page).
+* ``recovery_tail_scan`` -- the same churned device, but running with
+  periodic mapping checkpoints.  Recovery loads the newest complete
+  checkpoint and rescans only the log tail past its horizon; the
+  benchmark recovers the identical image once with its durable metadata
+  (``checkpointed_ms``) and once with the metadata region stripped
+  (``full_scan_ms``, the pre-checkpoint protocol), and reports
+  ``speedup_sim`` -- the power-on-ready improvement the checkpoint
+  buys.  Both paths must reconstruct the same L2P table.
 
 Without ``--output`` the run is appended to ``BENCH_hotpaths.json``
 (the dated ``bench-hotpaths/v2`` trajectory) tagged
-``benchmark: "recovery_scan"``.  ``tools/bench_gate.py`` skips these
-entries -- they carry no indexed-vs-scan ratios -- but the trajectory
-keeps recovery throughput visible next to the hot-path history.
+``benchmark: "recovery"``.  ``tools/bench_gate.py`` gates the
+``speedup_sim`` ratio of recovery payloads (``--min-recovery-speedup``)
+and skips recovery entries when gating hot-path runs.
 
 Usage::
 
@@ -28,6 +33,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import datetime
 import json
 import os
@@ -62,22 +68,32 @@ SCALE = {
 }
 
 
-def _churned_image(params: dict) -> NandArray:
+def _churned_image(params: dict, checkpoint_interval=None) -> NandArray:
     """A crash image of a device that has lived: full map, stale copies,
-    torn frontiers."""
+    torn frontiers (and, when ``checkpoint_interval`` is set, a durable
+    metadata log of periodic checkpoints)."""
     geometry = NandGeometry(
         page_size=4096,
         pages_per_block=params["pages_per_block"],
         blocks_per_plane=params["blocks"],
     )
     space = SpaceModel.from_op_ratio(geometry, op_ratio=0.12)
-    ftl = PageMappedFtl(NandArray(geometry, NAND_20NM_MLC), space)
+    ftl = PageMappedFtl(
+        NandArray(geometry, NAND_20NM_MLC),
+        space,
+        checkpoint_interval_pages=checkpoint_interval,
+    )
     rng = np.random.default_rng(7)
     for lpn in range(space.user_pages):
         ftl.host_write_page(lpn)
     # Skewed overwrites leave stale copies behind and trigger GC.
     for lpn in rng.integers(0, space.user_pages // 4, space.user_pages // 2):
         ftl.host_write_page(int(lpn))
+    if checkpoint_interval:
+        # Land the crash mid-interval, not on a checkpoint boundary: the
+        # tail scan must cover a representative half-interval of churn.
+        for lpn in rng.integers(0, space.user_pages // 4, checkpoint_interval // 2):
+            ftl.host_write_page(int(lpn))
     crashed = NandArray.from_durable(
         geometry, ftl.nand.capture_durable_state(), timing=NAND_20NM_MLC
     )
@@ -114,6 +130,58 @@ def bench_recovery_scan(quick: bool) -> dict:
     }
 
 
+def bench_recovery_tail_scan(quick: bool) -> dict:
+    """Checkpointed power-on vs the full scan, on the same crash image."""
+    params = SCALE["quick" if quick else "full"]
+    geometry = NandGeometry(
+        page_size=4096,
+        pages_per_block=params["pages_per_block"],
+        blocks_per_plane=params["blocks"],
+    )
+    space = SpaceModel.from_op_ratio(geometry, op_ratio=0.12)
+    # One checkpoint per 1/32nd of the device's user pages; the churn
+    # then continues half an interval past the last checkpoint, so the
+    # tail scan covers a representative mid-interval crash.
+    interval = max(1, space.user_pages // 32)
+    image = _churned_image(params, checkpoint_interval=interval)
+    durable = image.capture_durable_state()
+    stripped = dataclasses.replace(durable, meta=())
+
+    ckpt_walls, full_walls = [], []
+    for _ in range(params["rounds"]):
+        nand = NandArray.from_durable(geometry, durable, timing=NAND_20NM_MLC)
+        start = time.perf_counter()
+        ftl, ckpt_report = recover_ftl(nand, space)
+        ckpt_walls.append(time.perf_counter() - start)
+
+        nand = NandArray.from_durable(geometry, stripped, timing=NAND_20NM_MLC)
+        start = time.perf_counter()
+        ftl_full, full_report = recover_ftl(nand, space)
+        full_walls.append(time.perf_counter() - start)
+
+    if ckpt_report.full_scan:
+        raise RuntimeError("checkpointed image fell back to a full scan")
+    if not np.array_equal(
+        ftl.page_map.l2p_snapshot(), ftl_full.page_map.l2p_snapshot()
+    ):
+        raise RuntimeError("tail-scan and full-scan recovery disagree on L2P")
+
+    checkpointed_ms = ckpt_report.duration_ns / 1e6
+    full_scan_ms = full_report.duration_ns / 1e6
+    return {
+        "scenario": dict(params, checkpoint_interval=interval),
+        "checkpoint_generation": ckpt_report.checkpoint_generation,
+        "meta_pages": ckpt_report.meta_pages_read,
+        "tail_pages": ckpt_report.pages_scanned,
+        "full_scan_pages": full_report.pages_scanned,
+        "checkpointed_ms": round(checkpointed_ms, 3),
+        "full_scan_ms": round(full_scan_ms, 3),
+        "speedup_sim": round(full_scan_ms / checkpointed_ms, 2),
+        "wall_s_checkpointed": round(min(ckpt_walls), 4),
+        "wall_s_full": round(min(full_walls), 4),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -128,12 +196,18 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     repo_root = Path(__file__).resolve().parents[1]
 
+    results = {}
     print("[bench_recovery] recovery_scan ...", flush=True)
-    results = {"recovery_scan": bench_recovery_scan(args.quick)}
+    results["recovery_scan"] = bench_recovery_scan(args.quick)
     print(f"[bench_recovery]   {json.dumps(results['recovery_scan'])}", flush=True)
+    print("[bench_recovery] recovery_tail_scan ...", flush=True)
+    results["recovery_tail_scan"] = bench_recovery_tail_scan(args.quick)
+    print(
+        f"[bench_recovery]   {json.dumps(results['recovery_tail_scan'])}", flush=True
+    )
 
     run = {
-        "benchmark": "recovery_scan",
+        "benchmark": "recovery",
         "mode": "quick" if args.quick else "full",
         "python": sys.version.split()[0],
         "cpu_count": os.cpu_count(),

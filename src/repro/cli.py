@@ -46,11 +46,11 @@ from repro.experiments import (
 from repro.faults import FAULT_PROFILES, SpoPlan
 from repro.obs import TRACE_FORMATS, ObservabilityConfig
 from repro.sim.simtime import SECOND
-from repro.workloads import BENCHMARKS
+from repro.workloads import WORKLOADS
 
 
 def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--workload", default="YCSB", choices=sorted(BENCHMARKS))
+    parser.add_argument("--workload", default="YCSB", choices=sorted(WORKLOADS))
     parser.add_argument("--blocks", type=int, default=1024)
     parser.add_argument("--pages-per-block", type=int, default=64)
     parser.add_argument("--warmup", type=int, default=20, metavar="S")
@@ -61,6 +61,11 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
         default="none",
         choices=sorted(FAULT_PROFILES),
         help="media-fault injection profile (default: none)",
+    )
+    parser.add_argument(
+        "--checkpoint-interval", type=int, default=None, metavar="PAGES",
+        help="write a durable mapping checkpoint every PAGES host pages "
+        "(bounds post-power-cut recovery to a log-tail scan; default: off)",
     )
     parser.add_argument(
         "--trace", default=None, metavar="PATH",
@@ -103,6 +108,7 @@ def _spec_from(args: argparse.Namespace) -> ScenarioSpec:
         measure_s=args.measure,
         seed=args.seed,
         fault_profile=getattr(args, "faults", "none"),
+        checkpoint_interval=getattr(args, "checkpoint_interval", None),
         obs=_obs_config_from(args),
     )
 
@@ -129,6 +135,8 @@ def _print_metrics(metrics) -> None:
         ["mean op latency (ms)", f"{metrics.mean_latency_ns / 1e6:.3f}"],
         ["p99 op latency (ms)", f"{metrics.p99_latency_ns / 1e6:.3f}"],
     ]
+    if metrics.trim_count:
+        rows.append(["pages trimmed", metrics.trim_count])
     if metrics.prediction_accuracy_pct is not None:
         rows.append(["prediction accuracy", f"{metrics.prediction_accuracy_pct:.1f}%"])
     if metrics.sip_selections:
@@ -175,11 +183,16 @@ def cmd_run(args: argparse.Namespace) -> int:
         outcome = run_scenario_with_spo(spec, plan)
         metrics = outcome.metrics
         for cut, report in zip(outcome.cuts, outcome.reports):
+            mode = (
+                "full scan"
+                if report.full_scan
+                else f"checkpoint gen {report.checkpoint_generation} + tail"
+            )
             print(
                 f"power cut at {cut.t_ns / 1e9:.3f}s: {len(cut.torn)} torn "
                 f"pages, {cut.events_dropped} events dropped; recovered "
                 f"{report.mapped_lpns} LPNs in {report.duration_ns / 1e6:.1f}ms "
-                f"({report.pages_scanned} OOB reads)"
+                f"({mode}, {report.pages_scanned} OOB reads)"
             )
         _print_metrics(metrics)
         print(
@@ -198,6 +211,8 @@ def cmd_crash_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         measure_s=args.measure,
         fault_profile=args.faults,
+        trim_heavy=args.trim_heavy,
+        checkpoint_interval=args.checkpoint_interval,
     )
     _echo_run_header(spec)
     ticks = {"n": 0}
@@ -217,8 +232,12 @@ def cmd_crash_sweep(args: argparse.Namespace) -> int:
         points=args.points,
         stride_events=args.stride,
         progress=progress,
+        nested_every=args.nested_every,
     )
     print(result.summary())
+    nested = sum(1 for p in result.points if p.nested)
+    if nested:
+        print(f"{nested} points also verified crash-during-recovery")
     return 0 if result.ok() else 1
 
 
@@ -302,7 +321,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_list(args: argparse.Namespace) -> int:
-    print("workloads:", ", ".join(BENCHMARKS))
+    print("workloads:", ", ".join(WORKLOADS))
     print("policies :", ", ".join(POLICY_FACTORIES))
     print("faults   :", ", ".join(sorted(FAULT_PROFILES)))
     return 0
@@ -397,6 +416,22 @@ def build_parser() -> argparse.ArgumentParser:
     crash_parser.add_argument(
         "--stride", type=int, default=512, metavar="EVENTS",
         help="simulator events between crash points (default: 512)",
+    )
+    crash_parser.add_argument(
+        "--trim-heavy", action="store_true",
+        help="run the synthetic workload with 25%% discards, so crash "
+        "points land around TRIM journal writes",
+    )
+    crash_parser.add_argument(
+        "--checkpoint-interval", type=int, default=None, metavar="PAGES",
+        help="arm durable mapping checkpoints every PAGES host pages "
+        "during the swept run",
+    )
+    crash_parser.add_argument(
+        "--nested-every", type=int, default=0, metavar="K",
+        help="every K-th point, also crash the recovery itself (torn "
+        "post-recovery checkpoint) and verify the second power-on "
+        "(0 = off)",
     )
     crash_parser.set_defaults(func=cmd_crash_sweep)
 

@@ -24,10 +24,15 @@ Two entry points, both built on the durable-media capture of
   metrics are merged into one :class:`~repro.metrics.collector.
   RunMetrics` with ``spo_count`` / ``recovery_time_ns`` filled in.
 
-The sweep's equality checks are strict because the scenarios it runs
-issue no TRIMs (see DESIGN.md "Power loss & recovery" for the TRIM
-resurrection caveat -- the one deliberate divergence of the recovery
-protocol).
+The sweep's equality checks are strict and hold for TRIM-issuing
+scenarios too: host discards are journaled as durable tombstones before
+the device acknowledges them (DESIGN.md "Durable metadata"), so a
+recovered device never resurrects pre-TRIM mappings.  With
+``nested_every`` set, the sweep additionally crashes *the recovery
+itself* at selected points -- the recovered device writes its
+post-recovery checkpoint, the rail dies mid-program (the half-written
+record is torn), and a second recovery from that doubly-crashed image
+must still match the live reference.
 """
 
 from __future__ import annotations
@@ -48,7 +53,7 @@ from repro.nand.array import STATE_ERASED, STATE_OPEN, NandArray
 from repro.obs.audit import RecoveryRecord
 from repro.sim.simtime import SECOND
 from repro.ssd.config import SsdConfig
-from repro.workloads import BENCHMARKS, Region
+from repro.workloads import WORKLOADS, Region
 
 
 class CrashPointMismatch(AssertionError):
@@ -71,6 +76,9 @@ class CrashPointCheck:
         torn_pages / pages_scanned / mapped_lpns / scan_ns: from the
             recovery report.
         read_only: the recovered device came back write-refusing.
+        nested: this point also crashed the recovery itself (torn
+            post-recovery checkpoint) and re-verified the second
+            power-on.
     """
 
     index: int
@@ -83,6 +91,7 @@ class CrashPointCheck:
     mapped_lpns: int = 0
     scan_ns: int = 0
     read_only: bool = False
+    nested: bool = False
 
 
 @dataclass
@@ -118,54 +127,29 @@ class CrashSweepResult:
         )
 
 
-def verify_crash_point(
-    live_ftl: PageMappedFtl,
-    config: SsdConfig,
-    sample_reads: int = 8,
-    rng: Optional[np.random.Generator] = None,
-) -> RecoveryReport:
-    """Crash the device *hypothetically* at this instant and verify.
-
-    Captures the durable media image of ``live_ftl`` without disturbing
-    it, replays the cut on a copy (frontier pages torn, DRAM discarded),
-    recovers a fresh FTL from the copy and checks it against the live
-    reference.  Raises :class:`CrashPointMismatch` on any divergence;
-    recovery-time failures (:class:`~repro.ftl.recovery.RecoveryError`)
-    propagate as-is.
-
-    The checks, in order of strength:
-
-    1. recovered L2P table identical to the live one;
-    2. per-block valid counts and total mapped count identical;
-    3. erase counters identical (wear survives the cut);
-    4. next write-sequence stamp identical (monotonicity across cuts);
-    5. read identity -- every mapped LPN's OOB ``(lpn, seq)`` stamp on
-       the recovered media equals the live one, and ``sample_reads``
-       random mapped LPNs serve an actual :meth:`host_read_page`;
-    6. free-pool size equals the torn image's erased-block count minus
-       the frontiers recovery had to open fresh (a frontier whose block
-       the cut left FULL -- or whose tear filled it -- cannot resume).
-    """
-    live_nand = live_ftl.nand
-    durable = live_nand.capture_durable_state()
-    nand = NandArray.from_durable(
-        config.geometry,
-        durable,
-        timing=config.timing,
-        pe_cycle_limit=config.pe_cycle_limit,
-        fault_injector=None,
-    )
-    for block in (live_ftl.active_user_block, live_ftl.active_gc_block):
-        if block is not None:
-            nand.tear_frontier_page(block)
-    # Media-visible free-pool expectation: every good ERASED block, less
-    # one per write stream that lacks an OPEN block to resume.
+def _expected_free_blocks(nand: NandArray) -> int:
+    """Media-visible free-pool expectation: every good ERASED block,
+    less one per write stream that lacks an OPEN block to resume."""
     erased = int((nand.block_states == STATE_ERASED).sum())
     open_count = int((nand.block_states == STATE_OPEN).sum())
-    expected_free = erased - max(0, 2 - open_count)
+    return erased - max(0, 2 - open_count)
 
-    ftl, report = _recover(nand, config)
 
+def _check_recovered_against_live(
+    live_ftl: PageMappedFtl,
+    ftl: PageMappedFtl,
+    nand: NandArray,
+    report: RecoveryReport,
+    expected_free: int,
+    sample_reads: int = 8,
+    rng: Optional[np.random.Generator] = None,
+) -> None:
+    """The crash-point equality battery (see :func:`verify_crash_point`).
+
+    Raises :class:`CrashPointMismatch` on the first divergence between
+    the recovered device (``ftl`` over ``nand``) and the live reference.
+    """
+    live_nand = live_ftl.nand
     live_l2p = live_ftl.page_map.l2p_snapshot()
     rec_l2p = ftl.page_map.l2p_snapshot()
     if not np.array_equal(live_l2p, rec_l2p):
@@ -210,6 +194,87 @@ def verify_crash_point(
         raise CrashPointMismatch(
             f"free pool {ftl.free_pool_blocks()} != expected {expected_free}"
         )
+
+
+def verify_crash_point(
+    live_ftl: PageMappedFtl,
+    config: SsdConfig,
+    sample_reads: int = 8,
+    rng: Optional[np.random.Generator] = None,
+    nested: bool = False,
+) -> RecoveryReport:
+    """Crash the device *hypothetically* at this instant and verify.
+
+    Captures the durable media image of ``live_ftl`` without disturbing
+    it, replays the cut on a copy (frontier pages torn, DRAM discarded),
+    recovers a fresh FTL from the copy and checks it against the live
+    reference.  Raises :class:`CrashPointMismatch` on any divergence;
+    recovery-time failures (:class:`~repro.ftl.recovery.RecoveryError`)
+    propagate as-is.
+
+    The checks, in order of strength:
+
+    1. recovered L2P table identical to the live one;
+    2. per-block valid counts and total mapped count identical;
+    3. erase counters identical (wear survives the cut);
+    4. next write-sequence stamp identical (monotonicity across cuts);
+    5. read identity -- every mapped LPN's OOB ``(lpn, seq)`` stamp on
+       the recovered media equals the live one, and ``sample_reads``
+       random mapped LPNs serve an actual :meth:`host_read_page`;
+    6. free-pool size equals the torn image's erased-block count minus
+       the frontiers recovery had to open fresh (a frontier whose block
+       the cut left FULL -- or whose tear filled it -- cannot resume).
+
+    With ``nested=True`` the point is verified *twice*: after the first
+    recovery passes, the recovered device writes a post-recovery
+    checkpoint, the rail "dies" mid-program (the half-written record is
+    torn), and a second recovery from that doubly-crashed image must
+    pass the same battery -- the crash-during-recovery-after-crash case.
+    """
+    live_nand = live_ftl.nand
+    durable = live_nand.capture_durable_state()
+    nand = NandArray.from_durable(
+        config.geometry,
+        durable,
+        timing=config.timing,
+        pe_cycle_limit=config.pe_cycle_limit,
+        fault_injector=None,
+    )
+    for block in (live_ftl.active_user_block, live_ftl.active_gc_block):
+        if block is not None:
+            nand.tear_frontier_page(block)
+    expected_free = _expected_free_blocks(nand)
+
+    ftl, report = _recover(nand, config)
+    _check_recovered_against_live(
+        live_ftl, ftl, nand, report, expected_free, sample_reads, rng
+    )
+
+    if nested and not ftl.read_only:
+        # Second cut, mid-recovery: the first power-on checkpointed its
+        # rebuilt mapping, and the rail dies while that record programs.
+        ftl.write_checkpoint(trigger="recovery")
+        durable2 = ftl.nand.capture_durable_state()
+        nand2 = NandArray.from_durable(
+            config.geometry,
+            durable2,
+            timing=config.timing,
+            pe_cycle_limit=config.pe_cycle_limit,
+            fault_injector=None,
+        )
+        nand2.meta.tear_last()
+        # The scan is read-only and the torn checkpoint never becomes
+        # load-bearing, so the second power-on must see the same state.
+        ftl2, report2 = _recover(nand2, config)
+        _check_recovered_against_live(
+            live_ftl,
+            ftl2,
+            nand2,
+            report2,
+            _expected_free_blocks(nand2),
+            sample_reads,
+            rng,
+        )
     return report
 
 
@@ -223,6 +288,8 @@ def _recover(nand: NandArray, config: SsdConfig):
         max_read_retries=config.max_read_retries,
         max_program_retries=config.max_program_retries,
         max_erase_retries=config.max_erase_retries,
+        checkpoint_interval_pages=config.checkpoint_interval_pages,
+        journal_unmaps=config.journal_unmaps,
     )
 
 
@@ -235,6 +302,8 @@ def gc_heavy_spec(
     seed: int = 42,
     measure_s: int = 30,
     fault_profile=None,
+    trim_heavy: bool = False,
+    checkpoint_interval: Optional[int] = None,
 ) -> ScenarioSpec:
     """A scenario tuned so GC runs constantly under the sweep.
 
@@ -242,9 +311,25 @@ def gc_heavy_spec(
     device keeps the free pool near the FGC watermark, so crash points
     land inside foreground GC, background GC and frontier rolls -- the
     states recovery must get right.
+
+    ``trim_heavy`` switches to the synthetic workload with a quarter of
+    its operations issued as discards, so crash points land between a
+    TRIM's journal write and the next host program -- the window the
+    persisted unmap journal exists for.  ``checkpoint_interval`` arms
+    periodic mapping checkpoints (pages of host writes per checkpoint),
+    putting checkpoint programs and bounded tail scans under the sweep.
     """
+    workload = "YCSB"
+    workload_kwargs: dict = {}
+    if trim_heavy:
+        workload = "Synthetic"
+        workload_kwargs = {
+            "trim_fraction": 0.25,
+            "write_fraction": 0.85,
+            "zipf_theta": 0.9,
+        }
     return ScenarioSpec(
-        workload="YCSB",
+        workload=workload,
         policy="JIT-GC",
         blocks=blocks,
         pages_per_block=pages_per_block,
@@ -255,7 +340,9 @@ def gc_heavy_spec(
         flusher_period_s=1,
         tau_expire_s=2,
         seed=seed,
+        workload_kwargs=workload_kwargs,
         fault_profile=fault_profile,
+        checkpoint_interval=checkpoint_interval,
     )
 
 
@@ -265,6 +352,7 @@ def run_crash_sweep(
     stride_events: int = 512,
     sample_reads: int = 8,
     progress: Optional[Callable[[CrashPointCheck], None]] = None,
+    nested_every: int = 0,
 ) -> CrashSweepResult:
     """Verify crash-consistent recovery at up to ``points`` instants.
 
@@ -273,6 +361,10 @@ def run_crash_sweep(
     :func:`verify_crash_point` against it.  The sweep stops early if the
     measurement window ends or the simulation stalls (terminal
     read-only device with a drained queue).
+
+    ``nested_every=k`` (k > 0) upgrades every k-th point to the nested
+    crash-during-recovery verification: recover, checkpoint, tear the
+    half-written checkpoint, recover again, re-verify.
 
     Every check failure is recorded, not raised -- the result object
     reports pass/fail per point (``result.ok()`` for the verdict).
@@ -293,7 +385,7 @@ def run_crash_sweep(
     except DeviceReadOnlyError:
         pass
     collector = MetricsCollector(host, workload_name=spec.workload)
-    workload = BENCHMARKS[spec.workload](
+    workload = WORKLOADS[spec.workload](
         host, collector, Region(0, working_set), **spec.workload_kwargs
     )
     workload.start()
@@ -314,14 +406,16 @@ def run_crash_sweep(
             pass
         if host.sim.dispatched == before and host.sim.now >= end:
             break
+        nested = nested_every > 0 and index % nested_every == 0
         check = CrashPointCheck(
             index=index,
             t_ns=host.sim.now,
             events_dispatched=host.sim.dispatched,
+            nested=nested,
         )
         try:
             report = verify_crash_point(
-                host.ftl, config, sample_reads=sample_reads, rng=rng
+                host.ftl, config, sample_reads=sample_reads, rng=rng, nested=nested
             )
             check.ok = True
             check.torn_pages = report.torn_pages
@@ -376,9 +470,16 @@ def run_scenario_with_spo(spec: ScenarioSpec, plan: SpoPlan) -> SpoRunResult:
     Each cut kills the host mid-run (queued events die, frontier pages
     tear, DRAM state is lost); a fresh device is recovered from the
     durable media image (new fault injector over the same profile) and
-    a new host resumes the timeline at ``cut + recovery scan``.  The
-    measurement window is the same as a cut-free run's; metric windows
-    spanning a cut are split into phases and merged.
+    a new host resumes the timeline at ``cut + recovery scan`` (plus the
+    post-recovery checkpoint, when the config enables checkpointing).
+    The measurement window is the same as a cut-free run's; metric
+    windows spanning a cut are split into phases and merged.
+
+    Recovery is re-entrant: a planned cut landing *inside* a recovery
+    window (scan or post-recovery checkpoint still in progress when the
+    rail dies again) is honoured, not skipped -- the half-written
+    checkpoint is torn and the device recovers again from the
+    doubly-crashed image.
     """
     config = spec.make_config()
     measure_start = spec.warmup_s * SECOND
@@ -405,10 +506,14 @@ def run_scenario_with_spo(spec: ScenarioSpec, plan: SpoPlan) -> SpoRunResult:
     except DeviceReadOnlyError:
         pass
     collector = MetricsCollector(host, workload_name=spec.workload)
-    workload = BENCHMARKS[spec.workload](
+    workload = WORKLOADS[spec.workload](
         host, collector, Region(0, working_set), **spec.workload_kwargs
     )
     workload.start()
+
+    # A post-recovery checkpoint only makes sense when the scenario
+    # checkpoints at all (otherwise the next power-on full-scans anyway).
+    post_checkpoint = config.checkpoint_interval_pages is not None
 
     # Process the timeline's stop points in order.  "begin" sorts before
     # a cut at the same instant so the window opens first.
@@ -419,7 +524,10 @@ def run_scenario_with_spo(spec: ScenarioSpec, plan: SpoPlan) -> SpoRunResult:
     )
     measuring = False
     phase = 0
-    for t, _, kind in stops:
+    index = 0
+    while index < len(stops):
+        t, _, kind = stops[index]
+        index += 1
         if t > host.sim.now:
             _advance(host, t)
         if kind == "begin":
@@ -441,8 +549,35 @@ def run_scenario_with_spo(spec: ScenarioSpec, plan: SpoPlan) -> SpoRunResult:
             cut.durable,
             victim_selector=None,  # the new policy installs its own below
             seed=spec.seed + 7919 * phase + 1,
+            post_checkpoint=post_checkpoint,
         )
         reports.append(report)
+        resume_ns = cut.t_ns + report.duration_ns + report.post_checkpoint_ns
+        # Consume planned cuts that land before the device is host-ready
+        # again: the rail dies *during* the recovery.  The scan itself is
+        # read-only, so the nested cut's durable image differs from the
+        # previous one only when it catches the post-recovery checkpoint
+        # mid-program -- in which case that record tears.
+        while index < len(stops) and stops[index][2] == "cut" and stops[index][0] < resume_ns:
+            t_nested = stops[index][0]
+            index += 1
+            # Any cut before host-ready catches the post-recovery
+            # checkpoint not-yet-durable (mid-program, or not started):
+            # tear it, so the next power-on cannot lean on it.
+            cut = emulator.cut_recovery(
+                ftl.nand,
+                t_ns=t_nested,
+                tear_checkpoint=report.post_checkpoint_ns > 0,
+            )
+            phase += 1
+            ftl, report = config.recover_from(
+                cut.durable,
+                victim_selector=None,
+                seed=spec.seed + 7919 * phase + 1,
+                post_checkpoint=post_checkpoint,
+            )
+            reports.append(report)
+            resume_ns = t_nested + report.duration_ns + report.post_checkpoint_ns
         policy = spec.make_policy()
         # recover_from built the FTL before the policy existed; give it
         # the policy's selector so victim ranking matches a fresh device.
@@ -456,7 +591,7 @@ def run_scenario_with_spo(spec: ScenarioSpec, plan: SpoPlan) -> SpoRunResult:
             flusher_period_ns=spec.flusher_period_s * SECOND,
             tau_expire_ns=spec.tau_expire_s * SECOND,
             ftl=ftl,
-            start_time_ns=cut.t_ns + report.duration_ns,
+            start_time_ns=resume_ns,
         )
         if host.ftl.audit.enabled:
             host.ftl.audit.record_recovery(
@@ -471,10 +606,15 @@ def run_scenario_with_spo(spec: ScenarioSpec, plan: SpoPlan) -> SpoRunResult:
                     closed_blocks=report.closed_blocks,
                     retired_blocks=report.retired_blocks,
                     read_only=report.read_only,
+                    full_scan=report.full_scan,
+                    checkpoint_generation=report.checkpoint_generation,
+                    tombstones_replayed=report.tombstones_replayed,
+                    torn_meta_records=report.torn_meta_records,
+                    checkpoint_fallbacks=report.checkpoint_fallbacks,
                 )
             )
         collector = MetricsCollector(host, workload_name=spec.workload)
-        workload = BENCHMARKS[spec.workload](
+        workload = WORKLOADS[spec.workload](
             host, collector, Region(0, working_set), **spec.workload_kwargs
         )
         workload.start()
@@ -553,4 +693,5 @@ def merge_phase_metrics(
         device_read_only=any(p.device_read_only for p in phases),
         spo_count=spo_count,
         recovery_time_ns=recovery_time_ns,
+        trim_count=sum(p.trim_count for p in phases),
     )

@@ -45,7 +45,7 @@ from repro.metrics.collector import MetricsCollector, RunMetrics
 from repro.obs import Observability, ObservabilityConfig
 from repro.sim.simtime import SECOND
 from repro.ssd.config import SsdConfig
-from repro.workloads import BENCHMARKS, Region
+from repro.workloads import WORKLOADS, Region
 
 
 class ScenarioTimeoutError(RuntimeError):
@@ -65,7 +65,8 @@ class ScenarioSpec:
     """One measured run's full parameterisation.
 
     Attributes:
-        workload: a key of :data:`repro.workloads.BENCHMARKS`.
+        workload: a key of :data:`repro.workloads.WORKLOADS` (the paper
+            suite plus the synthetic generator).
         policy: a key of :data:`POLICY_FACTORIES`, or use
             ``policy_factory`` for custom policies (Fig. 2's sweep).
         blocks / pages_per_block: device scale.
@@ -83,6 +84,9 @@ class ScenarioSpec:
         fault_profile: media-fault injection -- a preset name
             (``"light"``, ``"heavy"``, ``"wearout"``) or a
             :class:`~repro.faults.injector.FaultProfile`; None disables.
+        checkpoint_interval: when set, the FTL writes an incremental
+            mapping checkpoint every that many host pages (durable
+            metadata; bounds post-power-cut recovery to a log-tail scan).
         timeout_s: optional wall-clock budget for this scenario; on
             expiry :class:`ScenarioTimeoutError` is raised (and isolated
             by :func:`run_sweep`).
@@ -107,6 +111,7 @@ class ScenarioSpec:
     seed: int = 42
     workload_kwargs: dict = field(default_factory=dict)
     fault_profile: Optional[object] = None
+    checkpoint_interval: Optional[int] = None
     timeout_s: Optional[float] = None
     obs: Optional[ObservabilityConfig] = None
 
@@ -116,7 +121,12 @@ class ScenarioSpec:
 
     def key(self) -> str:
         """Stable identity used for checkpointing and sweep reports."""
-        return f"{self.workload}/{self.policy}/seed{self.seed}/faults-{self.fault_tag()}"
+        key = f"{self.workload}/{self.policy}/seed{self.seed}/faults-{self.fault_tag()}"
+        if self.checkpoint_interval is not None:
+            # Suffix only when set, so pre-existing sweep checkpoints
+            # keep resolving to the same scenarios.
+            key += f"/ckpt{self.checkpoint_interval}"
+        return key
 
     def make_policy(self) -> GcPolicy:
         if self.policy_factory is not None:
@@ -133,6 +143,7 @@ class ScenarioSpec:
             pages_per_block=self.pages_per_block,
             op_ratio=self.op_ratio,
             fault_profile=self.fault_profile,
+            checkpoint_interval_pages=self.checkpoint_interval,
         )
 
     def fault_tag(self) -> str:
@@ -211,9 +222,9 @@ def _run_scenario_host(spec: ScenarioSpec) -> Tuple[RunMetrics, HostSystem]:
     Internal: the hot-path equivalence tests use the host to compare
     decision-audit streams, not just the frozen metrics.
     """
-    if spec.workload not in BENCHMARKS:
+    if spec.workload not in WORKLOADS:
         raise KeyError(
-            f"unknown workload {spec.workload!r}; known: {sorted(BENCHMARKS)}"
+            f"unknown workload {spec.workload!r}; known: {sorted(WORKLOADS)}"
         )
     deadline: Optional[float] = None
     if spec.timeout_s is not None and spec.timeout_s > 0:
@@ -244,7 +255,7 @@ def _run_scenario_host(spec: ScenarioSpec) -> Tuple[RunMetrics, HostSystem]:
             pass
 
         metrics = MetricsCollector(host, workload_name=spec.workload)
-        workload_cls = BENCHMARKS[spec.workload]
+        workload_cls = WORKLOADS[spec.workload]
         workload = workload_cls(
             host, metrics, Region(0, working_set), **spec.workload_kwargs
         )

@@ -144,3 +144,55 @@ class PowerLossEmulator:
             )
         self.cuts.append(cut)
         return cut
+
+    def cut_recovery(self, nand, t_ns: int = 0, tear_checkpoint: bool = False) -> PowerCut:
+        """Cut power *while a recovery is in progress* on ``nand``.
+
+        The recovery scan itself is read-only, so a cut during it leaves
+        the media exactly as the previous cut did -- there is no frontier
+        program to tear.  The one mutation recovery may perform is the
+        optional post-recovery checkpoint; when ``tear_checkpoint`` is
+        set, the newest metadata record (that checkpoint, mid-program
+        when the rail died) is torn so the next power-on must fall back
+        to the previous generation or a full scan.  Returns the cut with
+        the re-captured durable image; there is no live host/simulator to
+        kill, so ``events_dropped`` is always 0.
+        """
+        cut = PowerCut(t_ns=t_ns)
+        if tear_checkpoint:
+            torn = nand.meta.tear_last()
+            if torn is not None:
+                # Record the tear in the cut log; meta records live off
+                # the user geometry, so flag it with block -1.
+                cut.torn.append((-1, torn.pages))
+        cut.durable = nand.capture_durable_state()
+        if nand.tracer.enabled:
+            nand.tracer.emit(
+                "faults",
+                "spo.cut_recovery",
+                torn=len(cut.torn),
+                tear_checkpoint=tear_checkpoint,
+            )
+        self.cuts.append(cut)
+        return cut
+
+
+def cut_during_recovery(
+    durable: NandDurableState,
+    config,
+    seed: int = 0,
+    keep_pages: Optional[int] = None,
+):
+    """Nested-crash harness: recover from ``durable``, cut mid-checkpoint.
+
+    Runs a full recovery (with the post-recovery checkpoint enabled),
+    then emulates the rail dying while that checkpoint was programming:
+    the newest metadata record is torn to ``keep_pages`` pages (default:
+    half).  Returns ``(second_durable, first_report)`` -- the durable
+    image a *second* recovery must cope with, and the first recovery's
+    report.  ``config`` is duck-typed (needs ``recover_from``) to keep
+    this module import-light.
+    """
+    ftl, report = config.recover_from(durable, seed=seed, post_checkpoint=True)
+    ftl.nand.meta.tear_last(keep_pages=keep_pages)
+    return ftl.nand.capture_durable_state(), report

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro import perf
 from repro.ftl.mapping import UNMAPPED, PageMap
+from repro.ftl.metastore import KIND_CHECKPOINT, KIND_UNMAP, build_checkpoint, build_tombstones
 from repro.ftl.space import SipOverlapIndex, SpaceModel, ValidCountIndex
 from repro.ftl.stats import FtlStats
 from repro.ftl.victim import GreedySelector, VictimSelector
@@ -44,7 +45,7 @@ from repro.nand.errors import (
     ProgramFailError,
     UncorrectableReadError,
 )
-from repro.obs.audit import DISABLED_AUDIT, FaultRecord, VictimRecord
+from repro.obs.audit import CheckpointRecord, DISABLED_AUDIT, FaultRecord, VictimRecord
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER
 
@@ -114,6 +115,8 @@ class PageMappedFtl:
         max_read_retries: int = 4,
         max_program_retries: int = 4,
         max_erase_retries: int = 2,
+        checkpoint_interval_pages: Optional[int] = None,
+        journal_unmaps: bool = True,
         registry: Optional[MetricsRegistry] = None,
         recovered: Optional["RecoveredFtlState"] = None,
     ) -> None:
@@ -130,6 +133,10 @@ class PageMappedFtl:
         ):
             if value < 0:
                 raise ValueError(f"{name} must be >= 0, got {value}")
+        if checkpoint_interval_pages is not None and checkpoint_interval_pages < 1:
+            raise ValueError(
+                f"checkpoint_interval_pages must be >= 1, got {checkpoint_interval_pages}"
+            )
         self.nand = nand
         self.space = space
         self.geometry = nand.geometry
@@ -166,6 +173,20 @@ class PageMappedFtl:
         #: surviving stamp is unique and restoring ``max + 1`` after a
         #: crash keeps monotonicity across power cycles.
         self._write_seq = 0
+
+        #: Durable metadata (repro.ftl.metastore): write a mapping
+        #: checkpoint every N host pages (None = never -- recovery falls
+        #: back to the full OOB scan), and journal unmap tombstones so
+        #: TRIMs survive power loss.  Tombstones burn sequence numbers
+        #: from the same counter as programs, giving programs and unmaps
+        #: one total order that recovery replays newest-stamp-wins.
+        self.checkpoint_interval_pages = checkpoint_interval_pages
+        self.journal_unmaps = journal_unmaps
+        #: Generation stamp of the last checkpoint written (monotonic
+        #: across power cycles: recovery restores the max generation seen
+        #: in the metadata log, torn records included).
+        self._ckpt_generation = 0
+        self._pages_at_last_ckpt = 0
 
         #: LPNs the host reported as soon-to-be-invalidated (paper's SIP list).
         self.sip_lpns: Set[int] = set()
@@ -222,6 +243,7 @@ class PageMappedFtl:
         pm = self.page_map
         pm.load_mapping(recovered.l2p)
         self._write_seq = recovered.write_seq
+        self._ckpt_generation = recovered.checkpoint_generation
         self.retired_blocks = set(recovered.retired_blocks)
         self.allocator = WearAwareAllocator(
             self.nand.endurance, initial_free=recovered.free_blocks
@@ -479,8 +501,9 @@ class PageMappedFtl:
             if not ok:
                 # Data unrecoverable: drop the mapping; a later host read
                 # of this LPN returns an error (modelled as an unmapped
-                # read) rather than silently stale data.
-                self.page_map.unmap(lpn)
+                # read) rather than silently stale data.  Tombstoned so
+                # the loss also survives a crash.
+                latency += self._unmap_lost(lpn)
                 continue
             programmed = False
             for _ in range(self.max_program_retries + 1):
@@ -551,6 +574,8 @@ class PageMappedFtl:
         if self.needs_foreground_gc():
             latency += self._run_foreground_gc()
         latency += self._program_user_page(lpn)
+        if self.checkpoint_interval_pages is not None:
+            latency += self._maybe_checkpoint()
         latency += self.nand.timing.transfer_ns_per_page
         return latency
 
@@ -667,6 +692,12 @@ class PageMappedFtl:
                     sip.remap_batch(block, len(hits), hit_old)
             self.stats.host_pages_written += chunk
             pos += chunk
+        if self.checkpoint_interval_pages is not None:
+            # Once per extent, not per chunk: the checkpoint horizon may
+            # land a few pages later than the per-page plane's would, but
+            # the request's total latency is identical and recovery only
+            # needs *a* recent horizon, not a page-exact one.
+            latency += self._maybe_checkpoint()
         return latency + count * self.nand.timing.transfer_ns_per_page
 
     def host_read_page(self, lpn: int) -> int:
@@ -685,17 +716,114 @@ class PageMappedFtl:
         return latency + self.nand.timing.transfer_ns_per_page
 
     def trim(self, lpns: Iterable[int]) -> int:
-        """TRIM logical pages; returns (negligible) latency.
+        """TRIM logical pages; returns the journaling latency (ns).
 
         TRIM creates garbage without writes -- file deletion in the
-        Postmark/Filebench workloads reaches the FTL through here.
+        Postmark/Filebench workloads reaches the FTL through here.  With
+        :attr:`journal_unmaps` on (the default) each freed LPN is
+        tombstoned in the durable unmap journal so the discard survives
+        power loss; the returned latency is the tombstone record's
+        metadata-page program time (zero when nothing was mapped).
         """
-        count = 0
-        for lpn in lpns:
-            if self.page_map.unmap(lpn) is not None:
-                count += 1
-        self.stats.pages_trimmed += count
-        return 0
+        freed = self.page_map.unmap_many(lpns)
+        self.stats.pages_trimmed += len(freed)
+        latency = self._journal_tombstones(freed)
+        if self.tracer.enabled and freed:
+            self.tracer.emit(
+                "ftl", "ftl.trim", pages=len(freed), journal_ns=latency
+            )
+        return latency
+
+    # ------------------------------------------------------------------
+    # Durable metadata (checkpoints + unmap journal)
+    # ------------------------------------------------------------------
+    def _journal_tombstones(self, lpns: List[int]) -> int:
+        """Durably journal unmap tombstones for ``lpns``; returns the
+        metadata program latency (ns).
+
+        Each tombstone burns one stamp from the shared write-sequence
+        counter, so it outranks every surviving pre-trim copy of its LPN
+        and is itself outranked by any later re-write -- exactly the
+        newest-stamp-wins order the recovery merge replays.
+        """
+        if not self.journal_unmaps or not lpns:
+            return 0
+        first = self._write_seq
+        self._write_seq += len(lpns)
+        payload = build_tombstones(lpns, range(first, first + len(lpns)))
+        record = self.nand.meta.append(KIND_UNMAP, payload)
+        self.stats.tombstones_journaled += len(lpns)
+        self.stats.meta_pages_written += record.pages
+        return record.pages * self.nand.timing.program_ns
+
+    def _unmap_lost(self, lpn: int) -> int:
+        """Drop the mapping of an unrecoverable page, durably.
+
+        GC data-loss paths must tombstone the unmap like a TRIM: the
+        lost LPN's stale copies are still stamped on NAND, and without a
+        durable tombstone a post-crash recovery would resurrect data the
+        live device already reported gone.  Not counted in
+        ``pages_trimmed`` (it is loss, not discard).
+        """
+        if self.page_map.unmap(lpn) is None:
+            return 0
+        return self._journal_tombstones([lpn])
+
+    def _maybe_checkpoint(self) -> int:
+        """Write a mapping checkpoint when the interval has elapsed."""
+        interval = self.checkpoint_interval_pages
+        if interval is None:
+            return 0
+        if self.stats.host_pages_written - self._pages_at_last_ckpt < interval:
+            return 0
+        return self.write_checkpoint(trigger="interval")
+
+    def write_checkpoint(self, trigger: str = "manual") -> int:
+        """Snapshot the mapping to the NAND metadata region.
+
+        The record carries the full L2P table, the write-sequence
+        *horizon* (every stamp and tombstone at or past it postdates this
+        snapshot) and the per-block program pointers / erase counts that
+        bound the recovery tail scan.  Older checkpoint generations and
+        folded-in tombstones are compacted away, keeping the metadata
+        region small.  Returns the metadata program latency (ns).
+        """
+        self._ckpt_generation += 1
+        generation = self._ckpt_generation
+        payload = build_checkpoint(
+            generation,
+            self._write_seq,
+            self.page_map.l2p_snapshot(),
+            self.nand.program_ptr,
+            self.nand.endurance.erase_counts,
+            self._ppb,
+        )
+        record = self.nand.meta.append(KIND_CHECKPOINT, payload, generation=generation)
+        self.nand.meta.compact()
+        self._pages_at_last_ckpt = self.stats.host_pages_written
+        self.stats.checkpoints_written += 1
+        self.stats.meta_pages_written += record.pages
+        latency = record.pages * self.nand.timing.program_ns
+        if self.audit.enabled:
+            self.audit.record_checkpoint(
+                CheckpointRecord(
+                    t_ns=self._clock(),
+                    generation=generation,
+                    meta_pages=record.pages,
+                    horizon_seq=self._write_seq,
+                    trigger=trigger,
+                )
+            )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "ftl",
+                "ftl.checkpoint",
+                generation=generation,
+                meta_pages=record.pages,
+                horizon_seq=self._write_seq,
+                trigger=trigger,
+            )
+        return latency
 
     def _program_user_page(self, lpn: int) -> int:
         self._op_counter += 1
@@ -883,8 +1011,9 @@ class PageMappedFtl:
             self.stats.gc_pages_read += 1
             if not ok:
                 # Migration source unrecoverable: the logical page is
-                # lost; unmap it instead of propagating garbage.
-                self.page_map.unmap(lpn)
+                # lost; unmap it instead of propagating garbage, and
+                # tombstone the unmap so the loss survives a crash.
+                latency += self._unmap_lost(lpn)
                 continue
             block, page, program_ns = self._program_frontier(user=False, lpn=lpn)
             latency += program_ns
@@ -950,6 +1079,19 @@ class PageMappedFtl:
         self.stats.fgc_invocations += 1
         latency = 0
         while len(self.allocator) <= self.fgc_watermark:
+            if (
+                not self.retired_blocks
+                and len(self.allocator) > 0
+                and not self.has_victim()
+            ):
+                # Every closed block is momentarily all-valid (tiny
+                # devices near 100% utilization can pack live data this
+                # tightly), but frontier space remains and the write
+                # being stalled will invalidate its own stale copy.
+                # Proceed instead of declaring the device full -- only
+                # an empty pool (or spare capacity lost to retirements,
+                # handled below) is genuinely out of space.
+                break
             try:
                 latency += self.collect_one_block(background=False)
             except OutOfSpaceError:

@@ -111,6 +111,22 @@ class PageMap:
         self.mapped_count -= 1
         return old_ppn
 
+    def unmap_many(self, lpns: Iterable[int]) -> List[int]:
+        """Batched :meth:`unmap`; returns the LPNs that were mapped.
+
+        A TRIM command covers an extent, but typically only part of it
+        still maps to live pages (re-trims and sparse files are common);
+        the returned list is exactly the set the FTL must tombstone in
+        the durable unmap journal -- already-unmapped LPNs need none,
+        because they were either never written or their previous
+        tombstone already outranks every surviving copy.
+        """
+        freed: List[int] = []
+        for lpn in lpns:
+            if self.unmap(lpn) is not None:
+                freed.append(lpn)
+        return freed
+
     # Below this extent size the fixed overhead of the ~10 numpy vector
     # ops exceeds the cost of a scalar loop (writeback chunks are
     # typically a handful of pages).

@@ -1,0 +1,337 @@
+"""Durable FTL metadata on NAND: mapping checkpoints and the unmap journal.
+
+PR 5 made user data crash-consistent by stamping ``(lpn, write_seq)``
+into every page's OOB area, but all *metadata* still lived in DRAM:
+power-on recovery had to scan every programmed page, and TRIM was a
+DRAM-only edit that a crash silently undid (the "resurrect after TRIM"
+caveat of DESIGN.md §8).  This module adds the flash-resident metadata
+plane that fixes both:
+
+* **Checkpoint records** snapshot the full L2P table together with the
+  write-sequence *horizon* ``H`` (the next sequence number at snapshot
+  time) and the per-block program pointers / erase counts.  Recovery
+  loads the newest complete checkpoint and only scans pages programmed
+  past those pointers -- every mapping change after the snapshot is
+  represented by an OOB stamp or a tombstone with ``seq >= H``.
+* **Tombstone records** journal TRIM (and GC data-loss) unmaps.  Each
+  tombstoned LPN burns a sequence number from the *same* monotonic
+  counter as page programs, so programs and unmaps form one total order
+  and recovery replays them newest-stamp-wins.
+
+Records live in a small dedicated metadata region attached to
+:class:`repro.nand.array.NandArray` -- physically separate from the
+user-addressable blocks (real drives reserve root/metadata blocks the
+same way), so user-capacity accounting, GC and the free pool are
+untouched.  Every record is self-describing (magic + element counts),
+CRC-checksummed and, for checkpoints, generation-stamped; a record cut
+mid-write parses as *torn* and is ignored, which is exactly the
+fallback-to-previous-generation behaviour re-entrant recovery needs.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Record kinds stored in the metadata log.
+KIND_CHECKPOINT = "checkpoint"
+KIND_UNMAP = "unmap"
+
+#: On-NAND magics double as format-version tags (bump the digit to rev).
+MAGIC_CHECKPOINT = b"CKP1"
+MAGIC_TOMBSTONE = b"TMB1"
+
+#: magic, generation, write_seq horizon, user_pages, blocks, pages_per_block
+_CKPT_HEADER = struct.Struct("<4sQQQQI")
+#: magic, tombstone entry count
+_TOMB_HEADER = struct.Struct("<4sI")
+#: trailing CRC32 of everything before it
+_CRC = struct.Struct("<I")
+
+
+@dataclass(frozen=True)
+class MetaRecord:
+    """One append-only record in the NAND metadata log.
+
+    ``payload`` holds the full serialized bytes for a complete record;
+    a *torn* record (power cut mid-program) keeps only the pages that
+    landed before the cut and is marked ``torn`` -- its payload will
+    fail the CRC and parse as ``None``.
+    """
+
+    kind: str
+    seq: int  # append order within the log (display/debug only)
+    generation: int  # checkpoint generation; 0 for unmap records
+    payload: bytes
+    pages: int  # metadata pages the surviving payload occupies
+    torn: bool = False
+
+
+@dataclass(frozen=True)
+class CheckpointImage:
+    """A parsed, CRC-verified checkpoint record."""
+
+    generation: int
+    #: Write-sequence horizon ``H``: every sequence number ``< H`` was
+    #: burned before this snapshot; every post-snapshot program or
+    #: tombstone carries ``seq >= H``.
+    write_seq: int
+    pages_per_block: int
+    l2p: np.ndarray  # int64[user_pages], UNMAPPED where unmapped
+    program_ptr: np.ndarray  # int32[blocks] at snapshot time
+    erase_counts: np.ndarray  # int64[blocks] at snapshot time
+
+    @property
+    def user_pages(self) -> int:
+        return int(len(self.l2p))
+
+    @property
+    def blocks(self) -> int:
+        return int(len(self.program_ptr))
+
+
+def build_checkpoint(
+    generation: int,
+    write_seq: int,
+    l2p: np.ndarray,
+    program_ptr: np.ndarray,
+    erase_counts: np.ndarray,
+    pages_per_block: int,
+) -> bytes:
+    """Serialize a checkpoint record (header | arrays | CRC32)."""
+    if len(program_ptr) != len(erase_counts):
+        raise ValueError("program_ptr and erase_counts must cover the same blocks")
+    body = _CKPT_HEADER.pack(
+        MAGIC_CHECKPOINT,
+        generation,
+        write_seq,
+        len(l2p),
+        len(program_ptr),
+        pages_per_block,
+    )
+    body += np.ascontiguousarray(l2p, dtype=np.int64).tobytes()
+    body += np.ascontiguousarray(program_ptr, dtype=np.int32).tobytes()
+    body += np.ascontiguousarray(erase_counts, dtype=np.int64).tobytes()
+    return body + _CRC.pack(zlib.crc32(body))
+
+
+def parse_checkpoint(payload: bytes) -> Optional[CheckpointImage]:
+    """Parse a checkpoint payload; ``None`` for torn/corrupt records."""
+    if len(payload) < _CKPT_HEADER.size + _CRC.size:
+        return None
+    magic, generation, write_seq, user_pages, blocks, ppb = _CKPT_HEADER.unpack_from(
+        payload
+    )
+    if magic != MAGIC_CHECKPOINT:
+        return None
+    expected = _CKPT_HEADER.size + 8 * user_pages + 4 * blocks + 8 * blocks + _CRC.size
+    if len(payload) != expected:
+        return None
+    (crc,) = _CRC.unpack_from(payload, len(payload) - _CRC.size)
+    if crc != zlib.crc32(payload[: -_CRC.size]):
+        return None
+    offset = _CKPT_HEADER.size
+    l2p = np.frombuffer(payload, dtype=np.int64, count=user_pages, offset=offset).copy()
+    offset += 8 * user_pages
+    ptr = np.frombuffer(payload, dtype=np.int32, count=blocks, offset=offset).copy()
+    offset += 4 * blocks
+    erases = np.frombuffer(payload, dtype=np.int64, count=blocks, offset=offset).copy()
+    return CheckpointImage(
+        generation=int(generation),
+        write_seq=int(write_seq),
+        pages_per_block=int(ppb),
+        l2p=l2p,
+        program_ptr=ptr,
+        erase_counts=erases,
+    )
+
+
+def build_tombstones(lpns: Sequence[int], seqs: Sequence[int]) -> bytes:
+    """Serialize an unmap-journal record: parallel (lpn, seq) vectors."""
+    if len(lpns) != len(seqs):
+        raise ValueError("lpns and seqs must be the same length")
+    body = _TOMB_HEADER.pack(MAGIC_TOMBSTONE, len(lpns))
+    body += np.ascontiguousarray(lpns, dtype=np.int64).tobytes()
+    body += np.ascontiguousarray(seqs, dtype=np.int64).tobytes()
+    return body + _CRC.pack(zlib.crc32(body))
+
+
+def parse_tombstones(payload: bytes) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Parse a tombstone payload into ``(lpns, seqs)``; ``None`` if torn."""
+    if len(payload) < _TOMB_HEADER.size + _CRC.size:
+        return None
+    magic, count = _TOMB_HEADER.unpack_from(payload)
+    if magic != MAGIC_TOMBSTONE:
+        return None
+    if len(payload) != _TOMB_HEADER.size + 16 * count + _CRC.size:
+        return None
+    (crc,) = _CRC.unpack_from(payload, len(payload) - _CRC.size)
+    if crc != zlib.crc32(payload[: -_CRC.size]):
+        return None
+    offset = _TOMB_HEADER.size
+    lpns = np.frombuffer(payload, dtype=np.int64, count=count, offset=offset).copy()
+    seqs = np.frombuffer(
+        payload, dtype=np.int64, count=count, offset=offset + 8 * count
+    ).copy()
+    return lpns, seqs
+
+
+def _peek_tombstone_max_seq(payload: bytes) -> Optional[int]:
+    parsed = parse_tombstones(payload)
+    if parsed is None or parsed[1].size == 0:
+        return None
+    return int(parsed[1].max())
+
+
+class MetaLog:
+    """The NAND-resident metadata log.
+
+    An ordered append-only sequence of :class:`MetaRecord`; writes are
+    charged by the FTL at ``pages * program_ns`` and reads at
+    ``pages * read_ns`` during recovery, so metadata traffic shows up in
+    simulated time exactly like user traffic.  The log compacts itself
+    at checkpoint time: the two newest complete checkpoint generations
+    are retained (the newest may tear, so its predecessor must survive)
+    plus every tombstone record still unresolved at the *oldest* kept
+    horizon.
+    """
+
+    def __init__(self, page_size: int) -> None:
+        if page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {page_size}")
+        self.page_size = page_size
+        self._records: List[MetaRecord] = []
+        self._next_seq = 0
+        #: Lifetime metadata pages programmed (compaction never lowers it).
+        self.pages_written = 0
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def append(self, kind: str, payload: bytes, generation: int = 0) -> MetaRecord:
+        """Durably append one record; returns it (with its page cost)."""
+        if kind not in (KIND_CHECKPOINT, KIND_UNMAP):
+            raise ValueError(f"unknown metadata record kind {kind!r}")
+        pages = max(1, -(-len(payload) // self.page_size))
+        record = MetaRecord(
+            kind=kind,
+            seq=self._next_seq,
+            generation=generation,
+            payload=payload,
+            pages=pages,
+        )
+        self._next_seq += 1
+        self._records.append(record)
+        self.pages_written += pages
+        return record
+
+    def tear_last(self, keep_pages: Optional[int] = None) -> Optional[MetaRecord]:
+        """Emulate power loss mid-way through the newest record's program.
+
+        Keeps only ``keep_pages`` of the record's pages (default: half,
+        clamped so at least one page is lost) and marks it torn; its
+        truncated payload no longer passes the CRC, so recovery discards
+        it.  Returns the torn record, or ``None`` on an empty log.
+        """
+        if not self._records:
+            return None
+        record = self._records[-1]
+        if keep_pages is None:
+            keep_pages = record.pages // 2
+        keep_pages = max(0, min(keep_pages, record.pages - 1))
+        torn = replace(
+            record,
+            payload=record.payload[: keep_pages * self.page_size],
+            pages=max(1, keep_pages),
+            torn=True,
+        )
+        self._records[-1] = torn
+        return torn
+
+    def compact(self, keep_generations: int = 2) -> int:
+        """Drop records made obsolete by newer complete checkpoints.
+
+        Retains the ``keep_generations`` newest *complete* checkpoints,
+        and every tombstone record whose newest entry is at or past the
+        oldest retained horizon (older tombstones are already folded
+        into every surviving checkpoint's L2P).  Torn records and
+        checkpoints older than the retained set are dropped.  With no
+        complete checkpoint, nothing is dropped.  Returns the number of
+        records removed.
+        """
+        if keep_generations < 1:
+            raise ValueError("keep_generations must be >= 1")
+        kept_horizons = []
+        keep_ckpts = set()
+        for record in reversed(self._records):
+            if record.kind != KIND_CHECKPOINT or len(kept_horizons) >= keep_generations:
+                continue
+            image = parse_checkpoint(record.payload)
+            if image is None:
+                continue  # torn checkpoint: never worth keeping
+            keep_ckpts.add(record.seq)
+            kept_horizons.append(image.write_seq)
+        if not kept_horizons:
+            return 0
+        oldest_horizon = min(kept_horizons)
+        survivors = []
+        for record in self._records:
+            if record.kind == KIND_CHECKPOINT:
+                if record.seq in keep_ckpts:
+                    survivors.append(record)
+            else:
+                max_seq = _peek_tombstone_max_seq(record.payload)
+                if max_seq is not None and max_seq >= oldest_horizon:
+                    survivors.append(record)
+        dropped = len(self._records) - len(survivors)
+        self._records = survivors
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Queries / durability capture
+    # ------------------------------------------------------------------
+    @property
+    def records(self) -> Tuple[MetaRecord, ...]:
+        return tuple(self._records)
+
+    def pages_held(self) -> int:
+        """Metadata pages a recovery scan must read (post-compaction)."""
+        return sum(record.pages for record in self._records)
+
+    def capture(self) -> Tuple[MetaRecord, ...]:
+        """Immutable snapshot for :class:`NandDurableState`."""
+        return tuple(self._records)
+
+    @classmethod
+    def restore(
+        cls, records: Sequence[MetaRecord], page_size: int
+    ) -> "MetaLog":
+        log = cls(page_size)
+        log._records = list(records)
+        log._next_seq = max((r.seq for r in records), default=-1) + 1
+        log.pages_written = sum(r.pages for r in records)
+        return log
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        ckpts = sum(1 for r in self._records if r.kind == KIND_CHECKPOINT)
+        return (
+            f"<MetaLog records={len(self._records)} checkpoints={ckpts} "
+            f"pages={self.pages_held()}>"
+        )
+
+
+__all__ = [
+    "KIND_CHECKPOINT",
+    "KIND_UNMAP",
+    "MetaRecord",
+    "CheckpointImage",
+    "MetaLog",
+    "build_checkpoint",
+    "parse_checkpoint",
+    "build_tombstones",
+    "parse_tombstones",
+]

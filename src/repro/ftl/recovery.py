@@ -1,4 +1,4 @@
-"""Crash-consistent FTL recovery from per-page OOB metadata.
+"""Crash-consistent FTL recovery from durable metadata + per-page OOB.
 
 After a sudden power-off the controller's DRAM state -- the L2P table,
 valid-page counters, victim/SIP indexes, write frontiers, free pool -- is
@@ -6,39 +6,56 @@ gone.  Everything needed to rebuild it survives on the media:
 
 * each successfully programmed page carries ``(lpn, seq)`` in its OOB
   slot, stamped atomically with the data (:mod:`repro.nand.array`);
+* the NAND metadata region (:mod:`repro.ftl.metastore`) holds mapping
+  *checkpoints* (L2P snapshot + write-seq horizon + per-block program
+  pointers and erase counts) and the *unmap journal* (TRIM tombstones);
 * per-block program pointers and block states are implied by the cell
   contents (modelled directly by the durable int32 vectors);
 * erase counts and the factory bad-block table live in flash metadata,
   as on a real drive.
 
-The scan implements the classic page-mapped recovery protocol:
+Power-on recovery proceeds checkpoint-first:
 
-1. **Full-device OOB sweep** -- read the OOB of every programmed page of
-   every good block (the dominant recovery cost; charged at tR per page
-   in :attr:`RecoveryReport.duration_ns`).
-2. **Torn-page discard** -- a consumed page whose OOB is unstamped was
-   interrupted mid-program (power cut or status-fail); it holds no
-   trustworthy data and is treated as garbage.
-3. **Newest-copy-wins mapping** -- for each LPN seen in OOB, the copy
-   with the highest write-sequence stamp is the live one; older copies
-   are stale garbage from out-place updates.  Stamps are globally unique
-   (the FTL burns one per successful program), so there are no ties.
-4. **Layout re-discovery** -- ERASED blocks form the free pool, OPEN
+1. **Metadata read** -- every surviving metadata record is read (charged
+   at tR per metadata page).  Torn records (power cut mid-program) fail
+   their CRC and are discarded; a torn *checkpoint* falls back to the
+   previous complete generation, and with no complete checkpoint at all
+   the scan falls back to the PR-5 full-device sweep.
+2. **Tail scan** -- with a checkpoint of horizon ``H``: only pages
+   programmed past the checkpoint's per-block program pointers are
+   swept (blocks whose erase count moved since the snapshot are rescanned
+   whole -- they were erased, and possibly reprogrammed, after it).
+3. **Newest-stamp-wins merge** -- tail OOB stamps and journaled
+   tombstones with ``seq >= H`` are merged onto the checkpoint's L2P;
+   programs and unmaps burn sequence numbers from one shared counter, so
+   the highest stamp per LPN is its definitive fate (tombstone -> gone).
+   Stamps older than the horizon -- e.g. surfaced by rescanning a block
+   whose erase *failed* and left stale cells behind -- are already
+   adjudicated by the checkpoint and are ignored.
+4. **Torn-page discard** -- a consumed page whose OOB is unstamped was
+   interrupted mid-program; it holds no trustworthy data.
+5. **Layout re-discovery** -- ERASED blocks form the free pool, OPEN
    blocks (a partially-programmed frontier) resume as the active
    user/GC frontiers, FULL blocks are closed GC candidates, and bad
    blocks not in the factory table are the grown-bad (retired) set.
-5. **Index rebuild + invariant check** -- the valid-count and SIP
+6. **Index rebuild + invariant check** -- the valid-count and SIP
    indexes are rebuilt from the reconstructed map and the recovered FTL
    must pass the same :meth:`~repro.ftl.ftl.PageMappedFtl.invariant_check`
    as a live one before serving I/O.
 
+Recovery itself is *re-entrant*: the scan is pure reads, so a power cut
+during it leaves the media image unchanged and the next power-on simply
+re-runs it.  The only durable write recovery may issue is the optional
+post-recovery checkpoint (``post_checkpoint=True``); cut mid-write, that
+record tears and the *next* recovery falls back exactly as in step 1 --
+the nested crash-sweep in :mod:`repro.experiments.crashsweep` verifies
+this crash-during-recovery-after-crash path point by point.
+
 What recovery deliberately does *not* restore (it cannot -- the state
 was volatile): the host's SIP list, block close times (ages restart at
-zero), operation counters and statistics.  TRIM is the one modelled
-divergence: an unmap has no durable NAND effect until the block holding
-the old copy is erased, so a crash between TRIM and erase resurrects the
-mapping -- exactly as on real page-mapped FTLs without a persistent
-journal (see DESIGN.md, "Power loss & recovery").
+zero), operation counters and statistics.  TRIM is durable: tombstones
+in the unmap journal replay newest-stamp-wins, so a crash between TRIM
+and erase no longer resurrects the mapping (the pre-PR-6 caveat).
 """
 
 from __future__ import annotations
@@ -50,6 +67,13 @@ import numpy as np
 
 from repro.ftl.ftl import FtlError, PageMappedFtl
 from repro.ftl.mapping import UNMAPPED
+from repro.ftl.metastore import (
+    KIND_CHECKPOINT,
+    KIND_UNMAP,
+    CheckpointImage,
+    parse_checkpoint,
+    parse_tombstones,
+)
 from repro.ftl.space import SpaceModel
 from repro.nand.array import (
     OOB_UNSTAMPED,
@@ -78,8 +102,12 @@ class RecoveredFtlState:
         active_user_block: resumed user write frontier (None -> allocate
             a fresh one from the pool).
         active_gc_block: resumed GC write frontier (None -> allocate).
-        write_seq: next write-sequence stamp (max surviving stamp + 1),
-            preserving monotonicity across the power cycle.
+        write_seq: next write-sequence stamp (max surviving stamp or
+            tombstone + 1), preserving monotonicity across the power
+            cycle.
+        checkpoint_generation: highest checkpoint generation present in
+            the metadata log, torn records included -- the next
+            checkpoint must outrank even a torn newest generation.
     """
 
     l2p: np.ndarray
@@ -89,15 +117,19 @@ class RecoveredFtlState:
     active_user_block: Optional[int]
     active_gc_block: Optional[int]
     write_seq: int
+    checkpoint_generation: int = 0
 
 
 @dataclass
 class RecoveryReport:
     """What one recovery scan saw and rebuilt.
 
-    ``duration_ns`` models the scan cost: one tR OOB read per programmed
-    page of every good block (the full-device sweep real controllers pay
-    without a persisted mapping journal).
+    ``duration_ns`` models the power-on-ready cost: one tR read per
+    surviving metadata page plus one tR OOB read per swept user page --
+    the checkpoint tail on the fast path, every programmed page on the
+    full-scan fallback.  ``post_checkpoint_ns`` (programs of the optional
+    post-recovery checkpoint) is kept separate: a drive is host-ready
+    before it, and writes it lazily afterwards.
     """
 
     duration_ns: int = 0
@@ -111,6 +143,20 @@ class RecoveryReport:
     retired_blocks: int = 0
     write_seq: int = 0
     read_only: bool = False
+    #: Metadata pages read (checkpoint + tombstone records).
+    meta_pages_read: int = 0
+    #: True when no complete checkpoint bounded the scan.
+    full_scan: bool = True
+    #: Generation of the checkpoint loaded (-1 on the full-scan path).
+    checkpoint_generation: int = -1
+    #: Journaled unmap entries that won the newest-stamp-wins merge.
+    tombstones_replayed: int = 0
+    #: Torn/corrupt metadata records discarded (checkpoints + journals).
+    torn_meta_records: int = 0
+    #: Torn checkpoints skipped before a complete generation was found.
+    checkpoint_fallbacks: int = 0
+    #: Metadata program time of the optional post-recovery checkpoint.
+    post_checkpoint_ns: int = 0
     #: Torn (block, page) addresses, for the audit log (capped by caller).
     torn_addresses: List[Tuple[int, int]] = field(default_factory=list)
 
@@ -177,6 +223,216 @@ def scan_oob(
     return l2p, write_seq, report
 
 
+@dataclass
+class _DurableMetadata:
+    """Parsed contents of the NAND metadata region."""
+
+    checkpoint: Optional[CheckpointImage]
+    tomb_lpns: np.ndarray
+    tomb_seqs: np.ndarray
+    meta_pages: int
+    torn_records: int
+    checkpoint_fallbacks: int
+    max_generation: int
+
+
+def _load_metadata(nand: NandArray, user_pages: int) -> _DurableMetadata:
+    """Read and parse the metadata log, newest complete checkpoint first.
+
+    Torn records parse as ``None`` and are skipped; a torn checkpoint
+    counts as a fallback (an older complete generation, or the full
+    scan, takes over).  Tombstone vectors are concatenated across all
+    surviving journal records -- the merge orders them by stamp, so
+    record boundaries carry no meaning.
+    """
+    records = nand.meta.records
+    meta_pages = sum(record.pages for record in records)
+    torn_records = 0
+    fallbacks = 0
+    max_generation = 0
+
+    checkpoint: Optional[CheckpointImage] = None
+    for record in reversed(records):
+        if record.kind != KIND_CHECKPOINT:
+            continue
+        max_generation = max(max_generation, record.generation)
+        if checkpoint is not None:
+            continue
+        image = parse_checkpoint(record.payload)
+        if image is None:
+            torn_records += 1
+            fallbacks += 1
+            continue
+        if (
+            image.user_pages != user_pages
+            or image.blocks != nand.geometry.total_blocks
+            or image.pages_per_block != nand.geometry.pages_per_block
+        ):
+            raise RecoveryError(
+                "checkpoint geometry mismatch: snapshot covers "
+                f"{image.user_pages} LPNs / {image.blocks} blocks, device has "
+                f"{user_pages} / {nand.geometry.total_blocks}"
+            )
+        total_pages = nand.geometry.total_pages
+        valid_entries = (image.l2p == UNMAPPED) | (
+            (image.l2p >= 0) & (image.l2p < total_pages)
+        )
+        if not valid_entries.all():
+            raise RecoveryError("checkpoint L2P entry outside the physical space")
+        checkpoint = image
+
+    lpn_parts: List[np.ndarray] = []
+    seq_parts: List[np.ndarray] = []
+    for record in records:
+        if record.kind != KIND_UNMAP:
+            continue
+        parsed = parse_tombstones(record.payload)
+        if parsed is None:
+            torn_records += 1
+            continue
+        lpns, seqs = parsed
+        if lpns.size and (int(lpns.min()) < 0 or int(lpns.max()) >= user_pages):
+            raise RecoveryError(
+                f"tombstone LPN outside the logical space [0, {user_pages})"
+            )
+        lpn_parts.append(lpns)
+        seq_parts.append(seqs)
+    empty = np.empty(0, dtype=np.int64)
+    return _DurableMetadata(
+        checkpoint=checkpoint,
+        tomb_lpns=np.concatenate(lpn_parts) if lpn_parts else empty,
+        tomb_seqs=np.concatenate(seq_parts) if seq_parts else empty,
+        meta_pages=meta_pages,
+        torn_records=torn_records,
+        checkpoint_fallbacks=fallbacks,
+        max_generation=max_generation,
+    )
+
+
+def _checkpoint_recovery(
+    nand: NandArray,
+    ckpt: CheckpointImage,
+    meta: _DurableMetadata,
+    user_pages: int,
+) -> Tuple[np.ndarray, int, RecoveryReport]:
+    """Rebuild the L2P from a checkpoint plus the log-tail merge."""
+    ppb = nand.geometry.pages_per_block
+    total_pages = nand.geometry.total_pages
+    horizon = ckpt.write_seq
+
+    ptr_now = nand.program_ptr.astype(np.int64)
+    bad = nand.block_states == STATE_BAD
+    erase_moved = nand.endurance.erase_counts.astype(np.int64) != ckpt.erase_counts
+    regressed = (~bad) & (~erase_moved) & (ptr_now < ckpt.program_ptr)
+    if regressed.any():
+        raise RecoveryError(
+            f"block {int(np.flatnonzero(regressed)[0])} program pointer moved "
+            "backwards without an erase -- media image inconsistent with the "
+            "checkpoint"
+        )
+    # Unerased blocks: only pages past the snapshot pointer are new.
+    # Erased-since blocks: rescan whole (they may hold fresh data, or --
+    # after a *failed* erase that bumped the counter but kept the cells
+    # -- stale stamps below the horizon, which the seq filter discards).
+    start = np.where(erase_moved, 0, ckpt.program_ptr.astype(np.int64))
+    start = np.where(bad, ptr_now, start)
+    start = np.minimum(start, ptr_now)
+
+    page_idx = np.arange(total_pages, dtype=np.int64) % ppb
+    start_rep = np.repeat(start, ppb)
+    end_rep = np.repeat(np.where(bad, np.int64(0), ptr_now), ppb)
+    in_tail = (page_idx >= start_rep) & (page_idx < end_rep)
+
+    stamped = in_tail & (nand.oob_seq != OOB_UNSTAMPED)
+    torn_mask = in_tail & (nand.oob_seq == OOB_UNSTAMPED)
+
+    cand = np.flatnonzero(stamped)
+    lpns = nand.oob_lpn[cand]
+    seqs = nand.oob_seq[cand]
+    if lpns.size and (int(lpns.min()) < 0 or int(lpns.max()) >= user_pages):
+        raise RecoveryError(
+            f"tail scan found an LPN outside the logical space [0, {user_pages})"
+        )
+    fresh = seqs >= horizon
+    cand, lpns, seqs = cand[fresh], lpns[fresh], seqs[fresh]
+
+    # Tombstones below the horizon are already folded into the
+    # checkpoint's L2P; replaying one would wrongly unmap an LPN whose
+    # newer (pre-checkpoint) copy has no stamp in the tail.
+    tomb_keep = meta.tomb_seqs >= horizon
+    tomb_lpns = meta.tomb_lpns[tomb_keep]
+    tomb_seqs = meta.tomb_seqs[tomb_keep]
+
+    l2p = ckpt.l2p.copy()
+    stale = int((~fresh).sum())
+    tombstones_replayed = 0
+    write_seq = horizon
+    if cand.size or tomb_lpns.size:
+        all_lpns = np.concatenate([lpns, tomb_lpns])
+        all_seqs = np.concatenate([seqs, tomb_seqs])
+        all_ppns = np.concatenate(
+            [cand, np.full(tomb_lpns.size, UNMAPPED, dtype=np.int64)]
+        )
+        best = np.full(user_pages, OOB_UNSTAMPED, dtype=np.int64)
+        np.maximum.at(best, all_lpns, all_seqs)
+        winners = best[all_lpns] == all_seqs
+        l2p[all_lpns[winners]] = all_ppns[winners]
+        stale += int(cand.size - winners[: cand.size].sum())
+        tombstones_replayed = int(winners[cand.size:].sum())
+        write_seq = max(write_seq, int(all_seqs.max()) + 1)
+
+    pages_scanned = int(in_tail.sum())
+    torn = np.flatnonzero(torn_mask)
+    report = RecoveryReport(
+        duration_ns=(meta.meta_pages + pages_scanned) * nand.timing.read_ns,
+        pages_scanned=pages_scanned,
+        torn_pages=int(torn.size),
+        stale_pages=stale,
+        mapped_lpns=int((l2p != UNMAPPED).sum()),
+        write_seq=write_seq,
+        meta_pages_read=meta.meta_pages,
+        full_scan=False,
+        checkpoint_generation=ckpt.generation,
+        tombstones_replayed=tombstones_replayed,
+        torn_meta_records=meta.torn_records,
+        checkpoint_fallbacks=meta.checkpoint_fallbacks,
+        torn_addresses=[(int(p) // ppb, int(p) % ppb) for p in torn[:64]],
+    )
+    return l2p, write_seq, report
+
+
+def _full_scan_recovery(
+    nand: NandArray,
+    meta: _DurableMetadata,
+    user_pages: int,
+) -> Tuple[np.ndarray, int, RecoveryReport]:
+    """PR-5 full OOB sweep, extended with tombstone replay.
+
+    With no usable checkpoint every journaled tombstone participates: a
+    tombstone beats a surviving stamp of its LPN iff it is newer (the
+    shared sequence counter makes the comparison exact).
+    """
+    l2p, write_seq, report = scan_oob(nand, user_pages)
+    if meta.tomb_lpns.size:
+        tomb_best = np.full(user_pages, OOB_UNSTAMPED, dtype=np.int64)
+        np.maximum.at(tomb_best, meta.tomb_lpns, meta.tomb_seqs)
+        mapped = l2p != UNMAPPED
+        newest_stamp = np.full(user_pages, OOB_UNSTAMPED, dtype=np.int64)
+        # l2p holds, per mapped LPN, the PPN of its newest stamped copy.
+        newest_stamp[mapped] = nand.oob_seq[l2p[mapped]]
+        killed = mapped & (tomb_best > newest_stamp)
+        l2p[killed] = UNMAPPED
+        report.tombstones_replayed = int(killed.sum())
+        report.mapped_lpns = int((l2p != UNMAPPED).sum())
+        write_seq = max(write_seq, int(meta.tomb_seqs.max()) + 1)
+    report.write_seq = write_seq
+    report.meta_pages_read = meta.meta_pages
+    report.torn_meta_records = meta.torn_records
+    report.checkpoint_fallbacks = meta.checkpoint_fallbacks
+    report.duration_ns += meta.meta_pages * nand.timing.read_ns
+    return l2p, write_seq, report
+
+
 def rediscover_layout(
     nand: NandArray,
 ) -> Tuple[List[int], List[int], List[int], Set[int]]:
@@ -202,22 +458,35 @@ def rediscover_layout(
 def recover_ftl(
     nand: NandArray,
     space: SpaceModel,
+    post_checkpoint: bool = False,
     **ftl_kwargs,
 ) -> Tuple[PageMappedFtl, RecoveryReport]:
-    """Full post-power-cut recovery: scan, rebuild, verify.
+    """Full post-power-cut recovery: load metadata, scan, rebuild, verify.
 
     ``nand`` is the powered-back-on array (typically
     :meth:`NandArray.from_durable` over a captured media image);
     ``ftl_kwargs`` are forwarded to :class:`PageMappedFtl` (victim
-    selector, watermark, clock, registry, ...).  Returns the recovered
-    FTL -- already past :meth:`~PageMappedFtl.invariant_check` -- and the
-    scan report.
+    selector, watermark, clock, checkpoint interval, registry, ...).
+    With ``post_checkpoint=True`` the recovered FTL immediately writes a
+    fresh checkpoint (generation past every one seen, torn included), so
+    the *next* power-on need not redo this scan; its program cost is
+    reported separately in ``post_checkpoint_ns`` because the device is
+    already host-ready when it starts.  Returns the recovered FTL --
+    already past :meth:`~PageMappedFtl.invariant_check` -- and the scan
+    report.
 
     Raises:
         RecoveryError: the media image cannot be reconciled (corrupt
-            OOB stamp or more open frontiers than write streams).
+            OOB stamp, geometry-mismatched checkpoint, or more open
+            frontiers than write streams).
     """
-    l2p, write_seq, report = scan_oob(nand, space.user_pages)
+    meta = _load_metadata(nand, space.user_pages)
+    if meta.checkpoint is not None:
+        l2p, write_seq, report = _checkpoint_recovery(
+            nand, meta.checkpoint, meta, space.user_pages
+        )
+    else:
+        l2p, write_seq, report = _full_scan_recovery(nand, meta, space.user_pages)
     free, open_blocks, closed, retired = rediscover_layout(nand)
 
     if len(open_blocks) > 2:
@@ -238,6 +507,7 @@ def recover_ftl(
         active_user_block=active_user,
         active_gc_block=active_gc,
         write_seq=write_seq,
+        checkpoint_generation=meta.max_generation,
     )
     ftl = PageMappedFtl(nand, space, recovered=recovered, **ftl_kwargs)
     ftl.invariant_check()
@@ -247,4 +517,6 @@ def recover_ftl(
     report.closed_blocks = len(closed)
     report.retired_blocks = len(retired)
     report.read_only = ftl.read_only
+    if post_checkpoint and not ftl.read_only:
+        report.post_checkpoint_ns = ftl.write_checkpoint(trigger="recovery")
     return ftl, report

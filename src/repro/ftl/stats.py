@@ -31,6 +31,14 @@ class FtlStats:
     #: TRIMmed logical pages.
     pages_trimmed: int = 0
 
+    #: Durable-metadata traffic (repro.ftl.metastore).
+    #: Mapping checkpoints written to the NAND metadata region.
+    checkpoints_written: int = 0
+    #: Metadata pages programmed (checkpoint + tombstone records).
+    meta_pages_written: int = 0
+    #: Unmap tombstones journaled (TRIMs plus GC data-loss unmaps).
+    tombstones_journaled: int = 0
+
     #: Foreground GC: invocations and total stall time charged to writes.
     fgc_invocations: int = 0
     fgc_blocks_collected: int = 0

@@ -79,6 +79,8 @@ class RunMetrics:
     spo_count: int = 0
     #: Total simulated time spent in post-SPO recovery scans.
     recovery_time_ns: int = 0
+    #: Pages discarded (TRIM) by the host over the window.
+    trim_count: int = 0
 
     def to_wire(self) -> dict:
         """Flat plain-types dict safe for queues, pickles and JSON.
@@ -207,4 +209,5 @@ class MetricsCollector:
             effective_op_pages=ftl.effective_op_pages(),
             op_timeline=op_timeline,
             device_read_only=ftl.read_only,
+            trim_count=delta.pages_trimmed,
         )

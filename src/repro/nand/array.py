@@ -97,6 +97,11 @@ class NandDurableState:
     torn_pages: int
     factory_bad_blocks: int
     grown_bad_blocks: int
+    #: Snapshot of the NAND-resident metadata log (checkpoints + unmap
+    #: journal, see :mod:`repro.ftl.metastore`).  Records are immutable,
+    #: so a tuple of them is already a deep copy.  Defaults to an empty
+    #: log for images captured before durable metadata existed.
+    meta: tuple = ()
 
 
 class NandArray:
@@ -172,6 +177,18 @@ class NandArray:
         self.oob_seq = np.full(total_pages, OOB_UNSTAMPED, dtype=np.int64)
         #: Pages consumed by a power-cut mid-program (never OOB-stamped).
         self.torn_pages = 0
+
+        # Local import: repro.ftl.metastore is NAND-layout code that the
+        # ftl package owns; importing it at module scope would close an
+        # import cycle (ftl.ftl imports this module).
+        from repro.ftl.metastore import MetaLog
+
+        #: NAND-resident metadata region (mapping checkpoints + unmap
+        #: journal).  Modelled as reserved metadata blocks *outside* the
+        #: user-addressable pool, so user capacity, the free pool and GC
+        #: accounting are unaffected; programs/reads against it are
+        #: charged by the FTL at the array's page timings.
+        self.meta = MetaLog(geometry.page_size)
 
         self.read_disturb = read_disturb
         self.fault_injector = fault_injector
@@ -387,6 +404,7 @@ class NandArray:
             torn_pages=self.torn_pages,
             factory_bad_blocks=self.factory_bad_blocks,
             grown_bad_blocks=self.grown_bad_blocks,
+            meta=self.meta.capture(),
         )
 
     @classmethod
@@ -429,6 +447,9 @@ class NandArray:
         nand.grown_bad_blocks = state.grown_bad_blocks
         endurance.erase_counts[:] = state.erase_counts
         endurance.total_erases = int(state.erase_counts.sum())
+        from repro.ftl.metastore import MetaLog  # local: import cycle
+
+        nand.meta = MetaLog.restore(state.meta, geometry.page_size)
         return nand
 
     # ------------------------------------------------------------------

@@ -114,19 +114,48 @@ class FaultRecord:
 
 
 @dataclass(frozen=True)
+class CheckpointRecord:
+    """One durable mapping checkpoint written to the NAND metadata region.
+
+    Attributes:
+        t_ns: sim time (FTL clock) of the checkpoint program.
+        generation: monotonic checkpoint generation stamp.
+        meta_pages: metadata pages the record occupies.
+        horizon_seq: the write-sequence horizon snapshotted -- every OOB
+            stamp and tombstone at or past it postdates this checkpoint.
+        trigger: what caused it (``interval`` / ``recovery`` / ``manual``).
+    """
+
+    t_ns: int
+    generation: int
+    meta_pages: int
+    horizon_seq: int
+    trigger: str = "interval"
+
+
+@dataclass(frozen=True)
 class RecoveryRecord:
     """One post-power-loss recovery scan.
 
     Attributes:
         t_ns: sim time of the power cut.
-        duration_ns: modelled scan cost (one OOB read per programmed page).
-        pages_scanned: programmed pages swept.
+        duration_ns: modelled scan cost (one OOB read per scanned page
+            plus one read per surviving metadata page).
+        pages_scanned: programmed pages swept (the tail past the
+            checkpoint's program pointers, or every programmed page on
+            the full-scan path).
         torn_pages: consumed-but-unstamped pages discarded.
         stale_pages: out-place-superseded copies discarded.
         mapped_lpns: logical pages whose newest copy survived.
         free_blocks / closed_blocks / retired_blocks: re-discovered
             layout (pool, GC candidates, grown-bad set).
         read_only: the recovered device came back write-refusing.
+        full_scan: True when no usable checkpoint bounded the scan.
+        checkpoint_generation: generation loaded (-1 on the full scan).
+        tombstones_replayed: journaled unmap entries that won the merge.
+        torn_meta_records: torn/corrupt metadata records discarded.
+        checkpoint_fallbacks: torn checkpoints skipped before a complete
+            (older) generation was found.
     """
 
     t_ns: int
@@ -139,6 +168,11 @@ class RecoveryRecord:
     closed_blocks: int
     retired_blocks: int
     read_only: bool = False
+    full_scan: bool = True
+    checkpoint_generation: int = -1
+    tombstones_replayed: int = 0
+    torn_meta_records: int = 0
+    checkpoint_fallbacks: int = 0
 
 
 @dataclass
@@ -155,6 +189,7 @@ class DecisionAuditLog:
     victim_selections: List[VictimRecord] = field(default_factory=list)
     faults: List[FaultRecord] = field(default_factory=list)
     recoveries: List[RecoveryRecord] = field(default_factory=list)
+    checkpoints: List[CheckpointRecord] = field(default_factory=list)
     dropped: int = 0
 
     # ------------------------------------------------------------------
@@ -180,6 +215,10 @@ class DecisionAuditLog:
         if self.enabled:
             self._append(self.recoveries, record)
 
+    def record_checkpoint(self, record: CheckpointRecord) -> None:
+        if self.enabled:
+            self._append(self.checkpoints, record)
+
     # ------------------------------------------------------------------
     # Query helpers
     # ------------------------------------------------------------------
@@ -199,6 +238,7 @@ class DecisionAuditLog:
             + len(self.victim_selections)
             + len(self.faults)
             + len(self.recoveries)
+            + len(self.checkpoints)
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -58,6 +58,8 @@ class WriteTrafficStats:
     read_ops: int = 0
     throttle_events: int = 0
     fsync_ops: int = 0
+    trim_ops: int = 0
+    trim_bytes: int = 0
 
     def buffered_fraction(self) -> float:
         """Share of write bytes that took the buffered path."""
@@ -248,10 +250,26 @@ class IoDispatcher:
         return len(dirty)
 
     # ------------------------------------------------------------------
-    def trim(self, lpn: int, page_count: int) -> None:
-        """Discard pages (file deletion): drop cache copies, TRIM device."""
+    def trim(
+        self, lpn: int, page_count: int, on_complete: Optional[Callable[[], None]] = None
+    ) -> None:
+        """Discard pages (file deletion): drop cache copies, TRIM device.
+
+        The device acknowledges the discard only after the FTL has
+        journaled its unmap tombstones, so a completed TRIM is durable:
+        recovery after a crash will not resurrect the discarded pages.
+        """
+        self.stats.trim_ops += 1
+        self.stats.trim_bytes += page_count * self.cache.page_size
         self.cache.invalidate(range(lpn, lpn + page_count))
-        self.device.submit(IoRequest(IoKind.TRIM, lpn, page_count))
+        self.device.submit(
+            IoRequest(
+                IoKind.TRIM,
+                lpn,
+                page_count,
+                on_complete=(lambda req: on_complete()) if on_complete else None,
+            )
+        )
 
     @property
     def blocked_writers(self) -> int:

@@ -65,6 +65,12 @@ class SsdConfig:
     max_read_retries: int = 4
     max_program_retries: int = 4
     max_erase_retries: int = 2
+    #: Write a durable mapping checkpoint every N host pages (None
+    #: disables checkpointing; recovery then pays the full OOB scan).
+    checkpoint_interval_pages: Optional[int] = None
+    #: Journal TRIM/data-loss unmaps as durable tombstones (the fix for
+    #: the pre-PR-6 resurrect-after-TRIM hole).  Off only for A/B tests.
+    journal_unmaps: bool = True
 
     def __post_init__(self) -> None:
         # Catch misconfiguration here, with a clear message, instead of
@@ -96,6 +102,14 @@ class SsdConfig:
         if self.bgc_idle_grace_ns < 0:
             raise ValueError(
                 f"bgc_idle_grace_ns must be >= 0, got {self.bgc_idle_grace_ns}"
+            )
+        if (
+            self.checkpoint_interval_pages is not None
+            and self.checkpoint_interval_pages < 1
+        ):
+            raise ValueError(
+                "checkpoint_interval_pages must be >= 1 or None, got "
+                f"{self.checkpoint_interval_pages}"
             )
         # Resolve preset names eagerly so typos fail at config time.
         self.fault_profile = (
@@ -147,6 +161,8 @@ class SsdConfig:
             max_read_retries=self.max_read_retries,
             max_program_retries=self.max_program_retries,
             max_erase_retries=self.max_erase_retries,
+            checkpoint_interval_pages=self.checkpoint_interval_pages,
+            journal_unmaps=self.journal_unmaps,
             registry=registry,
         )
 
@@ -157,6 +173,7 @@ class SsdConfig:
         clock=None,
         seed: int = 0,
         registry=None,
+        post_checkpoint: bool = False,
     ):
         """Power the device back on from a captured media image.
 
@@ -165,7 +182,11 @@ class SsdConfig:
         (:meth:`~repro.nand.array.NandArray.from_durable`), arms a fresh
         fault injector over the same profile (``seed`` keeps the
         post-recovery fault sequence reproducible but independent of the
-        pre-cut stream) and runs the full OOB recovery scan.
+        pre-cut stream) and runs the recovery scan -- checkpoint-bounded
+        when the image holds a complete checkpoint, the full OOB sweep
+        otherwise.  With ``post_checkpoint=True`` the recovered FTL
+        immediately writes a fresh checkpoint so the next power-on skips
+        the scan it just did.
 
         Returns ``(ftl, report)`` -- see
         :func:`~repro.ftl.recovery.recover_ftl`.
@@ -187,6 +208,7 @@ class SsdConfig:
         return recover_ftl(
             nand,
             self.space_model(),
+            post_checkpoint=post_checkpoint,
             victim_selector=victim_selector,
             fgc_watermark=self.fgc_watermark,
             clock=clock,
@@ -195,6 +217,8 @@ class SsdConfig:
             max_read_retries=self.max_read_retries,
             max_program_retries=self.max_program_retries,
             max_erase_retries=self.max_erase_retries,
+            checkpoint_interval_pages=self.checkpoint_interval_pages,
+            journal_unmaps=self.journal_unmaps,
             registry=registry,
         )
 

@@ -193,8 +193,10 @@ class SsdDevice:
                 for lpn in request.lpns:
                     latency += ftl.host_write_page(lpn)
         elif request.kind == IoKind.TRIM:
-            ftl.trim(request.lpns)
-            latency = self.TRIM_LATENCY_NS
+            # The FTL returns the unmap journal's metadata program time:
+            # a durable TRIM is acknowledged only once its tombstones are
+            # on NAND, so the journaling cost is part of the service.
+            latency = self.TRIM_LATENCY_NS + ftl.trim(request.lpns)
         else:  # pragma: no cover - enum is exhaustive
             raise ValueError(f"unknown request kind {request.kind}")
         fgc_ns = ftl.stats.fgc_time_ns - fgc_before

@@ -231,6 +231,18 @@ class Workload:
         yield waiter
         self.metrics.record_op(self.sim.now - start)
 
+    def op_trim(self, lpn: int, pages: int) -> Iterator:
+        """One discard (TRIM) operation, counted on completion.
+
+        Completion means the device acknowledged the discard -- with
+        unmap journaling on, the tombstones are durable by then.
+        """
+        start = self.sim.now
+        waiter = WaitFor()
+        self.host.dispatcher.trim(lpn, pages, on_complete=waiter.wake)
+        yield waiter
+        self.metrics.record_op(self.sim.now - start)
+
     def actor_rng(self, index: int) -> np.random.Generator:
         """Dedicated random stream for actor ``index``.
 

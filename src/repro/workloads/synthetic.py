@@ -19,7 +19,12 @@ class SyntheticWorkload(Workload):
     Args:
         direct_fraction: probability a write op is direct.
         write_fraction: probability an op is a write (vs read).
-        min_pages / max_pages: uniform op-size range.
+        trim_fraction: probability an op is a discard (``lba_discard``,
+            the wiscsee verb): a TRIM of a zipf-located extent, so
+            discards hit recently-rewritten hot data like real file
+            deletions do.  Carved off *before* the write/read split.
+        min_pages / max_pages: uniform op-size range (writes, reads and
+            discards share it).
         zipf_theta: locality skew; 0 = uniform.
         actors: concurrent closed-loop actors.
     """
@@ -33,6 +38,7 @@ class SyntheticWorkload(Workload):
         region: Region,
         direct_fraction: float = 0.2,
         write_fraction: float = 0.7,
+        trim_fraction: float = 0.0,
         min_pages: int = 1,
         max_pages: int = 4,
         zipf_theta: float = 0.9,
@@ -44,10 +50,13 @@ class SyntheticWorkload(Workload):
             raise ValueError(f"direct_fraction must be in [0,1], got {direct_fraction}")
         if not 0.0 <= write_fraction <= 1.0:
             raise ValueError(f"write_fraction must be in [0,1], got {write_fraction}")
+        if not 0.0 <= trim_fraction <= 1.0:
+            raise ValueError(f"trim_fraction must be in [0,1], got {trim_fraction}")
         if not 1 <= min_pages <= max_pages:
             raise ValueError("need 1 <= min_pages <= max_pages")
         self.direct_fraction = direct_fraction
         self.write_fraction = write_fraction
+        self.trim_fraction = trim_fraction
         self.min_pages = min_pages
         self.max_pages = max_pages
         self.actors = actors
@@ -64,7 +73,12 @@ class SyntheticWorkload(Workload):
             for _ in range(self.burst_ops):
                 lpn = self.region.start + zipf.sample()
                 pages = int(rng.integers(self.min_pages, self.max_pages + 1))
-                if rng.random() < self.write_fraction:
+                # The trim draw is only taken when discards are enabled,
+                # so trim_fraction=0 replays the exact pre-TRIM random
+                # stream (existing scenarios stay bit-identical).
+                if self.trim_fraction > 0.0 and rng.random() < self.trim_fraction:
+                    yield from self.op_trim(lpn, pages)
+                elif rng.random() < self.write_fraction:
                     direct = bool(rng.random() < self.direct_fraction)
                     yield from self.op_write(lpn, pages, direct=direct)
                 else:

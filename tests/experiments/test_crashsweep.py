@@ -52,6 +52,31 @@ def test_sweep_reports_progress():
     assert len(seen) == 3 and all(p.ok for p in seen)
 
 
+def test_trim_heavy_checkpointed_sweep_with_nested_points():
+    # The durable-metadata path end to end: a TRIM-heavy synthetic
+    # workload over a checkpointed device, every other point doubly
+    # crashed (power cut again during the recovery's own checkpoint
+    # write).  Every point must still recover bit-identically -- in
+    # particular no TRIMmed page may resurrect.
+    spec = small_spec(trim_heavy=True, checkpoint_interval=512)
+    result = run_crash_sweep(spec, points=8, stride_events=192, nested_every=2)
+    assert result.ok()
+    assert len(result.points) == 8
+    nested = [p for p in result.points if p.nested]
+    assert len(nested) == 4
+    assert all(p.ok for p in nested)
+
+
+def test_nested_points_work_without_checkpoints():
+    # nested_every on an un-checkpointed spec: the nested point tears
+    # the recovery's own checkpoint, so the second power-on must fall
+    # all the way back to the full scan -- and still verify.
+    result = run_crash_sweep(small_spec(), points=4, stride_events=192,
+                             nested_every=1)
+    assert result.ok()
+    assert all(p.nested for p in result.points)
+
+
 def test_verify_crash_point_leaves_live_ftl_untouched():
     spec = small_spec()
     _, host = _run_scenario_host(spec)
@@ -82,6 +107,30 @@ def test_spo_run_survives_cuts_and_merges_phases():
     assert m.iops > 0
     # Every recovery rebuilt a non-trivial mapping.
     assert all(r.mapped_lpns > 0 for r in outcome.reports)
+
+
+def test_spo_cut_during_recovery_tears_the_post_checkpoint():
+    # Two cuts 50 us apart on a checkpointed TRIM-heavy run: the second
+    # lands long before the first recovery is host-ready, so it must
+    # tear the (not yet durable) post-recovery checkpoint and the second
+    # power-on must fall back past it.
+    spec = small_spec(measure_s=4, trim_heavy=True, checkpoint_interval=512)
+    cut_t = (spec.warmup_s + 1) * SECOND
+    outcome = run_scenario_with_spo(
+        spec, SpoPlan(at_ns=(cut_t, cut_t + 50_000))
+    )
+    assert len(outcome.cuts) == 2
+    assert len(outcome.reports) == 2
+    first, second = outcome.reports
+    # Both recoveries ride the checkpoint fast path...
+    assert not first.full_scan and not second.full_scan
+    assert first.post_checkpoint_ns > 0
+    # ...but the second had to discard the torn post-recovery checkpoint.
+    assert second.torn_meta_records >= 1
+    assert second.checkpoint_fallbacks >= 1
+    assert outcome.metrics.spo_count == 2
+    # The TRIM-heavy workload's discards are counted across phases.
+    assert outcome.metrics.trim_count > 0
 
 
 def test_spo_run_is_seed_deterministic():
@@ -141,6 +190,7 @@ def test_merge_phase_metrics_weights_and_sums():
         gc_pages_migrated=100,
         p99_latency_ns=80,
         device_read_only=True,
+        trim_count=25,
     )
     merged = merge_phase_metrics([a, b], spo_count=1, recovery_time_ns=42)
     assert merged.duration_ns == 4 * SECOND
@@ -150,6 +200,7 @@ def test_merge_phase_metrics_weights_and_sums():
     assert merged.waf == pytest.approx(600 / 400)
     assert merged.p99_latency_ns == 80
     assert merged.device_read_only
+    assert merged.trim_count == 25
     assert merged.spo_count == 1 and merged.recovery_time_ns == 42
     # Wire format round-trips the new fields.
     assert RunMetrics.from_wire(merged.to_wire()) == merged

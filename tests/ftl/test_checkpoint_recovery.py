@@ -1,0 +1,283 @@
+"""Tests for checkpoint-bounded recovery and the durable unmap journal.
+
+The other recovery suites cover the full OOB scan; here the device runs
+with periodic mapping checkpoints and journaled TRIMs, and recovery must
+(a) reconstruct the same state from the checkpoint + log tail that the
+full scan reaches, for a fraction of the read cost, (b) never resurrect
+a TRIMmed page whose tombstone was durable, and (c) survive power cuts
+aimed at the metadata itself -- torn checkpoints, torn journal records,
+and cuts during a previous recovery's own checkpoint write.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.faults.powerloss import cut_during_recovery
+from repro.ftl.ftl import PageMappedFtl
+from repro.ftl.mapping import UNMAPPED
+from repro.ftl.recovery import recover_ftl
+from repro.ftl.space import SpaceModel
+from repro.nand.array import NandArray
+from repro.nand.geometry import NandGeometry
+from repro.nand.timing import NandTiming
+from repro.ssd.config import SsdConfig
+
+GEOMETRY = NandGeometry(page_size=4096, pages_per_block=8, blocks_per_plane=24)
+TIMING = NandTiming(read_ns=10, program_ns=100, erase_ns=1000, transfer_ns_per_page=1)
+
+
+def make_ftl(checkpoint_interval=32, journal_unmaps=True):
+    space = SpaceModel.from_op_ratio(GEOMETRY, op_ratio=0.25)
+    ftl = PageMappedFtl(
+        NandArray(GEOMETRY, TIMING),
+        space,
+        checkpoint_interval_pages=checkpoint_interval,
+        journal_unmaps=journal_unmaps,
+    )
+    return ftl, space
+
+
+def churn(ftl, space, writes=260, seed=4, trim_every=0):
+    """Skewed overwrites (forces GC and checkpoints); optional TRIMs."""
+    rng = np.random.default_rng(seed)
+    hot = max(1, space.user_pages // 3)
+    for op in range(writes):
+        lpn = int(rng.integers(0, hot if rng.random() < 0.7 else space.user_pages))
+        ftl.host_write_page(lpn)
+        if trim_every and op % trim_every == trim_every - 1:
+            ftl.trim([int(rng.integers(0, space.user_pages))])
+    return rng
+
+
+def crash(ftl):
+    """Power-cut image: durable state only, frontier pages torn."""
+    durable = ftl.nand.capture_durable_state()
+    crashed = NandArray.from_durable(GEOMETRY, durable, timing=TIMING)
+    for block in (ftl.active_user_block, ftl.active_gc_block):
+        if block is not None:
+            crashed.tear_frontier_page(block)
+    return crashed
+
+
+def recover(image, space, **kwargs):
+    nand = NandArray.from_durable(
+        GEOMETRY, image.capture_durable_state(), timing=TIMING
+    )
+    return recover_ftl(nand, space, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Checkpointed recovery vs the full scan
+# ----------------------------------------------------------------------
+def test_tail_scan_equals_full_scan_for_less_reading():
+    # No TRIMs here: stripping the metadata region also strips the unmap
+    # journal, so a trimmed run's full scan would (correctly) resurrect
+    # -- the TRIM suites below cover that.  This test isolates the
+    # checkpoint's job: same mapping, far cheaper power-on.
+    ftl, space = make_ftl()
+    churn(ftl, space)
+    image = crash(ftl)
+
+    tail_ftl, tail = recover(image, space)
+    assert not tail.full_scan
+    assert tail.checkpoint_generation == ftl._ckpt_generation
+    assert tail.meta_pages_read > 0
+
+    stripped = dataclasses.replace(image.capture_durable_state(), meta=())
+    bare = NandArray.from_durable(GEOMETRY, stripped, timing=TIMING)
+    full_ftl, full = recover_ftl(bare, space)
+    assert full.full_scan
+
+    assert np.array_equal(
+        tail_ftl.page_map.l2p_snapshot(), full_ftl.page_map.l2p_snapshot()
+    )
+    assert tail_ftl._write_seq == full_ftl._write_seq == ftl._write_seq
+    # ...and the checkpoint bounds the sweep: far fewer OOB reads, and a
+    # strictly cheaper simulated power-on.
+    assert tail.pages_scanned < full.pages_scanned
+    assert tail.duration_ns < full.duration_ns
+    tail_ftl.invariant_check()
+
+
+def test_recovered_ftl_matches_live_reference():
+    ftl, space = make_ftl()
+    churn(ftl, space, trim_every=7)
+    recovered, report = recover(crash(ftl), space)
+    assert np.array_equal(
+        recovered.page_map.l2p_snapshot(), ftl.page_map.l2p_snapshot()
+    )
+    assert np.array_equal(recovered.page_map.valid_counts(), ftl.page_map.valid_counts())
+    assert np.array_equal(recovered.nand.erase_counts, ftl.nand.erase_counts)
+    assert recovered._ckpt_generation == ftl._ckpt_generation
+
+
+def test_recovery_without_checkpoints_still_replays_tombstones():
+    ftl, space = make_ftl(checkpoint_interval=None)
+    churn(ftl, space, writes=150)
+    victim = 2
+    ftl.host_write_page(victim)
+    ftl.trim([victim])
+    recovered, report = recover(crash(ftl), space)
+    assert report.full_scan
+    assert report.tombstones_replayed >= 1
+    assert recovered.page_map.lookup(victim) is None
+
+
+# ----------------------------------------------------------------------
+# TRIM durability
+# ----------------------------------------------------------------------
+def test_trim_survives_power_loss():
+    ftl, space = make_ftl()
+    churn(ftl, space)
+    victims = [0, 5, 11]
+    for lpn in victims:
+        ftl.host_write_page(lpn)
+    assert ftl.trim(victims) > 0  # journaling is a real program, with latency
+    recovered, report = recover(crash(ftl), space)
+    for lpn in victims:
+        assert recovered.page_map.lookup(lpn) is None
+    assert np.array_equal(
+        recovered.page_map.l2p_snapshot(), ftl.page_map.l2p_snapshot()
+    )
+
+
+def test_trim_then_rewrite_keeps_the_newer_copy():
+    ftl, space = make_ftl()
+    churn(ftl, space)
+    ftl.trim([3])
+    ftl.host_write_page(3)  # re-written after the discard: stamp > tombstone
+    recovered, _ = recover(crash(ftl), space)
+    assert recovered.page_map.lookup(3) == ftl.page_map.lookup(3) is not None
+
+
+def test_unjournaled_trim_resurrects_after_crash():
+    # The documented pre-PR-6 behaviour, kept reachable for A/B runs:
+    # with the journal off, a crash undoes the discard.
+    ftl, space = make_ftl(journal_unmaps=False)
+    churn(ftl, space)
+    ftl.host_write_page(7)
+    assert ftl.trim([7]) == 0  # no journal record, no latency
+    assert ftl.page_map.lookup(7) is None
+    recovered, _ = recover(crash(ftl), space)
+    assert recovered.page_map.lookup(7) is not None  # resurrected
+
+
+# ----------------------------------------------------------------------
+# Torn metadata: fallback chain and re-entrant recovery
+# ----------------------------------------------------------------------
+def test_torn_checkpoint_falls_back_to_previous_generation():
+    ftl, space = make_ftl()
+    churn(ftl, space)
+    ftl.write_checkpoint()
+    image = crash(ftl)
+    image.meta.tear_last()
+    recovered, report = recover(image, space)
+    assert report.torn_meta_records == 1
+    assert report.checkpoint_fallbacks == 1
+    assert not report.full_scan
+    assert report.checkpoint_generation < ftl._ckpt_generation
+    assert np.array_equal(
+        recovered.page_map.l2p_snapshot(), ftl.page_map.l2p_snapshot()
+    )
+    # The next generation supersedes every torn one.
+    assert recovered._ckpt_generation == ftl._ckpt_generation
+    recovered.write_checkpoint()
+    assert recovered._ckpt_generation == ftl._ckpt_generation + 1
+
+
+def test_all_checkpoints_torn_falls_back_to_full_scan():
+    ftl, space = make_ftl(checkpoint_interval=None)
+    churn(ftl, space, writes=120)
+    ftl.write_checkpoint()
+    image = crash(ftl)
+    image.meta.tear_last()
+    recovered, report = recover(image, space)
+    assert report.full_scan and report.checkpoint_fallbacks == 1
+    assert np.array_equal(
+        recovered.page_map.l2p_snapshot(), ftl.page_map.l2p_snapshot()
+    )
+
+
+def test_torn_newest_tombstone_is_an_undurable_trim():
+    # A TRIM whose journal record tore was never acknowledged as durable
+    # -- recovery keeping the page mapped is correct, and the rest of
+    # the image must still recover exactly.
+    ftl, space = make_ftl()
+    churn(ftl, space)
+    ftl.host_write_page(9)
+    expected = ftl.page_map.l2p_snapshot().copy()  # before the doomed TRIM
+    ftl.trim([9])
+    image = crash(ftl)
+    assert image.meta.records[-1].kind == "unmap"
+    image.meta.tear_last(keep_pages=0)
+    recovered, report = recover(image, space)
+    assert report.torn_meta_records == 1
+    assert recovered.page_map.lookup(9) is not None
+    assert np.array_equal(recovered.page_map.l2p_snapshot(), expected)
+
+
+def test_post_checkpoint_recovery_is_reentrant():
+    # Crash -> recover (writing the post-recovery checkpoint) -> crash
+    # again mid-checkpoint-program -> recover again.  The second power-on
+    # must tear past the half-written checkpoint and still reach the
+    # same state.
+    config = SsdConfig(
+        geometry=GEOMETRY,
+        timing=TIMING,
+        op_ratio=0.25,
+        checkpoint_interval_pages=32,
+    )
+    ftl = config.build_ftl(seed=1)
+    space = ftl.space
+    churn(ftl, space, trim_every=8)
+    first_durable = crash(ftl).capture_durable_state()
+
+    second_durable, first_report = cut_during_recovery(first_durable, config)
+    assert first_report.post_checkpoint_ns > 0
+    assert second_durable.meta[-1].torn
+
+    final, report = config.recover_from(second_durable)
+    assert report.torn_meta_records >= 1
+    assert report.checkpoint_fallbacks >= 1
+    assert np.array_equal(
+        final.page_map.l2p_snapshot(), ftl.page_map.l2p_snapshot()
+    )
+    final.invariant_check()
+
+
+def test_post_checkpoint_cost_is_separate_from_power_on_ready():
+    ftl, space = make_ftl()
+    churn(ftl, space)
+    image = crash(ftl)
+    plain_ftl, plain = recover(image, space)
+    ckpt_ftl, ckpt = recover(image, space, post_checkpoint=True)
+    assert plain.post_checkpoint_ns == 0
+    assert ckpt.post_checkpoint_ns > 0
+    # Same host-ready latency either way: the checkpoint is written
+    # after the drive comes up, not on the critical path.
+    assert ckpt.duration_ns == plain.duration_ns
+    assert ckpt_ftl._ckpt_generation == plain_ftl._ckpt_generation + 1
+
+
+# ----------------------------------------------------------------------
+# Accounting
+# ----------------------------------------------------------------------
+def test_checkpoint_and_journal_stats():
+    ftl, space = make_ftl(checkpoint_interval=16)
+    churn(ftl, space, writes=100, trim_every=10)
+    assert ftl.stats.checkpoints_written >= 3
+    assert ftl.stats.tombstones_journaled == ftl.stats.pages_trimmed > 0
+    assert ftl.stats.meta_pages_written >= ftl.stats.checkpoints_written
+    # Compaction keeps the on-NAND region bounded: far fewer pages held
+    # than were ever written.
+    assert ftl.nand.meta.pages_held() < ftl.nand.meta.pages_written
+
+
+def test_interval_must_be_positive():
+    space = SpaceModel.from_op_ratio(GEOMETRY, op_ratio=0.25)
+    with pytest.raises(ValueError):
+        PageMappedFtl(
+            NandArray(GEOMETRY, TIMING), space, checkpoint_interval_pages=0
+        )

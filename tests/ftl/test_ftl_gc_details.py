@@ -89,6 +89,23 @@ def test_out_of_space_error_informative():
             ftl.collect_one_block(background=True)
 
 
+def test_all_valid_corner_is_not_out_of_space():
+    # Regression (found by the durable-horizon hypothesis test): at
+    # ~100% utilization a tiny device can momentarily pack every closed
+    # block full of live pages.  Foreground GC then has no victim, but
+    # the device is NOT out of space while frontier blocks remain -- the
+    # very write being stalled invalidates its own stale copy.  Filling
+    # the whole logical space and overwriting it repeatedly must never
+    # raise.
+    ftl = make_ftl()
+    for lpn in range(ftl.space.user_pages):
+        ftl.host_write_page(lpn)
+    for _ in range(3):
+        for lpn in range(ftl.space.user_pages):
+            ftl.host_write_page(lpn)
+    ftl.invariant_check()
+
+
 def test_free_pages_arithmetic():
     ftl = make_ftl()
     ppb = GEOMETRY.pages_per_block

@@ -6,7 +6,17 @@ mapping straight from the durable OOB columns, page by page.  For random
 workload seeds and random crash points the recovered FTL must agree with
 the oracle on every page-level fact: mapped LPNs, per-block valid
 counts and erase counters.
+
+The durable-horizon property extends this to the checkpointed/journaled
+metadata path: whatever prefix of the durable state survives the cut --
+metadata log intact, its newest record (checkpoint *or* tombstone) torn
+mid-program, or the whole region lost -- recovery must never install a
+mapping entry stamped at or past the durable write-sequence horizon,
+and must never resurrect an LPN whose newest durable event is an intact
+tombstone.
 """
+
+import dataclasses
 
 import numpy as np
 from hypothesis import given, settings
@@ -97,4 +107,83 @@ def test_recovered_state_equals_oob_oracle(seed, total_writes, crash_fraction):
         recovered.page_map.l2p_snapshot(), ftl.page_map.l2p_snapshot()
     )
     assert recovered._write_seq == ftl._write_seq
+    recovered.invariant_check()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**20),
+    total_ops=st.integers(min_value=5, max_value=300),
+    interval=st.integers(min_value=4, max_value=64),
+    trim_rate=st.floats(min_value=0.0, max_value=0.35),
+    final_trim=st.booleans(),
+    tear=st.sampled_from(["none", "half", "empty", "strip"]),
+)
+def test_recovery_never_exceeds_durable_horizon(
+    seed, total_ops, interval, trim_rate, final_trim, tear
+):
+    """No surviving prefix of durable state can leak past the horizon.
+
+    ``tear`` picks the prefix: the full metadata log, its newest record
+    torn to half its pages / to nothing (covering torn checkpoints and
+    torn tombstones, whichever was written last), or the metadata region
+    stripped entirely (the full-scan fallback).
+    """
+    nand = NandArray(GEOMETRY, TIMING)
+    space = SpaceModel.from_op_ratio(GEOMETRY, op_ratio=0.25)
+    ftl = PageMappedFtl(nand, space, checkpoint_interval_pages=interval)
+    rng = np.random.default_rng(seed)
+    hot = max(1, space.user_pages // 3)
+
+    last_event = {}
+    for _ in range(total_ops):
+        lpn = int(rng.integers(0, hot if rng.random() < 0.7 else space.user_pages))
+        if rng.random() < trim_rate:
+            ftl.trim([lpn])
+            last_event[lpn] = "trim"
+        else:
+            ftl.host_write_page(lpn)
+            last_event[lpn] = "write"
+    if final_trim:
+        # Force the newest metadata record to be a tombstone, so the
+        # "half"/"empty" tears exercise the torn-tombstone path too.
+        lpn = int(rng.integers(0, space.user_pages))
+        ftl.host_write_page(lpn)
+        ftl.trim([lpn])
+        last_event[lpn] = "trim"
+
+    #: Every durable stamp and tombstone was burned strictly before this.
+    horizon = ftl._write_seq
+
+    durable = ftl.nand.capture_durable_state()
+    if tear == "strip":
+        durable = dataclasses.replace(durable, meta=())
+    crashed = NandArray.from_durable(GEOMETRY, durable, timing=TIMING)
+    for block in (ftl.active_user_block, ftl.active_gc_block):
+        if block is not None:
+            crashed.tear_frontier_page(block)
+    torn_record = None
+    if tear in ("half", "empty") and crashed.meta.records:
+        torn_record = crashed.meta.tear_last(
+            keep_pages=None if tear == "half" else 0
+        )
+
+    recovered, report = recover_ftl(crashed, space)
+
+    # The horizon bound: the recovered counter and every surviving
+    # mapping entry's stamp predate the durable horizon.
+    assert recovered._write_seq <= horizon
+    image = crashed.capture_durable_state()
+    l2p = recovered.page_map.l2p_snapshot()
+    mapped_ppns = l2p[l2p != UNMAPPED]
+    assert np.all(np.asarray(image.oob_seq)[mapped_ppns] < horizon)
+
+    # Durable TRIMs stay dead.  A tombstone inside the torn record was
+    # never durable, so only intact-journal runs make the strong claim.
+    if tear == "none":
+        for lpn, event in last_event.items():
+            if event == "trim":
+                assert recovered.page_map.lookup(lpn) is None
+    if torn_record is not None:
+        assert report.torn_meta_records >= 1
     recovered.invariant_check()

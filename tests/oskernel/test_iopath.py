@@ -110,6 +110,31 @@ def test_trim_invalidates_and_reaches_device():
     assert device.ftl.used_pages() == 0
 
 
+def test_trim_completion_and_accounting():
+    sim, device, cache, dispatcher = make_stack()
+    dispatcher.write(0, 6, direct=False)
+    sim.run()
+    assert cache.cached_pages > 0
+    done = []
+    dispatcher.trim(0, 6, on_complete=lambda: done.append(sim.now))
+    assert not done  # acknowledged only after the device journals it
+    sim.run()
+    assert done and done[0] > 0
+    # Cached copies of the discarded range are gone, and the dispatcher
+    # counted the discard traffic.
+    assert cache.cached_pages == 0
+    assert dispatcher.stats.trim_ops == 1
+    assert dispatcher.stats.trim_bytes == 6 * 4096
+    # The device's FTL counted the trimmed pages that were mapped.
+    assert device.ftl.stats.pages_trimmed == 0  # buffered: never hit media
+    dispatcher.write(10, 2, direct=True)
+    sim.run()
+    dispatcher.trim(10, 2)
+    sim.run()
+    assert device.ftl.stats.pages_trimmed == 2
+    assert dispatcher.stats.trim_ops == 2
+
+
 def test_fsync_waits_for_device():
     sim, device, cache, dispatcher = make_stack()
     dispatcher.write(0, 6, direct=False)

@@ -1,7 +1,10 @@
-"""Regression gate for ``benchmarks/bench_hotpaths.py`` results.
+"""Regression gate for the repo's benchmark results.
 
 Benchmark numbers are machine-dependent, so the gate judges *ratios*
-(indexed vs scan on the same run), which transfer across hosts:
+(measured on the same run), which transfer across hosts.  It accepts two
+payload shapes and picks the matching rule set automatically:
+
+Hot-path payloads (``benchmarks/bench_hotpaths.py``):
 
 1. The end-to-end ``events_per_sec`` speedup must clear ``--min-speedup``
    (default 1.5x -- the CI floor; the committed full-mode trajectory
@@ -18,10 +21,20 @@ Benchmark numbers are machine-dependent, so the gate judges *ratios*
    actually has >= 2 CPUs; on single-core runners the check is skipped
    (and says so).
 
+Recovery payloads (``benchmarks/bench_recovery.py``, ``benchmark``
+starting with ``"recovery"``): the gate reports both power-on-ready
+times -- the full OOB scan and the checkpoint-bounded tail scan of the
+same crash image -- and requires their simulated-time ratio
+(``speedup_sim``) to clear ``--min-recovery-speedup`` (default 10x, the
+checkpoint protocol's design target).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_hotpaths.py --quick --output /tmp/bench.json
     python tools/bench_gate.py --current /tmp/bench.json --baseline BENCH_hotpaths.json
+
+    PYTHONPATH=src python benchmarks/bench_recovery.py --quick --output /tmp/rec.json
+    python tools/bench_gate.py --current /tmp/rec.json
 """
 
 from __future__ import annotations
@@ -112,6 +125,30 @@ def _load_baseline(path: Path, mode: str) -> dict | None:
     return None
 
 
+def check_recovery(current: dict, min_recovery_speedup: float) -> list:
+    """Gate a recovery payload on its checkpointed-vs-full-scan ratio."""
+    failures = []
+    tail = current["results"].get("recovery_tail_scan")
+    if tail is None:
+        return [
+            "recovery payload carries no recovery_tail_scan results "
+            "(re-run benchmarks/bench_recovery.py)"
+        ]
+    print(
+        f"[bench_gate] power-on-ready: full scan {tail['full_scan_ms']}ms "
+        f"({tail['full_scan_pages']} OOB reads) vs checkpointed "
+        f"{tail['checkpointed_ms']}ms ({tail['meta_pages']} meta + "
+        f"{tail['tail_pages']} tail reads)"
+    )
+    speedup = tail["speedup_sim"]
+    if speedup < min_recovery_speedup:
+        failures.append(
+            f"recovery_tail_scan speedup_sim {speedup}x is below the "
+            f"{min_recovery_speedup}x floor"
+        )
+    return failures
+
+
 def check(current: dict, baseline: dict | None, min_speedup: float,
           tolerance: float) -> list:
     failures = []
@@ -168,9 +205,22 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--min-speedup", type=float, default=1.5)
     parser.add_argument("--tolerance", type=float, default=2.0)
+    parser.add_argument(
+        "--min-recovery-speedup", type=float, default=10.0,
+        help="floor for a recovery payload's checkpointed-vs-full-scan "
+        "simulated-time ratio (default: 10x)",
+    )
     args = parser.parse_args(argv)
 
     current = _load_current(args.current)
+    if str(current.get("benchmark", "")).startswith("recovery"):
+        failures = check_recovery(current, args.min_recovery_speedup)
+        if failures:
+            for failure in failures:
+                print(f"[bench_gate] FAIL: {failure}")
+            return 1
+        print("[bench_gate] OK")
+        return 0
     baseline = (
         _load_baseline(args.baseline, current.get("mode"))
         if args.baseline.exists() else None
