@@ -1,13 +1,13 @@
 """Disabled-observability overhead on the host write hot path.
 
 Components default to the shared no-op singletons (``NULL_TRACER``,
-``DISABLED_AUDIT``), so each instrumentation site on the hot path costs
-one ``.enabled`` attribute check.  This bench measures that check
-against the real per-write cost and asserts the aggregate guard
-overhead stays under the 3 % acceptance bound.  It deliberately avoids
-comparing two full simulation runs -- wall-clock deltas between runs
-are noise-dominated -- and instead bounds the *only* code the
-instrumentation added to the disabled path.
+``DISABLED_AUDIT``, ``DISABLED_OPLOG``), so each instrumentation site on
+the hot path costs one ``.enabled`` attribute check.  This bench
+measures that check against the real per-write cost and asserts the
+aggregate guard overhead stays under the 3 % acceptance bound.  It
+deliberately avoids comparing two full simulation runs -- wall-clock
+deltas between runs are noise-dominated -- and instead bounds the
+*only* code the instrumentation added to the disabled path.
 """
 
 import sys
@@ -17,14 +17,17 @@ sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
 
 from repro.core.policies import JitGcPolicy  # noqa: E402
 from repro.host import HostSystem  # noqa: E402
+from repro.obs.attribution import DISABLED_OPLOG  # noqa: E402
 from repro.obs.audit import DISABLED_AUDIT  # noqa: E402
 from repro.obs.tracer import NULL_TRACER  # noqa: E402
 from repro.ssd.config import SsdConfig  # noqa: E402
 
 #: Generous upper bound on guarded instrumentation sites one host write
-#: can cross (FTL write + GC victim selection + retirement + the
-#: amortised flusher/device shares).  The real count is lower.
-GUARD_SITES_PER_WRITE = 12
+#: can cross: the pre-existing FTL/GC/flusher/device sites (12) plus the
+#: tail-latency additions of the observability PR -- device GC-span and
+#: dispatcher backpressure audit records, the per-op completion log and
+#: the op-completion trace event.  The real count is lower.
+GUARD_SITES_PER_WRITE = 16
 OVERHEAD_BOUND = 0.03
 
 
@@ -43,26 +46,55 @@ def _ns_per_write(host, writes=2_000):
     return (time.perf_counter_ns() - start) / writes
 
 
-def _ns_per_guard(checks=200_000):
+def _ns_per_guard(iterations=50_000):
+    # Unrolled 12 checks per iteration: in production the guard is one
+    # inline statement inside an already-running function, so the
+    # benchmark loop's own per-iteration cost (~15 ns -- 2-3 guards'
+    # worth) must be amortized out, not billed to the guards.
     tracer = NULL_TRACER
     audit = DISABLED_AUDIT
+    oplog = DISABLED_OPLOG
     hits = 0
     start = time.perf_counter_ns()
-    for _ in range(checks):
+    for _ in range(iterations):
         if tracer.enabled:
             hits += 1
         if audit.enabled:
             hits += 1
+        if oplog.enabled:
+            hits += 1
+        if tracer.enabled:
+            hits += 1
+        if audit.enabled:
+            hits += 1
+        if oplog.enabled:
+            hits += 1
+        if tracer.enabled:
+            hits += 1
+        if audit.enabled:
+            hits += 1
+        if oplog.enabled:
+            hits += 1
+        if tracer.enabled:
+            hits += 1
+        if audit.enabled:
+            hits += 1
+        if oplog.enabled:
+            hits += 1
     elapsed = time.perf_counter_ns() - start
     assert hits == 0
-    return elapsed / (2 * checks)
+    return elapsed / (12 * iterations)
 
 
 def test_disabled_guard_overhead_on_write_path(benchmark):
     host = _fresh_host()
-    # An unconfigured host must carry the shared no-op instrumentation.
+    # An unconfigured host must carry the shared no-op instrumentation
+    # at every layer the tail-latency pipeline instruments.
     assert host.ftl.tracer is NULL_TRACER
     assert host.ftl.audit is DISABLED_AUDIT
+    assert host.device.audit is DISABLED_AUDIT
+    assert host.dispatcher.audit is DISABLED_AUDIT
+    assert host.obs.oplog is DISABLED_OPLOG
 
     t_write = benchmark.pedantic(
         lambda: min(_ns_per_write(host) for _ in range(5)), rounds=1, iterations=1

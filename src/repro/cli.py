@@ -10,6 +10,8 @@ artifact can be regenerated from a shell:
 * ``oracle``   -- JIT-GC vs the ideal (future-knowing) policy.
 * ``sweep``    -- many scenarios with fault isolation and checkpointing.
 * ``crash-sweep`` -- exhaustive power-loss crash-point verification.
+* ``latency-report`` -- tail-latency percentiles + per-cause attribution
+               across policies on a GC-heavy scenario.
 * ``list``     -- available workloads and policies.
 
 Power-loss emulation rides on ``run``: ``--spo-at T`` cuts power at
@@ -22,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
 from repro import __version__
@@ -32,6 +35,7 @@ from repro.experiments import (
     gc_heavy_spec,
     normalize_to,
     run_crash_sweep,
+    run_latency_report,
     run_fig2,
     run_fig7,
     run_oracle_comparison,
@@ -133,8 +137,25 @@ def _print_metrics(metrics) -> None:
         ["erases", metrics.erases],
         ["buffered write share", f"{metrics.buffered_fraction:.1%}"],
         ["mean op latency (ms)", f"{metrics.mean_latency_ns / 1e6:.3f}"],
+        ["p50 op latency (ms)", f"{metrics.p50_latency_ns / 1e6:.3f}"],
+        ["p95 op latency (ms)", f"{metrics.p95_latency_ns / 1e6:.3f}"],
         ["p99 op latency (ms)", f"{metrics.p99_latency_ns / 1e6:.3f}"],
+        ["p999 op latency (ms)", f"{metrics.p999_latency_ns / 1e6:.3f}"],
+        ["p9999 op latency (ms)", f"{metrics.p9999_latency_ns / 1e6:.3f}"],
+        ["max op latency (ms)", f"{metrics.max_latency_ns / 1e6:.3f}"],
     ]
+    if metrics.tail_causes:
+        causes = ", ".join(
+            f"{cause}={pair[0]}"
+            for cause, pair in metrics.tail_causes.items()
+            if pair[0]
+        )
+        rows.append(
+            [
+                f"tail ops >= p{metrics.tail_threshold_pct:g}",
+                f"{metrics.tail_slow_ops} ({causes or 'none'})",
+            ]
+        )
     if metrics.trim_count:
         rows.append(["pages trimmed", metrics.trim_count])
     if metrics.prediction_accuracy_pct is not None:
@@ -320,6 +341,45 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if outcome.ok() else 1
 
 
+def cmd_latency_report(args: argparse.Namespace) -> int:
+    spec = gc_heavy_spec(
+        blocks=args.blocks,
+        pages_per_block=args.pages_per_block,
+        seed=args.seed,
+        measure_s=args.measure,
+    )
+    # The report defaults to a working set below the crash sweep's 0.9:
+    # with idle headroom available, just-in-time background collection
+    # can actually differ from lazy collection -- at 0.9 every policy is
+    # pinned at the FGC watermark and the attribution tables converge.
+    spec = replace(spec, working_set_fraction=args.working_set)
+    if args.workload != spec.workload:
+        spec = replace(spec, workload=args.workload)
+    if args.trace is not None:
+        spec = replace(
+            spec,
+            obs=ObservabilityConfig(
+                trace_path=args.trace, trace_format=args.trace_format
+            ),
+        )
+    policies = None
+    if args.policies:
+        names = [name.strip() for name in args.policies.split(",") if name.strip()]
+        unknown = [name for name in names if name not in POLICY_FACTORIES]
+        if unknown:
+            raise SystemExit(
+                f"repro latency-report: unknown policies {unknown}; "
+                f"known: {sorted(POLICY_FACTORIES)}"
+            )
+        policies = {name: POLICY_FACTORIES[name] for name in names}
+    _echo_run_header(spec)
+    result = run_latency_report(
+        spec, policies, jobs=args.jobs, threshold_pct=args.threshold_pct
+    )
+    print(result.format())
+    return 0 if result.attribution_ok() else 1
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     print("workloads:", ", ".join(WORKLOADS))
     print("policies :", ", ".join(POLICY_FACTORIES))
@@ -434,6 +494,43 @@ def build_parser() -> argparse.ArgumentParser:
         "(0 = off)",
     )
     crash_parser.set_defaults(func=cmd_crash_sweep)
+
+    latency_parser = sub.add_parser(
+        "latency-report",
+        help="tail-latency percentiles + per-cause attribution across "
+        "policies on a GC-heavy scenario",
+    )
+    latency_parser.add_argument(
+        "--workload", default="YCSB", choices=sorted(WORKLOADS)
+    )
+    latency_parser.add_argument("--blocks", type=int, default=256)
+    latency_parser.add_argument("--pages-per-block", type=int, default=64)
+    latency_parser.add_argument("--measure", type=int, default=30, metavar="S")
+    latency_parser.add_argument("--seed", type=int, default=42)
+    latency_parser.add_argument(
+        "--working-set", type=float, default=0.75, metavar="F",
+        help="working-set fraction of user capacity (default: 0.75 -- "
+        "GC-heavy but with idle headroom, so background-collection "
+        "policies can differentiate)",
+    )
+    latency_parser.add_argument(
+        "--policies", default=None, metavar="A,B",
+        help="comma-separated policy subset (default: all four)",
+    )
+    latency_parser.add_argument(
+        "--threshold-pct", type=float, default=99.0, metavar="Q",
+        help="percentile defining a slow op (default: 99)",
+    )
+    latency_parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="also write per-policy traces (op completions, p99/p999 "
+        "counter tracks) next to PATH",
+    )
+    latency_parser.add_argument(
+        "--trace-format", default="jsonl", choices=TRACE_FORMATS,
+    )
+    _add_jobs_arg(latency_parser)
+    latency_parser.set_defaults(func=cmd_latency_report)
 
     list_parser = sub.add_parser("list", help="available workloads and policies")
     list_parser.set_defaults(func=cmd_list)

@@ -49,6 +49,11 @@ from repro.experiments.crashsweep import (
     run_scenario_with_spo,
     verify_crash_point,
 )
+from repro.experiments.latencyreport import (
+    LatencyReportResult,
+    latency_spec,
+    run_latency_report,
+)
 from repro.experiments.persistence import SweepCheckpoint, load_results, save_results
 
 __all__ = [
@@ -87,6 +92,9 @@ __all__ = [
     "CrashSweepResult",
     "SpoRunResult",
     "gc_heavy_spec",
+    "LatencyReportResult",
+    "latency_spec",
+    "run_latency_report",
     "merge_phase_metrics",
     "run_crash_sweep",
     "run_scenario_with_spo",

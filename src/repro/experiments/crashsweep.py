@@ -48,7 +48,8 @@ from repro.ftl.ftl import DeviceReadOnlyError, FtlError, PageMappedFtl
 from repro.ftl.mapping import UNMAPPED
 from repro.ftl.recovery import RecoveryReport, recover_ftl
 from repro.host import HostSystem
-from repro.metrics.collector import MetricsCollector, RunMetrics
+from repro.metrics.collector import LATENCY_PERCENTILES, MetricsCollector, RunMetrics
+from repro.metrics.hdr import merge_wire_histograms
 from repro.nand.array import STATE_ERASED, STATE_OPEN, NandArray
 from repro.obs.audit import RecoveryRecord
 from repro.sim.simtime import SECOND
@@ -638,9 +639,15 @@ def merge_phase_metrics(
     """Fold per-phase windows into one run-level :class:`RunMetrics`.
 
     Counters sum; WAF is recomputed from the summed page counts; rates
-    and means are duration-weighted; p99 is the worst phase's (a
-    conservative tail bound -- per-phase histograms are not retained);
-    capacity fields take the final phase's value.
+    and means are duration-weighted; capacity fields take the final
+    phase's value.  Latency: when every phase carries its HDR wire
+    histogram the merged distribution is exact -- the merge is fed the
+    full per-phase distributions, so p50..p9999 are recomputed over all
+    phases' samples (bit-identical to one histogram fed the concatenated
+    stream).  Phases without histograms (pre-HDR wire records) fall back
+    to the old conservative bound: max of per-phase p99s, duration-
+    weighted mean.  Tail-attribution tables sum cause-wise; the merged
+    threshold is the worst phase's.
     """
     if not phases:
         raise ValueError("cannot merge zero phases")
@@ -664,6 +671,41 @@ def merge_phase_metrics(
     timeline: List[Tuple[int, int]] = []
     for p in phases:
         timeline.extend(p.op_timeline)
+
+    merged_hist = merge_wire_histograms([p.latency_hist for p in phases])
+    if merged_hist is not None:
+        pcts = merged_hist.percentiles(LATENCY_PERCENTILES)
+        latency_fields = dict(
+            mean_latency_ns=merged_hist.mean(),
+            p50_latency_ns=pcts[50.0],
+            p95_latency_ns=pcts[95.0],
+            p99_latency_ns=pcts[99.0],
+            p999_latency_ns=pcts[99.9],
+            p9999_latency_ns=pcts[99.99],
+            max_latency_ns=merged_hist.max(),
+            latency_hist=merged_hist.to_wire(),
+        )
+    else:
+        # Legacy fallback: no full distributions to merge, so keep the
+        # conservative worst-phase tail bound (what pre-HDR merges did).
+        latency_fields = dict(
+            mean_latency_ns=wavg(lambda p: p.mean_latency_ns),
+            p50_latency_ns=max(p.p50_latency_ns for p in phases),
+            p95_latency_ns=max(p.p95_latency_ns for p in phases),
+            p99_latency_ns=max(p.p99_latency_ns for p in phases),
+            p999_latency_ns=max(p.p999_latency_ns for p in phases),
+            p9999_latency_ns=max(p.p9999_latency_ns for p in phases),
+            max_latency_ns=max(p.max_latency_ns for p in phases),
+            latency_hist=None,
+        )
+
+    tail_causes: dict = {}
+    for p in phases:
+        for cause, (count, ns) in (p.tail_causes or {}).items():
+            old = tail_causes.get(cause, (0, 0))
+            tail_causes[cause] = (old[0] + count, old[1] + ns)
+    tail_causes = {c: [int(n), int(t)] for c, (n, t) in tail_causes.items()}
+
     return RunMetrics(
         policy=phases[-1].policy,
         workload=phases[-1].workload,
@@ -680,8 +722,10 @@ def merge_phase_metrics(
         sip_selections=sum(p.sip_selections for p in phases),
         sip_filtered=sum(p.sip_filtered for p in phases),
         buffered_fraction=wavg(lambda p: p.buffered_fraction),
-        mean_latency_ns=wavg(lambda p: p.mean_latency_ns),
-        p99_latency_ns=max(p.p99_latency_ns for p in phases),
+        tail_threshold_pct=max(p.tail_threshold_pct for p in phases),
+        tail_threshold_ns=max(p.tail_threshold_ns for p in phases),
+        tail_slow_ops=sum(p.tail_slow_ops for p in phases),
+        tail_causes=tail_causes,
         injected_faults=sum(p.injected_faults for p in phases),
         read_retries=sum(p.read_retries for p in phases),
         uncorrectable_reads=sum(p.uncorrectable_reads for p in phases),
@@ -694,4 +738,5 @@ def merge_phase_metrics(
         spo_count=spo_count,
         recovery_time_ns=recovery_time_ns,
         trim_count=sum(p.trim_count for p in phases),
+        **latency_fields,
     )

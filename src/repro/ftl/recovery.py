@@ -381,6 +381,23 @@ def _checkpoint_recovery(
         tombstones_replayed = int(winners[cand.size:].sum())
         write_seq = max(write_seq, int(all_seqs.max()) + 1)
 
+    # A checkpoint entry can point into a block erased after the
+    # snapshot: the page was invalidated (overwrite or TRIM) and the
+    # block collected, but the superseding event is not durable -- e.g.
+    # its tombstone sat in a torn journal record.  No newer stamp
+    # re-bound the LPN above, so the entry dangles at an unprogrammed
+    # page (or at another LPN's data if the block was reprogrammed).
+    # There is no durable copy of that LPN left; drop the entry rather
+    # than resurrect a mapping into garbage.
+    mapped = np.flatnonzero(l2p != UNMAPPED)
+    if mapped.size:
+        ppns = l2p[mapped]
+        dangling = (nand.oob_seq[ppns] == OOB_UNSTAMPED) | (
+            nand.oob_lpn[ppns] != mapped
+        )
+        if dangling.any():
+            l2p[mapped[dangling]] = UNMAPPED
+
     pages_scanned = int(in_tail.sum())
     torn = np.flatnonzero(torn_mask)
     report = RecoveryReport(

@@ -2,23 +2,59 @@
 
 * :mod:`repro.metrics.iops` -- application-level operation counting and
   IOPS over a measurement window.
-* :mod:`repro.metrics.latency` -- latency percentiles via reservoir
-  sampling.
+* :mod:`repro.metrics.hdr` -- HDR-style log-linear latency histogram,
+  the primary percentile estimator (exact counts, mergeable).
+* :mod:`repro.metrics.latency` -- the reservoir-sampled oracle the
+  histogram is equivalence-tested against.
 * :mod:`repro.metrics.collector` -- the per-run measurement bundle used
   by every experiment: IOPS + WAF (FTL-counter delta) + GC activity +
-  policy-specific extras, with explicit begin/end windows so the cold
-  ramp-up is excluded.
+  latency percentiles + tail attribution, with explicit begin/end
+  windows so the cold ramp-up is excluded.
+
+The collector pulls in the whole host stack, which itself reaches back
+into :mod:`repro.metrics.hdr` through the observability registry --
+so the heavyweight names below resolve lazily (PEP 562) and only the
+leaf modules import eagerly.
 """
 
 from repro.metrics.iops import IopsMeter
-from repro.metrics.latency import LatencyRecorder
-from repro.metrics.collector import MetricsCollector, RunMetrics
-from repro.metrics.timeline import TimelineSampler
+from repro.metrics.hdr import HdrHistogram, merge_wire_histograms, nearest_rank
+from repro.metrics.latency import (
+    LatencyRecorder,
+    reservoir_reference,
+    reservoir_reference_enabled,
+)
+
+_LAZY = {
+    "LATENCY_PERCENTILES": ("repro.metrics.collector", "LATENCY_PERCENTILES"),
+    "MetricsCollector": ("repro.metrics.collector", "MetricsCollector"),
+    "RunMetrics": ("repro.metrics.collector", "RunMetrics"),
+    "TimelineSampler": ("repro.metrics.timeline", "TimelineSampler"),
+}
+
+
+def __getattr__(name: str):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(target[0])
+    value = getattr(module, target[1])
+    globals()[name] = value
+    return value
+
 
 __all__ = [
+    "HdrHistogram",
     "IopsMeter",
+    "LATENCY_PERCENTILES",
     "LatencyRecorder",
     "MetricsCollector",
     "RunMetrics",
     "TimelineSampler",
+    "merge_wire_histograms",
+    "nearest_rank",
+    "reservoir_reference",
+    "reservoir_reference_enabled",
 ]

@@ -4,18 +4,31 @@
 WAF, migrations and GC activity are measured over exactly the same
 steady-state window as IOPS.  :class:`RunMetrics` is the frozen result
 every experiment stores and formats.
+
+Latency is measured by the HDR histogram registered as
+``host.op_latency_ns`` in the run's metrics registry (exact counts,
+bounded memory, mergeable across ``--jobs`` workers and SPO phases);
+inside :func:`repro.metrics.latency.reservoir_reference` the collector
+co-records into the legacy reservoir and freezes *its* statistics
+instead, which is how the equivalence tests pin the histogram against
+the oracle without perturbing the simulation.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.ftl.stats import FtlStats
 from repro.host import HostSystem
+from repro.metrics.hdr import HdrHistogram
 from repro.metrics.iops import IopsMeter
-from repro.metrics.latency import LatencyRecorder
+from repro.metrics.latency import LatencyRecorder, reservoir_reference_enabled
+from repro.obs.attribution import attribute_tail
+
+#: Percentiles frozen into every RunMetrics (p50/p95/p99/p999/p9999).
+LATENCY_PERCENTILES: Tuple[float, ...] = (50.0, 95.0, 99.0, 99.9, 99.99)
 
 
 @dataclass
@@ -36,7 +49,17 @@ class RunMetrics:
         sip_selections / sip_filtered: Table 3 counters (JIT-GC only).
         buffered_fraction: share of application write bytes that took the
             buffered path (Table 1).
-        mean_latency_ns / p99_latency_ns: application op latency.
+        mean_latency_ns / p50..p9999 / max_latency_ns: application op
+            latency summary (HDR histogram; reservoir inside
+            :func:`~repro.metrics.latency.reservoir_reference`).
+        latency_hist: the full distribution in
+            :meth:`~repro.metrics.hdr.HdrHistogram.to_wire` form, so
+            merges recompute exact percentiles (None when no op carried
+            a latency or the run predates histograms).
+        tail_threshold_pct / tail_threshold_ns / tail_slow_ops /
+        tail_causes: the tail-attribution table (``{cause: [count,
+            total_ns]}``), empty unless the run enabled
+            ``tail_attribution`` (see :mod:`repro.obs.attribution`).
         injected_faults: media faults the injector fired over the whole
             run (0 on a fault-free device).
         read_retries / uncorrectable_reads / program_faults /
@@ -65,7 +88,19 @@ class RunMetrics:
     sip_filtered: int = 0
     buffered_fraction: float = 0.0
     mean_latency_ns: float = 0.0
+    p50_latency_ns: int = 0
+    p95_latency_ns: int = 0
     p99_latency_ns: int = 0
+    p999_latency_ns: int = 0
+    p9999_latency_ns: int = 0
+    max_latency_ns: int = 0
+    #: Full latency distribution (HdrHistogram.to_wire) or None.
+    latency_hist: Optional[dict] = None
+    tail_threshold_pct: float = 0.0
+    tail_threshold_ns: int = 0
+    tail_slow_ops: int = 0
+    #: ``{cause: [count, total_ns]}``; empty without tail attribution.
+    tail_causes: Dict[str, List[int]] = field(default_factory=dict)
     injected_faults: int = 0
     read_retries: int = 0
     uncorrectable_reads: int = 0
@@ -91,6 +126,10 @@ class RunMetrics:
         """
         wire = dataclasses.asdict(self)
         wire["op_timeline"] = [[int(t), int(v)] for t, v in self.op_timeline]
+        wire["tail_causes"] = {
+            str(cause): [int(pair[0]), int(pair[1])]
+            for cause, pair in self.tail_causes.items()
+        }
         return wire
 
     @classmethod
@@ -101,7 +140,17 @@ class RunMetrics:
         kwargs["op_timeline"] = [
             (int(t), int(v)) for t, v in kwargs.get("op_timeline", [])
         ]
+        kwargs["tail_causes"] = {
+            str(cause): [int(pair[0]), int(pair[1])]
+            for cause, pair in (kwargs.get("tail_causes") or {}).items()
+        }
         return cls(**kwargs)
+
+    def latency_histogram(self) -> Optional[HdrHistogram]:
+        """Rehydrate the full distribution (None when not carried)."""
+        if self.latency_hist is None:
+            return None
+        return HdrHistogram.from_wire(self.latency_hist)
 
     def recovered_faults(self) -> int:
         """Faults survived without data loss or scenario failure."""
@@ -121,11 +170,18 @@ class MetricsCollector:
         self.host = host
         self.workload_name = workload_name
         self.iops_meter = IopsMeter()
-        self.latency = LatencyRecorder()
+        # HDR histogram in the registry: the primary latency estimator,
+        # shared with the per-interval p99/p999 sampler.
+        self.hdr = host.obs.registry.hdr("host.op_latency_ns")
+        #: Reservoir oracle, kept only inside reservoir_reference().
+        self.latency: Optional[LatencyRecorder] = (
+            LatencyRecorder() if reservoir_reference_enabled() else None
+        )
         # The registry is the single source of truth: sampled alongside
         # the gauges, host.ops becomes the per-interval IOPS series.
         self._ops_counter = host.obs.registry.counter("host.ops")
-        self._latency_hist = host.obs.registry.histogram("host.op_latency_ns")
+        self._oplog = host.obs.oplog
+        self._tracer = host.obs.tracer
         self._begin_stats: Optional[FtlStats] = None
         self._begin_ns = 0
         self._end_ns = -1
@@ -134,13 +190,39 @@ class MetricsCollector:
     # ------------------------------------------------------------------
     # Workload-facing hooks
     # ------------------------------------------------------------------
-    def record_op(self, latency_ns: Optional[int] = None) -> None:
-        """One application operation completed."""
+    def record_op(
+        self,
+        latency_ns: Optional[int] = None,
+        kind: str = "op",
+        issue_ns: Optional[int] = None,
+        queue_depth: int = 0,
+    ) -> None:
+        """One application operation completed.
+
+        ``kind``/``issue_ns``/``queue_depth`` feed the per-op completion
+        log and trace events when tail attribution or tracing is on;
+        plain ``record_op(latency)`` call sites keep working unchanged.
+        """
         self.iops_meter.record_op()
         self._ops_counter.inc()
-        if latency_ns is not None:
+        if latency_ns is None:
+            return
+        self.hdr.record(latency_ns)
+        if self.latency is not None:
             self.latency.record(latency_ns)
-            self._latency_hist.observe(latency_ns)
+        if issue_ns is None:
+            return
+        if self._oplog.enabled:
+            self._oplog.record(kind, issue_ns, issue_ns + latency_ns, queue_depth)
+        if self._tracer.enabled:
+            self._tracer.complete(
+                "host",
+                "op.complete",
+                issue_ns,
+                latency_ns,
+                kind=kind,
+                queue_depth=queue_depth,
+            )
 
     # ------------------------------------------------------------------
     # Window control
@@ -162,6 +244,48 @@ class MetricsCollector:
         return (stats.victim_selections, stats.victims_filtered_by_sip)
 
     # ------------------------------------------------------------------
+    def _latency_summary(self) -> dict:
+        """Latency fields for :meth:`results` (HDR, or the reservoir
+        oracle when built inside ``reservoir_reference()``)."""
+        if self.latency is not None:
+            return {
+                "mean_latency_ns": self.latency.mean(),
+                "p50_latency_ns": self.latency.percentile(50),
+                "p95_latency_ns": self.latency.percentile(95),
+                "p99_latency_ns": self.latency.percentile(99),
+                "p999_latency_ns": self.latency.percentile(99.9),
+                "p9999_latency_ns": self.latency.percentile(99.99),
+                "max_latency_ns": self.latency.max(),
+                "latency_hist": self.hdr.to_wire() if self.hdr.count else None,
+            }
+        pcts = self.hdr.percentiles(LATENCY_PERCENTILES)
+        return {
+            "mean_latency_ns": self.hdr.mean(),
+            "p50_latency_ns": pcts.get(50.0, 0),
+            "p95_latency_ns": pcts.get(95.0, 0),
+            "p99_latency_ns": pcts.get(99.0, 0),
+            "p999_latency_ns": pcts.get(99.9, 0),
+            "p9999_latency_ns": pcts.get(99.99, 0),
+            "max_latency_ns": self.hdr.max(),
+            "latency_hist": self.hdr.to_wire() if self.hdr.count else None,
+        }
+
+    def _tail_summary(self) -> dict:
+        """Tail-attribution fields (zeros unless the op log is live)."""
+        if not self._oplog.enabled or not len(self._oplog):
+            return {}
+        report = attribute_tail(
+            self._oplog,
+            self.host.obs.audit,
+            threshold_pct=self.host.obs.tail_threshold_pct,
+        )
+        return {
+            "tail_threshold_pct": report.threshold_pct,
+            "tail_threshold_ns": report.threshold_ns,
+            "tail_slow_ops": report.slow_ops,
+            "tail_causes": report.to_wire(),
+        }
+
     def results(self) -> RunMetrics:
         """Freeze the window into a :class:`RunMetrics`."""
         if self._begin_stats is None or self._end_ns < 0:
@@ -198,8 +322,6 @@ class MetricsCollector:
             sip_selections=sip_end[0] - self._sip_begin[0],
             sip_filtered=sip_end[1] - self._sip_begin[1],
             buffered_fraction=self.host.dispatcher.stats.buffered_fraction(),
-            mean_latency_ns=self.latency.mean(),
-            p99_latency_ns=self.latency.percentile(99),
             injected_faults=injector.total_faults() if injector is not None else 0,
             read_retries=delta.read_retries,
             uncorrectable_reads=delta.uncorrectable_reads,
@@ -210,4 +332,6 @@ class MetricsCollector:
             op_timeline=op_timeline,
             device_read_only=ftl.read_only,
             trim_count=delta.pages_trimmed,
+            **self._latency_summary(),
+            **self._tail_summary(),
         )

@@ -1,18 +1,77 @@
-"""Latency recording with bounded memory.
+"""Reservoir-sampled latency recording: the reference oracle.
 
-Keeps an exact list up to ``reservoir_size`` samples, then switches to
-uniform reservoir sampling, so multi-million-op runs stay O(1) in memory
-while percentiles remain statistically sound.
+Since the HDR histogram (:mod:`repro.metrics.hdr`) became the primary
+latency estimator, the reservoir survives as the *executable
+specification* for quantiles -- the same role the brute-force scan
+implementations play for the GC hot paths (:mod:`repro.perf`).  Inside
+:func:`reservoir_reference` the metrics collector records into a
+:class:`LatencyRecorder` alongside the histogram and reports the
+reservoir's statistics, so equivalence tests can assert that an
+HDR-instrumented run is bit-identical in every event/GC count and
+within the configured relative error on every quantile.
+
+Both implementations share one quantile definition -- **nearest rank**
+(:func:`repro.metrics.hdr.nearest_rank`): ``P_q`` is the sample at
+1-based rank ``ceil(q/100 * N)`` of the sorted stream.  The previous
+``int(round(...))`` interpolation picked inconsistent ranks at small N
+(banker's rounding sent q=50 of a 4-sample set to rank 2 or 3 depending
+on parity); nearest rank is deterministic and matches what the
+histogram approximates.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List
+from contextlib import contextmanager
+from typing import Iterator, List
+
+from repro.metrics.hdr import nearest_rank
+
+#: Module-level switch; prefer :func:`reservoir_reference` over writes.
+RESERVOIR_REFERENCE: bool = False
+
+
+def reservoir_reference_enabled() -> bool:
+    """True when metrics collectors built now should report latency from
+    the reservoir oracle instead of the HDR histogram."""
+    return RESERVOIR_REFERENCE
+
+
+@contextmanager
+def reservoir_reference() -> Iterator[None]:
+    """Report latency from the reservoir oracle inside the block.
+
+    Collectors built inside the block keep a :class:`LatencyRecorder`
+    next to the HDR histogram and freeze *its* mean/percentiles into the
+    :class:`~repro.metrics.collector.RunMetrics`.  Recording into the
+    reservoir never touches simulation state (it draws from its own
+    seeded ``random.Random``), so the run itself is bit-identical --
+    only the latency summary estimator changes::
+
+        with reservoir_reference():
+            oracle = run_scenario(spec)    # reservoir quantiles
+        primary = run_scenario(spec)       # HDR quantiles
+        assert oracle.fgc_invocations == primary.fgc_invocations  # etc.
+    """
+    global RESERVOIR_REFERENCE
+    previous = RESERVOIR_REFERENCE
+    RESERVOIR_REFERENCE = True
+    try:
+        yield
+    finally:
+        RESERVOIR_REFERENCE = previous
 
 
 class LatencyRecorder:
-    """Reservoir-sampled latency distribution (nanosecond samples)."""
+    """Reservoir-sampled latency distribution (nanosecond samples).
+
+    Keeps an exact list up to ``reservoir_size`` samples, then switches
+    to uniform reservoir sampling, so multi-million-op runs stay O(1) in
+    memory while percentiles remain statistically sound.  Below the
+    reservoir size the sample set is the full stream and
+    :meth:`percentile` is *exact* under the nearest-rank definition --
+    which is what makes it usable as the HDR oracle.
+    """
 
     def __init__(self, reservoir_size: int = 4096, seed: int = 0) -> None:
         if reservoir_size <= 0:
@@ -50,14 +109,17 @@ class LatencyRecorder:
         return self._max
 
     def percentile(self, q: float) -> int:
-        """q-th percentile (q in [0, 100]) of the sampled distribution."""
+        """Nearest-rank percentile of the sampled distribution.
+
+        Same definition as :meth:`repro.metrics.hdr.HdrHistogram.
+        percentile`; exact while the stream fits the reservoir.
+        """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"q must be in [0, 100], got {q}")
         if not self._samples:
             return 0
         ordered = sorted(self._samples)
-        index = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
-        return ordered[index]
+        return ordered[nearest_rank(q, len(ordered)) - 1]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<LatencyRecorder n={self._count} mean={self.mean():.0f}ns>"

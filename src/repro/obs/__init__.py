@@ -23,13 +23,22 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from repro.obs.attribution import (
+    CAUSES,
+    DISABLED_OPLOG,
+    OpLog,
+    TailReport,
+    attribute_tail,
+)
 from repro.obs.audit import (
     BRANCH_DEFER,
     BRANCH_INVOKE,
     BRANCH_NO_BGC,
     DISABLED_AUDIT,
+    BackpressureRecord,
     DecisionAuditLog,
     FaultRecord,
+    GcSpanRecord,
     ManagerTickRecord,
     VictimRecord,
 )
@@ -69,6 +78,11 @@ class ObservabilityConfig:
         profile: attach a wall-clock event-loop profiler.
         audit: keep decision-audit records in memory (implied by
             tracing, since audit records feed trace events).
+        tail_attribution: keep a per-op completion log and attribute
+            tail-latency ops against the decision-audit timeline
+            (implies ``audit``; see :mod:`repro.obs.attribution`).
+        tail_threshold_pct: percentile defining a "slow" op for the
+            attribution report (default: p99).
         header: extra attribution fields merged into the trace header
             (the runner adds seed, fault profile, policy, workload).
     """
@@ -78,6 +92,8 @@ class ObservabilityConfig:
     metrics_interval_ns: int = SECOND
     profile: bool = False
     audit: bool = False
+    tail_attribution: bool = False
+    tail_threshold_pct: float = 99.0
     header: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -89,9 +105,13 @@ class ObservabilityConfig:
             raise ValueError(
                 f"metrics_interval_ns must be >= 0, got {self.metrics_interval_ns}"
             )
+        if not 0.0 <= self.tail_threshold_pct <= 100.0:
+            raise ValueError(
+                f"tail_threshold_pct must be in [0, 100], got {self.tail_threshold_pct}"
+            )
 
     def enabled(self) -> bool:
-        return bool(self.trace_path) or self.profile or self.audit
+        return bool(self.trace_path) or self.profile or self.audit or self.tail_attribution
 
     def with_suffix(self, tag: str) -> "ObservabilityConfig":
         """Same config, trace path suffixed with ``-tag`` before the
@@ -119,12 +139,16 @@ class Observability:
         audit: Optional[DecisionAuditLog] = None,
         profiler: Optional[LoopProfiler] = None,
         metrics_interval_ns: int = 0,
+        oplog: Optional[OpLog] = None,
+        tail_threshold_pct: float = 99.0,
     ) -> None:
         self.tracer = tracer
         self.registry = registry if registry is not None else MetricsRegistry()
         self.audit = audit if audit is not None else DISABLED_AUDIT
         self.profiler = profiler
         self.metrics_interval_ns = metrics_interval_ns
+        self.oplog = oplog if oplog is not None else DISABLED_OPLOG
+        self.tail_threshold_pct = tail_threshold_pct
         self.sampler: Optional[MetricsSampler] = None
         self._finished = False
 
@@ -157,7 +181,7 @@ class Observability:
             tracer = Tracer(sink)
         audit = (
             DecisionAuditLog()
-            if (config.audit or config.trace_path)
+            if (config.audit or config.trace_path or config.tail_attribution)
             else DISABLED_AUDIT
         )
         profiler = LoopProfiler() if config.profile else None
@@ -166,6 +190,8 @@ class Observability:
             audit=audit,
             profiler=profiler,
             metrics_interval_ns=config.metrics_interval_ns if config.trace_path else 0,
+            oplog=OpLog() if config.tail_attribution else DISABLED_OPLOG,
+            tail_threshold_pct=config.tail_threshold_pct,
         )
 
     @classmethod
@@ -201,6 +227,10 @@ class Observability:
                 ftl.nand.fault_injector.tracer = self.tracer
         if self.audit.enabled:
             host.ftl.audit = self.audit
+            # The attribution timeline also needs device GC spans and
+            # kernel backpressure episodes (see repro.obs.attribution).
+            host.device.audit = self.audit
+            host.dispatcher.audit = self.audit
         host.policy.observe(self)
         self._register_standard_metrics(host)
         if self.metrics_interval_ns > 0:
@@ -264,11 +294,18 @@ __all__ = [
     "BRANCH_DEFER",
     "BRANCH_INVOKE",
     "BRANCH_NO_BGC",
+    "BackpressureRecord",
+    "CAUSES",
     "ChromeTraceSink",
     "Counter",
     "DISABLED_AUDIT",
+    "DISABLED_OPLOG",
     "DecisionAuditLog",
     "FaultRecord",
+    "GcSpanRecord",
+    "OpLog",
+    "TailReport",
+    "attribute_tail",
     "Gauge",
     "Histogram",
     "InMemorySink",

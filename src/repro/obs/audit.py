@@ -13,6 +13,10 @@ audit log captures every decision with its full inputs:
 * :class:`FaultRecord` -- one per injected-fault *recovery*: the fault
   kind and how the FTL resolved it (read-retry, rewrite-elsewhere,
   block retirement, data loss).
+* :class:`GcSpanRecord` / :class:`BackpressureRecord` -- device GC
+  occupancy intervals and kernel dirty-throttling episodes: the
+  timeline the tail-latency attribution engine
+  (:mod:`repro.obs.attribution`) joins slow host ops against.
 
 Records are plain frozen dataclasses so tests can assert on them
 directly; the log is bounded (oldest runs of a long simulation matter
@@ -114,6 +118,49 @@ class FaultRecord:
 
 
 @dataclass(frozen=True)
+class GcSpanRecord:
+    """One GC occupancy interval on the device.
+
+    The tail-latency attribution engine (:mod:`repro.obs.attribution`)
+    joins slow host ops against these spans: an op whose service window
+    overlaps a foreground span stalled on GC directly; one overlapping a
+    background span waited behind supposedly-idle-time work.
+
+    Attributes:
+        t_ns: span start (sim time).
+        dur_ns: span length.
+        background: True for BGC block collections and wear-level moves,
+            False for a foreground stall inside a host request.
+        pages: foreground -- the stalled request's page count;
+            background -- net pages freed by the collection.
+    """
+
+    t_ns: int
+    dur_ns: int
+    background: bool
+    pages: int = 0
+
+
+@dataclass(frozen=True)
+class BackpressureRecord:
+    """One dirty-throttling episode in the kernel write path.
+
+    Spans from the first writer parked on the throttle to the drain that
+    released the last one -- the window in which buffered applications
+    feel device-level stalls (the paper's Fig. 3 coupling).
+
+    Attributes:
+        t_ns: first park (sim time).
+        dur_ns: span length (park to final release).
+        writers: writer parks during the episode.
+    """
+
+    t_ns: int
+    dur_ns: int
+    writers: int = 1
+
+
+@dataclass(frozen=True)
 class CheckpointRecord:
     """One durable mapping checkpoint written to the NAND metadata region.
 
@@ -190,6 +237,8 @@ class DecisionAuditLog:
     faults: List[FaultRecord] = field(default_factory=list)
     recoveries: List[RecoveryRecord] = field(default_factory=list)
     checkpoints: List[CheckpointRecord] = field(default_factory=list)
+    gc_spans: List[GcSpanRecord] = field(default_factory=list)
+    backpressure_spans: List[BackpressureRecord] = field(default_factory=list)
     dropped: int = 0
 
     # ------------------------------------------------------------------
@@ -219,6 +268,14 @@ class DecisionAuditLog:
         if self.enabled:
             self._append(self.checkpoints, record)
 
+    def record_gc_span(self, record: GcSpanRecord) -> None:
+        if self.enabled:
+            self._append(self.gc_spans, record)
+
+    def record_backpressure(self, record: BackpressureRecord) -> None:
+        if self.enabled:
+            self._append(self.backpressure_spans, record)
+
     # ------------------------------------------------------------------
     # Query helpers
     # ------------------------------------------------------------------
@@ -232,6 +289,14 @@ class DecisionAuditLog:
         """Victim selections in which at least one candidate was skipped."""
         return [v for v in self.victim_selections if v.filtered_by_sip > 0]
 
+    def fgc_spans(self) -> List[GcSpanRecord]:
+        """Foreground-GC stall intervals, in record order."""
+        return [s for s in self.gc_spans if not s.background]
+
+    def bgc_spans(self) -> List[GcSpanRecord]:
+        """Background collection (and wear-level) intervals."""
+        return [s for s in self.gc_spans if s.background]
+
     def total_records(self) -> int:
         return (
             len(self.manager_ticks)
@@ -239,6 +304,8 @@ class DecisionAuditLog:
             + len(self.faults)
             + len(self.recoveries)
             + len(self.checkpoints)
+            + len(self.gc_spans)
+            + len(self.backpressure_spans)
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

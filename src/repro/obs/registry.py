@@ -24,8 +24,16 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.metrics.hdr import HdrHistogram
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.simtime import SECOND
+
+#: Percentiles every registered HDR histogram is sampled at; each gets
+#: a ``<name>.p<q>`` series / Perfetto counter track per interval.
+HDR_SAMPLE_PERCENTILES: Tuple[Tuple[str, float], ...] = (
+    ("p99", 99.0),
+    ("p999", 99.9),
+)
 
 
 class Counter:
@@ -139,6 +147,8 @@ class MetricsRegistry:
         self.counters: Dict[str, Counter] = {}
         self.gauges: Dict[str, Gauge] = {}
         self.histograms: Dict[str, Histogram] = {}
+        self.hdr_histograms: Dict[str, HdrHistogram] = {}
+        self._hdr_marks: Dict[str, Tuple[Dict[int, int], int]] = {}
         self._series: Dict[str, TimeSeries] = {}
 
     # ------------------------------------------------------------------
@@ -160,6 +170,21 @@ class MetricsRegistry:
         instrument = self.histograms.get(name)
         if instrument is None:
             instrument = self.histograms[name] = Histogram(name)
+        return instrument
+
+    def hdr(self, name: str, bucket_bits: int = 8) -> HdrHistogram:
+        """Register (or fetch) an HDR latency histogram.
+
+        Registered histograms are quantile-sampled: every
+        :meth:`sample` appends the *interval* percentiles of
+        :data:`HDR_SAMPLE_PERCENTILES` to ``<name>.p99`` /
+        ``<name>.p999`` series, which the sampler mirrors as Perfetto
+        counter tracks -- the per-interval tail trajectory of the run.
+        """
+        instrument = self.hdr_histograms.get(name)
+        if instrument is None:
+            instrument = self.hdr_histograms[name] = HdrHistogram(bucket_bits)
+            self._hdr_marks[name] = instrument.mark()
         return instrument
 
     def series(self, name: str) -> TimeSeries:
@@ -188,6 +213,15 @@ class MetricsRegistry:
         for name, counter in self.counters.items():
             self.series(name).append(now_ns, counter.value)
             row[name] = counter.value
+        for name, hist in self.hdr_histograms.items():
+            interval = hist.interval_percentiles(
+                self._hdr_marks[name], [q for _, q in HDR_SAMPLE_PERCENTILES]
+            )
+            self._hdr_marks[name] = hist.mark()
+            for label, q in HDR_SAMPLE_PERCENTILES:
+                series_name = f"{name}.{label}"
+                self.series(series_name).append(now_ns, interval[q])
+                row[series_name] = interval[q]
         return row
 
     def rate_points(self, name: str, per_ns: int = SECOND) -> List[Tuple[int, float]]:
@@ -213,6 +247,7 @@ class MetricsRegistry:
             "counters": {name: c.value for name, c in self.counters.items()},
             "gauges": sorted(self.gauges),
             "histograms": {name: h.summary() for name, h in self.histograms.items()},
+            "hdr": {name: h.to_wire() for name, h in self.hdr_histograms.items()},
             "series": {
                 name: {"times_ns": list(s.times_ns), "values": list(s.values)}
                 for name, s in self._series.items()

@@ -177,6 +177,12 @@ class ChromeTraceSink(TraceSink):
         if self._closed:
             return
         self._closed = True
+        # Events are buffered in *emission* order, but duration events
+        # whose ts is an earlier start time (per-op completions, FGC
+        # stalls) arrive out of ts order; viewers and the validator
+        # require monotone timestamps per track, so sort before writing.
+        # The sort is stable: same-ts events keep their emission order.
+        self._events.sort(key=lambda event: event["ts"])
         document = {
             "traceEvents": self._metadata_events() + self._events,
             "otherData": self.header,

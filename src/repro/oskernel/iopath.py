@@ -39,6 +39,7 @@ def _coalesce(sorted_pages: Iterable[int]) -> List[Tuple[int, int]]:
         extents.append((start, prev - start + 1))
     return extents
 
+from repro.obs.audit import DISABLED_AUDIT, BackpressureRecord
 from repro.oskernel.cache import PageCache
 from repro.sim.engine import Simulator
 from repro.sim.simtime import MICROSECOND
@@ -97,8 +98,14 @@ class IoDispatcher:
         self.device = device
         self.memcpy_ns_per_page = memcpy_ns_per_page
         self.stats = WriteTrafficStats()
+        #: Decision audit; replaced by Observability.install when auditing.
+        #: The dispatcher records dirty-throttling (backpressure) spans
+        #: for tail-latency attribution.
+        self.audit = DISABLED_AUDIT
         #: Writers blocked on dirty throttling, FIFO.
         self._throttle_queue: Deque[Tuple[int, int, Callable[[], None]]] = deque()
+        self._throttle_started_ns = 0
+        self._throttle_parks = 0
 
     # ------------------------------------------------------------------
     # Writes
@@ -142,6 +149,10 @@ class IoDispatcher:
         if self.cache.throttled():
             # Park the writer; retried when write-back drains the cache.
             self.stats.throttle_events += 1
+            if not self._throttle_queue:
+                self._throttle_started_ns = self.sim.now
+                self._throttle_parks = 0
+            self._throttle_parks += 1
             self._throttle_queue.append((lpn, page_count, on_complete))
             if len(self._throttle_queue) == 1:
                 self.cache.drain_listeners.append(self._release_throttled)
@@ -165,6 +176,17 @@ class IoDispatcher:
             self._write_buffered(lpn, page_count, on_complete)
         if self._throttle_queue:
             self.cache.drain_listeners.append(self._release_throttled)
+        elif self.audit.enabled and self._throttle_parks:
+            # Episode over: every parked writer re-dispatched.  One span
+            # from the first park to this drain, for tail attribution.
+            self.audit.record_backpressure(
+                BackpressureRecord(
+                    t_ns=self._throttle_started_ns,
+                    dur_ns=self.sim.now - self._throttle_started_ns,
+                    writers=self._throttle_parks,
+                )
+            )
+            self._throttle_parks = 0
 
     # ------------------------------------------------------------------
     # Reads

@@ -21,6 +21,7 @@ from collections import deque
 from typing import Callable, Deque, List, Optional
 
 from repro.ftl.victim import VictimSelector
+from repro.obs.audit import DISABLED_AUDIT, GcSpanRecord
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER
 from repro.sim.engine import Simulator
@@ -92,6 +93,10 @@ class SsdDevice:
         self.parallelism = max(1, config.channel_parallelism)
         #: Sim-time tracer; replaced by Observability.install when tracing.
         self.tracer = NULL_TRACER
+        #: Decision audit; replaced by Observability.install when auditing.
+        #: The device records GC occupancy spans (FGC stalls, BGC blocks,
+        #: wear-level moves) for tail-latency attribution.
+        self.audit = DISABLED_AUDIT
 
         self._queue: Deque[IoRequest] = deque()
         self._busy = False
@@ -216,18 +221,28 @@ class SsdDevice:
         request.complete_time = self.sim.now
         self.busy_ns += latency
         self.requests_completed += 1
-        if self.tracer.enabled and fgc_ns > 0:
-            # The request stalled on foreground GC: a duration event on
-            # the device track spanning the whole (stalled) service.
-            self.tracer.complete(
-                "device",
-                "fgc.stall",
-                start_ns=request.start_time,
-                dur_ns=latency,
-                fgc_ns=fgc_ns,
-                kind=request.kind.name,
-                pages=request.page_count,
-            )
+        if fgc_ns > 0:
+            if self.tracer.enabled:
+                # The request stalled on foreground GC: a duration event
+                # on the device track spanning the whole (stalled) service.
+                self.tracer.complete(
+                    "device",
+                    "fgc.stall",
+                    start_ns=request.start_time,
+                    dur_ns=latency,
+                    fgc_ns=fgc_ns,
+                    kind=request.kind.name,
+                    pages=request.page_count,
+                )
+            if self.audit.enabled:
+                self.audit.record_gc_span(
+                    GcSpanRecord(
+                        t_ns=request.start_time,
+                        dur_ns=latency,
+                        background=False,
+                        pages=request.page_count,
+                    )
+                )
 
         nbytes = request.page_count * self.config.geometry.page_size
         if request.is_write:
@@ -319,6 +334,15 @@ class SsdDevice:
                 dur_ns=latency,
                 freed_pages=freed_pages,
             )
+        if self.audit.enabled:
+            self.audit.record_gc_span(
+                GcSpanRecord(
+                    t_ns=self.sim.now - latency,
+                    dur_ns=latency,
+                    background=True,
+                    pages=freed_pages,
+                )
+            )
         if self.controller is not None:
             self.controller.on_block_collected(self, freed_pages)
         if self._queue:
@@ -351,6 +375,14 @@ class SsdDevice:
                 "wear_level.block",
                 start_ns=self.sim.now - latency,
                 dur_ns=latency,
+            )
+        if self.audit.enabled:
+            # Wear-level moves occupy the device exactly like a BGC
+            # block; attribution charges ops queued behind them to GC.
+            self.audit.record_gc_span(
+                GcSpanRecord(
+                    t_ns=self.sim.now - latency, dur_ns=latency, background=True
+                )
             )
         self._start_next()
 

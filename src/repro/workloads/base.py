@@ -210,26 +210,35 @@ class Workload:
     def op_write(self, lpn: int, pages: int, direct: bool) -> Iterator:
         """One application write operation, counted on completion."""
         start = self.sim.now
+        depth = self.host.device.queue_depth
         waiter = WaitFor()
         self.host.dispatcher.write(lpn, pages, direct=direct, on_complete=waiter.wake)
         yield waiter
-        self.metrics.record_op(self.sim.now - start)
+        self.metrics.record_op(
+            self.sim.now - start, kind="write", issue_ns=start, queue_depth=depth
+        )
 
     def op_fsync(self, lpn: int, pages: int) -> Iterator:
         """fsync a range: wait until its dirty pages hit the device."""
         start = self.sim.now
+        depth = self.host.device.queue_depth
         waiter = WaitFor()
         self.host.dispatcher.fsync(lpn, pages, on_complete=waiter.wake)
         yield waiter
-        self.metrics.record_op(self.sim.now - start)
+        self.metrics.record_op(
+            self.sim.now - start, kind="fsync", issue_ns=start, queue_depth=depth
+        )
 
     def op_read(self, lpn: int, pages: int) -> Iterator:
         """One application read operation, counted on completion."""
         start = self.sim.now
+        depth = self.host.device.queue_depth
         waiter = WaitFor()
         self.host.dispatcher.read(lpn, pages, on_complete=waiter.wake)
         yield waiter
-        self.metrics.record_op(self.sim.now - start)
+        self.metrics.record_op(
+            self.sim.now - start, kind="read", issue_ns=start, queue_depth=depth
+        )
 
     def op_trim(self, lpn: int, pages: int) -> Iterator:
         """One discard (TRIM) operation, counted on completion.
@@ -238,10 +247,13 @@ class Workload:
         unmap journaling on, the tombstones are durable by then.
         """
         start = self.sim.now
+        depth = self.host.device.queue_depth
         waiter = WaitFor()
         self.host.dispatcher.trim(lpn, pages, on_complete=waiter.wake)
         yield waiter
-        self.metrics.record_op(self.sim.now - start)
+        self.metrics.record_op(
+            self.sim.now - start, kind="trim", issue_ns=start, queue_depth=depth
+        )
 
     def actor_rng(self, index: int) -> np.random.Generator:
         """Dedicated random stream for actor ``index``.

@@ -74,10 +74,13 @@ class FilebenchWorkload(Workload):
 
     def _wait_op(self, start_action) -> Generator:
         start = self.sim.now
+        depth = self.host.device.queue_depth
         waiter = WaitFor()
         start_action(waiter.wake)
         yield waiter
-        self.metrics.record_op(self.sim.now - start)
+        self.metrics.record_op(
+            self.sim.now - start, kind="write", issue_ns=start, queue_depth=depth
+        )
 
     def _actor(self, fs: SimpleFileSystem, index: int) -> Generator:
         rng = self.actor_rng(index)

@@ -73,10 +73,13 @@ class PostmarkWorkload(Workload):
     def _fs_write_op(self, action) -> Generator:
         """Run a filesystem mutation whose data write completes async."""
         start = self.sim.now
+        depth = self.host.device.queue_depth
         waiter = WaitFor()
         action(waiter.wake)
         yield waiter
-        self.metrics.record_op(self.sim.now - start)
+        self.metrics.record_op(
+            self.sim.now - start, kind="write", issue_ns=start, queue_depth=depth
+        )
 
     def _actor(self, fs: SimpleFileSystem, index: int) -> Generator:
         rng = self.actor_rng(index)
@@ -136,7 +139,10 @@ class PostmarkWorkload(Workload):
 
     def _read_op(self, fs: SimpleFileSystem, file_id: int, pages: int) -> Generator:
         start = self.sim.now
+        depth = self.host.device.queue_depth
         waiter = WaitFor()
         fs.read(file_id, 0, pages, on_complete=waiter.wake)
         yield waiter
-        self.metrics.record_op(self.sim.now - start)
+        self.metrics.record_op(
+            self.sim.now - start, kind="read", issue_ns=start, queue_depth=depth
+        )

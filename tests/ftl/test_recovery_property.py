@@ -19,7 +19,7 @@ tombstone.
 import dataclasses
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.ftl.ftl import PageMappedFtl
@@ -118,6 +118,14 @@ def test_recovered_state_equals_oob_oracle(seed, total_writes, crash_fraction):
     trim_rate=st.floats(min_value=0.0, max_value=0.35),
     final_trim=st.booleans(),
     tear=st.sampled_from(["none", "half", "empty", "strip"]),
+)
+# Regression: a TRIM whose tombstone sat in the torn journal record,
+# with the trimmed page's block GC-erased before the cut.  The
+# checkpoint fallback used to resurrect the mapping into the erased
+# (now free) block, failing invariant_check.
+@example(
+    seed=524287, total_ops=58, interval=26, trim_rate=0.125,
+    final_trim=False, tear="half",
 )
 def test_recovery_never_exceeds_durable_horizon(
     seed, total_ops, interval, trim_rate, final_trim, tear

@@ -49,3 +49,30 @@ def test_validation():
         rec.record(-1)
     with pytest.raises(ValueError):
         rec.percentile(101)
+
+
+def test_reservoir_matches_nearest_rank_while_exact():
+    from repro.metrics.hdr import nearest_rank
+
+    rec = LatencyRecorder()
+    values = [5, 1, 9, 3]
+    for value in values:
+        rec.record(value)
+    ordered = sorted(values)
+    for q in (0, 25, 50, 99, 100):
+        assert rec.percentile(q) == ordered[nearest_rank(q, 4) - 1]
+
+
+def test_reservoir_reference_flag_restores_on_exit():
+    from repro.metrics import latency
+
+    assert not latency.reservoir_reference_enabled()
+    with latency.reservoir_reference():
+        assert latency.reservoir_reference_enabled()
+        with pytest.raises(RuntimeError):
+            with latency.reservoir_reference():
+                assert latency.reservoir_reference_enabled()
+                raise RuntimeError("boom")
+        # Still enabled: the inner exit restored the *outer* state.
+        assert latency.reservoir_reference_enabled()
+    assert not latency.reservoir_reference_enabled()

@@ -12,6 +12,16 @@ the CI smoke job relies on:
   ``displayTimeUnit``; every non-metadata event carries the keys a
   Perfetto / ``chrome://tracing`` load requires, and timestamps are
   monotone per track (tid).
+* Per-op completion records (``host/op.complete``, emitted when tail
+  attribution is on): duration events whose args carry the op ``kind``
+  and the ``queue_depth`` at issue.
+* Latency counter tracks (``host.op_latency_ns.p99`` / ``.p999``):
+  sampled per-interval tail percentiles, counter-phase records.
+
+With ``--require-latency`` a trace missing the op-completion records or
+the percentile counter tracks fails validation (the latency-report CI
+job passes it; plain smoke traces from runs without ``--trace``-time
+sampling or tail attribution may legitimately lack both).
 
 Exit status 0 when every file passes; 1 with a diagnostic otherwise.
 """
@@ -21,8 +31,54 @@ import sys
 
 REQUIRED_EVENT_KEYS = {"name", "ph", "ts", "pid", "tid"}
 
+#: Counter tracks the registry samples for every registered HDR
+#: histogram (see repro.obs.registry.HDR_SAMPLE_PERCENTILES).
+LATENCY_COUNTER_TRACKS = (
+    "host.op_latency_ns.p99",
+    "host.op_latency_ns.p999",
+)
 
-def validate_jsonl(path: str) -> None:
+OP_COMPLETE_NAME = "op.complete"
+
+
+def _check_op_complete(event: dict, args: dict, has_dur: bool) -> None:
+    """Shared per-op completion record invariants (both formats)."""
+    if event.get("ph") != "X":
+        raise ValueError(f"op.complete must be a duration event: {event}")
+    if not has_dur:
+        raise ValueError(f"op.complete missing dur: {event}")
+    for key in ("kind", "queue_depth"):
+        if key not in args:
+            raise ValueError(f"op.complete args missing {key!r}: {event}")
+
+
+class _LatencyAudit:
+    """Tracks which latency records a trace carried."""
+
+    def __init__(self) -> None:
+        self.op_completes = 0
+        self.counter_tracks = set()
+
+    def see(self, name: str, ph: str) -> None:
+        if name == OP_COMPLETE_NAME and ph == "X":
+            self.op_completes += 1
+        if ph == "C" and name in LATENCY_COUNTER_TRACKS:
+            self.counter_tracks.add(name)
+
+    def enforce(self) -> None:
+        if self.op_completes == 0:
+            raise ValueError(
+                "no host/op.complete records (run with tail attribution on)"
+            )
+        missing = set(LATENCY_COUNTER_TRACKS) - self.counter_tracks
+        if missing:
+            raise ValueError(
+                f"missing latency counter tracks {sorted(missing)} "
+                "(run with metrics sampling on)"
+            )
+
+
+def validate_jsonl(path: str, require_latency: bool = False) -> None:
     with open(path, encoding="utf-8") as handle:
         lines = [json.loads(line) for line in handle if line.strip()]
     if not lines:
@@ -38,16 +94,22 @@ def validate_jsonl(path: str) -> None:
     events = lines[1:]
     if not events:
         raise ValueError("no events after header")
+    audit = _LatencyAudit()
     for event in events:
         if event.get("type") != "event":
             raise ValueError(f"non-event record: {event}")
         for key in ("name", "cat", "ts", "ph"):
             if key not in event:
                 raise ValueError(f"event missing {key!r}: {event}")
+        if event["name"] == OP_COMPLETE_NAME:
+            _check_op_complete(event, event.get("args", {}), "dur" in event)
+        audit.see(event["name"], event["ph"])
+    if require_latency:
+        audit.enforce()
     print(f"{path}: ok (jsonl, {len(events)} events)")
 
 
-def validate_chrome(path: str) -> None:
+def validate_chrome(path: str, require_latency: bool = False) -> None:
     with open(path, encoding="utf-8") as handle:
         document = json.load(handle)
     for key in ("traceEvents", "otherData", "displayTimeUnit"):
@@ -59,6 +121,7 @@ def validate_chrome(path: str) -> None:
     events = [e for e in document["traceEvents"] if e.get("ph") != "M"]
     if not events:
         raise ValueError("no non-metadata events")
+    audit = _LatencyAudit()
     last_ts = {}
     for event in events:
         missing = REQUIRED_EVENT_KEYS - set(event)
@@ -68,17 +131,22 @@ def validate_chrome(path: str) -> None:
         if event["ts"] < last_ts.get(tid, 0):
             raise ValueError(f"timestamps not monotone on tid {tid}")
         last_ts[tid] = event["ts"]
+        if event["name"] == OP_COMPLETE_NAME:
+            _check_op_complete(event, event.get("args", {}), "dur" in event)
+        audit.see(event["name"], event["ph"])
+    if require_latency:
+        audit.enforce()
     print(f"{path}: ok (chrome, {len(events)} events, {len(last_ts)} tracks)")
 
 
-def validate(path: str) -> None:
+def validate(path: str, require_latency: bool = False) -> None:
     with open(path, encoding="utf-8") as handle:
         first = handle.read(1)
     # A chrome trace is one JSON object; JSONL starts with a header line.
     if first == "{" and _is_single_document(path):
-        validate_chrome(path)
+        validate_chrome(path, require_latency)
     else:
-        validate_jsonl(path)
+        validate_jsonl(path, require_latency)
 
 
 def _is_single_document(path: str) -> bool:
@@ -91,12 +159,22 @@ def _is_single_document(path: str) -> bool:
 
 
 def main(argv) -> int:
-    if not argv:
-        print("usage: validate_trace.py TRACE [TRACE ...]", file=sys.stderr)
+    require_latency = False
+    paths = []
+    for arg in argv:
+        if arg == "--require-latency":
+            require_latency = True
+        else:
+            paths.append(arg)
+    if not paths:
+        print(
+            "usage: validate_trace.py [--require-latency] TRACE [TRACE ...]",
+            file=sys.stderr,
+        )
         return 2
-    for path in argv:
+    for path in paths:
         try:
-            validate(path)
+            validate(path, require_latency)
         except (OSError, ValueError, json.JSONDecodeError) as error:
             print(f"{path}: FAIL: {error}", file=sys.stderr)
             return 1
