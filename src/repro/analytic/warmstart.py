@@ -1,0 +1,168 @@
+"""Warm-start synthesizer: materialise the predicted steady state.
+
+:func:`synthesize_steady_state` turns a
+:class:`~repro.analytic.model.SteadyStatePrediction` into a *live
+device*: it writes the int32 NAND state vectors (``block_states``,
+``program_ptr``, erase counts), stamps every synthesized page's OOB
+``(lpn, seq)`` slot, builds the L2P table, and hands the lot to
+:class:`~repro.ftl.ftl.PageMappedFtl` through the same ``recovered=``
+installation path power-on recovery uses -- so the valid-count min-heap,
+SIP counters, wear-aware free pool and write frontiers are rebuilt by
+the exact code that rebuilds them after a real power cycle, and the
+result must pass the same ``invariant_check()``.
+
+The synthesized image is *recoverable by construction*: OOB stamps are
+laid out so a full-device scan (or a checkpoint-bounded tail scan)
+reproduces the installed L2P exactly.  Per closed block the live pages
+sit at the tail offsets ``[ppb - v, ppb)`` and the overwritten (stale)
+pages at ``[0, ppb - v)``, keeping within-block sequence numbers
+monotonic as real programs would have left them; stale stamps reuse
+currently-mapped LPNs with strictly older sequence numbers, so
+newest-stamp-wins replay never resurrects an unmapped LPN.
+
+Everything is a pure function of ``(config, seed, scenario knobs)``:
+the only randomness is a generator derived from the scenario seed via
+the :class:`~repro.sim.randomness.RandomStreams` convention, so two
+synthesized devices from equal inputs are bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.analytic.model import SteadyStatePrediction, predict_steady_state
+from repro.ftl.ftl import PageMappedFtl
+from repro.ftl.mapping import UNMAPPED
+from repro.ftl.recovery import RecoveredFtlState
+from repro.nand.array import STATE_BAD, STATE_FULL
+from repro.sim.randomness import RandomStreams
+from repro.ssd.config import SsdConfig
+
+#: Device-fills of host data the synthesized wear level corresponds to
+#: (prefill writes the working set once, then churns it down to the OP
+#: floor -- about one more working-set pass through the GC loop).
+_SYNTH_FILL_PASSES = 2.0
+
+
+def workload_mix_hints(workload: str, workload_kwargs: dict) -> dict:
+    """Extract the predictor's workload-mix knobs from a scenario.
+
+    The synthetic generator carries its mix explicitly; the paper
+    benchmarks issue no discards, so their stationary mapped fraction
+    is 1 and only the (second-order) skew hint varies.
+    """
+    if workload == "Synthetic":
+        return {
+            "trim_fraction": workload_kwargs.get("trim_fraction", 0.0),
+            "write_fraction": workload_kwargs.get("write_fraction", 0.7),
+            "zipf_theta": workload_kwargs.get("zipf_theta", 0.9),
+        }
+    return {"trim_fraction": 0.0, "write_fraction": 1.0, "zipf_theta": 0.99}
+
+
+def _ragged_arange(lengths: np.ndarray) -> np.ndarray:
+    """``concatenate([arange(n) for n in lengths])`` without the loop."""
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    starts = np.repeat(np.cumsum(lengths) - lengths, lengths)
+    return np.arange(total, dtype=np.int64) - starts
+
+
+def synthesize_steady_state(
+    config: SsdConfig,
+    *,
+    seed: int,
+    working_set_pages: int,
+    policy=None,
+    trim_fraction: float = 0.0,
+    write_fraction: float = 1.0,
+    zipf_theta: float = 0.0,
+    registry=None,
+) -> Tuple[PageMappedFtl, SteadyStatePrediction]:
+    """Build a device already at its predicted steady state.
+
+    Returns ``(ftl, prediction)``; the FTL has passed
+    ``invariant_check()`` and is ready to serve I/O.  The caller (the
+    experiment runner) hands it to :class:`~repro.host.HostSystem` via
+    ``ftl=`` and seeds CDH-based policies from ``prediction``.
+
+    Raises:
+        ValueError: no steady state exists for these parameters (see
+            :func:`~repro.analytic.model.predict_steady_state`).
+    """
+    nand = config.build_nand(seed=seed)
+    space = config.space_model()
+    geometry = config.geometry
+    ppb = geometry.pages_per_block
+
+    good = np.flatnonzero(nand.block_states != STATE_BAD).astype(np.int64)
+    prediction = predict_steady_state(
+        space,
+        working_set_pages=working_set_pages,
+        policy=policy,
+        trim_fraction=trim_fraction,
+        write_fraction=write_fraction,
+        zipf_theta=zipf_theta,
+        good_blocks=int(good.size),
+    )
+
+    rng = RandomStreams(seed).numpy("analytic-warmstart")
+    n_closed = prediction.closed_blocks
+    closed = good[:n_closed]
+    free_list = good[n_closed:]  # prediction.free_blocks + 2 frontier blocks
+
+    # Decorrelate occupancy from block number: the stratified counts are
+    # ascending, and leaving them that way would make victim rank a
+    # staircase of block indices.
+    valid = prediction.valid_counts[rng.permutation(n_closed)].astype(np.int64)
+    stale = ppb - valid
+    stale_total = int(stale.sum())
+    mapped_total = int(valid.sum())
+
+    # Physical layout, in global (block, page) order: stale pages fill
+    # each closed block's head, live pages its tail.
+    live_ppns = (
+        np.repeat(closed, valid) * ppb + np.repeat(stale, valid) + _ragged_arange(valid)
+    )
+    stale_ppns = np.repeat(closed, stale) * ppb + _ragged_arange(stale)
+
+    # Mapped LPNs: a seed-deterministic draw of the stationary mapped
+    # subset of the working set, already shuffled across the live slots.
+    mapped_lpns = rng.permutation(working_set_pages)[:mapped_total].astype(np.int64)
+
+    nand.block_states[closed] = STATE_FULL
+    nand.program_ptr[closed] = ppb
+    nand.oob_lpn[stale_ppns] = mapped_lpns[np.arange(stale_total) % mapped_total]
+    nand.oob_seq[stale_ppns] = np.arange(stale_total, dtype=np.int64)
+    nand.oob_lpn[live_ppns] = mapped_lpns
+    nand.oob_seq[live_ppns] = stale_total + np.arange(mapped_total, dtype=np.int64)
+
+    # Uniform synthetic wear: the erase work of filling and churning the
+    # device to its logically-full state, spread evenly (the prefill's
+    # uniform overwrites produce no wear skew worth modelling).
+    fills = _SYNTH_FILL_PASSES * working_set_pages * prediction.waf
+    per_block = max(1, int(round(fills / (good.size * ppb))))
+    nand.endurance.erase_counts[good] = per_block
+    nand.endurance.total_erases = int(nand.endurance.erase_counts.sum())
+
+    l2p = np.full(space.user_pages, UNMAPPED, dtype=np.int64)
+    l2p[mapped_lpns] = live_ppns
+
+    recovered = RecoveredFtlState(
+        l2p=l2p,
+        free_blocks=[int(b) for b in free_list],
+        closed_blocks=[int(b) for b in closed],
+        retired_blocks=set(),
+        active_user_block=None,
+        active_gc_block=None,
+        write_seq=stale_total + mapped_total,
+        checkpoint_generation=0,
+    )
+    ftl = config.build_ftl(
+        seed=seed, registry=registry, nand=nand, recovered=recovered
+    )
+    ftl.invariant_check()
+    return ftl, prediction

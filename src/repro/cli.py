@@ -30,6 +30,7 @@ from typing import List, Optional
 from repro import __version__
 from repro.experiments import (
     POLICY_FACTORIES,
+    WARM_START_MODES,
     ScenarioSpec,
     format_table,
     gc_heavy_spec,
@@ -60,6 +61,12 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--warmup", type=int, default=20, metavar="S")
     parser.add_argument("--measure", type=int, default=60, metavar="S")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--warm-start", default="sim", choices=sorted(WARM_START_MODES),
+        help="preconditioning mode: 'sim' replays the prefill + warmup "
+        "simulation (reference); 'analytic' synthesizes the predicted "
+        "steady state directly and skips the warmup (see PERFORMANCE.md)",
+    )
     parser.add_argument(
         "--faults",
         default="none",
@@ -114,6 +121,7 @@ def _spec_from(args: argparse.Namespace) -> ScenarioSpec:
         fault_profile=getattr(args, "faults", "none"),
         checkpoint_interval=getattr(args, "checkpoint_interval", None),
         obs=_obs_config_from(args),
+        warm_start=getattr(args, "warm_start", "sim"),
     )
 
 
@@ -231,9 +239,11 @@ def cmd_crash_sweep(args: argparse.Namespace) -> int:
         pages_per_block=args.pages_per_block,
         seed=args.seed,
         measure_s=args.measure,
+        warmup_s=args.warmup,
         fault_profile=args.faults,
         trim_heavy=args.trim_heavy,
         checkpoint_interval=args.checkpoint_interval,
+        warm_start=args.warm_start,
     )
     _echo_run_header(spec)
     ticks = {"n": 0}
@@ -464,7 +474,16 @@ def build_parser() -> argparse.ArgumentParser:
     crash_parser.add_argument("--blocks", type=int, default=256)
     crash_parser.add_argument("--pages-per-block", type=int, default=64)
     crash_parser.add_argument("--measure", type=int, default=30, metavar="S")
+    crash_parser.add_argument(
+        "--warmup", type=int, default=2, metavar="S",
+        help="simulated preconditioning seconds before the swept window "
+        "(default: 2 -- the prefill already leaves the device GC-bound)",
+    )
     crash_parser.add_argument("--seed", type=int, default=42)
+    crash_parser.add_argument(
+        "--warm-start", default="sim", choices=sorted(WARM_START_MODES),
+        help="preconditioning mode for the swept run (see PERFORMANCE.md)",
+    )
     crash_parser.add_argument(
         "--faults", default="none", choices=sorted(FAULT_PROFILES),
         help="media-fault profile active while the sweep runs",

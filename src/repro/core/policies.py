@@ -44,6 +44,13 @@ from repro.ssd.interface import ExtendedHostInterface
 from repro.ssd.request import IoKind, IoRequest
 
 
+#: CDH observation windows pre-loaded by an analytic warm start --
+#: roughly what a default simulated warm-up leaves behind (40 s of
+#: warm-up over 6 s expiry windows), so seeded and simulated histories
+#: decay at the same rate once real traffic arrives.
+_CDH_SEED_WINDOWS = 8
+
+
 class GcPolicy(ReclaimController):
     """Base class: a reclaim controller that can be wired into a host."""
 
@@ -79,6 +86,18 @@ class GcPolicy(ReclaimController):
         self.cache = cache
         self.flusher = flusher
         self.interface = ExtendedHostInterface(device)
+
+    def seed_steady_state(self, prediction) -> None:
+        """Adopt an analytic steady-state prediction (warm start).
+
+        Called after :meth:`attach` when the run starts from a
+        synthesized steady state (``--warm-start analytic``) instead of
+        a simulated warm-up.  Stateless policies need nothing; policies
+        with demand history (the CDH family) override this so their
+        first read-outs are consistent with the installed free pool
+        rather than with an empty histogram.
+        """
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<{type(self).__name__} {self.name}>"
@@ -162,6 +181,22 @@ class AdaptiveGcPolicy(GcPolicy):
         # The ADP tick is device-internal: it does not depend on the
         # flusher, so it runs on its own timer at the same period.
         sim.schedule(self.period_ns, self._tick, priority=PRIORITY_CONTROL)
+
+    def seed_steady_state(self, prediction) -> None:
+        """Pre-load the CDH with the predicted per-horizon write volume.
+
+        A cold CDH reads percentile 0 until enough ``tau_expire``
+        windows close, which would leave ADP-GC defending no reserve at
+        the start of a warm-started measurement window.  Seeding a
+        simulated warm-up's worth of windows (not the full CDH depth)
+        makes the initial target consistent with the installed free pool
+        while letting real traffic take over at the same rate it would
+        after a simulated warm-up.
+        """
+        seeded = min(self.window, _CDH_SEED_WINDOWS)
+        for _ in range(seeded):
+            self.cdh.observe(prediction.window_write_bytes)
+        self._target_bytes = self.cdh.percentile_bytes(self.percentile)
 
     # ------------------------------------------------------------------
     def _on_completion(self, request: IoRequest) -> None:

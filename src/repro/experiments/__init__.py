@@ -16,9 +16,11 @@
 
 from repro.experiments.runner import (
     POLICY_FACTORIES,
+    WARM_START_MODES,
     ScenarioSpec,
     ScenarioTimeoutError,
     SweepOutcome,
+    build_preconditioned_host,
     resolve_jobs,
     run_policy_comparison,
     run_scenario,
@@ -58,7 +60,9 @@ from repro.experiments.persistence import SweepCheckpoint, load_results, save_re
 
 __all__ = [
     "POLICY_FACTORIES",
+    "WARM_START_MODES",
     "ScenarioSpec",
+    "build_preconditioned_host",
     "ScenarioTimeoutError",
     "SweepCheckpoint",
     "SweepOutcome",

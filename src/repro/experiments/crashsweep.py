@@ -42,7 +42,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.experiments.runner import ScenarioSpec
+from repro.experiments.runner import ScenarioSpec, build_preconditioned_host
 from repro.faults.powerloss import PowerCut, PowerLossEmulator, SpoPlan
 from repro.ftl.ftl import DeviceReadOnlyError, FtlError, PageMappedFtl
 from repro.ftl.mapping import UNMAPPED
@@ -301,10 +301,12 @@ def gc_heavy_spec(
     blocks: int = 256,
     pages_per_block: int = 64,
     seed: int = 42,
+    warmup_s: int = 2,
     measure_s: int = 30,
     fault_profile=None,
     trim_heavy: bool = False,
     checkpoint_interval: Optional[int] = None,
+    warm_start: str = "sim",
 ) -> ScenarioSpec:
     """A scenario tuned so GC runs constantly under the sweep.
 
@@ -319,6 +321,10 @@ def gc_heavy_spec(
     persisted unmap journal exists for.  ``checkpoint_interval`` arms
     periodic mapping checkpoints (pages of host writes per checkpoint),
     putting checkpoint programs and bounded tail scans under the sweep.
+    ``warmup_s`` is the pre-sweep warm-up window (the CLI's ``--warmup``
+    knob, shared with the scenario runner); ``warm_start="analytic"``
+    replaces the prefill + warm-up with the synthesized steady state, so
+    crash points verify recovery of analytically constructed images too.
     """
     workload = "YCSB"
     workload_kwargs: dict = {}
@@ -336,7 +342,7 @@ def gc_heavy_spec(
         pages_per_block=pages_per_block,
         op_ratio=0.07,
         working_set_fraction=0.9,
-        warmup_s=2,
+        warmup_s=warmup_s,
         measure_s=measure_s,
         flusher_period_s=1,
         tau_expire_s=2,
@@ -344,6 +350,7 @@ def gc_heavy_spec(
         workload_kwargs=workload_kwargs,
         fault_profile=fault_profile,
         checkpoint_interval=checkpoint_interval,
+        warm_start=warm_start,
     )
 
 
@@ -370,30 +377,9 @@ def run_crash_sweep(
     Every check failure is recorded, not raised -- the result object
     reports pass/fail per point (``result.ok()`` for the verdict).
     """
-    config = spec.make_config()
-    policy = spec.make_policy()
-    host = HostSystem(
-        config,
-        policy,
-        seed=spec.seed,
-        flusher_period_ns=spec.flusher_period_s * SECOND,
-        tau_expire_ns=spec.tau_expire_s * SECOND,
-        obs=spec.obs,
-    )
-    working_set = int(host.user_pages * spec.working_set_fraction)
-    try:
-        host.prefill(working_set)
-    except DeviceReadOnlyError:
-        pass
-    collector = MetricsCollector(host, workload_name=spec.workload)
-    workload = WORKLOADS[spec.workload](
-        host, collector, Region(0, working_set), **spec.workload_kwargs
-    )
-    workload.start()
-
-    warmup_end = spec.warmup_s * SECOND
-    end = warmup_end + spec.measure_s * SECOND
-    _advance(host, warmup_end)
+    host, _collector, workload, measure_start = build_preconditioned_host(spec)
+    config = host.config
+    end = measure_start + spec.measure_s * SECOND
 
     result = CrashSweepResult(scenario=spec.key(), stride_events=stride_events)
     rng = np.random.default_rng(np.random.SeedSequence((spec.seed, 0xC4A5)))
@@ -482,8 +468,9 @@ def run_scenario_with_spo(spec: ScenarioSpec, plan: SpoPlan) -> SpoRunResult:
     checkpoint is torn and the device recovers again from the
     doubly-crashed image.
     """
-    config = spec.make_config()
-    measure_start = spec.warmup_s * SECOND
+    host, collector, workload, measure_start = build_preconditioned_host(spec)
+    config = host.config
+    working_set = workload.region.pages
     measure_end = measure_start + spec.measure_s * SECOND
     cuts_planned = [
         t for t in plan.cut_times(measure_start, measure_end) if 0 < t < measure_end
@@ -491,26 +478,6 @@ def run_scenario_with_spo(spec: ScenarioSpec, plan: SpoPlan) -> SpoRunResult:
     emulator = PowerLossEmulator()
     reports: List[RecoveryReport] = []
     phases: List[RunMetrics] = []
-
-    policy = spec.make_policy()
-    host = HostSystem(
-        config,
-        policy,
-        seed=spec.seed,
-        flusher_period_ns=spec.flusher_period_s * SECOND,
-        tau_expire_ns=spec.tau_expire_s * SECOND,
-        obs=spec.obs,
-    )
-    working_set = int(host.user_pages * spec.working_set_fraction)
-    try:
-        host.prefill(working_set)
-    except DeviceReadOnlyError:
-        pass
-    collector = MetricsCollector(host, workload_name=spec.workload)
-    workload = WORKLOADS[spec.workload](
-        host, collector, Region(0, working_set), **spec.workload_kwargs
-    )
-    workload.start()
 
     # A post-recovery checkpoint only makes sense when the scenario
     # checkpoints at all (otherwise the next power-on full-scans anyway).
@@ -580,11 +547,9 @@ def run_scenario_with_spo(spec: ScenarioSpec, plan: SpoPlan) -> SpoRunResult:
             reports.append(report)
             resume_ns = t_nested + report.duration_ns + report.post_checkpoint_ns
         policy = spec.make_policy()
-        # recover_from built the FTL before the policy existed; give it
-        # the policy's selector so victim ranking matches a fresh device.
-        selector = policy.make_victim_selector()
-        if selector is not None:
-            ftl.victim_selector = selector
+        # recover_from built the FTL before the policy existed;
+        # HostSystem installs this policy's selector on it, so victim
+        # ranking (and its SIP statistics) match a fresh device.
         host = HostSystem(
             config,
             policy,

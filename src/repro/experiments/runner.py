@@ -95,6 +95,13 @@ class ScenarioSpec:
             :meth:`key`: instrumentation never changes simulated
             behaviour, so observed and unobserved runs are the same
             scenario.
+        warm_start: how the device reaches steady state before the
+            measurement window.  ``"sim"`` (default) prefills and runs
+            the simulated warm-up -- the validation oracle.
+            ``"analytic"`` synthesizes the mean-field steady state
+            directly (:mod:`repro.analytic`) and runs only a short
+            settle window, trading a bounded model error (see
+            PERFORMANCE.md) for most of the scenario's wall time.
     """
 
     workload: str = "YCSB"
@@ -114,6 +121,7 @@ class ScenarioSpec:
     checkpoint_interval: Optional[int] = None
     timeout_s: Optional[float] = None
     obs: Optional[ObservabilityConfig] = None
+    warm_start: str = "sim"
 
     def with_policy(self, policy: str, factory: Optional[Callable[[], GcPolicy]] = None):
         """Same scenario, different policy (identical workload replay)."""
@@ -126,6 +134,10 @@ class ScenarioSpec:
             # Suffix only when set, so pre-existing sweep checkpoints
             # keep resolving to the same scenarios.
             key += f"/ckpt{self.checkpoint_interval}"
+        if self.warm_start != "sim":
+            # Same suffix-only-when-set rule; a warm-started run is a
+            # different measurement than its simulated-warmup oracle.
+            key += f"/warm-{self.warm_start}"
         return key
 
     def make_policy(self) -> GcPolicy:
@@ -163,6 +175,7 @@ class ScenarioSpec:
             "pages_per_block": self.pages_per_block,
             "warmup_s": self.warmup_s,
             "measure_s": self.measure_s,
+            "warm_start": self.warm_start,
         }
 
 
@@ -200,6 +213,106 @@ def _wall_clock_limit(seconds: Optional[float]):
         signal.signal(signal.SIGALRM, previous)
 
 
+#: Simulated seconds an analytically warm-started run advances before
+#: its measurement window opens.  The synthesized device is already at
+#: steady state, but the *host* is not: the page cache is empty and the
+#: flusher/predictor timers have no history.  A few write-back periods
+#: of settling lets those reach their working rhythm; the data-plane
+#: aging that dominates ``warmup_s`` is what the synthesis replaced.
+#: Four seconds also keeps the window opening phase-aligned with the
+#: default simulated warm-up for duty-cycled workloads (YCSB's ON/OFF
+#: period is 4 s and the default ``warmup_s=40`` is a multiple of it),
+#: so IOPS comparisons are not skewed by how many ON phases land inside
+#: a short measurement window.
+_ANALYTIC_SETTLE_S = 4
+
+#: Valid ``ScenarioSpec.warm_start`` modes.
+WARM_START_MODES = ("sim", "analytic")
+
+
+def build_preconditioned_host(
+    spec: ScenarioSpec,
+    deadline: Optional[float] = None,
+) -> Tuple[HostSystem, MetricsCollector, object, int]:
+    """Build ``spec``'s host stack and bring it to measurement-ready state.
+
+    The shared preconditioning step of every experiment entry point
+    (:func:`run_scenario`, the crash sweep, the live-SPO runner):
+
+    * ``warm_start="sim"`` -- prefill the working set, churn to the
+      logically-full state, then run the simulated warm-up window;
+    * ``warm_start="analytic"`` -- synthesize the mean-field steady
+      state directly into the data plane
+      (:func:`repro.analytic.warmstart.synthesize_steady_state`), seed
+      the policy's demand history from the prediction, and run only a
+      short settle window (:data:`_ANALYTIC_SETTLE_S`).
+
+    Returns ``(host, collector, workload, measure_start_ns)``: the
+    workload is started, simulated time stands at ``measure_start_ns``,
+    and the caller opens the measurement window with
+    ``collector.begin()``.
+
+    A device that goes read-only during preconditioning is tolerated
+    (fault profiles can exhaust the spare capacity); the run proceeds
+    and measures the degraded outcome.
+    """
+    from repro.analytic.warmstart import synthesize_steady_state, workload_mix_hints
+
+    if spec.warm_start not in WARM_START_MODES:
+        raise ValueError(
+            f"unknown warm_start {spec.warm_start!r}; known: {WARM_START_MODES}"
+        )
+    if spec.workload not in WORKLOADS:
+        raise KeyError(
+            f"unknown workload {spec.workload!r}; known: {sorted(WORKLOADS)}"
+        )
+    config = spec.make_config()
+    policy = spec.make_policy()
+    obs = (
+        Observability.from_config(spec.obs, header=spec.trace_header())
+        if spec.obs is not None
+        else None
+    )
+    host_kwargs = dict(
+        seed=spec.seed,
+        flusher_period_ns=spec.flusher_period_s * SECOND,
+        tau_expire_ns=spec.tau_expire_s * SECOND,
+        obs=obs,
+    )
+
+    if spec.warm_start == "analytic":
+        working_set = int(config.space_model().user_pages * spec.working_set_fraction)
+        ftl, prediction = synthesize_steady_state(
+            config,
+            seed=spec.seed,
+            working_set_pages=working_set,
+            policy=policy,
+            registry=obs.registry if obs is not None else None,
+            **workload_mix_hints(spec.workload, spec.workload_kwargs),
+        )
+        host = HostSystem(config, policy, ftl=ftl, **host_kwargs)
+        policy.seed_steady_state(prediction)
+        precondition_ns = min(spec.warmup_s, _ANALYTIC_SETTLE_S) * SECOND
+    else:
+        host = HostSystem(config, policy, **host_kwargs)
+        working_set = int(host.user_pages * spec.working_set_fraction)
+        try:
+            host.prefill(working_set)
+        except DeviceReadOnlyError:
+            # Spare capacity exhausted during preconditioning: still a
+            # measurable (fully degraded) outcome, not a harness error.
+            pass
+        precondition_ns = spec.warmup_s * SECOND
+
+    collector = MetricsCollector(host, workload_name=spec.workload)
+    workload = WORKLOADS[spec.workload](
+        host, collector, Region(0, working_set), **spec.workload_kwargs
+    )
+    workload.start()
+    _advance_tolerating_death(host, precondition_ns, deadline, spec.timeout_s)
+    return host, collector, workload, precondition_ns
+
+
 def run_scenario(spec: ScenarioSpec) -> RunMetrics:
     """Execute one scenario per the Sec 4.1 protocol; returns metrics.
 
@@ -222,47 +335,12 @@ def _run_scenario_host(spec: ScenarioSpec) -> Tuple[RunMetrics, HostSystem]:
     Internal: the hot-path equivalence tests use the host to compare
     decision-audit streams, not just the frozen metrics.
     """
-    if spec.workload not in WORKLOADS:
-        raise KeyError(
-            f"unknown workload {spec.workload!r}; known: {sorted(WORKLOADS)}"
-        )
     deadline: Optional[float] = None
     if spec.timeout_s is not None and spec.timeout_s > 0:
         deadline = time.monotonic() + spec.timeout_s
     with _wall_clock_limit(spec.timeout_s):
-        config = spec.make_config()
-        policy = spec.make_policy()
-        obs = (
-            Observability.from_config(spec.obs, header=spec.trace_header())
-            if spec.obs is not None
-            else None
-        )
-        host = HostSystem(
-            config,
-            policy,
-            seed=spec.seed,
-            flusher_period_ns=spec.flusher_period_s * SECOND,
-            tau_expire_ns=spec.tau_expire_s * SECOND,
-            obs=obs,
-        )
-
-        working_set = int(host.user_pages * spec.working_set_fraction)
-        try:
-            host.prefill(working_set)
-        except DeviceReadOnlyError:
-            # Spare capacity exhausted during preconditioning: still a
-            # measurable (fully degraded) outcome, not a harness error.
-            pass
-
-        metrics = MetricsCollector(host, workload_name=spec.workload)
-        workload_cls = WORKLOADS[spec.workload]
-        workload = workload_cls(
-            host, metrics, Region(0, working_set), **spec.workload_kwargs
-        )
-        workload.start()
-
-        _advance_tolerating_death(
-            host, spec.warmup_s * SECOND, deadline, spec.timeout_s
+        host, metrics, workload, _measure_start = build_preconditioned_host(
+            spec, deadline
         )
         metrics.begin()
         _advance_tolerating_death(

@@ -153,7 +153,11 @@ class FaultInjector:
             only need a prefix; unbounded logs would grow with the run).
     """
 
-    _CATEGORIES = ("program", "erase", "read", "retry")
+    #: "meta" (metadata-region programs/erases) is appended last:
+    #: ``SeedSequence.spawn`` is prefix-stable, so adding the category
+    #: left every pre-existing stream -- and therefore every recorded
+    #: user-operation fault sequence -- byte-identical.
+    _CATEGORIES = ("program", "erase", "read", "retry", "meta")
 
     def __init__(
         self,
@@ -249,6 +253,35 @@ class FaultInjector:
         if bool((rng.random(count) < prob).any()):
             rng.bit_generator.state = state
             return False
+        return True
+
+    def meta_program_fails(self, block: int, page: int, pe_cycles: int) -> bool:
+        """Program-fault draw for a metadata-region page.
+
+        Same rates and wear coupling as user programs, but drawn from
+        the dedicated "meta" stream: metadata traffic (checkpoints,
+        tombstone journals) must not perturb the fault sequence user
+        operations see, or runs differing only in checkpoint cadence
+        would stop replaying identical user faults.
+        """
+        prob = self._wear_scaled(self.profile.program_fail_prob, pe_cycles)
+        if prob <= 0.0:
+            return False
+        if self._rngs["meta"].random() >= prob:
+            return False
+        self.program_faults += 1
+        self._log("meta-program", block, page)
+        return True
+
+    def meta_erase_fails(self, block: int, pe_cycles: int) -> bool:
+        """Erase-fault draw for a metadata-region block ("meta" stream)."""
+        prob = self._wear_scaled(self.profile.erase_fail_prob, pe_cycles)
+        if prob <= 0.0:
+            return False
+        if self._rngs["meta"].random() >= prob:
+            return False
+        self.erase_faults += 1
+        self._log("meta-erase", block, -1)
         return True
 
     def read_retry_succeeds(self) -> bool:

@@ -737,6 +737,40 @@ class PageMappedFtl:
     # ------------------------------------------------------------------
     # Durable metadata (checkpoints + unmap journal)
     # ------------------------------------------------------------------
+    def _meta_program(self, pages: int) -> int:
+        """Physically program ``pages`` metadata pages; returns ns latency.
+
+        The logical append (:meth:`MetaLog.append <repro.ftl.metastore.MetaLog.append>`)
+        already happened; this routes its pages through the reserved-block
+        wear/fault model (:meth:`~repro.nand.array.NandArray.meta_program`),
+        so checkpoint and tombstone traffic ages the metadata ring, pays
+        for its wrap-around erases and program-fail retries, and -- when
+        every reserved block is retired -- drives the device read-only: a
+        controller that cannot persist its mapping must stop accepting
+        writes.
+        """
+        outcome = self.nand.meta_program(pages)
+        stats = self.stats
+        stats.meta_pages_written += outcome.pages_programmed
+        stats.meta_block_erases += outcome.erases
+        stats.meta_program_faults += outcome.program_faults
+        stats.meta_erase_faults += outcome.erase_faults
+        stats.meta_blocks_retired += outcome.blocks_retired
+        if self.tracer.enabled and (
+            outcome.program_faults or outcome.erase_faults or outcome.blocks_retired
+        ):
+            self.tracer.emit(
+                "ftl",
+                "ftl.meta_fault",
+                program_faults=outcome.program_faults,
+                erase_faults=outcome.erase_faults,
+                blocks_retired=outcome.blocks_retired,
+                live_blocks=self.nand.meta_region.live_blocks(),
+            )
+        if outcome.exhausted and not self.read_only:
+            self._enter_read_only()
+        return outcome.latency_ns
+
     def _journal_tombstones(self, lpns: List[int]) -> int:
         """Durably journal unmap tombstones for ``lpns``; returns the
         metadata program latency (ns).
@@ -753,8 +787,7 @@ class PageMappedFtl:
         payload = build_tombstones(lpns, range(first, first + len(lpns)))
         record = self.nand.meta.append(KIND_UNMAP, payload)
         self.stats.tombstones_journaled += len(lpns)
-        self.stats.meta_pages_written += record.pages
-        return record.pages * self.nand.timing.program_ns
+        return self._meta_program(record.pages)
 
     def _unmap_lost(self, lpn: int) -> int:
         """Drop the mapping of an unrecoverable page, durably.
@@ -802,8 +835,7 @@ class PageMappedFtl:
         self.nand.meta.compact()
         self._pages_at_last_ckpt = self.stats.host_pages_written
         self.stats.checkpoints_written += 1
-        self.stats.meta_pages_written += record.pages
-        latency = record.pages * self.nand.timing.program_ns
+        latency = self._meta_program(record.pages)
         if self.audit.enabled:
             self.audit.record_checkpoint(
                 CheckpointRecord(

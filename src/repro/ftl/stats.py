@@ -11,7 +11,7 @@ rather than the cold ramp-up.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 
 
 @dataclass
@@ -38,6 +38,14 @@ class FtlStats:
     meta_pages_written: int = 0
     #: Unmap tombstones journaled (TRIMs plus GC data-loss unmaps).
     tombstones_journaled: int = 0
+    #: Reserved-block erases triggered by metadata-ring wrap-around.
+    meta_block_erases: int = 0
+    #: Metadata program status-fails (page wasted, payload rewritten).
+    meta_program_faults: int = 0
+    #: Metadata-region erase failures (reserved block retired).
+    meta_erase_faults: int = 0
+    #: Reserved metadata blocks retired (wear-out or erase failure).
+    meta_blocks_retired: int = 0
 
     #: Foreground GC: invocations and total stall time charged to writes.
     fgc_invocations: int = 0

@@ -94,6 +94,12 @@ class HostSystem:
             # on the resumed timeline.
             sim = self.sim
             ftl._clock = lambda: sim.now
+            if selector is not None:
+                # A pre-built FTL bypasses SsdDevice's selector install;
+                # wire the policy's selector in here so victim ranking
+                # (and its SIP statistics) track the *attached* policy,
+                # not a default selector.
+                ftl.victim_selector = selector
 
         page_size = config.geometry.page_size
         if cache_bytes is None:

@@ -49,6 +49,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.injector import FaultInjector
     from repro.nand.reliability import ReadDisturbTracker
 from repro.nand.geometry import NandGeometry
+from repro.nand.metaregion import MetaProgramOutcome, MetaRegion
 from repro.nand.timing import NAND_20NM_MLC, NandTiming
 from repro.obs.tracer import NULL_TRACER
 
@@ -102,6 +103,12 @@ class NandDurableState:
     #: so a tuple of them is already a deep copy.  Defaults to an empty
     #: log for images captured before durable metadata existed.
     meta: tuple = ()
+    #: Wear snapshot of the reserved metadata blocks
+    #: (:meth:`~repro.nand.metaregion.MetaRegion.capture`).  ``None`` for
+    #: images captured before metadata wear accounting existed -- restore
+    #: then starts the region fresh, like a drive whose BBT predates the
+    #: firmware feature.
+    meta_wear: Optional[dict] = None
 
 
 class NandArray:
@@ -120,6 +127,9 @@ class NandArray:
         fault_injector: optional deterministic media-fault source; when
             set, operations may raise the recoverable fault exceptions
             (:class:`~repro.nand.errors.RecoverableNandFault`).
+        meta_blocks: reserved metadata blocks (outside the user pool)
+            whose wear/faults absorb checkpoint and tombstone programs
+            (:class:`~repro.nand.metaregion.MetaRegion`).
 
     Attributes:
         block_states: int32 vector of per-block :class:`BlockState` raw
@@ -136,6 +146,7 @@ class NandArray:
         initial_bad_blocks: Optional[list] = None,
         read_disturb: Optional["ReadDisturbTracker"] = None,
         fault_injector: Optional["FaultInjector"] = None,
+        meta_blocks: int = 4,
     ) -> None:
         self.geometry = geometry
         self.timing = timing
@@ -189,6 +200,17 @@ class NandArray:
         #: accounting are unaffected; programs/reads against it are
         #: charged by the FTL at the array's page timings.
         self.meta = MetaLog(geometry.page_size)
+
+        #: Physical wear model of the reserved blocks backing ``meta``:
+        #: a small erase ring that ages (and can fail) under checkpoint
+        #: and tombstone traffic.  Shares the endurance rating and fault
+        #: injector with the user blocks; see :meth:`meta_program`.
+        self.meta_region = MetaRegion(
+            meta_blocks,
+            geometry.pages_per_block,
+            pe_cycle_limit=self.endurance.pe_cycle_limit,
+            fault_injector=fault_injector,
+        )
 
         self.read_disturb = read_disturb
         self.fault_injector = fault_injector
@@ -345,6 +367,25 @@ class NandArray:
             self.block_states[block] = STATE_ERASED
         return self._erase_ns
 
+    def meta_program(self, pages: int) -> MetaProgramOutcome:
+        """Program ``pages`` metadata pages into the reserved region.
+
+        Routes durable-metadata appends (checkpoints, unmap-journal
+        tombstones) through the :class:`~repro.nand.metaregion.MetaRegion`
+        wear/fault model and prices the resulting NAND work -- payload
+        programs, status-failed retries and ring-wrap erases -- at this
+        array's timings.  The returned outcome carries ``latency_ns``
+        plus the fault/retirement accounting; ``outcome.exhausted`` means
+        the region has no usable block left and the caller must stop
+        accepting writes.
+        """
+        outcome = self.meta_region.program(pages)
+        outcome.latency_ns = (
+            (outcome.pages_programmed + outcome.program_faults) * self._program_ns
+            + (outcome.erases + outcome.erase_faults) * self._erase_ns
+        )
+        return outcome
+
     def mark_bad(self, block: int) -> None:
         """Retire ``block`` as a grown bad block (program/erase failure).
 
@@ -405,6 +446,7 @@ class NandArray:
             factory_bad_blocks=self.factory_bad_blocks,
             grown_bad_blocks=self.grown_bad_blocks,
             meta=self.meta.capture(),
+            meta_wear=self.meta_region.capture(),
         )
 
     @classmethod
@@ -416,6 +458,7 @@ class NandArray:
         pe_cycle_limit: Optional[int] = 3000,
         fault_injector: Optional["FaultInjector"] = None,
         read_disturb: Optional["ReadDisturbTracker"] = None,
+        meta_blocks: int = 4,
     ) -> "NandArray":
         """Build an array from a post-power-cut media image.
 
@@ -435,6 +478,7 @@ class NandArray:
             endurance=endurance,
             read_disturb=read_disturb,
             fault_injector=fault_injector,
+            meta_blocks=meta_blocks,
         )
         nand.block_states[:] = state.block_states
         nand.program_ptr[:] = state.program_ptr
@@ -450,6 +494,13 @@ class NandArray:
         from repro.ftl.metastore import MetaLog  # local: import cycle
 
         nand.meta = MetaLog.restore(state.meta, geometry.page_size)
+        if state.meta_wear is not None:
+            nand.meta_region = MetaRegion.restore(
+                state.meta_wear,
+                geometry.pages_per_block,
+                pe_cycle_limit=pe_cycle_limit,
+                fault_injector=fault_injector,
+            )
         return nand
 
     # ------------------------------------------------------------------

@@ -71,6 +71,9 @@ class SsdConfig:
     #: Journal TRIM/data-loss unmaps as durable tombstones (the fix for
     #: the pre-PR-6 resurrect-after-TRIM hole).  Off only for A/B tests.
     journal_unmaps: bool = True
+    #: Reserved metadata blocks backing the durable-metadata log; their
+    #: wear and faults are modelled (:mod:`repro.nand.metaregion`).
+    meta_blocks: int = 4
 
     def __post_init__(self) -> None:
         # Catch misconfiguration here, with a clear message, instead of
@@ -111,6 +114,8 @@ class SsdConfig:
                 "checkpoint_interval_pages must be >= 1 or None, got "
                 f"{self.checkpoint_interval_pages}"
             )
+        if self.meta_blocks < 1:
+            raise ValueError(f"meta_blocks must be >= 1, got {self.meta_blocks}")
         # Resolve preset names eagerly so typos fail at config time.
         self.fault_profile = (
             resolve_fault_profile(self.fault_profile)
@@ -130,7 +135,13 @@ class SsdConfig:
         profile = self.resolved_fault_profile()
         if profile.enabled:
             injector = FaultInjector(profile, seed=seed)
-        return NandArray(self.geometry, self.timing, endurance, fault_injector=injector)
+        return NandArray(
+            self.geometry,
+            self.timing,
+            endurance,
+            fault_injector=injector,
+            meta_blocks=self.meta_blocks,
+        )
 
     def build_ftl(
         self,
@@ -138,15 +149,21 @@ class SsdConfig:
         clock=None,
         seed: int = 0,
         registry=None,
+        nand: Optional[NandArray] = None,
+        recovered=None,
     ) -> PageMappedFtl:
         """Instantiate a fresh FTL (and NAND) per this configuration.
 
         ``seed`` feeds the fault injector (when a fault profile is set),
         keeping fault sequences reproducible per scenario seed.
         ``registry`` is an optional shared metrics registry; the FTL
-        creates a private one when omitted.
+        creates a private one when omitted.  ``nand`` substitutes a
+        pre-built array (the analytic warm-start synthesizes one) and
+        ``recovered`` hands the FTL pre-installed state through the same
+        path power-on recovery uses.
         """
-        nand = self.build_nand(seed=seed)
+        if nand is None:
+            nand = self.build_nand(seed=seed)
         leveler = None
         if self.enable_wear_leveling:
             leveler = StaticWearLeveler(nand.endurance, self.wear_level_threshold)
@@ -164,6 +181,7 @@ class SsdConfig:
             checkpoint_interval_pages=self.checkpoint_interval_pages,
             journal_unmaps=self.journal_unmaps,
             registry=registry,
+            recovered=recovered,
         )
 
     def recover_from(
@@ -201,6 +219,7 @@ class SsdConfig:
             timing=self.timing,
             pe_cycle_limit=self.pe_cycle_limit,
             fault_injector=injector,
+            meta_blocks=self.meta_blocks,
         )
         leveler = None
         if self.enable_wear_leveling:

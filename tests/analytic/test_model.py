@@ -1,0 +1,152 @@
+"""Tests for the mean-field steady-state predictor (repro.analytic.model)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analytic.model import (
+    SteadyStatePrediction,
+    _stratified_valid_counts,
+    occupancy_quantile,
+    policy_reserve_pages,
+    predict_steady_state,
+    solve_u_min,
+)
+from repro.ftl.space import SpaceModel
+from repro.nand.geometry import NandGeometry
+
+GEOMETRY = NandGeometry(page_size=4096, pages_per_block=64, blocks_per_plane=256)
+SPACE = SpaceModel.from_op_ratio(GEOMETRY, 0.07)
+
+
+# ----------------------------------------------------------------------
+# The u_min bisection
+# ----------------------------------------------------------------------
+def test_solve_u_min_inverts_the_mean_occupancy_relation():
+    for u_bar in (0.1, 0.5, 0.8, 0.93, 0.99):
+        u_min = solve_u_min(u_bar)
+        recovered = (1.0 - u_min) / math.log(1.0 / u_min)
+        assert recovered == pytest.approx(u_bar, abs=1e-9)
+
+
+def test_solve_u_min_is_monotonic_in_occupancy():
+    floors = [solve_u_min(u) for u in (0.2, 0.4, 0.6, 0.8, 0.95)]
+    assert floors == sorted(floors)
+
+
+def test_solve_u_min_rejects_degenerate_occupancy():
+    with pytest.raises(ValueError):
+        solve_u_min(0.0)
+    with pytest.raises(ValueError):
+        solve_u_min(1.0)
+
+
+# ----------------------------------------------------------------------
+# Quantiles and the stratified per-block sample
+# ----------------------------------------------------------------------
+def test_occupancy_quantile_spans_floor_to_full():
+    u_min = 0.7
+    assert occupancy_quantile(u_min, 0.0) == pytest.approx(u_min)
+    assert occupancy_quantile(u_min, 1.0) == pytest.approx(1.0)
+    mid = occupancy_quantile(u_min, 0.5)
+    assert u_min < mid < 1.0
+
+
+def test_stratified_counts_sum_exactly_to_mapped_pages():
+    u_min = solve_u_min(0.85)
+    counts = _stratified_valid_counts(u_min, 100, 64, int(0.85 * 100 * 64))
+    assert counts.sum() == int(0.85 * 100 * 64)
+    assert counts.dtype == np.int32
+    assert (counts >= 0).all() and (counts <= 64).all()
+    # Quantiles are taken in order; the sum-correction may perturb
+    # individual blocks by one page, never more.
+    assert (np.diff(counts) >= -1).all()
+
+
+def test_stratified_counts_match_the_density_shape():
+    u_min = solve_u_min(0.8)
+    counts = _stratified_valid_counts(u_min, 1000, 64, int(0.8 * 1000 * 64))
+    # Empiric floor and ceiling of the sample track [u_min, 1].
+    assert counts[0] / 64 == pytest.approx(u_min, abs=0.05)
+    assert counts[-1] >= 63  # top quantile is (nearly) full
+
+
+# ----------------------------------------------------------------------
+# The full prediction
+# ----------------------------------------------------------------------
+def test_predict_matches_greedy_waf_closed_form():
+    ws = int(SPACE.user_pages * 0.9)
+    pred = predict_steady_state(SPACE, working_set_pages=ws)
+    assert isinstance(pred, SteadyStatePrediction)
+    assert pred.waf == pytest.approx(1.0 / (1.0 - pred.u_min))
+    assert pred.mapped_pages == ws
+    assert pred.valid_counts.sum() == ws
+    assert pred.closed_blocks + pred.free_blocks + 2 == GEOMETRY.total_blocks
+
+
+def test_larger_working_set_predicts_higher_waf():
+    lo = predict_steady_state(
+        SPACE, working_set_pages=int(SPACE.user_pages * 0.5)
+    )
+    hi = predict_steady_state(
+        SPACE, working_set_pages=int(SPACE.user_pages * 0.95)
+    )
+    assert hi.waf > lo.waf
+    assert hi.u_min > lo.u_min
+
+
+def test_trim_mix_shrinks_the_stationary_mapped_share():
+    ws = int(SPACE.user_pages * 0.9)
+    pred = predict_steady_state(
+        SPACE, working_set_pages=ws, trim_fraction=0.25, write_fraction=0.55
+    )
+    assert pred.mapped_fraction == pytest.approx(0.55 / 0.80)
+    assert pred.mapped_pages == round(ws * pred.mapped_fraction)
+    no_trim = predict_steady_state(SPACE, working_set_pages=ws)
+    assert pred.waf < no_trim.waf  # discards create free garbage
+
+
+def test_policy_reserve_respects_fixed_cresv():
+    class Fixed:
+        cresv_over_op = 2.0
+        name = "L-BGC"
+
+    mapped = int(SPACE.user_pages * 0.5)
+    pages = policy_reserve_pages(SPACE, Fixed(), mapped)
+    assert pages == SPACE.clamp_reserved_pages(SPACE.reserved_pages(2.0), mapped)
+
+
+def test_policy_reserve_uses_calibrated_default_for_adaptive():
+    class Adp:
+        name = "ADP-GC"
+
+    class Unknown:
+        name = "X-GC"
+
+    mapped = int(SPACE.user_pages * 0.5)
+    assert policy_reserve_pages(SPACE, Adp(), mapped) == SPACE.reserved_pages(1.0)
+    assert policy_reserve_pages(SPACE, Unknown(), mapped) == SPACE.reserved_pages(0.5)
+    assert policy_reserve_pages(SPACE, None, mapped) == SPACE.reserved_pages(0.5)
+
+
+def test_predict_rejects_impossible_states():
+    with pytest.raises(ValueError):
+        predict_steady_state(SPACE, working_set_pages=SPACE.user_pages + 1)
+    with pytest.raises(ValueError):
+        predict_steady_state(SPACE, working_set_pages=0)
+    with pytest.raises(ValueError):
+        predict_steady_state(
+            SPACE, working_set_pages=100, trim_fraction=0.5, write_fraction=0.0
+        )
+    # A device with almost no good blocks has no closed population.
+    with pytest.raises(ValueError):
+        predict_steady_state(SPACE, working_set_pages=1000, good_blocks=3)
+
+
+def test_prediction_is_deterministic():
+    ws = int(SPACE.user_pages * 0.85)
+    a = predict_steady_state(SPACE, working_set_pages=ws)
+    b = predict_steady_state(SPACE, working_set_pages=ws)
+    assert a.u_min == b.u_min
+    assert np.array_equal(a.valid_counts, b.valid_counts)

@@ -1,0 +1,148 @@
+"""Tests for the warm-start synthesizer (repro.analytic.warmstart):
+installed-state invariants, bit-determinism, and -- the power-loss
+contract -- that a synthesized image survives power-on recovery with
+identical logical contents."""
+
+import numpy as np
+import pytest
+
+from repro.analytic.warmstart import (
+    synthesize_steady_state,
+    workload_mix_hints,
+)
+from repro.ftl.mapping import UNMAPPED
+from repro.nand.array import STATE_FULL
+from repro.ssd.config import SsdConfig
+
+CONFIG = SsdConfig.small(blocks=128, pages_per_block=64)
+
+
+def synth(ws_fraction=0.8, seed=42, config=CONFIG, **kwargs):
+    ws = int(config.space_model().user_pages * ws_fraction)
+    return synthesize_steady_state(
+        config, seed=seed, working_set_pages=ws, **kwargs
+    )
+
+
+# ----------------------------------------------------------------------
+# Installed-state shape
+# ----------------------------------------------------------------------
+def test_synthesized_ftl_passes_invariants_and_matches_prediction():
+    ftl, pred = synth()
+    ftl.invariant_check()
+    # Closed blocks carry exactly the predicted valid counts.
+    counts = sorted(
+        ftl.valid_pages(b) for b in range(CONFIG.geometry.total_blocks)
+        if ftl.nand.block_states[b] == STATE_FULL and not ftl.is_frontier(b)
+    ) if hasattr(ftl, "valid_pages") and hasattr(ftl, "is_frontier") else None
+    l2p = ftl.page_map.l2p_snapshot()
+    assert int((l2p != UNMAPPED).sum()) == pred.mapped_pages
+    assert ftl.stats.host_pages_written == 0  # counters start clean
+
+
+def test_synthesized_device_serves_reads_and_writes():
+    ftl, pred = synth(ws_fraction=0.6)
+    # A mapped page reads from NAND; overwriting it moves the mapping.
+    l2p = ftl.page_map.l2p_snapshot()
+    lpn = int(np.flatnonzero(l2p != UNMAPPED)[0])
+    old_ppn = ftl.page_map.lookup(lpn)
+    ftl.host_write_page(lpn)
+    assert ftl.page_map.lookup(lpn) != old_ppn
+    ftl.invariant_check()
+
+
+def test_synthesis_is_bit_deterministic():
+    a, _ = synth(seed=7)
+    b, _ = synth(seed=7)
+    assert np.array_equal(a.page_map.l2p_snapshot(), b.page_map.l2p_snapshot())
+    assert np.array_equal(a.nand.oob_seq, b.nand.oob_seq)
+    assert np.array_equal(a.nand.oob_lpn, b.nand.oob_lpn)
+    assert np.array_equal(a.nand.block_states, b.nand.block_states)
+    assert np.array_equal(a.nand.erase_counts, b.nand.erase_counts)
+
+
+def test_different_seeds_shuffle_the_layout():
+    a, _ = synth(seed=1)
+    b, _ = synth(seed=2)
+    assert not np.array_equal(a.page_map.l2p_snapshot(), b.page_map.l2p_snapshot())
+
+
+def test_trim_mix_installs_partially_mapped_working_set():
+    ftl, pred = synth(ws_fraction=0.9, trim_fraction=0.25, write_fraction=0.55)
+    assert pred.mapped_fraction < 1.0
+    l2p = ftl.page_map.l2p_snapshot()
+    assert int((l2p != UNMAPPED).sum()) == pred.mapped_pages
+
+
+def test_workload_mix_hints():
+    hints = workload_mix_hints(
+        "Synthetic", {"trim_fraction": 0.2, "write_fraction": 0.5}
+    )
+    assert hints["trim_fraction"] == 0.2
+    assert hints["write_fraction"] == 0.5
+    hints = workload_mix_hints("YCSB", {})
+    assert hints["trim_fraction"] == 0.0
+    assert hints["write_fraction"] == 1.0
+
+
+# ----------------------------------------------------------------------
+# Power-on survival: the synthesized image is recoverable (satellite 3)
+# ----------------------------------------------------------------------
+def _assert_recovery_identity(config, ftl):
+    durable = ftl.nand.capture_durable_state()
+    recovered_ftl, report = config.recover_from(durable)
+    # Read-identity witness: every logical page maps to the same
+    # physical page, so every read returns the same data.
+    assert np.array_equal(
+        recovered_ftl.page_map.l2p_snapshot(), ftl.page_map.l2p_snapshot()
+    )
+    assert recovered_ftl._write_seq >= ftl._write_seq
+    recovered_ftl.invariant_check()
+    return report
+
+
+def test_warm_image_survives_power_on_full_scan():
+    ftl, _ = synth(ws_fraction=0.8)
+    report = _assert_recovery_identity(CONFIG, ftl)
+    assert report.full_scan
+
+
+def test_warm_image_survives_power_on_after_checkpoint():
+    config = SsdConfig.small(
+        blocks=128, pages_per_block=64, checkpoint_interval_pages=10_000
+    )
+    ftl, _ = synth(ws_fraction=0.8, config=config)
+    ftl.write_checkpoint()
+    report = _assert_recovery_identity(config, ftl)
+    assert not report.full_scan  # checkpoint bounds the scan
+
+
+def test_warm_image_survives_power_on_after_io_and_trim():
+    config = SsdConfig.small(blocks=128, pages_per_block=64)
+    ftl, pred = synth(ws_fraction=0.7, config=config)
+    # Post-warm-start activity: overwrites and discards, then power cut.
+    rng = np.random.default_rng(3)
+    ws = pred.working_set_pages
+    for lpn in rng.integers(0, ws, size=500):
+        ftl.host_write_page(int(lpn))
+    ftl.trim(int(l) for l in rng.integers(0, ws, size=64))
+    _assert_recovery_identity(config, ftl)
+
+
+def test_warm_image_survives_power_on_with_trim_mix():
+    ftl, _ = synth(ws_fraction=0.9, trim_fraction=0.25, write_fraction=0.55)
+    _assert_recovery_identity(CONFIG, ftl)
+
+
+# ----------------------------------------------------------------------
+# Error paths
+# ----------------------------------------------------------------------
+def test_overfull_working_set_has_no_steady_state():
+    class HugeReserve:
+        cresv_over_op = 1000.0
+        name = "L-BGC"
+
+    # A full working set cannot coexist with a reserve that swallows the
+    # whole unused capacity: mean occupancy would reach 1.
+    with pytest.raises(ValueError):
+        synth(ws_fraction=1.0, policy=HugeReserve())

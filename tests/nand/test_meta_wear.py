@@ -1,0 +1,182 @@
+"""Tests for metadata wear accounting: the reserved-block ring that
+absorbs checkpoint/tombstone programs (repro.nand.metaregion), its
+NandArray/FTL wiring and the read-only terminal state on exhaustion."""
+
+import numpy as np
+import pytest
+
+from repro.faults.injector import FaultInjector, FaultProfile
+from repro.ftl.ftl import DeviceReadOnlyError
+from repro.nand.array import NandArray
+from repro.nand.geometry import NandGeometry
+from repro.nand.metaregion import MetaRegion
+from repro.nand.timing import NandTiming
+from repro.ssd.config import SsdConfig
+
+GEOMETRY = NandGeometry(page_size=4096, pages_per_block=4, blocks_per_plane=8)
+TIMING = NandTiming(read_ns=10, program_ns=100, erase_ns=1000, transfer_ns_per_page=1)
+
+
+# ----------------------------------------------------------------------
+# MetaRegion ring semantics
+# ----------------------------------------------------------------------
+def test_program_advances_frontier_without_erases_until_wrap():
+    region = MetaRegion(blocks=2, pages_per_block=4)
+    out = region.program(3)
+    assert out.pages_programmed == 3
+    assert out.erases == 0
+    # 5 more pages: finishes block 0 (1 page) and fills block 1 (4
+    # pages); both blocks were never written, so still no erase.
+    out = region.program(5)
+    assert out.pages_programmed == 5
+    assert out.erases == 0
+    assert region.pages_programmed == 8
+
+
+def test_wrap_erases_oldest_block_before_reuse():
+    region = MetaRegion(blocks=2, pages_per_block=4)
+    region.program(8)  # both blocks full
+    out = region.program(1)  # wraps onto block 0 -> erase first
+    assert out.erases == 1
+    assert out.pages_programmed == 1
+    assert region.erase_counts.tolist() == [1, 0]
+
+
+def test_wear_out_retires_block_and_exhausts_region():
+    region = MetaRegion(blocks=1, pages_per_block=2, pe_cycle_limit=2)
+    region.program(2)
+    out = region.program(2)  # wrap #1 -> erase_count 1
+    assert out.erases == 1 and not out.exhausted
+    out = region.program(2)  # wrap #2 -> erase_count 2 == limit -> retire
+    assert out.blocks_retired == 1
+    assert out.exhausted
+    assert region.exhausted
+    # Further programs are refused.
+    out = region.program(1)
+    assert out.exhausted and out.pages_programmed == 0
+
+
+def test_erase_fault_retires_block():
+    injector = FaultInjector(FaultProfile(erase_fail_prob=1.0), seed=7)
+    region = MetaRegion(blocks=2, pages_per_block=2, fault_injector=injector)
+    region.program(4)  # fill both
+    out = region.program(1)  # every wrap-erase fails -> both retired
+    assert out.erase_faults == 2
+    assert out.blocks_retired == 2
+    assert out.exhausted
+    # A failed erase still stresses the cells.
+    assert region.erase_counts.tolist() == [1, 1]
+
+
+def test_program_fault_wastes_page_and_retries_on_next():
+    class EveryOther:
+        def __init__(self):
+            self.n = 0
+
+        def meta_program_fails(self, block, page, pe_cycles):
+            self.n += 1
+            return self.n % 2 == 1
+
+        def meta_erase_fails(self, block, pe_cycles):
+            return False
+
+    region = MetaRegion(blocks=2, pages_per_block=4, fault_injector=EveryOther())
+    out = region.program(3)
+    # Alternating fail/succeed: 3 payload pages cost 6 physical pages.
+    assert out.pages_programmed == 3
+    assert out.program_faults == 3
+
+
+def test_capture_restore_round_trip():
+    region = MetaRegion(blocks=3, pages_per_block=4, pe_cycle_limit=50)
+    region.program(17)
+    state = region.capture()
+    clone = MetaRegion.restore(state, pages_per_block=4, pe_cycle_limit=50)
+    assert np.array_equal(clone.erase_counts, region.erase_counts)
+    assert np.array_equal(clone.retired, region.retired)
+    assert clone._block == region._block and clone._page == region._page
+    # The clone continues exactly where the original would.
+    a = region.program(9)
+    b = clone.program(9)
+    assert (a.pages_programmed, a.erases) == (b.pages_programmed, b.erases)
+
+
+def test_region_validates_arguments():
+    with pytest.raises(ValueError):
+        MetaRegion(blocks=0, pages_per_block=4)
+    with pytest.raises(ValueError):
+        MetaRegion(blocks=1, pages_per_block=0)
+
+
+# ----------------------------------------------------------------------
+# NandArray wiring
+# ----------------------------------------------------------------------
+def test_nand_meta_program_prices_nand_work():
+    nand = NandArray(GEOMETRY, TIMING, meta_blocks=1)
+    out = nand.meta_program(4)  # fills the single reserved block
+    assert out.latency_ns == 4 * TIMING.program_ns
+    out = nand.meta_program(2)  # wrap: one erase + two programs
+    assert out.erases == 1
+    assert out.latency_ns == 2 * TIMING.program_ns + TIMING.erase_ns
+
+
+def test_meta_wear_survives_durable_capture():
+    nand = NandArray(GEOMETRY, TIMING, meta_blocks=2)
+    nand.meta_program(11)  # past one wrap (capacity 8)
+    state = nand.capture_durable_state()
+    clone = NandArray.from_durable(GEOMETRY, state, timing=TIMING, meta_blocks=2)
+    assert np.array_equal(
+        clone.meta_region.erase_counts, nand.meta_region.erase_counts
+    )
+    assert clone.meta_region._block == nand.meta_region._block
+    assert clone.meta_region._page == nand.meta_region._page
+
+
+def test_pre_feature_image_restores_fresh_region():
+    nand = NandArray(GEOMETRY, TIMING)
+    state = nand.capture_durable_state()
+    state.meta_wear = None  # image captured before meta wear existed
+    clone = NandArray.from_durable(GEOMETRY, state, timing=TIMING)
+    assert clone.meta_region.total_erases() == 0
+    assert not clone.meta_region.exhausted
+
+
+# ----------------------------------------------------------------------
+# FTL routing: checkpoints and tombstones age the reserved blocks
+# ----------------------------------------------------------------------
+def test_checkpoint_traffic_wears_metadata_ring():
+    cfg = SsdConfig.small(blocks=64, checkpoint_interval_pages=200, meta_blocks=1)
+    ftl = cfg.build_ftl()
+    for i in range(20000):
+        ftl.host_write_page(i % 2000)
+    stats = ftl.stats
+    assert stats.checkpoints_written > 0
+    assert stats.meta_pages_written > 0
+    assert stats.meta_block_erases > 0, "ring should have wrapped"
+    assert ftl.nand.meta_region.total_erases() == stats.meta_block_erases
+    ftl.invariant_check()
+
+
+def test_tombstone_journal_charges_meta_region():
+    cfg = SsdConfig.small(blocks=64, meta_blocks=2)
+    ftl = cfg.build_ftl()
+    for i in range(256):
+        ftl.host_write_page(i)
+    before = ftl.nand.meta_region.pages_programmed
+    latency = ftl.trim(range(128))
+    assert latency > 0
+    assert ftl.nand.meta_region.pages_programmed > before
+    assert ftl.stats.meta_pages_written == ftl.nand.meta_region.pages_programmed
+
+
+def test_meta_exhaustion_drives_device_read_only():
+    cfg = SsdConfig.small(
+        blocks=64, checkpoint_interval_pages=200, meta_blocks=1, pe_cycle_limit=5
+    )
+    ftl = cfg.build_ftl()
+    with pytest.raises(DeviceReadOnlyError):
+        for i in range(300000):
+            ftl.host_write_page(i % 2000)
+    assert ftl.read_only
+    assert ftl.stats.meta_blocks_retired == 1
+    assert ftl.nand.meta_region.exhausted

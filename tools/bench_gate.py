@@ -28,6 +28,13 @@ same crash image -- and requires their simulated-time ratio
 (``speedup_sim``) to clear ``--min-recovery-speedup`` (default 10x, the
 checkpoint protocol's design target).
 
+Warm-start payloads (``benchmarks/bench_warmstart.py``, ``benchmark``
+starting with ``"warmstart"``): the gate requires the analytic
+warm-start's preconditioning ``speedup`` over the simulated
+prefill+warmup -- a wall-time ratio on the same host, so it transfers
+-- to clear ``--min-warmstart-speedup`` (default 5x, the feature's
+design target).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_hotpaths.py --quick --output /tmp/bench.json
@@ -149,6 +156,28 @@ def check_recovery(current: dict, min_recovery_speedup: float) -> list:
     return failures
 
 
+def check_warmstart(current: dict, min_warmstart_speedup: float) -> list:
+    """Gate a warm-start payload on its preconditioning speedup."""
+    pre = current["results"].get("warmstart_precondition")
+    if pre is None:
+        return [
+            "warmstart payload carries no warmstart_precondition results "
+            "(re-run benchmarks/bench_warmstart.py)"
+        ]
+    print(
+        f"[bench_gate] preconditioning: sim {pre['sim_total_s']}s vs "
+        f"analytic {pre['analytic_total_s']}s across "
+        f"{len(pre.get('policies', {}))} policies"
+    )
+    speedup = pre["speedup"]
+    if speedup < min_warmstart_speedup:
+        return [
+            f"warmstart preconditioning speedup {speedup}x is below the "
+            f"{min_warmstart_speedup}x floor"
+        ]
+    return []
+
+
 def check(current: dict, baseline: dict | None, min_speedup: float,
           tolerance: float) -> list:
     failures = []
@@ -210,11 +239,20 @@ def main(argv=None) -> int:
         help="floor for a recovery payload's checkpointed-vs-full-scan "
         "simulated-time ratio (default: 10x)",
     )
+    parser.add_argument(
+        "--min-warmstart-speedup", type=float, default=5.0,
+        help="floor for a warmstart payload's analytic-vs-simulated "
+        "preconditioning wall-time ratio (default: 5x)",
+    )
     args = parser.parse_args(argv)
 
     current = _load_current(args.current)
-    if str(current.get("benchmark", "")).startswith("recovery"):
-        failures = check_recovery(current, args.min_recovery_speedup)
+    benchmark = str(current.get("benchmark", ""))
+    if benchmark.startswith("recovery") or benchmark.startswith("warmstart"):
+        if benchmark.startswith("recovery"):
+            failures = check_recovery(current, args.min_recovery_speedup)
+        else:
+            failures = check_warmstart(current, args.min_warmstart_speedup)
         if failures:
             for failure in failures:
                 print(f"[bench_gate] FAIL: {failure}")
