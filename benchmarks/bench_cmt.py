@@ -1,0 +1,157 @@
+"""CMT-overhead benchmark: DFTL's cached mapping table vs all-DRAM.
+
+Measures what the flash-resident mapping actually costs: the same
+GC-heavy scenario runs once in ``--mapping dram`` (the reference, whole
+page map in DRAM) and once in ``--mapping dftl`` (translation pages on
+NAND behind an LRU cached mapping table at the default 1/64 DRAM
+budget).  Both runs replay the identical workload, so every difference
+is the translation tier: CMT miss reads, dirty-eviction writebacks, and
+translation-block GC.
+
+Reported per mode: wall seconds, simulator events/sec, WAF; the dftl
+run adds CMT hits/misses, the hit rate, and the translation share of
+all programs.  The headline ``slowdown`` is the dram/dftl events-per-sec
+ratio -- a same-host wall ratio, so it transfers across machines.
+
+Without ``--output`` the run is appended to ``BENCH_hotpaths.json``
+(the dated ``bench-hotpaths/v2`` trajectory) tagged
+``benchmark: "cmt_overhead"``.  ``tools/bench_gate.py`` gates cmt
+payloads on ``--max-cmt-slowdown`` (default 5x) and
+``--max-trans-share`` (default 0.5: translation programs must not
+dominate the write stream).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cmt.py            # full
+    PYTHONPATH=src python benchmarks/bench_cmt.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+if __package__ in (None, ""):  # script invocation: make `repro` importable
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    from bench_hotpaths import _git_commit, _load_trajectory, _machine_fingerprint
+else:
+    from benchmarks.bench_hotpaths import (
+        _git_commit,
+        _load_trajectory,
+        _machine_fingerprint,
+    )
+
+from repro.experiments.crashsweep import gc_heavy_spec
+
+#: Device scale per mode (CI smoke vs full measurement).
+SCALE = {
+    "full": dict(blocks=1024, pages_per_block=64, warmup_s=4, measure_s=30),
+    "quick": dict(blocks=256, pages_per_block=64, warmup_s=2, measure_s=10),
+}
+
+
+def _drive(spec) -> tuple:
+    """Run one scenario; returns (metrics, wall_s, events)."""
+    from repro.experiments.runner import _run_scenario_host
+
+    start = time.perf_counter()
+    metrics, host = _run_scenario_host(spec)
+    wall = time.perf_counter() - start
+    return metrics, wall, host.sim.dispatched
+
+
+def bench_cmt_overhead(quick: bool) -> dict:
+    params = SCALE["quick" if quick else "full"]
+    base = gc_heavy_spec(
+        blocks=params["blocks"],
+        pages_per_block=params["pages_per_block"],
+        warmup_s=params["warmup_s"],
+        measure_s=params["measure_s"],
+    )
+
+    out = {"scenario": dict(params)}
+    eps = {}
+    for mapping in ("dram", "dftl"):
+        spec = replace(base, mapping=mapping)
+        metrics, wall, events = _drive(spec)
+        eps[mapping] = events / wall
+        entry = {
+            "wall_s": round(wall, 3),
+            "events_per_sec": round(eps[mapping], 1),
+            "waf": round(metrics.waf, 4),
+            "iops": round(metrics.iops, 1),
+        }
+        if mapping == "dftl":
+            entry.update(
+                cmt_hits=metrics.cmt_hits,
+                cmt_misses=metrics.cmt_misses,
+                cmt_hit_rate=round(metrics.cmt_hit_rate(), 4),
+                trans_pages_written=metrics.trans_pages_written,
+                trans_pages_migrated=metrics.trans_pages_migrated,
+                trans_share=round(metrics.translation_waf_share, 4),
+            )
+        out[mapping] = entry
+    out["slowdown"] = round(eps["dram"] / eps["dftl"], 2)
+    # The runs are time-bounded, not op-bounded, so the two WAFs come
+    # from diverging replays; the delta is recorded for the trajectory,
+    # not gated (the priced overhead shows up in trans_share).
+    out["waf_delta"] = round(out["dftl"]["waf"] - out["dram"]["waf"], 4)
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced scale for CI smoke runs",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write a single-run payload here instead of appending to the "
+        "repo trajectory (BENCH_hotpaths.json)",
+    )
+    args = parser.parse_args(argv)
+    repo_root = Path(__file__).resolve().parents[1]
+
+    print("[bench_cmt] dram vs dftl on the GC-heavy scenario ...", flush=True)
+    results = {"cmt_overhead": bench_cmt_overhead(args.quick)}
+    print(f"[bench_cmt]   {json.dumps(results['cmt_overhead'])}", flush=True)
+
+    run = {
+        "benchmark": "cmt_overhead",
+        "mode": "quick" if args.quick else "full",
+        "mapping": "dftl",
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "results": results,
+    }
+    if args.output:
+        output = Path(args.output)
+        output.write_text(
+            json.dumps({"schema": "bench-hotpaths/v1", **run}, indent=2) + "\n"
+        )
+        print(f"[bench_cmt] wrote {output}")
+        return 0
+
+    output = repo_root / "BENCH_hotpaths.json"
+    entries = _load_trajectory(output)
+    entries.append({
+        "date": datetime.date.today().isoformat(),
+        "commit": _git_commit(repo_root),
+        "machine": _machine_fingerprint(),
+        **run,
+    })
+    payload = {"schema": "bench-hotpaths/v2", "entries": entries}
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[bench_cmt] appended entry {len(entries)} to {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

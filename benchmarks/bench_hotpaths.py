@@ -316,6 +316,9 @@ def main(argv=None) -> int:
 
     run = {
         "mode": "quick" if args.quick else "full",
+        # Mapping mode the measurements ran under: the gate only
+        # compares like-for-like entries (dram vs dftl hot paths differ).
+        "mapping": "dram",
         "python": sys.version.split()[0],
         "cpu_count": os.cpu_count(),
         "results": results,

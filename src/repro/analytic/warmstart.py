@@ -34,9 +34,9 @@ import numpy as np
 
 from repro.analytic.model import SteadyStatePrediction, predict_steady_state
 from repro.ftl.ftl import PageMappedFtl
-from repro.ftl.mapping import UNMAPPED
+from repro.ftl.mapping import TRANS_LPN_BASE, UNMAPPED
 from repro.ftl.recovery import RecoveredFtlState
-from repro.nand.array import STATE_BAD, STATE_FULL
+from repro.nand.array import STATE_BAD, STATE_FULL, STATE_OPEN
 from repro.sim.randomness import RandomStreams
 from repro.ssd.config import SsdConfig
 
@@ -150,16 +150,60 @@ def synthesize_steady_state(
 
     l2p = np.full(space.user_pages, UNMAPPED, dtype=np.int64)
     l2p[mapped_lpns] = live_ppns
+    write_seq = stale_total + mapped_total
+
+    # DFTL: lay the translation tier out on NAND too.  Every translation
+    # page the working set spans gets a fully-valid on-NAND copy, packed
+    # sequentially into blocks taken from the free-pool head; the GTD
+    # points at them and their OOB stamps (TRANS_LPN_BASE + tvpn, seq)
+    # continue the data sequence, so a full-device scan rebuilds this
+    # exact GTD -- the image stays recoverable by construction.  A
+    # partial last block becomes the open translation frontier.
+    gtd = None
+    active_trans: Optional[int] = None
+    trans_closed: np.ndarray = np.zeros(0, dtype=np.int64)
+    if config.mapping_mode == "dftl":
+        ept = geometry.page_size // 8
+        n_tvpn_total = -(-space.user_pages // ept)
+        n_tvpn = min(n_tvpn_total, -(-working_set_pages // ept))
+        n_tblocks = -(-n_tvpn // ppb)
+        if n_tblocks >= free_list.size:
+            raise ValueError(
+                f"free pool too small to lay out {n_tblocks} translation "
+                f"blocks (only {free_list.size} free blocks)"
+            )
+        tblocks = free_list[:n_tblocks]
+        free_list = free_list[n_tblocks:]
+        slots = np.arange(n_tvpn, dtype=np.int64)
+        t_ppns = tblocks[slots // ppb] * ppb + slots % ppb
+        nand.oob_lpn[t_ppns] = TRANS_LPN_BASE + slots
+        nand.oob_seq[t_ppns] = write_seq + slots
+        write_seq += n_tvpn
+        remainder = n_tvpn % ppb
+        if remainder:
+            full_tblocks = tblocks[:-1]
+            active_trans = int(tblocks[-1])
+            nand.block_states[active_trans] = STATE_OPEN
+            nand.program_ptr[active_trans] = remainder
+        else:
+            full_tblocks = tblocks
+        nand.block_states[full_tblocks] = STATE_FULL
+        nand.program_ptr[full_tblocks] = ppb
+        trans_closed = full_tblocks
+        gtd = np.full(n_tvpn_total, UNMAPPED, dtype=np.int64)
+        gtd[:n_tvpn] = t_ppns
 
     recovered = RecoveredFtlState(
         l2p=l2p,
         free_blocks=[int(b) for b in free_list],
-        closed_blocks=[int(b) for b in closed],
+        closed_blocks=[int(b) for b in closed] + [int(b) for b in trans_closed],
         retired_blocks=set(),
         active_user_block=None,
         active_gc_block=None,
-        write_seq=stale_total + mapped_total,
+        write_seq=write_seq,
         checkpoint_generation=0,
+        gtd=gtd,
+        active_trans_block=active_trans,
     )
     ftl = config.build_ftl(
         seed=seed, registry=registry, nand=nand, recovered=recovered

@@ -73,10 +73,18 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
         choices=sorted(FAULT_PROFILES),
         help="media-fault injection profile (default: none)",
     )
+    _add_mapping_args(parser)
     parser.add_argument(
         "--checkpoint-interval", type=int, default=None, metavar="PAGES",
         help="write a durable mapping checkpoint every PAGES host pages "
         "(bounds post-power-cut recovery to a log-tail scan; default: off)",
+    )
+    parser.add_argument(
+        "--checkpoint-policy", default="interval",
+        choices=("interval", "adaptive"),
+        help="checkpoint scheduling: 'interval' fires on a fixed "
+        "host-page count; 'adaptive' fires on actual tail-scan accrual "
+        "(all program streams) and early during GC quiescence",
     )
     parser.add_argument(
         "--trace", default=None, metavar="PATH",
@@ -94,6 +102,25 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
         "--profile", action="store_true",
         help="profile event-loop wall time and print the report",
     )
+
+
+def _add_mapping_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--mapping", default="dram", choices=("dram", "dftl"),
+        help="FTL mapping architecture: 'dram' keeps the whole page map "
+        "in DRAM (reference); 'dftl' stores translation pages on NAND "
+        "behind a cached mapping table (see DESIGN.md)",
+    )
+    parser.add_argument(
+        "--cmt-budget-kb", type=int, default=None, metavar="KIB",
+        help="cached-mapping-table DRAM budget in KiB (dftl only; "
+        "default: 1/64 of the full in-DRAM map)",
+    )
+
+
+def _cmt_budget_bytes(args: argparse.Namespace):
+    kib = getattr(args, "cmt_budget_kb", None)
+    return None if kib is None else kib * 1024
 
 
 def _obs_config_from(args: argparse.Namespace):
@@ -122,6 +149,9 @@ def _spec_from(args: argparse.Namespace) -> ScenarioSpec:
         checkpoint_interval=getattr(args, "checkpoint_interval", None),
         obs=_obs_config_from(args),
         warm_start=getattr(args, "warm_start", "sim"),
+        mapping=getattr(args, "mapping", "dram"),
+        cmt_budget_bytes=_cmt_budget_bytes(args),
+        checkpoint_policy=getattr(args, "checkpoint_policy", "interval"),
     )
 
 
@@ -152,6 +182,22 @@ def _print_metrics(metrics) -> None:
         ["p9999 op latency (ms)", f"{metrics.p9999_latency_ns / 1e6:.3f}"],
         ["max op latency (ms)", f"{metrics.max_latency_ns / 1e6:.3f}"],
     ]
+    if metrics.mapping_mode == "dftl":
+        rows.extend(
+            [
+                ["mapping mode", metrics.mapping_mode],
+                ["CMT hits/misses", f"{metrics.cmt_hits}/{metrics.cmt_misses}"],
+                ["CMT hit rate", f"{metrics.cmt_hit_rate():.1%}"],
+                [
+                    "translation pages written",
+                    metrics.trans_pages_written + metrics.trans_pages_migrated,
+                ],
+                [
+                    "translation WAF share",
+                    f"{metrics.translation_waf_share:.1%}",
+                ],
+            ]
+        )
     if metrics.tail_causes:
         causes = ", ".join(
             f"{cause}={pair[0]}"
@@ -244,6 +290,8 @@ def cmd_crash_sweep(args: argparse.Namespace) -> int:
         trim_heavy=args.trim_heavy,
         checkpoint_interval=args.checkpoint_interval,
         warm_start=args.warm_start,
+        mapping=args.mapping,
+        cmt_budget_bytes=_cmt_budget_bytes(args),
     )
     _echo_run_header(spec)
     ticks = {"n": 0}
@@ -357,6 +405,8 @@ def cmd_latency_report(args: argparse.Namespace) -> int:
         pages_per_block=args.pages_per_block,
         seed=args.seed,
         measure_s=args.measure,
+        mapping=args.mapping,
+        cmt_budget_bytes=_cmt_budget_bytes(args),
     )
     # The report defaults to a working set below the crash sweep's 0.9:
     # with idle headroom available, just-in-time background collection
@@ -488,6 +538,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", default="none", choices=sorted(FAULT_PROFILES),
         help="media-fault profile active while the sweep runs",
     )
+    _add_mapping_args(crash_parser)
     crash_parser.add_argument(
         "--points", type=int, default=100, metavar="N",
         help="crash points to verify (default: 100)",
@@ -548,6 +599,7 @@ def build_parser() -> argparse.ArgumentParser:
     latency_parser.add_argument(
         "--trace-format", default="jsonl", choices=TRACE_FORMATS,
     )
+    _add_mapping_args(latency_parser)
     _add_jobs_arg(latency_parser)
     latency_parser.set_defaults(func=cmd_latency_report)
 

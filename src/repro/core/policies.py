@@ -362,6 +362,17 @@ class JitGcPolicy(GcPolicy):
             prediction.demands_bytes = [
                 int(d * age_fraction) for d in prediction.demands_bytes
             ]
+        # DFTL induces translation-page writebacks per host page (CMT
+        # evictions + GC of translation blocks).  Those programs consume
+        # free capacity just like host data, so Dbuf must fund them or
+        # the deferral rule under-reclaims and the shortfall lands as
+        # foreground GC.  Observed overhead is 0.0 in dram mode, leaving
+        # the historical estimate bit-identical.
+        trans_overhead = self.device.ftl.translation_write_overhead()
+        if trans_overhead > 0.0:
+            prediction.demands_bytes = [
+                int(d * (1.0 + trans_overhead)) for d in prediction.demands_bytes
+            ]
         ddir = self.direct_predictor.predict(now)
         dearly = self.early_flush_predictor.predict(now)
         ddir = [d + e for d, e in zip(ddir, dearly)]

@@ -128,12 +128,13 @@ class CrashSweepResult:
         )
 
 
-def _expected_free_blocks(nand: NandArray) -> int:
+def _expected_free_blocks(nand: NandArray, streams: int = 2) -> int:
     """Media-visible free-pool expectation: every good ERASED block,
-    less one per write stream that lacks an OPEN block to resume."""
+    less one per write stream that lacks an OPEN block to resume
+    (``streams`` is 3 in dftl mode -- user, GC and translation)."""
     erased = int((nand.block_states == STATE_ERASED).sum())
     open_count = int((nand.block_states == STATE_OPEN).sum())
-    return erased - max(0, 2 - open_count)
+    return erased - max(0, streams - open_count)
 
 
 def _check_recovered_against_live(
@@ -173,6 +174,32 @@ def _check_recovered_against_live(
         raise CrashPointMismatch(
             f"write_seq {ftl._write_seq} != live {live_ftl._write_seq}"
         )
+    if live_ftl.mapping_mode == "dftl":
+        # The translation tier must survive the cut bit-identically too:
+        # same GTD (every translation page's newest on-NAND copy) and
+        # matching OOB stamps at those physical locations.
+        live_gtd = live_ftl.page_map.gtd_snapshot()
+        rec_gtd = ftl.page_map.gtd_snapshot()
+        if not np.array_equal(live_gtd, rec_gtd):
+            diff = int((live_gtd != rec_gtd).sum())
+            raise CrashPointMismatch(
+                f"GTD mismatch after recovery: {diff} TVPNs map differently"
+            )
+        if ftl.page_map.gtd_mapped_count != live_ftl.page_map.gtd_mapped_count:
+            raise CrashPointMismatch(
+                f"gtd_mapped_count {ftl.page_map.gtd_mapped_count} != "
+                f"{live_ftl.page_map.gtd_mapped_count}"
+            )
+        trans_mapped = np.flatnonzero(live_gtd != UNMAPPED)
+        if trans_mapped.size:
+            tppns = live_gtd[trans_mapped]
+            if not (
+                np.array_equal(nand.oob_lpn[tppns], live_nand.oob_lpn[tppns])
+                and np.array_equal(nand.oob_seq[tppns], live_nand.oob_seq[tppns])
+            ):
+                raise CrashPointMismatch(
+                    "OOB stamps of mapped translation pages diverged"
+                )
 
     # Read identity: with page payloads not modelled, a physical page's
     # content *is* its (lpn, seq) stamp -- equal stamps at equal PPNs
@@ -241,10 +268,13 @@ def verify_crash_point(
         pe_cycle_limit=config.pe_cycle_limit,
         fault_injector=None,
     )
-    for block in (live_ftl.active_user_block, live_ftl.active_gc_block):
+    frontiers = [live_ftl.active_user_block, live_ftl.active_gc_block]
+    if live_ftl.mapping_mode == "dftl":
+        frontiers.append(live_ftl.active_trans_block)
+    for block in frontiers:
         if block is not None:
             nand.tear_frontier_page(block)
-    expected_free = _expected_free_blocks(nand)
+    expected_free = _expected_free_blocks(nand, streams=live_ftl._streams)
 
     ftl, report = _recover(nand, config)
     _check_recovered_against_live(
@@ -272,7 +302,7 @@ def verify_crash_point(
             ftl2,
             nand2,
             report2,
-            _expected_free_blocks(nand2),
+            _expected_free_blocks(nand2, streams=live_ftl._streams),
             sample_reads,
             rng,
         )
@@ -291,6 +321,9 @@ def _recover(nand: NandArray, config: SsdConfig):
         max_erase_retries=config.max_erase_retries,
         checkpoint_interval_pages=config.checkpoint_interval_pages,
         journal_unmaps=config.journal_unmaps,
+        mapping_mode=config.mapping_mode,
+        cmt_budget_bytes=config.cmt_budget_bytes,
+        checkpoint_policy=config._checkpoint_policy(),
     )
 
 
@@ -307,6 +340,8 @@ def gc_heavy_spec(
     trim_heavy: bool = False,
     checkpoint_interval: Optional[int] = None,
     warm_start: str = "sim",
+    mapping: str = "dram",
+    cmt_budget_bytes: Optional[int] = None,
 ) -> ScenarioSpec:
     """A scenario tuned so GC runs constantly under the sweep.
 
@@ -325,6 +360,10 @@ def gc_heavy_spec(
     knob, shared with the scenario runner); ``warm_start="analytic"``
     replaces the prefill + warm-up with the synthesized steady state, so
     crash points verify recovery of analytically constructed images too.
+    ``mapping="dftl"`` runs the sweep over the flash-resident mapping:
+    crash points then also land between a translation-page writeback and
+    its GTD update, inside translation-block GC, and on the torn
+    translation frontier -- the states the GTD rebuild must get right.
     """
     workload = "YCSB"
     workload_kwargs: dict = {}
@@ -351,6 +390,8 @@ def gc_heavy_spec(
         fault_profile=fault_profile,
         checkpoint_interval=checkpoint_interval,
         warm_start=warm_start,
+        mapping=mapping,
+        cmt_budget_bytes=cmt_budget_bytes,
     )
 
 

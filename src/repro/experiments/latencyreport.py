@@ -101,6 +101,21 @@ class LatencyReportResult:
             rows.append(row)
         return rows
 
+    def mapping_rows(self) -> List[List[object]]:
+        """CMT/translation-tier rows (one per policy; dftl runs only)."""
+        return [
+            [
+                policy,
+                m.cmt_hits,
+                m.cmt_misses,
+                f"{100.0 * m.cmt_hit_rate():.2f}%",
+                m.trans_pages_written,
+                m.trans_pages_migrated,
+                f"{100.0 * m.translation_waf_share:.2f}%",
+            ]
+            for policy, m in self.results.items()
+        ]
+
     def format(self) -> str:
         percentiles = format_table(
             ["Policy", "mean", "p50", "p95", "p99", "p999", "p9999", "max"],
@@ -124,7 +139,26 @@ class LatencyReportResult:
             if self.attribution_ok()
             else "ATTRIBUTION MISMATCH: cause counts do not sum to slow ops"
         )
-        return f"{percentiles}\n\n{causes}\n\n{check}"
+        report = f"{percentiles}\n\n{causes}\n\n{check}"
+        if any(m.mapping_mode == "dftl" for m in self.results.values()):
+            mapping = format_table(
+                [
+                    "Policy",
+                    "CMT hits",
+                    "CMT misses",
+                    "hit rate",
+                    "trans written",
+                    "trans migrated",
+                    "trans WAF share",
+                ],
+                self.mapping_rows(),
+                title=(
+                    "Translation tier (DFTL): CMT behaviour and the share "
+                    "of programs spent on translation pages"
+                ),
+            )
+            report = f"{report}\n\n{mapping}"
+        return report
 
 
 def run_latency_report(

@@ -122,6 +122,14 @@ class ScenarioSpec:
     timeout_s: Optional[float] = None
     obs: Optional[ObservabilityConfig] = None
     warm_start: str = "sim"
+    #: FTL mapping architecture: ``"dram"`` (all-DRAM page map) or
+    #: ``"dftl"`` (flash-resident translation pages behind a CMT).
+    mapping: str = "dram"
+    #: CMT DRAM budget in bytes (dftl only; None = 1/64 of the full map).
+    cmt_budget_bytes: Optional[int] = None
+    #: Checkpoint scheduling: ``"interval"`` (fixed host-page interval)
+    #: or ``"adaptive"`` (accrual-based with GC-quiescence early fire).
+    checkpoint_policy: str = "interval"
 
     def with_policy(self, policy: str, factory: Optional[Callable[[], GcPolicy]] = None):
         """Same scenario, different policy (identical workload replay)."""
@@ -138,6 +146,11 @@ class ScenarioSpec:
             # Same suffix-only-when-set rule; a warm-started run is a
             # different measurement than its simulated-warmup oracle.
             key += f"/warm-{self.warm_start}"
+        if self.mapping != "dram":
+            # Suffix-only-when-set again: dram-mode keys are unchanged.
+            key += f"/map-{self.mapping}"
+        if self.checkpoint_policy != "interval":
+            key += f"/ckpt-{self.checkpoint_policy}"
         return key
 
     def make_policy(self) -> GcPolicy:
@@ -156,6 +169,9 @@ class ScenarioSpec:
             op_ratio=self.op_ratio,
             fault_profile=self.fault_profile,
             checkpoint_interval_pages=self.checkpoint_interval,
+            mapping_mode=self.mapping,
+            cmt_budget_bytes=self.cmt_budget_bytes,
+            checkpoint_policy=self.checkpoint_policy,
         )
 
     def fault_tag(self) -> str:
@@ -176,6 +192,7 @@ class ScenarioSpec:
             "warmup_s": self.warmup_s,
             "measure_s": self.measure_s,
             "warm_start": self.warm_start,
+            "mapping": self.mapping,
         }
 
 

@@ -32,7 +32,8 @@ from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Set, Tuple
 import numpy as np
 
 from repro import perf
-from repro.ftl.mapping import UNMAPPED, PageMap
+from repro.ftl.checkpoint_policy import CheckpointPolicy, IntervalCheckpointPolicy
+from repro.ftl.mapping import TRANS_LPN_BASE, UNMAPPED, CachedPageMap, PageMap
 from repro.ftl.metastore import KIND_CHECKPOINT, KIND_UNMAP, build_checkpoint, build_tombstones
 from repro.ftl.space import SipOverlapIndex, SpaceModel, ValidCountIndex
 from repro.ftl.stats import FtlStats
@@ -45,7 +46,13 @@ from repro.nand.errors import (
     ProgramFailError,
     UncorrectableReadError,
 )
-from repro.obs.audit import CheckpointRecord, DISABLED_AUDIT, FaultRecord, VictimRecord
+from repro.obs.audit import (
+    CheckpointRecord,
+    DISABLED_AUDIT,
+    FaultRecord,
+    MappingFaultRecord,
+    VictimRecord,
+)
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER
 
@@ -119,11 +126,18 @@ class PageMappedFtl:
         journal_unmaps: bool = True,
         registry: Optional[MetricsRegistry] = None,
         recovered: Optional["RecoveredFtlState"] = None,
+        mapping_mode: str = "dram",
+        cmt_budget_bytes: Optional[int] = None,
+        checkpoint_policy: Optional[CheckpointPolicy] = None,
     ) -> None:
         if space.geometry is not nand.geometry:
             raise ValueError("space model and NAND array use different geometries")
         if fgc_watermark < 2:
             raise ValueError(f"fgc_watermark must be >= 2, got {fgc_watermark}")
+        if mapping_mode not in ("dram", "dftl"):
+            raise ValueError(
+                f"mapping_mode must be 'dram' or 'dftl', got {mapping_mode!r}"
+            )
         if fgc_penalty < 1.0:
             raise ValueError(f"fgc_penalty must be >= 1.0, got {fgc_penalty}")
         for name, value in (
@@ -140,7 +154,31 @@ class PageMappedFtl:
         self.nand = nand
         self.space = space
         self.geometry = nand.geometry
-        self.page_map = PageMap(nand.geometry, space.user_pages)
+        #: Mapping architecture: ``dram`` keeps the full page map in
+        #: controller DRAM (the historical model); ``dftl`` stores
+        #: translation pages on NAND behind an LRU cached mapping table
+        #: with a configurable DRAM budget (1/64 of the full map by
+        #: default) and a third write frontier for translation blocks.
+        self.mapping_mode = mapping_mode
+        self._dftl = mapping_mode == "dftl"
+        if self._dftl:
+            full_map_bytes = space.user_pages * 8
+            budget = (
+                cmt_budget_bytes
+                if cmt_budget_bytes is not None
+                else full_map_bytes // 64
+            )
+            self.cmt_budget_bytes = budget
+            capacity = max(1, budget // nand.geometry.page_size)
+            self.page_map: PageMap = CachedPageMap(
+                nand.geometry, space.user_pages, capacity
+            )
+        else:
+            self.cmt_budget_bytes = None
+            self.page_map = PageMap(nand.geometry, space.user_pages)
+        #: Write streams: user + GC frontiers, plus the translation
+        #: frontier in dftl mode (sizing floor for the free pool).
+        self._streams = 3 if self._dftl else 2
         self.victim_selector = victim_selector or GreedySelector()
         self.fgc_watermark = fgc_watermark
         self.fgc_penalty = fgc_penalty
@@ -182,6 +220,16 @@ class PageMappedFtl:
         #: one total order that recovery replays newest-stamp-wins.
         self.checkpoint_interval_pages = checkpoint_interval_pages
         self.journal_unmaps = journal_unmaps
+        #: Checkpoint scheduling: an explicit policy object wins;
+        #: otherwise a set interval builds the classic fixed-interval
+        #: policy (bit-identical to the historical inline check), and
+        #: None disables checkpointing entirely.
+        if checkpoint_policy is not None:
+            self._ckpt_policy: Optional[CheckpointPolicy] = checkpoint_policy
+        elif checkpoint_interval_pages is not None:
+            self._ckpt_policy = IntervalCheckpointPolicy(checkpoint_interval_pages)
+        else:
+            self._ckpt_policy = None
         #: Generation stamp of the last checkpoint written (monotonic
         #: across power cycles: recovery restores the max generation seen
         #: in the metadata log, torn records included).
@@ -224,12 +272,15 @@ class PageMappedFtl:
             for block in range(self.geometry.total_blocks)
             if not nand.is_bad(block)
         ]
-        if len(good) < fgc_watermark + 2:
+        if len(good) < fgc_watermark + self._streams:
             raise FtlError("not enough good blocks to operate")
         self.allocator = WearAwareAllocator(nand.endurance, initial_free=good)
 
         self._active_user_block = self._allocate_block()
         self._active_gc_block = self._allocate_block()
+        self._active_trans_block: Optional[int] = (
+            self._allocate_block() if self._dftl else None
+        )
 
     def _install_recovered(self, recovered: "RecoveredFtlState") -> None:
         """Adopt the post-power-cut state reconstructed by the recovery
@@ -242,6 +293,13 @@ class PageMappedFtl:
         """
         pm = self.page_map
         pm.load_mapping(recovered.l2p)
+        if self._dftl:
+            if recovered.gtd is None:
+                raise FtlError(
+                    "dftl mapping mode requires a recovered GTD "
+                    "(recovery scan ran without translation-stamp support?)"
+                )
+            pm.load_gtd(recovered.gtd)
         self._write_seq = recovered.write_seq
         self._ckpt_generation = recovered.checkpoint_generation
         self.retired_blocks = set(recovered.retired_blocks)
@@ -262,12 +320,20 @@ class PageMappedFtl:
             if recovered.active_gc_block is not None
             else self._allocate_block()
         )
+        if self._dftl:
+            self._active_trans_block = (
+                recovered.active_trans_block
+                if recovered.active_trans_block is not None
+                else self._allocate_block()
+            )
+        else:
+            self._active_trans_block = None
         if self.retired_blocks:
             # Re-seed the degraded-OP timeline so post-recovery metrics
             # start from the surviving capacity, not the nominal one.
             self.stats.blocks_retired = len(self.retired_blocks)
             self._op_series.append(self._clock(), self.effective_op_pages())
-        min_good = self.fgc_watermark + 2
+        min_good = self.fgc_watermark + self._streams
         if self.effective_op_pages() <= 0 or self.nand.good_blocks() < min_good:
             self._enter_read_only()
 
@@ -308,6 +374,11 @@ class PageMappedFtl:
     def active_gc_block(self) -> int:
         return self._active_gc_block
 
+    @property
+    def active_trans_block(self) -> Optional[int]:
+        """Translation-block write frontier (None in dram mode)."""
+        return self._active_trans_block
+
     # ------------------------------------------------------------------
     # Capacity queries (the paper's Cfree / Cused)
     # ------------------------------------------------------------------
@@ -319,7 +390,12 @@ class PageMappedFtl:
         ppb = self.geometry.pages_per_block
         frontier_user = ppb - self.nand.next_programmable_page(self._active_user_block)
         frontier_gc = ppb - self.nand.next_programmable_page(self._active_gc_block)
-        return len(self.allocator) * ppb + frontier_user + frontier_gc
+        frontier_trans = 0
+        if self._active_trans_block is not None:
+            frontier_trans = ppb - self.nand.next_programmable_page(
+                self._active_trans_block
+            )
+        return len(self.allocator) * ppb + frontier_user + frontier_gc + frontier_trans
 
     def free_bytes(self) -> int:
         """The paper's ``Cfree`` in bytes."""
@@ -392,7 +468,7 @@ class PageMappedFtl:
                 block=block,
                 effective_op_pages=effective_op,
             )
-        min_good = self.fgc_watermark + 2
+        min_good = self.fgc_watermark + self._streams
         if self.effective_op_pages() <= 0 or self.nand.good_blocks() < min_good:
             self._enter_read_only()
 
@@ -494,7 +570,8 @@ class PageMappedFtl:
             self._active_gc_block = replacement
 
         latency = 0
-        for offset, lpn in list(self.page_map.valid_lpns_in_block(failed_block)):
+        relocated_lpns = list(self.page_map.valid_lpns_in_block(failed_block))
+        for offset, lpn in relocated_lpns:
             read_ns, ok = self._read_with_retry(failed_block, offset)
             latency += read_ns
             self.stats.gc_pages_read += 1
@@ -535,6 +612,15 @@ class PageMappedFtl:
         self._record_retirement(failed_block)
         if self.audit.enabled or self.tracer.enabled:
             self._note_fault("program", failed_block, -1, "block-retired")
+        if self._dftl:
+            # Every relocated (or lost) LPN dirtied its translation page;
+            # deferred past the relocation loop like the GC paths.
+            ept = self.page_map.entries_per_tpage
+            touched = sorted(
+                {lpn // ept for _, lpn in relocated_lpns}
+            )
+            for tvpn in touched:
+                latency += self._mapping_access(tvpn, dirty=True)
         return latency
 
     def _erase_with_retry(self, block: int) -> Tuple[int, bool]:
@@ -574,7 +660,7 @@ class PageMappedFtl:
         if self.needs_foreground_gc():
             latency += self._run_foreground_gc()
         latency += self._program_user_page(lpn)
-        if self.checkpoint_interval_pages is not None:
+        if self._ckpt_policy is not None:
             latency += self._maybe_checkpoint()
         latency += self.nand.timing.transfer_ns_per_page
         return latency
@@ -691,8 +777,15 @@ class PageMappedFtl:
                     ]
                     sip.remap_batch(block, len(hits), hit_old)
             self.stats.host_pages_written += chunk
+            if self._dftl:
+                # One CMT touch per translation page the chunk spans (the
+                # per-page loop would touch each page's tvpn; duplicates
+                # within a chunk are hits and cost nothing).
+                ept = self.page_map.entries_per_tpage
+                for tvpn in range(first // ept, (first + chunk - 1) // ept + 1):
+                    latency += self._mapping_access(tvpn, dirty=True)
             pos += chunk
-        if self.checkpoint_interval_pages is not None:
+        if self._ckpt_policy is not None:
             # Once per extent, not per chunk: the checkpoint horizon may
             # land a few pages later than the per-page plane's would, but
             # the request's total latency is identical and recovery only
@@ -704,16 +797,23 @@ class PageMappedFtl:
         """Read one logical page; returns NAND latency (ns).
 
         Reads of never-written pages return zeroes at transfer cost only
-        (no flash access), like a real drive.
+        (no flash access), like a real drive.  In dftl mode the lookup
+        first consults the cached mapping table; a miss pays a real NAND
+        read of the translation page.
         """
+        latency = 0
+        if self._dftl:
+            latency += self._mapping_access(
+                self.page_map.tvpn_of(lpn), dirty=False
+            )
         ppn = self.page_map.lookup(lpn)
         self.stats.host_pages_read += 1
         if ppn is None:
-            return self.nand.timing.transfer_ns_per_page
-        latency, _ok = self._read_with_retry(
+            return latency + self.nand.timing.transfer_ns_per_page
+        read_ns, _ok = self._read_with_retry(
             self.page_map.block_of(ppn), self.page_map.page_of(ppn)
         )
-        return latency + self.nand.timing.transfer_ns_per_page
+        return latency + read_ns + self.nand.timing.transfer_ns_per_page
 
     def trim(self, lpns: Iterable[int]) -> int:
         """TRIM logical pages; returns the journaling latency (ns).
@@ -728,6 +828,10 @@ class PageMappedFtl:
         freed = self.page_map.unmap_many(lpns)
         self.stats.pages_trimmed += len(freed)
         latency = self._journal_tombstones(freed)
+        if self._dftl and freed:
+            ept = self.page_map.entries_per_tpage
+            for tvpn in sorted({lpn // ept for lpn in freed}):
+                latency += self._mapping_access(tvpn, dirty=True)
         if self.tracer.enabled and freed:
             self.tracer.emit(
                 "ftl", "ftl.trim", pages=len(freed), journal_ns=latency
@@ -768,6 +872,13 @@ class PageMappedFtl:
                 live_blocks=self.nand.meta_region.live_blocks(),
             )
         if outcome.exhausted and not self.read_only:
+            if outcome.pages_programmed < pages:
+                # The logical append preceded this program, so the
+                # record's tail never reached NAND: mark it torn, or
+                # recovery would trust a checkpoint generation that was
+                # never durably complete.  The previous complete
+                # generation (kept by compaction) takes over.
+                self.nand.meta.tear_last(keep_pages=outcome.pages_programmed)
             self._enter_read_only()
         return outcome.latency_ns
 
@@ -803,13 +914,11 @@ class PageMappedFtl:
         return self._journal_tombstones([lpn])
 
     def _maybe_checkpoint(self) -> int:
-        """Write a mapping checkpoint when the interval has elapsed."""
-        interval = self.checkpoint_interval_pages
-        if interval is None:
+        """Write a mapping checkpoint when the policy says so."""
+        policy = self._ckpt_policy
+        if policy is None or not policy.should_checkpoint(self):
             return 0
-        if self.stats.host_pages_written - self._pages_at_last_ckpt < interval:
-            return 0
-        return self.write_checkpoint(trigger="interval")
+        return self.write_checkpoint(trigger=policy.trigger)
 
     def write_checkpoint(self, trigger: str = "manual") -> int:
         """Snapshot the mapping to the NAND metadata region.
@@ -830,10 +939,17 @@ class PageMappedFtl:
             self.nand.program_ptr,
             self.nand.endurance.erase_counts,
             self._ppb,
+            gtd=self.page_map.gtd_snapshot() if self._dftl else None,
         )
         record = self.nand.meta.append(KIND_CHECKPOINT, payload, generation=generation)
         self.nand.meta.compact()
         self._pages_at_last_ckpt = self.stats.host_pages_written
+        if self._ckpt_policy is not None:
+            self._ckpt_policy.note_checkpoint(self)
+        if self._dftl:
+            # The checkpoint persists the whole directory, so cached
+            # entries stop being writeback debt at this instant.
+            self.page_map.cmt_flush_all()
         self.stats.checkpoints_written += 1
         latency = self._meta_program(record.pages)
         if self.audit.enabled:
@@ -862,6 +978,10 @@ class PageMappedFtl:
         block, page, latency = self._program_frontier(user=True, lpn=lpn)
         self.page_map.remap(lpn, block * self._ppb + page)
         self.stats.host_pages_written += 1
+        if self._dftl:
+            latency += self._mapping_access(
+                self.page_map.tvpn_of(lpn), dirty=True
+            )
         return latency
 
     def _frontier_slot(self, user: bool) -> Tuple[int, int, int]:
@@ -890,6 +1010,170 @@ class PageMappedFtl:
         self._close_time[block] = self._clock()
         if self.victim_index is not None:
             self.victim_index.track(block, self.page_map.valid_count(block))
+
+    # ------------------------------------------------------------------
+    # Translation tier (dftl mapping mode)
+    # ------------------------------------------------------------------
+    def translation_write_overhead(self) -> float:
+        """Translation pages programmed per host page written.
+
+        The JIT-GC demand predictor scales its Dbuf estimate by
+        ``1 + overhead`` so collections provision for the mapping
+        writeback traffic the buffered writes will induce.  Always 0.0
+        in dram mode.
+        """
+        if not self._dftl or self.stats.host_pages_written == 0:
+            return 0.0
+        trans = self.stats.trans_pages_written + self.stats.trans_pages_migrated
+        return trans / self.stats.host_pages_written
+
+    def _mapping_access(self, tvpn: int, dirty: bool) -> int:
+        """Consult the CMT for one translation page; returns ns latency.
+
+        A hit is free (DRAM).  A miss pays a NAND read of the
+        translation page's newest flushed copy (nothing if it was never
+        flushed).  Making room may evict the LRU entry; a *dirty*
+        eviction pays a NAND program of a fresh translation page through
+        :meth:`_program_trans_page`.  Non-zero cost is recorded as a
+        ``mapping-fault`` episode for tail attribution.
+        """
+        pm = self.page_map
+        hit, evicted = pm.cmt_touch(tvpn, dirty)
+        stats = self.stats
+        latency = 0
+        kind = "miss"
+        if hit:
+            stats.cmt_hits += 1
+        else:
+            stats.cmt_misses += 1
+            ppn = pm.trans_ppn(tvpn)
+            if ppn is not None:
+                read_ns, _ok = self._read_with_retry(
+                    ppn // self._ppb, ppn % self._ppb
+                )
+                latency += read_ns
+                stats.trans_pages_read += 1
+        pages = 1 if latency else 0
+        for evicted_tvpn, was_dirty in evicted:
+            if not was_dirty:
+                continue
+            stats.cmt_evictions += 1
+            latency += self._program_trans_page(evicted_tvpn)
+            pages += 1
+            kind = "writeback"
+        if latency and (self.audit.enabled or self.tracer.enabled):
+            if self.audit.enabled:
+                self.audit.record_mapping_fault(
+                    MappingFaultRecord(
+                        t_ns=self._clock(),
+                        dur_ns=latency,
+                        kind=kind,
+                        pages=pages,
+                    )
+                )
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "ftl",
+                    "ftl.mapping_fault",
+                    tvpn=tvpn,
+                    kind=kind,
+                    dur_ns=latency,
+                )
+        return latency
+
+    def _trans_frontier_slot(self) -> Tuple[int, int, int]:
+        """(block, page, extra_latency) of the next translation-frontier
+        page, rolling to a fresh block when the frontier fills."""
+        block = self._active_trans_block
+        page = int(self.nand.program_ptr[block])
+        if page >= self._ppb:
+            self._close_block(block)
+            block = self._allocate_block()
+            self._active_trans_block = block
+            page = 0
+        return block, page, 0
+
+    def _program_trans_page(self, tvpn: int, migrated: bool = False) -> int:
+        """Program a fresh copy of translation page ``tvpn``.
+
+        Stamps ``TRANS_LPN_BASE + tvpn`` in the page's OOB so recovery
+        classifies the page into the translation namespace, and updates
+        the GTD (invalidating the previous copy) through
+        :meth:`CachedPageMap.remap_trans`.
+        """
+        latency = 0
+        encoded = TRANS_LPN_BASE + tvpn
+        for _ in range(self.max_program_retries + 1):
+            block, page, extra = self._trans_frontier_slot()
+            latency += extra
+            try:
+                latency += self.nand.program_page(
+                    block, page, encoded, self._write_seq
+                )
+                self._write_seq += 1
+            except ProgramFailError as fault:
+                latency += fault.latency_ns
+                self.stats.program_faults += 1
+                latency += self._retire_failed_trans_frontier(block)
+                continue
+            self.page_map.remap_trans(tvpn, block * self._ppb + page)
+            if migrated:
+                self.stats.trans_pages_migrated += 1
+            else:
+                self.stats.trans_pages_written += 1
+            return latency
+        raise FtlError(
+            f"program retry budget ({self.max_program_retries}) exhausted "
+            "on the translation frontier"
+        )
+
+    def _retire_failed_trans_frontier(self, failed_block: int) -> int:
+        """Retire the translation frontier after a program status-fail.
+
+        Mirrors :meth:`_retire_failed_frontier`, with one difference:
+        translation content is reconstructible from the authoritative
+        mapping, so a live translation page whose read is lost is still
+        reprogrammed -- nothing is unmapped, no data is lost.
+        """
+        replacement = self._allocate_block()
+        self._active_trans_block = replacement
+        latency = 0
+        for offset, encoded in list(self.page_map.valid_lpns_in_block(failed_block)):
+            tvpn = encoded - TRANS_LPN_BASE
+            read_ns, _ok = self._read_with_retry(failed_block, offset)
+            latency += read_ns
+            self.stats.gc_pages_read += 1
+            programmed = False
+            for _ in range(self.max_program_retries + 1):
+                block, page, extra = self._trans_frontier_slot()
+                latency += extra
+                try:
+                    latency += self.nand.program_page(
+                        block, page, encoded, self._write_seq
+                    )
+                    self._write_seq += 1
+                except ProgramFailError as fault:
+                    # Nested failure: the spoiled page becomes garbage;
+                    # keep trying the next slot without recursive
+                    # retirement so recovery terminates.
+                    latency += fault.latency_ns
+                    self.stats.program_faults += 1
+                    continue
+                self.page_map.remap_trans(tvpn, block * self._ppb + page)
+                self.stats.trans_pages_migrated += 1
+                programmed = True
+                break
+            if not programmed:
+                raise FtlError(
+                    "program retry budget exhausted while retiring "
+                    f"translation block {failed_block}"
+                )
+        self.page_map.clear_block(failed_block)
+        self.nand.mark_bad(failed_block)
+        self._record_retirement(failed_block)
+        if self.audit.enabled or self.tracer.enabled:
+            self._note_fault("program", failed_block, -1, "block-retired")
+        return latency
 
     # ------------------------------------------------------------------
     # Garbage collection
@@ -1001,9 +1285,16 @@ class PageMappedFtl:
         return latency
 
     def _migrate_and_erase(self, victim: int) -> int:
-        if self.victim_index is not None and self.nand.fault_injector is None:
+        if (
+            self.victim_index is not None
+            and self.nand.fault_injector is None
+            and not (self._dftl and self.page_map.block_holds_trans(victim))
+        ):
             latency = self._migrate_valid_pages_batched(victim)
         else:
+            # Per-page path: required under fault injection, and for
+            # translation-holding victims (each page routes by its
+            # OOB-stamp namespace; batched remap handles data LPNs only).
             latency = self._migrate_valid_pages_scan(victim)
         self.page_map.clear_block(victim)
         erase_ns, erased = self._erase_with_retry(victim)
@@ -1037,10 +1328,24 @@ class PageMappedFtl:
         """
         latency = 0
         victims_pages: List[Tuple[int, int]] = list(self.page_map.valid_lpns_in_block(victim))
+        touched_tvpns: List[int] = []
         for offset, lpn in victims_pages:
+            if lpn >= TRANS_LPN_BASE:
+                # Translation page: relocate to the translation frontier.
+                # Its content is reconstructible from the authoritative
+                # mapping, so a lost read still reprograms -- no unmap.
+                read_ns, _ok = self._read_with_retry(victim, offset)
+                latency += read_ns
+                self.stats.gc_pages_read += 1
+                latency += self._program_trans_page(
+                    lpn - TRANS_LPN_BASE, migrated=True
+                )
+                continue
             read_ns, ok = self._read_with_retry(victim, offset)
             latency += read_ns
             self.stats.gc_pages_read += 1
+            if self._dftl:
+                touched_tvpns.append(lpn // self.page_map.entries_per_tpage)
             if not ok:
                 # Migration source unrecoverable: the logical page is
                 # lost; unmap it instead of propagating garbage, and
@@ -1051,6 +1356,13 @@ class PageMappedFtl:
             latency += program_ns
             self.page_map.remap(lpn, self.page_map.ppn(block, page))
             self.stats.gc_pages_migrated += 1
+        if touched_tvpns:
+            # Deferred past the loop: a dirty eviction's writeback
+            # invalidates an old translation copy, which must not happen
+            # while iterating the victim's own valid set.  (The victim's
+            # translation copies, if any, were remapped away above.)
+            for tvpn in sorted(set(touched_tvpns)):
+                latency += self._mapping_access(tvpn, dirty=True)
         return latency
 
     def _migrate_valid_pages_batched(self, victim: int) -> int:
@@ -1104,6 +1416,14 @@ class PageMappedFtl:
             pos += chunk
         self.stats.gc_pages_read += n
         self.stats.gc_pages_migrated += n
+        if self._dftl:
+            # Batched victims are data-only (translation-holding blocks
+            # take the scan path), so every migrated LPN dirties its
+            # translation page; touches are deferred past the migration
+            # like the scan path's.
+            ept = self.page_map.entries_per_tpage
+            for tvpn in np.unique(lpns // ept):
+                latency += self._mapping_access(int(tvpn), dirty=True)
         return latency
 
     def _run_foreground_gc(self) -> int:
@@ -1209,7 +1529,11 @@ class PageMappedFtl:
                 )
         for block in range(self.geometry.total_blocks):
             in_pool = block in self.allocator
-            is_active = block in (self._active_user_block, self._active_gc_block)
+            is_active = block in (
+                self._active_user_block,
+                self._active_gc_block,
+                self._active_trans_block,
+            )
             if in_pool and (is_active or self._closed[block]):
                 raise AssertionError(f"block {block} both free and in use")
             if in_pool and self.page_map.valid_count(block) != 0:

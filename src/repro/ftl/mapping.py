@@ -7,10 +7,31 @@ expressed here: remapping an LPN invalidates its previous physical page,
 creating the garbage that GC later reclaims.
 
 Physical page numbers are flat: ``ppn = block * pages_per_block + page``.
+
+Two ``MappingStore`` implementations share this interface:
+
+* :class:`PageMap` -- the all-DRAM page map: every LPN→PPN entry is
+  resident, translation costs nothing.  This is the historical (and
+  default) mode; its behaviour is bit-frozen by the equivalence suites.
+* :class:`CachedPageMap` -- the DFTL-class flash-resident map:
+  translation pages live on NAND in dedicated translation blocks, a
+  global translation directory (GTD) pins each translation page's
+  current location, and an LRU cached mapping table (CMT) with a
+  configurable DRAM budget fronts them.  The FTL prices CMT misses
+  (translation-page reads) and dirty evictions (translation-page
+  programs) as real NAND traffic.
+
+Translation pages are addressed by *virtual translation page number*
+(``tvpn = lpn // entries_per_tpage``) and stamped on NAND with the
+encoded OOB LPN ``TRANS_LPN_BASE + tvpn``, which keeps the recovery
+scan's newest-stamp-wins merge working unchanged over both page classes:
+stamps below the base rebuild the data L2P, stamps at or above it
+rebuild the GTD.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -19,6 +40,12 @@ from repro.nand.geometry import NandGeometry
 
 #: Sentinel for "unmapped" entries in both translation directions.
 UNMAPPED: int = -1
+
+#: OOB-stamp namespace split between data pages and translation pages:
+#: a stamped LPN at or above this base is a translation page and encodes
+#: ``TRANS_LPN_BASE + tvpn``.  Far above any realistic logical space
+#: (2^48 4-KiB pages = 1 EiB) and comfortably inside int64 OOB slots.
+TRANS_LPN_BASE: int = 1 << 48
 
 
 class PageMap:
@@ -387,3 +414,209 @@ class PageMap:
             ppn = int(self._l2p[lpn])
             if not self._valid[ppn] or int(self._p2l[ppn]) != lpn:
                 raise AssertionError(f"l2p/p2l mismatch at LPN {lpn}")
+
+
+class CachedPageMap(PageMap):
+    """DFTL-class mapping store: on-NAND translation pages + GTD + CMT.
+
+    Extends :class:`PageMap` with the flash-resident translation tier:
+
+    * the **GTD** (global translation directory) is an int64 vector of
+      one entry per virtual translation page (``tvpn``), pinning the PPN
+      of that translation page's newest on-NAND copy (``UNMAPPED`` until
+      first flushed).  At 8 bytes per ``entries_per_tpage`` mapping
+      entries it is ~1/512 of the full map and is assumed DRAM-resident,
+      exactly like DFTL's.
+    * the **CMT** (cached mapping table) is an LRU over translation
+      pages, capped at ``cmt_capacity_pages``.  The FTL consults it on
+      every translation; a miss costs a NAND read of the translation
+      page, a dirty eviction a NAND program of a fresh copy.
+
+    Translation pages share the physical validity plane with data pages:
+    ``_p2l`` stores the encoded ``TRANS_LPN_BASE + tvpn`` for a valid
+    translation page, so ``valid_lpns_in_block`` / per-block counters /
+    the valid-count observer all see translation blocks exactly like
+    data blocks -- which is how GC learns the second block class for
+    free.  ``mapped_count`` keeps its host semantics (data LPNs only,
+    the paper's ``Cused``); the translation population is tracked apart
+    in :attr:`gtd_mapped_count`.
+
+    The ground-truth L2P stays in the inherited DRAM arrays: the
+    simulator always knows the true mapping, and what this class adds is
+    the *cost model* (which translations are cached, what each access
+    pays) plus the durable translation-page layout that recovery and the
+    crash sweep verify bit-identically.
+    """
+
+    def __init__(
+        self,
+        geometry: NandGeometry,
+        user_pages: int,
+        cmt_capacity_pages: int,
+    ) -> None:
+        super().__init__(geometry, user_pages)
+        if cmt_capacity_pages < 1:
+            raise ValueError(
+                f"cmt_capacity_pages must be >= 1, got {cmt_capacity_pages}"
+            )
+        #: Mapping entries per translation page (8-byte PPN entries).
+        self.entries_per_tpage = geometry.page_size // 8
+        self.trans_pages = -(-user_pages // self.entries_per_tpage)  # ceil
+        #: GTD: tvpn -> PPN of the newest flushed translation page.
+        self._gtd = np.full(self.trans_pages, UNMAPPED, dtype=np.int64)
+        #: Translation pages with a flushed on-NAND copy.
+        self.gtd_mapped_count = 0
+        #: LRU cached mapping table: tvpn -> dirty flag, newest last.
+        self._cmt: "OrderedDict[int, bool]" = OrderedDict()
+        self.cmt_capacity_pages = cmt_capacity_pages
+
+    # ------------------------------------------------------------------
+    # Translation addressing
+    # ------------------------------------------------------------------
+    def tvpn_of(self, lpn: int) -> int:
+        return lpn // self.entries_per_tpage
+
+    def trans_ppn(self, tvpn: int) -> Optional[int]:
+        """PPN of ``tvpn``'s newest flushed copy, or None if never flushed."""
+        ppn = int(self._gtd[tvpn])
+        return None if ppn == UNMAPPED else ppn
+
+    def gtd_snapshot(self) -> np.ndarray:
+        """Copy of the GTD vector (crash-sweep verification, checkpoints)."""
+        return self._gtd.copy()
+
+    def block_holds_trans(self, block: int) -> bool:
+        """True when ``block`` holds at least one valid translation page."""
+        start = block * self._ppb
+        return bool((self._p2l[start:start + self._ppb] >= TRANS_LPN_BASE).any())
+
+    # ------------------------------------------------------------------
+    # Translation-page mutations (mirroring remap/load_mapping)
+    # ------------------------------------------------------------------
+    def remap_trans(self, tvpn: int, new_ppn: int) -> Optional[int]:
+        """Point ``tvpn``'s directory entry at a just-programmed copy.
+
+        The old copy (if any) becomes garbage exactly like a data page's:
+        the validity observer fires, so the valid-count index -- and with
+        it victim selection -- covers translation blocks with no extra
+        bookkeeping.  Returns the invalidated old PPN.
+        """
+        if not 0 <= tvpn < self.trans_pages:
+            raise IndexError(f"tvpn {tvpn} out of range [0, {self.trans_pages})")
+        old_ppn = int(self._gtd[tvpn])
+        if old_ppn != UNMAPPED:
+            self._invalidate_ppn(old_ppn)
+        else:
+            self.gtd_mapped_count += 1
+        self._gtd[tvpn] = new_ppn
+        self._p2l[new_ppn] = TRANS_LPN_BASE + tvpn
+        self._valid[new_ppn] = True
+        block = new_ppn // self._ppb
+        self._valid_per_block[block] += 1
+        if self._observer is not None:
+            self._observer(block, TRANS_LPN_BASE + tvpn, 1)
+        return old_ppn if old_ppn != UNMAPPED else None
+
+    def load_gtd(self, gtd: np.ndarray) -> None:
+        """Install a recovered GTD in one shot.
+
+        Must run *after* :meth:`load_mapping` (which resets the shared
+        validity plane); adds each flushed translation page back into the
+        reverse map / validity bitmap / per-block counters.  Does not
+        fire the observer, matching :meth:`load_mapping`'s contract.
+        """
+        if len(gtd) != self.trans_pages:
+            raise ValueError(
+                f"gtd sized {len(gtd)}, directory holds {self.trans_pages} entries"
+            )
+        self._gtd[:] = gtd
+        tvpns = np.flatnonzero(self._gtd != UNMAPPED)
+        ppns = self._gtd[tvpns]
+        if len(np.unique(ppns)) != len(ppns):
+            raise ValueError("gtd maps two translation pages to the same PPN")
+        if self._valid[ppns].any():
+            raise ValueError("gtd entry collides with a mapped data page")
+        self._p2l[ppns] = TRANS_LPN_BASE + tvpns
+        self._valid[ppns] = True
+        np.add.at(self._valid_per_block, ppns // self._ppb, 1)
+        self.gtd_mapped_count = int(len(tvpns))
+        self._cmt.clear()
+
+    # ------------------------------------------------------------------
+    # CMT (the modelled DRAM budget)
+    # ------------------------------------------------------------------
+    def cmt_touch(self, tvpn: int, dirty: bool) -> Tuple[bool, List[Tuple[int, bool]]]:
+        """Reference ``tvpn`` in the CMT; LRU-promote or fault it in.
+
+        Returns ``(hit, evicted)`` where ``evicted`` lists the
+        ``(tvpn, was_dirty)`` entries displaced to make room (at most
+        one).  The *caller* (the FTL) prices the consequences: a miss
+        reads the translation page off NAND, a dirty eviction programs a
+        fresh copy and updates the GTD through :meth:`remap_trans`.
+        """
+        cmt = self._cmt
+        if tvpn in cmt:
+            cmt.move_to_end(tvpn)
+            if dirty:
+                cmt[tvpn] = True
+            return True, []
+        evicted: List[Tuple[int, bool]] = []
+        while len(cmt) >= self.cmt_capacity_pages:
+            evicted.append(cmt.popitem(last=False))
+        cmt[tvpn] = dirty
+        return False, evicted
+
+    def cmt_flush_all(self) -> List[int]:
+        """Mark every cached entry clean; returns the dirty tvpns.
+
+        Checkpointing persists the whole directory, so cached entries
+        stop being writeback debt at that instant.
+        """
+        dirty = [tvpn for tvpn, d in self._cmt.items() if d]
+        for tvpn in dirty:
+            self._cmt[tvpn] = False
+        return dirty
+
+    @property
+    def cmt_len(self) -> int:
+        return len(self._cmt)
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def invariant_check(self) -> None:
+        """Cross-check the shared validity plane over both page classes."""
+        expected = self.mapped_count + self.gtd_mapped_count
+        if int(self._valid.sum()) != expected:
+            raise AssertionError(
+                "valid-page population does not match mapped_count + "
+                "gtd_mapped_count"
+            )
+        per_block = np.add.reduceat(
+            self._valid.astype(np.int32),
+            np.arange(0, self.geometry.total_pages, self.geometry.pages_per_block),
+        )
+        if not np.array_equal(per_block, self._valid_per_block):
+            raise AssertionError("per-block valid counters out of sync")
+        mapped = np.flatnonzero(self._l2p != UNMAPPED)
+        if len(mapped):
+            ppns = self._l2p[mapped]
+            bad = ~self._valid[ppns] | (self._p2l[ppns] != mapped)
+            if bad.any():
+                raise AssertionError(
+                    f"l2p/p2l mismatch at LPN {int(mapped[np.argmax(bad)])}"
+                )
+        tvpns = np.flatnonzero(self._gtd != UNMAPPED)
+        if int(len(tvpns)) != self.gtd_mapped_count:
+            raise AssertionError("gtd_mapped_count out of sync with the GTD")
+        if len(tvpns):
+            ppns = self._gtd[tvpns]
+            bad = ~self._valid[ppns] | (
+                self._p2l[ppns] != TRANS_LPN_BASE + tvpns
+            )
+            if bad.any():
+                raise AssertionError(
+                    f"gtd/p2l mismatch at tvpn {int(tvpns[np.argmax(bad)])}"
+                )
+        if len(self._cmt) > self.cmt_capacity_pages:
+            raise AssertionError("CMT exceeds its capacity")

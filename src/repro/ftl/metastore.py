@@ -42,11 +42,16 @@ KIND_CHECKPOINT = "checkpoint"
 KIND_UNMAP = "unmap"
 
 #: On-NAND magics double as format-version tags (bump the digit to rev).
+#: CKP1 carries the L2P-only image (dram mapping mode); CKP2 appends the
+#: global translation directory for the dftl mapping mode.  Both parse.
 MAGIC_CHECKPOINT = b"CKP1"
+MAGIC_CHECKPOINT2 = b"CKP2"
 MAGIC_TOMBSTONE = b"TMB1"
 
 #: magic, generation, write_seq horizon, user_pages, blocks, pages_per_block
 _CKPT_HEADER = struct.Struct("<4sQQQQI")
+#: CKP2 extension, directly after the common header: GTD entry count.
+_CKPT2_GTD = struct.Struct("<Q")
 #: magic, tombstone entry count
 _TOMB_HEADER = struct.Struct("<4sI")
 #: trailing CRC32 of everything before it
@@ -84,6 +89,10 @@ class CheckpointImage:
     l2p: np.ndarray  # int64[user_pages], UNMAPPED where unmapped
     program_ptr: np.ndarray  # int32[blocks] at snapshot time
     erase_counts: np.ndarray  # int64[blocks] at snapshot time
+    #: Global translation directory (dftl mapping mode, CKP2 records):
+    #: int64[trans_pages], PPN of each translation page's newest flushed
+    #: copy.  None for CKP1 (dram) checkpoints.
+    gtd: Optional[np.ndarray] = None
 
     @property
     def user_pages(self) -> int:
@@ -101,18 +110,27 @@ def build_checkpoint(
     program_ptr: np.ndarray,
     erase_counts: np.ndarray,
     pages_per_block: int,
+    gtd: Optional[np.ndarray] = None,
 ) -> bytes:
-    """Serialize a checkpoint record (header | arrays | CRC32)."""
+    """Serialize a checkpoint record (header | arrays | CRC32).
+
+    Without ``gtd`` the record is byte-identical to the historical CKP1
+    format; with it, a CKP2 record appends the GTD entry count and
+    vector between the header and the L2P table.
+    """
     if len(program_ptr) != len(erase_counts):
         raise ValueError("program_ptr and erase_counts must cover the same blocks")
     body = _CKPT_HEADER.pack(
-        MAGIC_CHECKPOINT,
+        MAGIC_CHECKPOINT if gtd is None else MAGIC_CHECKPOINT2,
         generation,
         write_seq,
         len(l2p),
         len(program_ptr),
         pages_per_block,
     )
+    if gtd is not None:
+        body += _CKPT2_GTD.pack(len(gtd))
+        body += np.ascontiguousarray(gtd, dtype=np.int64).tobytes()
     body += np.ascontiguousarray(l2p, dtype=np.int64).tobytes()
     body += np.ascontiguousarray(program_ptr, dtype=np.int32).tobytes()
     body += np.ascontiguousarray(erase_counts, dtype=np.int64).tobytes()
@@ -126,15 +144,29 @@ def parse_checkpoint(payload: bytes) -> Optional[CheckpointImage]:
     magic, generation, write_seq, user_pages, blocks, ppb = _CKPT_HEADER.unpack_from(
         payload
     )
-    if magic != MAGIC_CHECKPOINT:
+    if magic not in (MAGIC_CHECKPOINT, MAGIC_CHECKPOINT2):
         return None
-    expected = _CKPT_HEADER.size + 8 * user_pages + 4 * blocks + 8 * blocks + _CRC.size
+    offset = _CKPT_HEADER.size
+    gtd_entries = 0
+    if magic == MAGIC_CHECKPOINT2:
+        if len(payload) < offset + _CKPT2_GTD.size:
+            return None
+        (gtd_entries,) = _CKPT2_GTD.unpack_from(payload, offset)
+        offset += _CKPT2_GTD.size
+    expected = (
+        offset + 8 * gtd_entries + 8 * user_pages + 4 * blocks + 8 * blocks + _CRC.size
+    )
     if len(payload) != expected:
         return None
     (crc,) = _CRC.unpack_from(payload, len(payload) - _CRC.size)
     if crc != zlib.crc32(payload[: -_CRC.size]):
         return None
-    offset = _CKPT_HEADER.size
+    gtd = None
+    if magic == MAGIC_CHECKPOINT2:
+        gtd = np.frombuffer(
+            payload, dtype=np.int64, count=gtd_entries, offset=offset
+        ).copy()
+        offset += 8 * gtd_entries
     l2p = np.frombuffer(payload, dtype=np.int64, count=user_pages, offset=offset).copy()
     offset += 8 * user_pages
     ptr = np.frombuffer(payload, dtype=np.int32, count=blocks, offset=offset).copy()
@@ -147,6 +179,7 @@ def parse_checkpoint(payload: bytes) -> Optional[CheckpointImage]:
         l2p=l2p,
         program_ptr=ptr,
         erase_counts=erases,
+        gtd=gtd,
     )
 
 
@@ -327,6 +360,8 @@ class MetaLog:
 __all__ = [
     "KIND_CHECKPOINT",
     "KIND_UNMAP",
+    "MAGIC_CHECKPOINT",
+    "MAGIC_CHECKPOINT2",
     "MetaRecord",
     "CheckpointImage",
     "MetaLog",

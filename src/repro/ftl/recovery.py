@@ -66,7 +66,7 @@ from typing import List, Optional, Set, Tuple
 import numpy as np
 
 from repro.ftl.ftl import FtlError, PageMappedFtl
-from repro.ftl.mapping import UNMAPPED
+from repro.ftl.mapping import TRANS_LPN_BASE, UNMAPPED
 from repro.ftl.metastore import (
     KIND_CHECKPOINT,
     KIND_UNMAP,
@@ -108,6 +108,10 @@ class RecoveredFtlState:
         checkpoint_generation: highest checkpoint generation present in
             the metadata log, torn records included -- the next
             checkpoint must outrank even a torn newest generation.
+        gtd: rebuilt global translation directory (dftl mapping mode;
+            None for dram recoveries).
+        active_trans_block: resumed translation write frontier (dftl
+            only; None -> allocate).
     """
 
     l2p: np.ndarray
@@ -118,6 +122,8 @@ class RecoveredFtlState:
     active_gc_block: Optional[int]
     write_seq: int
     checkpoint_generation: int = 0
+    gtd: Optional[np.ndarray] = None
+    active_trans_block: Optional[int] = None
 
 
 @dataclass
@@ -159,10 +165,57 @@ class RecoveryReport:
     post_checkpoint_ns: int = 0
     #: Torn (block, page) addresses, for the audit log (capped by caller).
     torn_addresses: List[Tuple[int, int]] = field(default_factory=list)
+    #: Rebuilt global translation directory (dftl scans only).
+    gtd: Optional[np.ndarray] = None
+    #: Translation-page stamps that won the newest-wins GTD merge.
+    trans_pages_mapped: int = 0
+
+
+def _split_stamps(
+    cand: np.ndarray,
+    lpns: np.ndarray,
+    seqs: np.ndarray,
+    user_pages: int,
+    trans_pages: int,
+    where: str,
+) -> Tuple[
+    Tuple[np.ndarray, np.ndarray, np.ndarray],
+    Tuple[np.ndarray, np.ndarray, np.ndarray],
+]:
+    """Partition OOB stamps into data and translation namespaces.
+
+    A stamped LPN at or above ``TRANS_LPN_BASE`` encodes the translation
+    page ``tvpn = lpn - TRANS_LPN_BASE``; anything else must be a data
+    LPN in ``[0, user_pages)``.  With ``trans_pages == 0`` (dram mapping
+    mode) a translation stamp is corruption.  Returns
+    ``((data_ppns, data_lpns, data_seqs), (trans_ppns, tvpns, trans_seqs))``.
+    """
+    is_trans = lpns >= TRANS_LPN_BASE
+    if is_trans.any() and trans_pages == 0:
+        raise RecoveryError(
+            f"{where} found a translation-page stamp but the mapping mode "
+            "keeps the full map in DRAM -- corrupt stamp or mode mismatch"
+        )
+    d_lpns = lpns[~is_trans]
+    if d_lpns.size and (int(d_lpns.min()) < 0 or int(d_lpns.max()) >= user_pages):
+        raise RecoveryError(
+            f"{where} found an LPN outside the logical space "
+            f"[0, {user_pages}) -- corrupt stamp"
+        )
+    tvpns = lpns[is_trans] - TRANS_LPN_BASE
+    if tvpns.size and int(tvpns.max()) >= trans_pages:
+        raise RecoveryError(
+            f"{where} found a translation stamp outside the directory "
+            f"[0, {trans_pages}) -- corrupt stamp"
+        )
+    return (
+        (cand[~is_trans], d_lpns, seqs[~is_trans]),
+        (cand[is_trans], tvpns, seqs[is_trans]),
+    )
 
 
 def scan_oob(
-    nand: NandArray, user_pages: int
+    nand: NandArray, user_pages: int, trans_pages: int = 0
 ) -> Tuple[np.ndarray, int, RecoveryReport]:
     """Sweep every programmed page's OOB and rebuild the L2P table.
 
@@ -171,6 +224,10 @@ def scan_oob(
     Vectorized over the whole device: the per-page "is it programmed,
     is it stamped, is it the newest copy of its LPN" decisions are a few
     flat-array passes, not a Python loop.
+
+    With ``trans_pages > 0`` (dftl mapping mode) translation-page stamps
+    participate in their own newest-wins merge and the rebuilt GTD is
+    returned in ``report.gtd``.
     """
     ppb = nand.geometry.pages_per_block
     total_pages = nand.geometry.total_pages
@@ -188,24 +245,34 @@ def scan_oob(
     torn_mask = programmed & (nand.oob_seq == OOB_UNSTAMPED)
 
     cand = np.flatnonzero(stamped)
-    lpns = nand.oob_lpn[cand]
-    seqs = nand.oob_seq[cand]
-    if lpns.size and (int(lpns.min()) < 0 or int(lpns.max()) >= user_pages):
-        raise RecoveryError(
-            "OOB sweep found an LPN outside the logical space "
-            f"[0, {user_pages}) -- corrupt stamp"
-        )
+    (d_cand, d_lpns, d_seqs), (t_cand, tvpns, t_seqs) = _split_stamps(
+        cand, nand.oob_lpn[cand], nand.oob_seq[cand], user_pages, trans_pages,
+        "OOB sweep",
+    )
 
     l2p = np.full(user_pages, UNMAPPED, dtype=np.int64)
     write_seq = 0
     stale = 0
-    if cand.size:
+    if d_cand.size:
         best_seq = np.full(user_pages, OOB_UNSTAMPED, dtype=np.int64)
-        np.maximum.at(best_seq, lpns, seqs)
-        winners = best_seq[lpns] == seqs
-        l2p[lpns[winners]] = cand[winners]
-        stale = int(cand.size - winners.sum())
-        write_seq = int(seqs.max()) + 1
+        np.maximum.at(best_seq, d_lpns, d_seqs)
+        winners = best_seq[d_lpns] == d_seqs
+        l2p[d_lpns[winners]] = d_cand[winners]
+        stale = int(d_cand.size - winners.sum())
+        write_seq = int(d_seqs.max()) + 1
+
+    gtd: Optional[np.ndarray] = None
+    trans_mapped = 0
+    if trans_pages:
+        gtd = np.full(trans_pages, UNMAPPED, dtype=np.int64)
+        if t_cand.size:
+            best_seq = np.full(trans_pages, OOB_UNSTAMPED, dtype=np.int64)
+            np.maximum.at(best_seq, tvpns, t_seqs)
+            winners = best_seq[tvpns] == t_seqs
+            gtd[tvpns[winners]] = t_cand[winners]
+            stale += int(t_cand.size - winners.sum())
+            write_seq = max(write_seq, int(t_seqs.max()) + 1)
+        trans_mapped = int((gtd != UNMAPPED).sum())
 
     pages_scanned = int(programmed.sum())
     torn = np.flatnonzero(torn_mask)
@@ -219,6 +286,8 @@ def scan_oob(
         torn_addresses=[
             (int(p) // ppb, int(p) % ppb) for p in torn[:64]
         ],
+        gtd=gtd,
+        trans_pages_mapped=trans_mapped,
     )
     return l2p, write_seq, report
 
@@ -279,6 +348,14 @@ def _load_metadata(nand: NandArray, user_pages: int) -> _DurableMetadata:
         )
         if not valid_entries.all():
             raise RecoveryError("checkpoint L2P entry outside the physical space")
+        if image.gtd is not None:
+            valid_gtd = (image.gtd == UNMAPPED) | (
+                (image.gtd >= 0) & (image.gtd < total_pages)
+            )
+            if not valid_gtd.all():
+                raise RecoveryError(
+                    "checkpoint GTD entry outside the physical space"
+                )
         checkpoint = image
 
     lpn_parts: List[np.ndarray] = []
@@ -314,8 +391,10 @@ def _checkpoint_recovery(
     ckpt: CheckpointImage,
     meta: _DurableMetadata,
     user_pages: int,
+    trans_pages: int = 0,
 ) -> Tuple[np.ndarray, int, RecoveryReport]:
-    """Rebuild the L2P from a checkpoint plus the log-tail merge."""
+    """Rebuild the L2P (and GTD, in dftl mode) from a checkpoint plus
+    the log-tail merge."""
     ppb = nand.geometry.pages_per_block
     total_pages = nand.geometry.total_pages
     horizon = ckpt.write_seq
@@ -347,13 +426,16 @@ def _checkpoint_recovery(
     torn_mask = in_tail & (nand.oob_seq == OOB_UNSTAMPED)
 
     cand = np.flatnonzero(stamped)
-    lpns = nand.oob_lpn[cand]
-    seqs = nand.oob_seq[cand]
-    if lpns.size and (int(lpns.min()) < 0 or int(lpns.max()) >= user_pages):
-        raise RecoveryError(
-            f"tail scan found an LPN outside the logical space [0, {user_pages})"
-        )
+    (cand, lpns, seqs), (t_cand, tvpns, t_seqs) = _split_stamps(
+        cand, nand.oob_lpn[cand], nand.oob_seq[cand], user_pages, trans_pages,
+        "tail scan",
+    )
     fresh = seqs >= horizon
+    stale_trans = 0
+    if trans_pages:
+        t_fresh = t_seqs >= horizon
+        stale_trans = int((~t_fresh).sum())
+        t_cand, tvpns, t_seqs = t_cand[t_fresh], tvpns[t_fresh], t_seqs[t_fresh]
     cand, lpns, seqs = cand[fresh], lpns[fresh], seqs[fresh]
 
     # Tombstones below the horizon are already folded into the
@@ -364,7 +446,7 @@ def _checkpoint_recovery(
     tomb_seqs = meta.tomb_seqs[tomb_keep]
 
     l2p = ckpt.l2p.copy()
-    stale = int((~fresh).sum())
+    stale = int((~fresh).sum()) + stale_trans
     tombstones_replayed = 0
     write_seq = horizon
     if cand.size or tomb_lpns.size:
@@ -398,6 +480,39 @@ def _checkpoint_recovery(
         if dangling.any():
             l2p[mapped[dangling]] = UNMAPPED
 
+    # GTD: checkpoint base (a CKP1 base means no translation page was
+    # ever flushed as of the snapshot), newest-wins merge of the tail's
+    # translation stamps, and the same dangling-entry drop as the L2P --
+    # a directory entry must land on a page stamped with its own tvpn.
+    gtd: Optional[np.ndarray] = None
+    trans_mapped = 0
+    if trans_pages:
+        if ckpt.gtd is not None:
+            if len(ckpt.gtd) != trans_pages:
+                raise RecoveryError(
+                    f"checkpoint GTD covers {len(ckpt.gtd)} translation "
+                    f"pages, device needs {trans_pages}"
+                )
+            gtd = ckpt.gtd.copy()
+        else:
+            gtd = np.full(trans_pages, UNMAPPED, dtype=np.int64)
+        if t_cand.size:
+            best = np.full(trans_pages, OOB_UNSTAMPED, dtype=np.int64)
+            np.maximum.at(best, tvpns, t_seqs)
+            winners = best[tvpns] == t_seqs
+            gtd[tvpns[winners]] = t_cand[winners]
+            stale += int(t_cand.size - winners.sum())
+            write_seq = max(write_seq, int(t_seqs.max()) + 1)
+        tv = np.flatnonzero(gtd != UNMAPPED)
+        if tv.size:
+            ppns = gtd[tv]
+            dangling = (nand.oob_seq[ppns] == OOB_UNSTAMPED) | (
+                nand.oob_lpn[ppns] != TRANS_LPN_BASE + tv
+            )
+            if dangling.any():
+                gtd[tv[dangling]] = UNMAPPED
+        trans_mapped = int((gtd != UNMAPPED).sum())
+
     pages_scanned = int(in_tail.sum())
     torn = np.flatnonzero(torn_mask)
     report = RecoveryReport(
@@ -414,6 +529,8 @@ def _checkpoint_recovery(
         torn_meta_records=meta.torn_records,
         checkpoint_fallbacks=meta.checkpoint_fallbacks,
         torn_addresses=[(int(p) // ppb, int(p) % ppb) for p in torn[:64]],
+        gtd=gtd,
+        trans_pages_mapped=trans_mapped,
     )
     return l2p, write_seq, report
 
@@ -422,14 +539,16 @@ def _full_scan_recovery(
     nand: NandArray,
     meta: _DurableMetadata,
     user_pages: int,
+    trans_pages: int = 0,
 ) -> Tuple[np.ndarray, int, RecoveryReport]:
     """PR-5 full OOB sweep, extended with tombstone replay.
 
     With no usable checkpoint every journaled tombstone participates: a
     tombstone beats a surviving stamp of its LPN iff it is newer (the
-    shared sequence counter makes the comparison exact).
+    shared sequence counter makes the comparison exact).  Translation
+    pages are never tombstoned -- the sweep's newest-wins GTD stands.
     """
-    l2p, write_seq, report = scan_oob(nand, user_pages)
+    l2p, write_seq, report = scan_oob(nand, user_pages, trans_pages)
     if meta.tomb_lpns.size:
         tomb_best = np.full(user_pages, OOB_UNSTAMPED, dtype=np.int64)
         np.maximum.at(tomb_best, meta.tomb_lpns, meta.tomb_seqs)
@@ -497,24 +616,58 @@ def recover_ftl(
             OOB stamp, geometry-mismatched checkpoint, or more open
             frontiers than write streams).
     """
+    dftl = ftl_kwargs.get("mapping_mode", "dram") == "dftl"
+    trans_pages = 0
+    if dftl:
+        entries_per_tpage = nand.geometry.page_size // 8
+        trans_pages = -(-space.user_pages // entries_per_tpage)  # ceil
     meta = _load_metadata(nand, space.user_pages)
     if meta.checkpoint is not None:
         l2p, write_seq, report = _checkpoint_recovery(
-            nand, meta.checkpoint, meta, space.user_pages
+            nand, meta.checkpoint, meta, space.user_pages, trans_pages
         )
     else:
-        l2p, write_seq, report = _full_scan_recovery(nand, meta, space.user_pages)
+        l2p, write_seq, report = _full_scan_recovery(
+            nand, meta, space.user_pages, trans_pages
+        )
     free, open_blocks, closed, retired = rediscover_layout(nand)
 
-    if len(open_blocks) > 2:
+    max_streams = 3 if dftl else 2
+    if len(open_blocks) > max_streams:
         raise RecoveryError(
             f"{len(open_blocks)} partially-programmed blocks found; "
-            "the FTL runs exactly two write streams"
+            f"the FTL runs exactly {max_streams} write streams"
         )
     # Ascending order is deterministic; which open frontier served which
-    # stream is volatile knowledge, and either assignment is valid.
-    active_user = open_blocks[0] if len(open_blocks) >= 1 else None
-    active_gc = open_blocks[1] if len(open_blocks) >= 2 else None
+    # stream is volatile knowledge, and either assignment is valid.  In
+    # dftl mode the translation frontier *is* identifiable by its stamp
+    # namespace; an open block whose every programmed page tore carries
+    # no namespace evidence, so the ascending fallback assigns it last.
+    active_trans = None
+    if dftl and open_blocks:
+        ppb = nand.geometry.pages_per_block
+        trans_stamped = [
+            b
+            for b in open_blocks
+            if bool(
+                (
+                    nand.oob_lpn[b * ppb : b * ppb + int(nand.program_ptr[b])]
+                    >= TRANS_LPN_BASE
+                ).any()
+            )
+        ]
+        if len(trans_stamped) > 1:
+            raise RecoveryError(
+                f"{len(trans_stamped)} open blocks carry translation stamps; "
+                "the FTL runs exactly one translation stream"
+            )
+        if trans_stamped:
+            active_trans = trans_stamped[0]
+        elif len(open_blocks) == 3:
+            active_trans = open_blocks[-1]
+    data_open = [b for b in open_blocks if b != active_trans]
+    active_user = data_open[0] if len(data_open) >= 1 else None
+    active_gc = data_open[1] if len(data_open) >= 2 else None
 
     recovered = RecoveredFtlState(
         l2p=l2p,
@@ -525,6 +678,8 @@ def recover_ftl(
         active_gc_block=active_gc,
         write_seq=write_seq,
         checkpoint_generation=meta.max_generation,
+        gtd=report.gtd,
+        active_trans_block=active_trans,
     )
     ftl = PageMappedFtl(nand, space, recovered=recovered, **ftl_kwargs)
     ftl.invariant_check()

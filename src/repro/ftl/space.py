@@ -33,6 +33,13 @@ import numpy as np
 
 from repro.nand.geometry import NandGeometry
 
+#: Second block class for the DFTL mapping tier: blocks are *data* unless
+#: they hold at least one valid translation page (the two classes share
+#: the physical pool; victim selection ranks both by valid count and the
+#: migration path routes each page by its OOB-stamp namespace).
+BLOCK_KIND_DATA = 0
+BLOCK_KIND_TRANS = 1
+
 
 class ValidCountIndex:
     """Min-ordered index of GC candidates keyed by ``(valid_count, block)``.

@@ -47,6 +47,21 @@ class FtlStats:
     #: Reserved metadata blocks retired (wear-out or erase failure).
     meta_blocks_retired: int = 0
 
+    #: DFTL translation tier (repro.ftl.mapping.CachedPageMap); all zero
+    #: in ``dram`` mapping mode.
+    #: CMT lookups answered from the cached mapping table.
+    cmt_hits: int = 0
+    #: CMT lookups that faulted the translation page in from NAND.
+    cmt_misses: int = 0
+    #: Dirty CMT entries written back on LRU eviction.
+    cmt_evictions: int = 0
+    #: Translation pages programmed (evictions + checkpoint flushes).
+    trans_pages_written: int = 0
+    #: Translation pages read on CMT misses.
+    trans_pages_read: int = 0
+    #: Translation pages migrated by GC out of victim blocks.
+    trans_pages_migrated: int = 0
+
     #: Foreground GC: invocations and total stall time charged to writes.
     fgc_invocations: int = 0
     fgc_blocks_collected: int = 0
@@ -76,13 +91,44 @@ class FtlStats:
     blocks_retired: int = 0
 
     def waf(self) -> float:
-        """Write amplification factor; 1.0 before any GC migration."""
+        """Write amplification factor; 1.0 before any GC migration.
+
+        Includes induced translation-page traffic (writebacks and GC
+        migrations of translation pages); both terms are zero in ``dram``
+        mapping mode, so the classic definition is unchanged there.
+        """
         if self.host_pages_written == 0:
             return 1.0
-        return (self.host_pages_written + self.gc_pages_migrated) / self.host_pages_written
+        amplified = (
+            self.host_pages_written
+            + self.gc_pages_migrated
+            + self.trans_pages_written
+            + self.trans_pages_migrated
+        )
+        return amplified / self.host_pages_written
+
+    def translation_waf_share(self) -> float:
+        """Fraction of all page programs that were translation pages."""
+        trans = self.trans_pages_written + self.trans_pages_migrated
+        total = self.host_pages_written + self.gc_pages_migrated + trans
+        if total == 0:
+            return 0.0
+        return trans / total
+
+    def cmt_hit_rate(self) -> float:
+        """CMT hit fraction; 1.0 when no lookups have happened."""
+        lookups = self.cmt_hits + self.cmt_misses
+        if lookups == 0:
+            return 1.0
+        return self.cmt_hits / lookups
 
     def total_pages_programmed(self) -> int:
-        return self.host_pages_written + self.gc_pages_migrated
+        return (
+            self.host_pages_written
+            + self.gc_pages_migrated
+            + self.trans_pages_written
+            + self.trans_pages_migrated
+        )
 
     def gc_blocks_collected(self) -> int:
         return self.fgc_blocks_collected + self.bgc_blocks_collected

@@ -116,6 +116,24 @@ class RunMetrics:
     recovery_time_ns: int = 0
     #: Pages discarded (TRIM) by the host over the window.
     trim_count: int = 0
+    #: Mapping mode the run used (``dram`` or ``dftl``).
+    mapping_mode: str = "dram"
+    #: CMT lookups served from the cache / missed to NAND (window delta;
+    #: both 0 in dram mode).
+    cmt_hits: int = 0
+    cmt_misses: int = 0
+    #: Translation-page programs over the window (writebacks + GC moves).
+    trans_pages_written: int = 0
+    trans_pages_migrated: int = 0
+    #: Share of all window programs that were translation pages.
+    translation_waf_share: float = 0.0
+
+    def cmt_hit_rate(self) -> float:
+        """CMT hit fraction over the window (1.0 when nothing missed)."""
+        lookups = self.cmt_hits + self.cmt_misses
+        if lookups == 0:
+            return 1.0
+        return self.cmt_hits / lookups
 
     def to_wire(self) -> dict:
         """Flat plain-types dict safe for queues, pickles and JSON.
@@ -332,6 +350,12 @@ class MetricsCollector:
             op_timeline=op_timeline,
             device_read_only=ftl.read_only,
             trim_count=delta.pages_trimmed,
+            mapping_mode=getattr(ftl, "mapping_mode", "dram"),
+            cmt_hits=delta.cmt_hits,
+            cmt_misses=delta.cmt_misses,
+            trans_pages_written=delta.trans_pages_written,
+            trans_pages_migrated=delta.trans_pages_migrated,
+            translation_waf_share=delta.translation_waf_share(),
             **self._latency_summary(),
             **self._tail_summary(),
         )

@@ -28,11 +28,14 @@ phenomena is charged to the first match -- the most direct mechanism):
    device-level stalls reach buffered applications).
 4. ``fault-retry`` -- a media-fault recovery (read retry, rewrite,
    block retirement) fired inside the window.
-5. ``recovery-window`` -- the window overlaps a post-power-loss
+5. ``mapping-fault`` -- the window overlaps a CMT miss or dirty-entry
+   writeback on the DFTL translation path: the op paid a
+   translation-page read and/or program out of its own budget.
+6. ``recovery-window`` -- the window overlaps a post-power-loss
    recovery scan (only possible in SPO runs).
-6. ``media-queueing`` -- none of the above, but the op was issued into
+7. ``media-queueing`` -- none of the above, but the op was issued into
    a non-empty device queue: it waited its turn behind normal traffic.
-7. ``none`` -- nothing in the timeline explains it (think-time jitter,
+8. ``none`` -- nothing in the timeline explains it (think-time jitter,
    large requests, cache-miss fills); the catch-all that makes the
    per-cause counts always sum to the slow-op count.
 
@@ -54,6 +57,7 @@ CAUSE_FGC_STALL = "fgc-stall"
 CAUSE_BGC_OVERLAP = "bgc-overlap"
 CAUSE_FLUSHER = "flusher-backpressure"
 CAUSE_FAULT_RETRY = "fault-retry"
+CAUSE_MAPPING_FAULT = "mapping-fault"
 CAUSE_RECOVERY = "recovery-window"
 CAUSE_QUEUEING = "media-queueing"
 CAUSE_NONE = "none"
@@ -63,6 +67,7 @@ CAUSES: Tuple[str, ...] = (
     CAUSE_BGC_OVERLAP,
     CAUSE_FLUSHER,
     CAUSE_FAULT_RETRY,
+    CAUSE_MAPPING_FAULT,
     CAUSE_RECOVERY,
     CAUSE_QUEUEING,
     CAUSE_NONE,
@@ -232,6 +237,12 @@ def attribute_tail(
         ]
     )
     faults = PointIndex([r.t_ns for r in getattr(audit, "faults", [])])
+    mapping_faults = SpanIndex(
+        [
+            (r.t_ns, r.t_ns + r.dur_ns)
+            for r in getattr(audit, "mapping_fault_spans", [])
+        ]
+    )
 
     counts: Dict[str, int] = {cause: 0 for cause in CAUSES}
     totals: Dict[str, int] = {cause: 0 for cause in CAUSES}
@@ -251,6 +262,8 @@ def attribute_tail(
             cause = CAUSE_FLUSHER
         elif faults.any_in(issue, complete):
             cause = CAUSE_FAULT_RETRY
+        elif mapping_faults.overlaps(issue, complete):
+            cause = CAUSE_MAPPING_FAULT
         elif recovery.overlaps(issue, complete):
             cause = CAUSE_RECOVERY
         elif oplog.queue_depths[index] > 0:

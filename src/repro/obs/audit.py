@@ -161,6 +161,29 @@ class BackpressureRecord:
 
 
 @dataclass(frozen=True)
+class MappingFaultRecord:
+    """One CMT miss or writeback on the DFTL translation path.
+
+    Only accesses that cost NAND time are recorded: a CMT hit is free
+    and a clean eviction writes nothing.  The attribution engine joins
+    slow host ops against these spans under the ``mapping-fault`` cause.
+
+    Attributes:
+        t_ns: span start (sim time, FTL clock).
+        dur_ns: NAND time charged to the host op (translation-page read
+            on a miss, plus program when a dirty entry was evicted).
+        kind: ``miss`` (read only) or ``writeback`` (dirty eviction
+            programmed, possibly on top of a miss read).
+        pages: translation pages touched (read + programmed).
+    """
+
+    t_ns: int
+    dur_ns: int
+    kind: str
+    pages: int = 1
+
+
+@dataclass(frozen=True)
 class CheckpointRecord:
     """One durable mapping checkpoint written to the NAND metadata region.
 
@@ -239,6 +262,7 @@ class DecisionAuditLog:
     checkpoints: List[CheckpointRecord] = field(default_factory=list)
     gc_spans: List[GcSpanRecord] = field(default_factory=list)
     backpressure_spans: List[BackpressureRecord] = field(default_factory=list)
+    mapping_fault_spans: List[MappingFaultRecord] = field(default_factory=list)
     dropped: int = 0
 
     # ------------------------------------------------------------------
@@ -276,6 +300,10 @@ class DecisionAuditLog:
         if self.enabled:
             self._append(self.backpressure_spans, record)
 
+    def record_mapping_fault(self, record: MappingFaultRecord) -> None:
+        if self.enabled:
+            self._append(self.mapping_fault_spans, record)
+
     # ------------------------------------------------------------------
     # Query helpers
     # ------------------------------------------------------------------
@@ -306,6 +334,7 @@ class DecisionAuditLog:
             + len(self.checkpoints)
             + len(self.gc_spans)
             + len(self.backpressure_spans)
+            + len(self.mapping_fault_spans)
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

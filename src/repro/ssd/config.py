@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.faults.injector import FaultInjector, FaultProfile, resolve_fault_profile
+from repro.ftl.checkpoint_policy import CheckpointPolicy, make_checkpoint_policy
 from repro.ftl.ftl import PageMappedFtl
 from repro.ftl.recovery import recover_ftl
 from repro.ftl.space import SpaceModel
@@ -74,6 +75,19 @@ class SsdConfig:
     #: Reserved metadata blocks backing the durable-metadata log; their
     #: wear and faults are modelled (:mod:`repro.nand.metaregion`).
     meta_blocks: int = 4
+    #: Mapping architecture: ``dram`` (full map in controller DRAM, the
+    #: historical model) or ``dftl`` (translation pages on NAND behind a
+    #: cached mapping table -- the full-capacity mode).
+    mapping_mode: str = "dram"
+    #: DRAM budget for the cached mapping table in dftl mode; None picks
+    #: 1/64 of the full map (user_pages * 8 bytes / 64).  Ignored in
+    #: dram mode.
+    cmt_budget_bytes: Optional[int] = None
+    #: Checkpoint scheduling: ``interval`` (fixed host-page interval) or
+    #: ``adaptive`` (accrual-bounded with GC-quiescence early fire; the
+    #: interval becomes the recovery-tail bound).  Only meaningful when
+    #: checkpoint_interval_pages is set.
+    checkpoint_policy: str = "interval"
 
     def __post_init__(self) -> None:
         # Catch misconfiguration here, with a clear message, instead of
@@ -116,6 +130,20 @@ class SsdConfig:
             )
         if self.meta_blocks < 1:
             raise ValueError(f"meta_blocks must be >= 1, got {self.meta_blocks}")
+        if self.mapping_mode not in ("dram", "dftl"):
+            raise ValueError(
+                f"mapping_mode must be 'dram' or 'dftl', got {self.mapping_mode!r}"
+            )
+        if self.cmt_budget_bytes is not None and self.cmt_budget_bytes < self.geometry.page_size:
+            raise ValueError(
+                "cmt_budget_bytes must hold at least one translation page "
+                f"({self.geometry.page_size} B), got {self.cmt_budget_bytes}"
+            )
+        if self.checkpoint_policy not in ("interval", "adaptive"):
+            raise ValueError(
+                "checkpoint_policy must be 'interval' or 'adaptive', got "
+                f"{self.checkpoint_policy!r}"
+            )
         # Resolve preset names eagerly so typos fail at config time.
         self.fault_profile = (
             resolve_fault_profile(self.fault_profile)
@@ -125,6 +153,19 @@ class SsdConfig:
 
     def space_model(self) -> SpaceModel:
         return SpaceModel.from_op_ratio(self.geometry, self.op_ratio)
+
+    def _checkpoint_policy(self) -> Optional[CheckpointPolicy]:
+        """Fresh policy instance per FTL (the adaptive policy is stateful).
+
+        Returns None for the default interval policy: the FTL builds its
+        own from ``checkpoint_interval_pages``, keeping the historical
+        construction path (and its bit-identical behaviour) untouched.
+        """
+        if self.checkpoint_policy == "interval" or self.checkpoint_interval_pages is None:
+            return None
+        return make_checkpoint_policy(
+            self.checkpoint_policy, self.checkpoint_interval_pages
+        )
 
     def resolved_fault_profile(self) -> FaultProfile:
         return resolve_fault_profile(self.fault_profile)
@@ -182,6 +223,9 @@ class SsdConfig:
             journal_unmaps=self.journal_unmaps,
             registry=registry,
             recovered=recovered,
+            mapping_mode=self.mapping_mode,
+            cmt_budget_bytes=self.cmt_budget_bytes,
+            checkpoint_policy=self._checkpoint_policy(),
         )
 
     def recover_from(
@@ -239,6 +283,9 @@ class SsdConfig:
             checkpoint_interval_pages=self.checkpoint_interval_pages,
             journal_unmaps=self.journal_unmaps,
             registry=registry,
+            mapping_mode=self.mapping_mode,
+            cmt_budget_bytes=self.cmt_budget_bytes,
+            checkpoint_policy=self._checkpoint_policy(),
         )
 
     @property

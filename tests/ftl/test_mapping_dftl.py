@@ -1,0 +1,214 @@
+"""Tests for the DFTL-class mapping store (repro.ftl.mapping.CachedPageMap):
+GTD/translation-page bookkeeping, the LRU cached mapping table, the shared
+validity plane over both page classes, and the SsdConfig seam that selects
+the store per mapping mode."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.ftl.ftl import PageMappedFtl
+from repro.ftl.mapping import TRANS_LPN_BASE, UNMAPPED, CachedPageMap, PageMap
+from repro.nand.geometry import NandGeometry
+from repro.ssd.config import SsdConfig
+
+GEOMETRY = NandGeometry(page_size=4096, pages_per_block=8, blocks_per_plane=16)
+
+
+def make_map(user_pages=2048, cmt=2):
+    return CachedPageMap(GEOMETRY, user_pages, cmt_capacity_pages=cmt)
+
+
+# ----------------------------------------------------------------------
+# Translation addressing and the GTD
+# ----------------------------------------------------------------------
+def test_translation_geometry_derives_from_page_size():
+    m = make_map(user_pages=2048)
+    assert m.entries_per_tpage == 4096 // 8 == 512
+    assert m.trans_pages == 4  # ceil(2048 / 512)
+    assert m.tvpn_of(0) == 0
+    assert m.tvpn_of(511) == 0
+    assert m.tvpn_of(512) == 1
+    assert m.trans_ppn(0) is None
+
+
+def test_cmt_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        make_map(cmt=0)
+
+
+def test_remap_trans_invalidates_old_copy_and_fires_observer():
+    m = make_map()
+    seen = []
+    m.set_valid_observer(lambda block, lpn, delta: seen.append((block, lpn, delta)))
+    assert m.remap_trans(1, 10) is None
+    assert m.gtd_mapped_count == 1
+    assert m.trans_ppn(1) == 10
+    # The encoded namespace LPN reaches the observer, so the valid-count
+    # index sees translation blocks exactly like data blocks.
+    assert seen == [(10 // 8, TRANS_LPN_BASE + 1, 1)]
+    assert m.remap_trans(1, 20) == 10
+    assert m.gtd_mapped_count == 1
+    assert not m.is_valid(10) and m.is_valid(20)
+    assert m.block_holds_trans(20 // 8)
+    assert not m.block_holds_trans(10 // 8)
+    m.invariant_check()
+
+
+def test_remap_trans_rejects_out_of_range_tvpn():
+    m = make_map()
+    with pytest.raises(IndexError):
+        m.remap_trans(m.trans_pages, 0)
+
+
+# ----------------------------------------------------------------------
+# CMT: LRU order, dirty propagation, flush
+# ----------------------------------------------------------------------
+def test_cmt_lru_eviction_order_and_dirty_flags():
+    m = make_map(cmt=2)
+    hit, evicted = m.cmt_touch(0, dirty=False)
+    assert (hit, evicted) == (False, [])
+    hit, evicted = m.cmt_touch(1, dirty=True)
+    assert (hit, evicted) == (False, [])
+    # Re-touching 0 promotes it, so 1 is now the LRU victim.
+    hit, evicted = m.cmt_touch(0, dirty=False)
+    assert (hit, evicted) == (True, [])
+    hit, evicted = m.cmt_touch(2, dirty=False)
+    assert hit is False
+    assert evicted == [(1, True)]  # dirty flag travels with the eviction
+    assert m.cmt_len == 2
+
+
+def test_cmt_dirty_bit_is_sticky_until_flush():
+    m = make_map(cmt=4)
+    m.cmt_touch(3, dirty=True)
+    m.cmt_touch(3, dirty=False)  # a clean re-reference must not wash it
+    assert m.cmt_flush_all() == [3]
+    assert m.cmt_flush_all() == []  # flushed entries are clean
+
+
+# ----------------------------------------------------------------------
+# Recovery install: load_mapping then load_gtd
+# ----------------------------------------------------------------------
+def test_load_gtd_round_trip_restores_shared_validity_plane():
+    m = make_map(user_pages=1024)
+    l2p = np.full(1024, UNMAPPED, dtype=np.int64)
+    l2p[5] = 40
+    l2p[600] = 41
+    gtd = np.full(m.trans_pages, UNMAPPED, dtype=np.int64)
+    gtd[0] = 80
+    gtd[1] = 81
+    m.load_mapping(l2p)
+    m.load_gtd(gtd)
+    assert m.mapped_count == 2
+    assert m.gtd_mapped_count == 2
+    assert np.array_equal(m.gtd_snapshot(), gtd)
+    assert m.lpn_of_ppn(80) == TRANS_LPN_BASE + 0
+    assert m.cmt_len == 0  # DRAM cache dies with the power cut
+    m.invariant_check()
+
+
+def test_load_gtd_rejects_collision_with_data_page():
+    m = make_map(user_pages=1024)
+    l2p = np.full(1024, UNMAPPED, dtype=np.int64)
+    l2p[5] = 40
+    gtd = np.full(m.trans_pages, UNMAPPED, dtype=np.int64)
+    gtd[0] = 40  # same physical page as the mapped data LPN
+    m.load_mapping(l2p)
+    with pytest.raises(ValueError):
+        m.load_gtd(gtd)
+
+
+def test_invariant_check_catches_gtd_desync():
+    m = make_map()
+    m.remap_trans(0, 16)
+    m.gtd_mapped_count = 2  # tamper
+    with pytest.raises(AssertionError):
+        m.invariant_check()
+
+
+# ----------------------------------------------------------------------
+# The SsdConfig seam
+# ----------------------------------------------------------------------
+def test_default_mapping_mode_builds_plain_page_map():
+    ftl = SsdConfig.small(blocks=32).build_ftl()
+    assert type(ftl.page_map) is PageMap
+    assert ftl.mapping_mode == "dram"
+    assert ftl.translation_write_overhead() == 0.0
+
+
+def test_dftl_mode_builds_cached_map_with_budgeted_capacity():
+    cfg = SsdConfig.small(
+        blocks=32, mapping_mode="dftl", cmt_budget_bytes=2 * 4096
+    )
+    ftl = cfg.build_ftl()
+    assert isinstance(ftl.page_map, CachedPageMap)
+    assert ftl.page_map.cmt_capacity_pages == 2  # budget // page_size
+    assert ftl._streams == 3  # user, GC and translation frontiers
+
+
+def test_dftl_default_budget_is_one_64th_of_full_map():
+    cfg = SsdConfig.small(blocks=32, mapping_mode="dftl")
+    ftl = cfg.build_ftl()
+    budget = ftl.space.user_pages * 8 // 64
+    assert ftl.cmt_budget_bytes == budget
+    assert ftl.page_map.cmt_capacity_pages == max(1, budget // 4096)
+
+
+def test_config_rejects_unknown_mapping_mode():
+    with pytest.raises(ValueError):
+        SsdConfig.small(blocks=32, mapping_mode="hybrid")
+
+
+# ----------------------------------------------------------------------
+# FTL-level equivalence across the MappingStore seam
+# ----------------------------------------------------------------------
+def test_dram_and_dftl_agree_on_logical_state():
+    """Same host writes -> same logical mapping, whatever the store.
+
+    Physical placement differs (dftl interleaves translation programs),
+    but the host-visible state -- which LPNs are mapped -- must match,
+    and both images must hold their invariants."""
+    # Span several translation pages (512 entries each) with a
+    # one-entry CMT so misses and dirty evictions actually happen.
+    writes = [(i * 7) % 1500 for i in range(4000)]
+    ftls = {}
+    for mode in ("dram", "dftl"):
+        cfg = SsdConfig.small(
+            blocks=64, pages_per_block=32, mapping_mode=mode,
+            cmt_budget_bytes=4096,
+        )
+        ftl = cfg.build_ftl(seed=3)
+        for lpn in writes:
+            ftl.host_write_page(lpn)
+        ftl.invariant_check()
+        ftls[mode] = ftl
+    dram, dftl = ftls["dram"], ftls["dftl"]
+    assert dram.page_map.mapped_count == dftl.page_map.mapped_count
+    assert np.array_equal(
+        dram.page_map.l2p_snapshot() != UNMAPPED,
+        dftl.page_map.l2p_snapshot() != UNMAPPED,
+    )
+    # The dftl run priced real translation traffic.
+    assert dftl.stats.trans_pages_written > 0
+    assert dftl.stats.cmt_hits + dftl.stats.cmt_misses > 0
+    assert dftl.stats.waf() > dram.stats.waf()
+    assert dram.stats.trans_pages_written == 0
+
+
+def test_dftl_gc_migrates_translation_blocks():
+    cfg = SsdConfig.small(
+        blocks=64, pages_per_block=32, mapping_mode="dftl",
+        cmt_budget_bytes=4096,
+    )
+    ftl = cfg.build_ftl(seed=5)
+    user = ftl.space.user_pages
+    # Random overwrites leave data blocks partially valid, so the greedy
+    # victim index reaches mostly-stale translation blocks too.
+    rng = random.Random(0)
+    for _ in range(user * 3):
+        ftl.host_write_page(rng.randrange(user * 9 // 10))
+    ftl.invariant_check()
+    assert ftl.stats.trans_pages_migrated > 0
+    assert isinstance(ftl, PageMappedFtl)

@@ -180,3 +180,51 @@ def test_meta_exhaustion_drives_device_read_only():
     assert ftl.read_only
     assert ftl.stats.meta_blocks_retired == 1
     assert ftl.nand.meta_region.exhausted
+
+
+def test_mid_checkpoint_exhaustion_keeps_newest_complete_generation():
+    """Wear exhaustion landing mid-checkpoint must not corrupt recovery.
+
+    The logical append precedes the physical program, so when the ring
+    dies partway through a checkpoint record the FTL must mark that
+    record torn (its tail never reached NAND) and go read-only; the
+    previous complete generation stays authoritative and power-on
+    recovery restores the exact pre-exhaustion mapping from it plus the
+    OOB tail."""
+    cfg = SsdConfig.small(
+        blocks=64, pages_per_block=32, meta_blocks=1, pe_cycle_limit=3,
+        checkpoint_interval_pages=10**9,  # only explicit checkpoints
+    )
+    ftl = cfg.build_ftl(seed=4)
+    for i in range(1200):
+        ftl.host_write_page(i % 600)
+    ftl.write_checkpoint()
+    complete_gen = ftl._ckpt_generation
+    ckpt_pages = ftl.nand.meta.records[-1].pages
+    assert ckpt_pages > 1, "need a multi-page record to tear mid-program"
+
+    # Burn ring capacity one page at a time until the *next* checkpoint
+    # record is guaranteed to exhaust mid-record (probe on a clone).
+    ppb = cfg.geometry.pages_per_block
+    while True:
+        probe = MetaRegion.restore(
+            ftl.nand.meta_region.capture(), ppb, pe_cycle_limit=3
+        )
+        out = probe.program(ckpt_pages)
+        if out.exhausted and 0 < out.pages_programmed < ckpt_pages:
+            break
+        assert not ftl.nand.meta_region.exhausted
+        ftl.nand.meta_program(1)
+
+    ftl.write_checkpoint()
+    assert ftl.read_only
+    torn = ftl.nand.meta.records[-1]
+    assert torn.torn and torn.generation == complete_gen + 1
+    assert torn.pages < ckpt_pages
+
+    recovered, report = cfg.recover_from(ftl.nand.capture_durable_state(), seed=4)
+    assert report.checkpoint_generation == complete_gen
+    assert report.torn_meta_records >= 1
+    assert np.array_equal(
+        recovered.page_map.l2p_snapshot(), ftl.page_map.l2p_snapshot()
+    )

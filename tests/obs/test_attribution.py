@@ -191,3 +191,39 @@ def test_audit_span_queries():
 
     DISABLED_AUDIT.record_gc_span(GcSpanRecord(t_ns=0, dur_ns=1, background=False))
     assert DISABLED_AUDIT.gc_spans == []
+
+
+def test_mapping_fault_cause_attributes_cmt_misses():
+    from repro.obs.attribution import CAUSE_MAPPING_FAULT
+    from repro.obs.audit import MappingFaultRecord
+
+    audit = DecisionAuditLog()
+    audit.record_mapping_fault(MappingFaultRecord(t_ns=2000, dur_ns=300, kind="miss"))
+    audit.record_mapping_fault(
+        MappingFaultRecord(t_ns=8000, dur_ns=500, kind="writeback", pages=1)
+    )
+    log = OpLog()
+    log.record("write", 1900, 2100, 0)   # overlaps the miss read
+    log.record("write", 8100, 8600, 0)   # inside the eviction writeback
+    log.record("write", 5000, 5200, 0)   # overlaps nothing
+    report = attribute_tail(log, audit, threshold_pct=0.0)
+    assert report.count(CAUSE_MAPPING_FAULT) == 2
+    assert report.count(CAUSE_NONE) == 1
+    assert report.accounted() == 3
+    assert CAUSE_MAPPING_FAULT in CAUSES
+
+
+def test_fault_retry_outranks_mapping_fault():
+    from repro.obs.attribution import CAUSE_MAPPING_FAULT
+    from repro.obs.audit import MappingFaultRecord
+
+    audit = DecisionAuditLog()
+    audit.record_fault(
+        FaultRecord(t_ns=2000, kind="read", block=0, page=0, resolution="read-retry")
+    )
+    audit.record_mapping_fault(MappingFaultRecord(t_ns=2000, dur_ns=300, kind="miss"))
+    log = OpLog()
+    log.record("read", 1900, 2400, 0)  # overlaps both
+    report = attribute_tail(log, audit, threshold_pct=0.0)
+    assert report.count(CAUSE_FAULT_RETRY) == 1
+    assert report.count(CAUSE_MAPPING_FAULT) == 0

@@ -35,6 +35,17 @@ prefill+warmup -- a wall-time ratio on the same host, so it transfers
 -- to clear ``--min-warmstart-speedup`` (default 5x, the feature's
 design target).
 
+CMT payloads (``benchmarks/bench_cmt.py``, ``benchmark`` starting with
+``"cmt"``): the gate bounds the DFTL translation tier's cost -- the
+dram/dftl events-per-sec ``slowdown`` must stay under
+``--max-cmt-slowdown`` (default 5x), the translation share of all
+programs under ``--max-trans-share`` (default 0.5), and the dftl WAF
+must not undercut the dram WAF (translation writes are real writes).
+
+Hot-path baselines are matched like-for-like on the ``mapping`` stamp
+(entries predating the stamp count as dram), so a dftl measurement is
+never judged against a dram trajectory entry.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_hotpaths.py --quick --output /tmp/bench.json
@@ -85,16 +96,20 @@ def _gateable(entry: dict) -> bool:
     )
 
 
-def _load_baseline(path: Path, mode: str) -> dict | None:
+def _load_baseline(path: Path, mode: str, mapping: str = "dram") -> dict | None:
     """Pick the baseline entry to gate against.
 
     Accepts either a flat ``bench-hotpaths/v1`` payload (pre-trajectory
     baseline, or another single run) or a ``bench-hotpaths/v2``
     trajectory, from which the latest gateable entry matching ``mode``
-    is chosen -- entries are append-only and chronological -- falling
-    back to the latest gateable entry of any mode.  A missing, empty or
-    unreadable baseline is not an error: the gate runs its absolute
-    ratio-floor checks and passes or fails on those alone.
+    *and* ``mapping`` is chosen -- entries are append-only and
+    chronological -- falling back to the latest same-mapping entry, then
+    to the latest gateable entry of any kind.  Mapping is matched first:
+    dram and dftl hot paths genuinely differ, so a dftl run must never
+    be judged against a dram trajectory entry (entries that predate the
+    mapping stamp count as dram).  A missing, empty or unreadable
+    baseline is not an error: the gate runs its absolute ratio-floor
+    checks and passes or fails on those alone.
     """
     try:
         text = path.read_text()
@@ -119,13 +134,20 @@ def _load_baseline(path: Path, mode: str) -> dict | None:
         entries = [e for e in payload.get("entries") or [] if _gateable(e)]
         if not entries:
             return None
-        same_mode = [e for e in entries if e.get("mode") == mode]
-        entry = same_mode[-1] if same_mode else entries[-1]
+        # Like-for-like first: entries without a mapping stamp predate
+        # the dftl work and were all measured in dram mode.
+        same_mapping = [
+            e for e in entries if e.get("mapping", "dram") == mapping
+        ]
+        pool = same_mapping or entries
+        same_mode = [e for e in pool if e.get("mode") == mode]
+        entry = same_mode[-1] if same_mode else pool[-1]
         print(
             f"[bench_gate] baseline: trajectory entry "
             f"{entries.index(entry) + 1}/{len(entries)} "
             f"(date={entry.get('date')} commit={entry.get('commit')} "
-            f"mode={entry.get('mode')})"
+            f"mode={entry.get('mode')} "
+            f"mapping={entry.get('mapping', 'dram')})"
         )
         return entry
     print(f"[bench_gate] baseline {path}: unsupported schema {schema!r}; ignoring it")
@@ -176,6 +198,46 @@ def check_warmstart(current: dict, min_warmstart_speedup: float) -> list:
             f"{min_warmstart_speedup}x floor"
         ]
     return []
+
+
+def check_cmt(current: dict, max_cmt_slowdown: float,
+              max_trans_share: float) -> list:
+    """Gate a CMT-overhead payload on its dram/dftl cost ratios."""
+    cmt = current["results"].get("cmt_overhead")
+    if cmt is None:
+        return [
+            "cmt payload carries no cmt_overhead results "
+            "(re-run benchmarks/bench_cmt.py)"
+        ]
+    dftl = cmt["dftl"]
+    print(
+        f"[bench_gate] cmt overhead: dram "
+        f"{cmt['dram']['events_per_sec']} ev/s vs dftl "
+        f"{dftl['events_per_sec']} ev/s (slowdown {cmt['slowdown']}x); "
+        f"hit rate {dftl['cmt_hit_rate']:.2%}, translation share "
+        f"{dftl['trans_share']:.2%}, WAF delta {cmt['waf_delta']:+}"
+    )
+    failures = []
+    if cmt["slowdown"] > max_cmt_slowdown:
+        failures.append(
+            f"cmt_overhead slowdown {cmt['slowdown']}x exceeds the "
+            f"{max_cmt_slowdown}x ceiling"
+        )
+    if dftl["trans_share"] > max_trans_share:
+        failures.append(
+            f"translation share {dftl['trans_share']} of all programs "
+            f"exceeds the {max_trans_share} ceiling"
+        )
+    # The scenario is time-bounded, so the dftl run completes fewer host
+    # ops in the same sim window and the two WAFs are not the same
+    # replay; what must hold is that translation programs contribute a
+    # visible share of the dftl WAF at all.
+    if dftl["trans_pages_written"] > 0 and dftl["trans_share"] <= 0.0:
+        failures.append(
+            "translation pages were written but their WAF share is zero "
+            "-- translation writes are not being priced into WAF"
+        )
+    return failures
 
 
 def check(current: dict, baseline: dict | None, min_speedup: float,
@@ -244,15 +306,33 @@ def main(argv=None) -> int:
         help="floor for a warmstart payload's analytic-vs-simulated "
         "preconditioning wall-time ratio (default: 5x)",
     )
+    parser.add_argument(
+        "--max-cmt-slowdown", type=float, default=5.0,
+        help="ceiling for a cmt payload's dram/dftl events-per-sec "
+        "ratio (default: 5x)",
+    )
+    parser.add_argument(
+        "--max-trans-share", type=float, default=0.5,
+        help="ceiling for the translation-page share of all programs in "
+        "a cmt payload's dftl run (default: 0.5)",
+    )
     args = parser.parse_args(argv)
 
     current = _load_current(args.current)
     benchmark = str(current.get("benchmark", ""))
-    if benchmark.startswith("recovery") or benchmark.startswith("warmstart"):
+    if (
+        benchmark.startswith("recovery")
+        or benchmark.startswith("warmstart")
+        or benchmark.startswith("cmt")
+    ):
         if benchmark.startswith("recovery"):
             failures = check_recovery(current, args.min_recovery_speedup)
-        else:
+        elif benchmark.startswith("warmstart"):
             failures = check_warmstart(current, args.min_warmstart_speedup)
+        else:
+            failures = check_cmt(
+                current, args.max_cmt_slowdown, args.max_trans_share
+            )
         if failures:
             for failure in failures:
                 print(f"[bench_gate] FAIL: {failure}")
@@ -260,7 +340,9 @@ def main(argv=None) -> int:
         print("[bench_gate] OK")
         return 0
     baseline = (
-        _load_baseline(args.baseline, current.get("mode"))
+        _load_baseline(
+            args.baseline, current.get("mode"), current.get("mapping", "dram")
+        )
         if args.baseline.exists() else None
     )
     if baseline is None:
