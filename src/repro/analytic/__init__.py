@@ -16,13 +16,28 @@ Two halves, used together or separately:
   vectors, OOB stamps, L2P table, valid-count index, free pool), so
   experiments start *at* steady state instead of simulating their way
   into it (``--warm-start analytic``).
+
+* :mod:`repro.analytic.lifetime` -- the years-to-ECC-cliff projection
+  closing the paper's title claim: UBER target -> max tolerable P/E at
+  the retention target, then measured WAF -> years of service
+  (``repro lifetime-report``).
 """
 
+from repro.analytic.lifetime import (
+    LifetimeModel,
+    LifetimeProjection,
+    max_tolerable_pe,
+    project_lifetime,
+)
 from repro.analytic.model import SteadyStatePrediction, predict_steady_state
 from repro.analytic.warmstart import synthesize_steady_state
 
 __all__ = [
+    "LifetimeModel",
+    "LifetimeProjection",
     "SteadyStatePrediction",
+    "max_tolerable_pe",
     "predict_steady_state",
+    "project_lifetime",
     "synthesize_steady_state",
 ]

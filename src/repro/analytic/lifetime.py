@@ -1,0 +1,184 @@
+"""Years-to-ECC-cliff lifetime projection (the paper's title claim).
+
+The paper argues JIT-GC's lower WAF buys *long lifetimes*: fewer P/E
+cycles per host byte means the drive takes longer to wear to the point
+where retention-aged raw bit error rates exceed the ECC.  This module
+quantifies that end to end:
+
+1. :func:`max_tolerable_pe` inverts the reliability stack -- given a
+   :class:`~repro.nand.reliability.BitErrorModel`, an
+   :class:`~repro.nand.reliability.EccConfig`, a retention target (how
+   long data must stay readable after programming) and an UBER target
+   (uncorrectable bit error rate the product may ship with), it finds
+   the largest P/E cycle count whose end-of-retention failure rate
+   still meets the target.  The failure rate is monotonic in wear, so a
+   bisection over integer P/E counts is exact.
+
+2. :func:`project_lifetime` turns that cycle budget into wall-clock
+   years for a measured WAF and a daily host-write volume (drive-writes
+   -per-day style accounting)::
+
+       years = max_pe * physical_bytes / (waf * daily_bytes * 365.25)
+
+   Policies enter only through their WAF, which is exactly the paper's
+   argument: the GC policy cannot change the physics, only how fast it
+   spends the cycle budget.
+
+``repro lifetime-report`` (see :mod:`repro.experiments.lifetimereport`)
+runs the policy comparison for the measured WAFs and prints the
+JIT-GC-vs-baselines lifetime table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.nand.reliability import BitErrorModel, EccConfig, ReliabilityProfile
+
+#: Default reliability targets: one-year retention at 1e-15 UBER is the
+#: classic client-SSD JEDEC-style operating point.
+DEFAULT_RETENTION_S = 365.25 * 86_400.0
+DEFAULT_UBER_TARGET = 1e-15
+
+
+@dataclass(frozen=True)
+class LifetimeModel:
+    """ECC-cliff lifetime calculator over a reliability stack.
+
+    Attributes:
+        bit_error_model: wear/retention/disturb -> RBER surface.
+        ecc: code strength the controller ships.
+        page_bytes: physical page size (UBER normalisation).
+        retention_target_s: how long data must remain readable after its
+            last program; end-of-retention is when the UBER is checked.
+        uber_target: uncorrectable bit error rate ceiling at the end of
+            the retention window.
+    """
+
+    bit_error_model: BitErrorModel = field(default_factory=BitErrorModel)
+    ecc: EccConfig = field(default_factory=EccConfig)
+    page_bytes: int = 4096
+    retention_target_s: float = DEFAULT_RETENTION_S
+    uber_target: float = DEFAULT_UBER_TARGET
+
+    def __post_init__(self) -> None:
+        if self.page_bytes <= 0:
+            raise ValueError(f"page_bytes must be positive, got {self.page_bytes}")
+        if self.retention_target_s < 0:
+            raise ValueError(
+                f"retention_target_s must be non-negative, got {self.retention_target_s}"
+            )
+        if not 0.0 < self.uber_target < 1.0:
+            raise ValueError(
+                f"uber_target must be in (0, 1), got {self.uber_target}"
+            )
+
+    @classmethod
+    def from_profile(
+        cls,
+        profile: ReliabilityProfile,
+        retention_target_s: float = DEFAULT_RETENTION_S,
+        uber_target: float = DEFAULT_UBER_TARGET,
+    ) -> "LifetimeModel":
+        """Build from the same profile the live subsystem runs."""
+        return cls(
+            bit_error_model=profile.bit_error_model,
+            ecc=profile.ecc,
+            page_bytes=profile.page_bytes,
+            retention_target_s=retention_target_s,
+            uber_target=uber_target,
+        )
+
+    def uber_at(self, pe_cycles: float) -> float:
+        """Uncorrectable *bit* error rate at end-of-retention wear.
+
+        The page failure probability divided by the page's bits -- the
+        standard UBER normalisation (errors per bit read).
+        """
+        rber = self.bit_error_model.rber(
+            pe_cycles, retention_s=self.retention_target_s
+        )
+        page_fail = self.ecc.page_failure_probability(
+            rber, page_bytes=self.page_bytes
+        )
+        return page_fail / (self.page_bytes * 8)
+
+    def max_tolerable_pe(self, limit: int = 1_000_000) -> int:
+        """Largest P/E count meeting the UBER target (0 if even fresh
+        cells miss it; ``limit`` when the target never binds below it).
+
+        The RBER surface is monotonically increasing in wear, so the
+        failure probability is too; bisect over integers.
+        """
+        if self.uber_at(0) > self.uber_target:
+            return 0
+        if self.uber_at(limit) <= self.uber_target:
+            return limit
+        low, high = 0, limit  # invariant: uber(low) ok, uber(high) not
+        while high - low > 1:
+            mid = (low + high) // 2
+            if self.uber_at(mid) <= self.uber_target:
+                low = mid
+            else:
+                high = mid
+        return low
+
+
+def max_tolerable_pe(
+    model: Optional[LifetimeModel] = None, limit: int = 1_000_000
+) -> int:
+    """Module-level convenience over :meth:`LifetimeModel.max_tolerable_pe`."""
+    return (model or LifetimeModel()).max_tolerable_pe(limit=limit)
+
+
+@dataclass(frozen=True)
+class LifetimeProjection:
+    """One policy's years-to-ECC-cliff verdict.
+
+    Attributes:
+        policy: policy name.
+        waf: measured write amplification driving the projection.
+        max_pe_cycles: cycle budget from the reliability stack.
+        years: projected years until the drive's average block crosses
+            the ECC cliff (infinity when nothing is ever written).
+    """
+
+    policy: str
+    waf: float
+    max_pe_cycles: int
+    years: float
+
+
+def project_lifetime(
+    policy: str,
+    waf: float,
+    physical_bytes: int,
+    daily_write_bytes: float,
+    model: Optional[LifetimeModel] = None,
+) -> LifetimeProjection:
+    """Years until the cycle budget is spent at the measured WAF.
+
+    Assumes ideal wear levelling (every block ages at the fleet average)
+    -- the standard TBW-style endurance arithmetic:
+    ``total NAND writes = waf * host writes``, and the device dies when
+    ``total NAND writes = max_pe * physical_bytes``.
+    """
+    if waf < 1.0:
+        raise ValueError(f"waf must be >= 1.0, got {waf}")
+    if physical_bytes <= 0:
+        raise ValueError(f"physical_bytes must be positive, got {physical_bytes}")
+    if daily_write_bytes < 0:
+        raise ValueError(
+            f"daily_write_bytes must be non-negative, got {daily_write_bytes}"
+        )
+    lifetime_model = model or LifetimeModel()
+    max_pe = lifetime_model.max_tolerable_pe()
+    if daily_write_bytes == 0:
+        years = float("inf")
+    else:
+        total_nand_bytes = float(max_pe) * physical_bytes
+        years = total_nand_bytes / (waf * daily_write_bytes * 365.25)
+    return LifetimeProjection(
+        policy=policy, waf=waf, max_pe_cycles=max_pe, years=years
+    )

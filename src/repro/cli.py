@@ -12,6 +12,8 @@ artifact can be regenerated from a shell:
 * ``crash-sweep`` -- exhaustive power-loss crash-point verification.
 * ``latency-report`` -- tail-latency percentiles + per-cause attribution
                across policies on a GC-heavy scenario.
+* ``lifetime-report`` -- measured WAF -> years-to-ECC-cliff projection
+               per policy (the paper's "long lifetimes" claim).
 * ``list``     -- available workloads and policies.
 
 Power-loss emulation rides on ``run``: ``--spo-at T`` cuts power at
@@ -37,6 +39,7 @@ from repro.experiments import (
     normalize_to,
     run_crash_sweep,
     run_latency_report,
+    run_lifetime_report,
     run_fig2,
     run_fig7,
     run_oracle_comparison,
@@ -74,6 +77,7 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
         help="media-fault injection profile (default: none)",
     )
     _add_mapping_args(parser)
+    _add_reliability_arg(parser)
     parser.add_argument(
         "--checkpoint-interval", type=int, default=None, metavar="PAGES",
         help="write a durable mapping checkpoint every PAGES host pages "
@@ -118,6 +122,18 @@ def _add_mapping_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_reliability_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--reliability", default="off",
+        choices=("off", "mlc-20nm", "mlc-20nm-accel"),
+        help="data-integrity subsystem profile: retention clock, ECC "
+        "read-retry escalation ladder and background refresh scrub "
+        "('off' keeps the historical bit-identical device; "
+        "'mlc-20nm-accel' compresses retention physics into simulated "
+        "seconds for demos/tests)",
+    )
+
+
 def _cmt_budget_bytes(args: argparse.Namespace):
     kib = getattr(args, "cmt_budget_kb", None)
     return None if kib is None else kib * 1024
@@ -152,7 +168,14 @@ def _spec_from(args: argparse.Namespace) -> ScenarioSpec:
         mapping=getattr(args, "mapping", "dram"),
         cmt_budget_bytes=_cmt_budget_bytes(args),
         checkpoint_policy=getattr(args, "checkpoint_policy", "interval"),
+        reliability=_reliability_from(args),
     )
+
+
+def _reliability_from(args: argparse.Namespace):
+    """CLI knob -> spec field ('off' -> None keeps historical keys)."""
+    profile = getattr(args, "reliability", "off")
+    return None if profile in (None, "off") else profile
 
 
 def _echo_run_header(spec: ScenarioSpec) -> None:
@@ -231,6 +254,26 @@ def _print_metrics(metrics) -> None:
                 ["device read-only", "yes" if metrics.device_read_only else "no"],
             ]
         )
+    if metrics.ecc_fast_reads or metrics.ecc_retry_reads or metrics.uecc_count:
+        ladder = ", ".join(
+            f"L{level}={count}"
+            for level, count in sorted(
+                metrics.ecc_retry_histogram.items(), key=lambda kv: int(kv[0])
+            )
+        )
+        rows.extend(
+            [
+                ["ECC fast reads", metrics.ecc_fast_reads],
+                ["ECC retry reads", f"{metrics.ecc_retry_reads} ({ladder or '-'})"],
+                ["ECC soft decodes", metrics.ecc_soft_decodes],
+                ["UECC (data lost)", metrics.uecc_count],
+                [
+                    "scrub refreshes",
+                    f"{metrics.scrub_blocks_refreshed} blocks / "
+                    f"{metrics.scrub_pages_migrated} pages",
+                ],
+            ]
+        )
     print(
         format_table(
             ["Metric", "Value"], rows, title=f"{metrics.workload} / {metrics.policy}"
@@ -292,6 +335,7 @@ def cmd_crash_sweep(args: argparse.Namespace) -> int:
         warm_start=args.warm_start,
         mapping=args.mapping,
         cmt_budget_bytes=_cmt_budget_bytes(args),
+        reliability=_reliability_from(args),
     )
     _echo_run_header(spec)
     ticks = {"n": 0}
@@ -407,6 +451,7 @@ def cmd_latency_report(args: argparse.Namespace) -> int:
         measure_s=args.measure,
         mapping=args.mapping,
         cmt_budget_bytes=_cmt_budget_bytes(args),
+        reliability=_reliability_from(args),
     )
     # The report defaults to a working set below the crash sweep's 0.9:
     # with idle headroom available, just-in-time background collection
@@ -438,6 +483,31 @@ def cmd_latency_report(args: argparse.Namespace) -> int:
     )
     print(result.format())
     return 0 if result.attribution_ok() else 1
+
+
+def cmd_lifetime_report(args: argparse.Namespace) -> int:
+    spec = gc_heavy_spec(
+        blocks=args.blocks,
+        pages_per_block=args.pages_per_block,
+        seed=args.seed,
+        measure_s=args.measure,
+        mapping=args.mapping,
+        cmt_budget_bytes=_cmt_budget_bytes(args),
+        reliability=_reliability_from(args),
+    )
+    if args.workload != spec.workload:
+        spec = replace(spec, workload=args.workload)
+    _echo_run_header(spec)
+    result = run_lifetime_report(
+        spec,
+        jobs=args.jobs,
+        reliability_profile=args.lifetime_profile,
+        uber_target=args.uber_target,
+        retention_target_s=args.retention_days * 86_400.0,
+        drive_writes_per_day=args.dwpd,
+    )
+    print(result.format())
+    return 0
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -539,6 +609,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="media-fault profile active while the sweep runs",
     )
     _add_mapping_args(crash_parser)
+    _add_reliability_arg(crash_parser)
     crash_parser.add_argument(
         "--points", type=int, default=100, metavar="N",
         help="crash points to verify (default: 100)",
@@ -600,8 +671,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-format", default="jsonl", choices=TRACE_FORMATS,
     )
     _add_mapping_args(latency_parser)
+    _add_reliability_arg(latency_parser)
     _add_jobs_arg(latency_parser)
     latency_parser.set_defaults(func=cmd_latency_report)
+
+    lifetime_parser = sub.add_parser(
+        "lifetime-report",
+        help="years-to-ECC-cliff projection per policy from measured WAF "
+        "(the paper's long-lifetimes claim, quantified)",
+    )
+    lifetime_parser.add_argument(
+        "--workload", default="YCSB", choices=sorted(WORKLOADS)
+    )
+    lifetime_parser.add_argument("--blocks", type=int, default=256)
+    lifetime_parser.add_argument("--pages-per-block", type=int, default=64)
+    lifetime_parser.add_argument("--measure", type=int, default=30, metavar="S")
+    lifetime_parser.add_argument("--seed", type=int, default=42)
+    lifetime_parser.add_argument(
+        "--lifetime-profile", default="mlc-20nm",
+        choices=("mlc-20nm", "mlc-20nm-accel"),
+        help="reliability profile whose physics define the ECC cliff "
+        "(independent of --reliability, which arms the *measured* run)",
+    )
+    lifetime_parser.add_argument(
+        "--uber-target", type=float, default=1e-15, metavar="P",
+        help="uncorrectable bit error rate ceiling at end of retention "
+        "(default: 1e-15, the classic client-SSD operating point)",
+    )
+    lifetime_parser.add_argument(
+        "--retention-days", type=float, default=365.25, metavar="D",
+        help="retention window the UBER target must hold over "
+        "(default: one year)",
+    )
+    lifetime_parser.add_argument(
+        "--dwpd", type=float, default=1.0, metavar="N",
+        help="assumed host volume in drive-writes per day (default: 1)",
+    )
+    _add_mapping_args(lifetime_parser)
+    _add_reliability_arg(lifetime_parser)
+    _add_jobs_arg(lifetime_parser)
+    lifetime_parser.set_defaults(func=cmd_lifetime_report)
 
     list_parser = sub.add_parser("list", help="available workloads and policies")
     list_parser.set_defaults(func=cmd_list)

@@ -373,6 +373,15 @@ class JitGcPolicy(GcPolicy):
             prediction.demands_bytes = [
                 int(d * (1.0 + trans_overhead)) for d in prediction.demands_bytes
             ]
+        # Refresh-scrub relocations likewise consume frontier capacity:
+        # the trailing scrub-pages-per-host-page ratio scales Dbuf so
+        # JIT-GC provisions for reliability traffic too.  0.0 with the
+        # scrubber off -- the historical estimate stays bit-identical.
+        scrub_overhead = self.device.ftl.scrub_write_overhead()
+        if scrub_overhead > 0.0:
+            prediction.demands_bytes = [
+                int(d * (1.0 + scrub_overhead)) for d in prediction.demands_bytes
+            ]
         ddir = self.direct_predictor.predict(now)
         dearly = self.early_flush_predictor.predict(now)
         ddir = [d + e for d, e in zip(ddir, dearly)]

@@ -56,6 +56,10 @@ from repro.experiments.latencyreport import (
     latency_spec,
     run_latency_report,
 )
+from repro.experiments.lifetimereport import (
+    LifetimeReportResult,
+    run_lifetime_report,
+)
 from repro.experiments.persistence import SweepCheckpoint, load_results, save_results
 
 __all__ = [
@@ -99,6 +103,8 @@ __all__ = [
     "LatencyReportResult",
     "latency_spec",
     "run_latency_report",
+    "LifetimeReportResult",
+    "run_lifetime_report",
     "merge_phase_metrics",
     "run_crash_sweep",
     "run_scenario_with_spo",

@@ -267,6 +267,10 @@ def verify_crash_point(
         timing=config.timing,
         pe_cycle_limit=config.pe_cycle_limit,
         fault_injector=None,
+        # Fresh tracker: read-disturb counts are volatile DRAM state and
+        # reset at power-on (the retention clock, by contrast, rides the
+        # durable image -- charge leaks with the rail down too).
+        read_disturb=config.build_read_disturb(),
     )
     frontiers = [live_ftl.active_user_block, live_ftl.active_gc_block]
     if live_ftl.mapping_mode == "dftl":
@@ -292,6 +296,7 @@ def verify_crash_point(
             timing=config.timing,
             pe_cycle_limit=config.pe_cycle_limit,
             fault_injector=None,
+            read_disturb=config.build_read_disturb(),
         )
         nand2.meta.tear_last()
         # The scan is read-only and the torn checkpoint never becomes
@@ -324,6 +329,7 @@ def _recover(nand: NandArray, config: SsdConfig):
         mapping_mode=config.mapping_mode,
         cmt_budget_bytes=config.cmt_budget_bytes,
         checkpoint_policy=config._checkpoint_policy(),
+        reliability=config.resolved_reliability_profile(),
     )
 
 
@@ -342,6 +348,7 @@ def gc_heavy_spec(
     warm_start: str = "sim",
     mapping: str = "dram",
     cmt_budget_bytes: Optional[int] = None,
+    reliability: Optional[object] = None,
 ) -> ScenarioSpec:
     """A scenario tuned so GC runs constantly under the sweep.
 
@@ -364,6 +371,10 @@ def gc_heavy_spec(
     crash points then also land between a translation-page writeback and
     its GTD update, inside translation-block GC, and on the torn
     translation frontier -- the states the GTD rebuild must get right.
+    ``reliability`` arms the data-integrity subsystem (profile name or
+    instance), so crash points also land around refresh-scrub
+    relocations and verify the retention clock rides the durable image
+    while the disturb counters reset at power-on.
     """
     workload = "YCSB"
     workload_kwargs: dict = {}
@@ -392,6 +403,7 @@ def gc_heavy_spec(
         warm_start=warm_start,
         mapping=mapping,
         cmt_budget_bytes=cmt_budget_bytes,
+        reliability=reliability,
     )
 
 

@@ -1,0 +1,156 @@
+"""The lifetime report: years-to-ECC-cliff per GC policy.
+
+The paper's title promises *long lifetimes*; this report is where the
+repo finally quantifies it end to end.  Each policy runs the identical
+GC-heavy workload replay to measure its steady-state WAF; the
+:mod:`repro.analytic.lifetime` model inverts the reliability stack
+(UBER target -> max tolerable P/E at the retention target) once, and
+the two combine into the classic endurance arithmetic::
+
+    years = max_pe * physical_bytes / (waf * daily_host_bytes * 365.25)
+
+The policies share one cycle budget -- the physics does not care who is
+collecting -- so the table isolates exactly the paper's argument: the
+WAF ratio between JIT-GC and the baselines *is* the lifetime ratio.
+
+Reproduce with::
+
+    python -m repro lifetime-report --jobs 4
+
+(see EXPERIMENTS.md for the reference output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.analytic.lifetime import (
+    DEFAULT_RETENTION_S,
+    DEFAULT_UBER_TARGET,
+    LifetimeModel,
+    LifetimeProjection,
+    project_lifetime,
+)
+from repro.core.policies import GcPolicy
+from repro.experiments.crashsweep import gc_heavy_spec
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import (
+    POLICY_FACTORIES,
+    ScenarioSpec,
+    run_policy_comparison,
+)
+from repro.metrics.collector import RunMetrics
+from repro.nand.reliability import resolve_reliability_profile
+
+
+@dataclass
+class LifetimeReportResult:
+    """Per-policy WAF measurements and lifetime projections."""
+
+    spec: ScenarioSpec
+    model: LifetimeModel
+    #: Host writes per day the projection assumes, as a fraction of the
+    #: device's physical capacity (1.0 = one drive-write per day).
+    drive_writes_per_day: float
+    results: Dict[str, RunMetrics] = field(default_factory=dict)
+    projections: Dict[str, LifetimeProjection] = field(default_factory=dict)
+
+    def best_policy(self) -> str:
+        """The longest-lived policy (ties break on dict order)."""
+        return max(self.projections, key=lambda p: self.projections[p].years)
+
+    def rows(self) -> List[List[object]]:
+        baseline = min(p.years for p in self.projections.values())
+        rows: List[List[object]] = []
+        for policy, projection in self.projections.items():
+            ratio = (
+                projection.years / baseline if baseline > 0 else float("inf")
+            )
+            rows.append(
+                [
+                    policy,
+                    f"{projection.waf:.3f}",
+                    projection.max_pe_cycles,
+                    f"{projection.years:.2f}",
+                    f"{ratio:.2f}x",
+                ]
+            )
+        return rows
+
+    def format(self) -> str:
+        retention_days = self.model.retention_target_s / 86_400.0
+        return format_table(
+            ["Policy", "WAF", "max P/E", "years to ECC cliff", "vs worst"],
+            self.rows(),
+            title=(
+                f"Lifetime projection on {self.spec.workload} "
+                f"(UBER target {self.model.uber_target:g}, "
+                f"{retention_days:.0f}-day retention, "
+                f"{self.drive_writes_per_day:g} drive-writes/day)"
+            ),
+        )
+
+
+def run_lifetime_report(
+    spec: Optional[ScenarioSpec] = None,
+    policies: Optional[Dict[str, Callable[[], GcPolicy]]] = None,
+    jobs: Optional[int] = 1,
+    reliability_profile: str = "mlc-20nm",
+    uber_target: float = DEFAULT_UBER_TARGET,
+    retention_target_s: float = DEFAULT_RETENTION_S,
+    drive_writes_per_day: float = 1.0,
+) -> LifetimeReportResult:
+    """Measure per-policy WAF and project years to the ECC cliff.
+
+    Args:
+        spec: scenario to measure WAF on (GC-heavy by default; the
+            measurement itself runs with whatever reliability setting
+            the spec carries -- the *projection* always uses
+            ``reliability_profile``'s physics).
+        policies: factories to compare (all four by default).
+        jobs: worker processes for the policy comparison.
+        reliability_profile: named profile whose bit-error model and ECC
+            define the cliff (``off`` is rejected -- a lifetime needs
+            physics).
+        uber_target: shipped-product UBER ceiling.
+        retention_target_s: retention window the UBER must hold over.
+        drive_writes_per_day: host volume as a fraction of physical
+            capacity per day.
+    """
+    profile = resolve_reliability_profile(reliability_profile)
+    if profile is None:
+        raise ValueError(
+            "lifetime-report needs a reliability profile; 'off' has no ECC cliff"
+        )
+    if drive_writes_per_day <= 0:
+        raise ValueError(
+            f"drive_writes_per_day must be positive, got {drive_writes_per_day}"
+        )
+    model = LifetimeModel.from_profile(
+        profile,
+        retention_target_s=retention_target_s,
+        uber_target=uber_target,
+    )
+    spec = spec if spec is not None else gc_heavy_spec()
+    results = run_policy_comparison(spec, policies or POLICY_FACTORIES, jobs=jobs)
+    geometry = spec.make_config().geometry
+    physical_bytes = geometry.total_pages * geometry.page_size
+    daily_write_bytes = drive_writes_per_day * physical_bytes
+    projections = {
+        policy: project_lifetime(
+            policy,
+            max(1.0, metrics.waf),
+            physical_bytes,
+            daily_write_bytes,
+            model,
+        )
+        for policy, metrics in results.items()
+    }
+    return LifetimeReportResult(
+        spec=spec,
+        model=model,
+        drive_writes_per_day=drive_writes_per_day,
+        results=results,
+        projections=projections,
+    )

@@ -130,6 +130,12 @@ class ScenarioSpec:
     #: Checkpoint scheduling: ``"interval"`` (fixed host-page interval)
     #: or ``"adaptive"`` (accrual-based with GC-quiescence early fire).
     checkpoint_policy: str = "interval"
+    #: Reliability profile arming the live data-integrity subsystem
+    #: (retention clock, ECC escalation ladder, refresh scrubber): a
+    #: preset name (``"mlc-20nm"``, ``"mlc-20nm-accel"``), a
+    #: :class:`~repro.nand.reliability.ReliabilityProfile`, or
+    #: None/``"off"`` for the historical bit-identical device.
+    reliability: Optional[object] = None
 
     def with_policy(self, policy: str, factory: Optional[Callable[[], GcPolicy]] = None):
         """Same scenario, different policy (identical workload replay)."""
@@ -151,6 +157,8 @@ class ScenarioSpec:
             key += f"/map-{self.mapping}"
         if self.checkpoint_policy != "interval":
             key += f"/ckpt-{self.checkpoint_policy}"
+        if self.reliability is not None:
+            key += f"/rel-{self.reliability_tag()}"
         return key
 
     def make_policy(self) -> GcPolicy:
@@ -172,12 +180,22 @@ class ScenarioSpec:
             mapping_mode=self.mapping,
             cmt_budget_bytes=self.cmt_budget_bytes,
             checkpoint_policy=self.checkpoint_policy,
+            reliability=self.reliability,
         )
 
     def fault_tag(self) -> str:
         """Human-readable fault-profile label (trace headers, keys)."""
         faults = self.fault_profile
         return faults if isinstance(faults, str) else ("custom" if faults else "none")
+
+    def reliability_tag(self) -> str:
+        """Human-readable reliability-profile label (trace headers, keys)."""
+        rel = self.reliability
+        if rel is None:
+            return "off"
+        if isinstance(rel, str):
+            return rel
+        return getattr(rel, "name", "custom")
 
     def trace_header(self) -> dict:
         """Attribution fields stamped into every trace/metrics file."""
@@ -193,6 +211,7 @@ class ScenarioSpec:
             "measure_s": self.measure_s,
             "warm_start": self.warm_start,
             "mapping": self.mapping,
+            "reliability": self.reliability_tag(),
         }
 
 

@@ -27,7 +27,7 @@ blocks with fresh (hot) data.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -35,6 +35,7 @@ from repro import perf
 from repro.ftl.checkpoint_policy import CheckpointPolicy, IntervalCheckpointPolicy
 from repro.ftl.mapping import TRANS_LPN_BASE, UNMAPPED, CachedPageMap, PageMap
 from repro.ftl.metastore import KIND_CHECKPOINT, KIND_UNMAP, build_checkpoint, build_tombstones
+from repro.ftl.scrub import RefreshScrubber
 from repro.ftl.space import SipOverlapIndex, SpaceModel, ValidCountIndex
 from repro.ftl.stats import FtlStats
 from repro.ftl.victim import GreedySelector, VictimSelector
@@ -46,6 +47,7 @@ from repro.nand.errors import (
     ProgramFailError,
     UncorrectableReadError,
 )
+from repro.nand.reliability import ReliabilityModel, ReliabilityProfile
 from repro.obs.audit import (
     CheckpointRecord,
     DISABLED_AUDIT,
@@ -108,6 +110,14 @@ class PageMappedFtl:
             a program failure is considered fatal.
         max_erase_retries: erase re-attempts before a block is retired as
             grown-bad.
+        reliability: optional :class:`~repro.nand.reliability.ReliabilityProfile`
+            arming the live data-integrity subsystem: reads run the
+            deterministic ECC escalation ladder (fast decode -> priced
+            read-retry levels -> soft decode -> UECC), the NAND retention
+            clock is driven by this FTL's clock, and -- when the profile
+            enables it -- a background refresh scrubber nominates at-risk
+            blocks for relocation.  None (default) keeps the historical
+            bit-identical behavior.
     """
 
     def __init__(
@@ -129,6 +139,7 @@ class PageMappedFtl:
         mapping_mode: str = "dram",
         cmt_budget_bytes: Optional[int] = None,
         checkpoint_policy: Optional[CheckpointPolicy] = None,
+        reliability: Optional[ReliabilityProfile] = None,
     ) -> None:
         if space.geometry is not nand.geometry:
             raise ValueError("space model and NAND array use different geometries")
@@ -262,6 +273,37 @@ class PageMappedFtl:
         self._closed = np.zeros(self.geometry.total_blocks, dtype=bool)
         #: Erases since the last wear-levelling check.
         self._erases_since_wl_check = 0
+
+        #: Live data-integrity subsystem (repro.nand.reliability +
+        #: repro.ftl.scrub).  When armed, the NAND retention clock runs
+        #: off this FTL's clock, every read consults the deterministic
+        #: ECC escalation ladder, and the scrubber nominates at-risk
+        #: blocks during idle windows.  When off, the whole path is a
+        #: single ``is None`` check -- bit-identical to the historical
+        #: model.
+        self.reliability = reliability
+        #: Read-retry level histogram {level: successful reads}; level
+        #: ``len(retry_rber_factors)`` means the soft decoder.  Kept off
+        #: FtlStats (plain-int snapshot/delta contract) and surfaced in
+        #: RunMetrics by the collector.
+        self.ecc_retry_histogram: dict = {}
+        if reliability is not None:
+            self._rel_model: Optional[ReliabilityModel] = ReliabilityModel(
+                reliability
+            )
+            # Modelled retention seconds per simulated nanosecond.
+            self._rel_accel_per_ns = reliability.retention_accel / 1e9
+            nand.set_reliability_clock(self._clock)
+            self._scrubber: Optional[RefreshScrubber] = (
+                RefreshScrubber(reliability) if reliability.scrub else None
+            )
+        else:
+            self._rel_model = None
+            self._rel_accel_per_ns = 0.0
+            self._scrubber = None
+        #: Per-block memo of ladder verdicts: block -> [outcome,
+        #: expiry_ns, reads-left-in-disturb-bucket].  See _ladder_outcome.
+        self._ladder_memo: Dict[int, list] = {}
 
         if recovered is not None:
             self._install_recovered(recovered)
@@ -500,17 +542,105 @@ class PageMappedFtl:
                 retries=retries,
             )
 
+    def _ladder_outcome(self, block: int):
+        """ECC escalation ladder verdict for a read of ``block`` now.
+
+        Expected RBER is wear x retention age x disturb count; the model
+        buckets all three, so repeated reads of a block in the same
+        stress regime hit a cache.  Retention age uses the profile's
+        acceleration factor (modelled seconds per simulated second) --
+        accelerated profiles let a 30-second run cross the ECC cliff.
+
+        A per-block memo keeps the steady-state cost to one dict probe:
+        a verdict stays valid until the block's retention bucket rolls
+        over (``expiry_ns``, from the stamp it was computed against) or
+        its disturb bucket could advance (a countdown of reads), and is
+        dropped outright on erase (``_erase_with_retry``), which changes
+        all three stress inputs at once.  A stamp refreshed by a later
+        program only shortens the true age, so holding the older verdict
+        until the (earlier) expiry is conservative, never optimistic.
+        """
+        memo = self._ladder_memo
+        entry = memo.get(block)
+        if entry is not None and self._clock() < entry[1] and entry[2] > 0:
+            entry[2] -= 1
+            return entry[0]
+        nand = self.nand
+        stamp_ns = int(nand.last_program_ns[block])
+        age_ns = self._clock() - stamp_ns
+        if age_ns < 0:
+            # Clock skew across power cycles (standalone op-counter
+            # clocks restart at zero); treat as freshly programmed.
+            age_ns = 0
+        disturbs = (
+            int(nand.read_disturb.read_counts[block])
+            if nand.read_disturb is not None
+            else 0
+        )
+        retention_s = age_ns * self._rel_accel_per_ns
+        outcome = self._rel_model.read_outcome(
+            int(nand.erase_counts[block]), retention_s, disturbs
+        )
+        bucket_s = 1 << ReliabilityModel._RET_SHIFT
+        next_boundary_s = (int(retention_s) // bucket_s + 1) * bucket_s
+        expiry_ns = stamp_ns + int(next_boundary_s / self._rel_accel_per_ns)
+        reads_left = (1 << ReliabilityModel._DIST_SHIFT) - (
+            disturbs & ((1 << ReliabilityModel._DIST_SHIFT) - 1)
+        )
+        memo[block] = [outcome, expiry_ns, reads_left]
+        return outcome
+
     def _read_with_retry(self, block: int, page: int) -> Tuple[int, bool]:
         """Read one physical page, retrying uncorrectable reads.
 
         Returns ``(latency_ns, ok)``; ``ok`` is False when the data is
         lost even after the retry budget (counted as an uncorrectable
         read -- the host sees an I/O error for that page).
+
+        With a reliability profile armed, the deterministic ECC
+        escalation ladder runs first: within-strength reads succeed at
+        base latency, stressed reads pay priced retry levels or the soft
+        decoder, and beyond-cliff reads are UECCs that feed the same
+        data-lost machinery the fault injector uses.
         """
+        extra_ns = 0
+        if self._rel_model is not None:
+            outcome = self._ladder_outcome(block)
+            extra_ns = outcome.extra_ns
+            if not outcome.ok:
+                # UECC: the whole priced ladder (hard retry levels plus
+                # the soft decoder) ran and the data is still beyond the
+                # code.  Callers handle it like any other lost read --
+                # GC migrations unmap, host reads surface EIO.
+                self.stats.uecc_count += 1
+                self.stats.uncorrectable_reads += 1
+                if self.audit.enabled or self.tracer.enabled:
+                    self._note_fault("read", block, page, "uecc", outcome.level)
+                try:
+                    base_ns = self.nand.read_page(block, page)
+                except UncorrectableReadError as fault:
+                    base_ns = fault.latency_ns
+                return base_ns + extra_ns, False
+            if outcome.level == 0:
+                self.stats.ecc_fast_reads += 1
+            else:
+                self.stats.ecc_retry_reads += 1
+                hist = self.ecc_retry_histogram
+                hist[outcome.level] = hist.get(outcome.level, 0) + 1
+                if outcome.soft:
+                    self.stats.ecc_soft_decodes += 1
+                if self.audit.enabled or self.tracer.enabled:
+                    self._note_fault(
+                        "read",
+                        block,
+                        page,
+                        "ecc-soft-decode" if outcome.soft else "ecc-retry",
+                        outcome.level,
+                    )
         try:
-            return self.nand.read_page(block, page), True
+            return self.nand.read_page(block, page) + extra_ns, True
         except UncorrectableReadError as fault:
-            latency = fault.latency_ns
+            latency = fault.latency_ns + extra_ns
         attempts = 0
         for _ in range(self.max_read_retries):
             attempts += 1
@@ -629,6 +759,10 @@ class PageMappedFtl:
         Returns ``(latency_ns, ok)``; ``ok`` False means every attempt
         failed and the block must be retired as grown-bad.
         """
+        # The erase re-bases the retention clock, resets the disturb
+        # counter and bumps the P/E count: any memoised ladder verdict
+        # for the block is stale either way.
+        self._ladder_memo.pop(block, None)
         latency = 0
         for _ in range(self.max_erase_retries + 1):
             try:
@@ -1203,13 +1337,20 @@ class PageMappedFtl:
         self,
         background: bool,
         forced_victim: Optional[int] = None,
+        allow_full_victim: bool = False,
     ) -> int:
         """Collect a single victim block; returns the NAND latency (ns).
 
         Args:
             background: attribute the work to BGC (idle-time) rather than
                 FGC (write-stall) counters.
-            forced_victim: bypass the selector (wear levelling).
+            forced_victim: bypass the selector (wear levelling, refresh
+                scrub).
+            allow_full_victim: permit a victim with zero invalid pages.
+                Reclaim-motivated GC treats that as device-full, but a
+                refresh scrub legitimately relocates fully-valid blocks
+                -- the point is re-basing the retention clock, not
+                freeing space.
 
         Raises:
             OutOfSpaceError: no candidate has any garbage to reclaim.
@@ -1269,7 +1410,10 @@ class PageMappedFtl:
                         )
         if victim is None:
             raise OutOfSpaceError("no GC victim available")
-        if self.page_map.valid_count(victim) >= self.geometry.pages_per_block:
+        if (
+            not allow_full_victim
+            and self.page_map.valid_count(victim) >= self.geometry.pages_per_block
+        ):
             raise OutOfSpaceError(
                 f"best victim {victim} has no invalid pages; device is full of live data"
             )
@@ -1285,11 +1429,23 @@ class PageMappedFtl:
         return latency
 
     def _migrate_and_erase(self, victim: int) -> int:
-        if (
+        batched = (
             self.victim_index is not None
             and self.nand.fault_injector is None
             and not (self._dftl and self.page_map.block_holds_trans(victim))
-        ):
+        )
+        if batched and self._rel_model is not None:
+            # The ladder verdict is block-granular (wear, retention age
+            # and disturb count are per-block), so one check covers every
+            # page of the victim: a fast-path block batches identically
+            # to the off model, anything stressed takes the per-page
+            # path so each migrated read pays its retry/soft/UECC toll.
+            outcome = self._ladder_outcome(victim)
+            if outcome.level == 0 and outcome.ok:
+                self.stats.ecc_fast_reads += self.page_map.valid_count(victim)
+            else:
+                batched = False
+        if batched:
             latency = self._migrate_valid_pages_batched(victim)
         else:
             # Per-page path: required under fault injection, and for
@@ -1488,6 +1644,48 @@ class PageMappedFtl:
         latency = self.collect_one_block(background=True, forced_victim=cold)
         self.stats.wl_blocks_collected += 1
         return latency
+
+    def maybe_scrub(self) -> int:
+        """Refresh one at-risk block if the scrubber nominates a victim.
+
+        Called opportunistically by the device during idle windows (same
+        seam as BGC/wear-levelling).  The relocation goes through
+        :meth:`collect_one_block`, so its migrations and erase are
+        charged into WAF, wear, and the GC counters like any background
+        collection.  Returns the NAND latency spent (0 if nothing was
+        done).
+        """
+        if self._scrubber is None or self.read_only:
+            return 0
+        if self.free_pool_blocks() <= self.fgc_watermark:
+            # No headroom: a fully-valid refresh victim frees nothing
+            # until its erase completes, so never scrub into the
+            # foreground-GC watermark.
+            return 0
+        victim = self._scrubber.next_victim(self, self._clock())
+        if victim is None:
+            return 0
+        pages_before = self.stats.gc_pages_migrated
+        latency = self.collect_one_block(
+            background=True, forced_victim=victim, allow_full_victim=True
+        )
+        self.stats.scrub_blocks_refreshed += 1
+        self.stats.scrub_pages_migrated += (
+            self.stats.gc_pages_migrated - pages_before
+        )
+        return latency
+
+    def scrub_write_overhead(self) -> float:
+        """Scrub-migrated pages per host page written.
+
+        The JIT-GC demand predictor scales its Dbuf estimate by
+        ``1 + overhead`` (alongside the translation-writeback term) so
+        collections provision for refresh traffic too.  Always 0.0 with
+        the scrubber off.
+        """
+        if self._scrubber is None or self.stats.host_pages_written == 0:
+            return 0.0
+        return self.stats.scrub_pages_migrated / self.stats.host_pages_written
 
     # ------------------------------------------------------------------
     # Host-interface extensions (paper Sec 3.1)

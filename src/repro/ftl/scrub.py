@@ -1,0 +1,113 @@
+"""Background refresh scrubber: relocate data before it decays.
+
+Retention charge-leak and read disturb push a block's raw bit error
+rate up over time; once the ECC escalation ladder can no longer cover
+it, reads become UECCs and data is lost.  Real FTLs prevent that with a
+*refresh* (patrol-scrub) pass: endangered blocks are migrated -- read,
+reprogrammed elsewhere, erased -- which re-bases both the retention
+clock and the disturb counter.
+
+:class:`RefreshScrubber` implements the standard two-part scheduler:
+
+* a **scan cursor** sweeps the block range a few blocks per idle tick
+  (``ReliabilityProfile.scrub_scan_blocks``), vectorised over the SoA
+  state -- the steady patrol that eventually visits everything;
+* an **at-risk queue** holds the blocks a sweep found beyond the
+  retention-age or disturb threshold; the queue drains first, so a
+  burst of endangered blocks is refreshed ahead of the patrol order.
+
+The scrubber only *nominates* victims.  The FTL's
+:meth:`~repro.ftl.ftl.PageMappedFtl.maybe_scrub` relocates them through
+the ordinary :meth:`collect_one_block` machinery (same frontier, same
+erase/retire paths), so refresh migrations are charged into WAF, wear
+and the JIT-GC demand estimate exactly like any other GC work -- and
+the device invokes it through the same idle window BGC uses, so scrub
+genuinely competes with JIT-GC for idle time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from repro.nand.reliability import ReliabilityProfile
+
+
+class RefreshScrubber:
+    """Scan-cursor + at-risk-queue victim nomination for refresh."""
+
+    def __init__(self, profile: ReliabilityProfile) -> None:
+        self.profile = profile
+        #: Modelled-seconds per simulated nanosecond (retention math).
+        self._accel_per_ns = profile.retention_accel / 1e9
+        self._cursor = 0
+        self._queue: deque = deque()
+        self._queued: set = set()
+
+    # ------------------------------------------------------------------
+    # At-risk predicate
+    # ------------------------------------------------------------------
+    def block_at_risk(self, ftl, block: int, now_ns: int) -> bool:
+        """One closed block's endangerment (queue re-validation)."""
+        if not ftl._closed[block]:
+            # Erased, re-opened, collected or retired since it was
+            # queued -- its clock was re-based (or it left service).
+            return False
+        age_s = (now_ns - int(ftl.nand.last_program_ns[block])) * self._accel_per_ns
+        if age_s >= self.profile.retention_threshold_s:
+            return True
+        tracker = ftl.nand.read_disturb
+        return tracker is not None and (
+            int(tracker.read_counts[block]) >= self.profile.disturb_threshold
+        )
+
+    def _segment_at_risk(self, ftl, start: int, end: int, now_ns: int) -> np.ndarray:
+        """At-risk block numbers in ``[start, end)``, vectorised."""
+        closed = ftl._closed[start:end]
+        ages_s = (
+            now_ns - ftl.nand.last_program_ns[start:end]
+        ) * self._accel_per_ns
+        risk = closed & (ages_s >= self.profile.retention_threshold_s)
+        tracker = ftl.nand.read_disturb
+        if tracker is not None:
+            risk |= closed & (
+                tracker.read_counts[start:end] >= self.profile.disturb_threshold
+            )
+        return np.flatnonzero(risk) + start
+
+    # ------------------------------------------------------------------
+    # Victim nomination
+    # ------------------------------------------------------------------
+    def next_victim(self, ftl, now_ns: int) -> Optional[int]:
+        """The next block needing refresh, or None if nothing is at risk.
+
+        Drains the at-risk queue first (stale entries are re-validated
+        and dropped), then advances the scan cursor one
+        ``scrub_scan_blocks`` segment; extra finds from the segment are
+        queued for the following ticks.
+        """
+        while self._queue:
+            block = self._queue.popleft()
+            self._queued.discard(block)
+            if self.block_at_risk(ftl, block, now_ns):
+                return block
+        total = ftl.geometry.total_blocks
+        start = self._cursor
+        end = min(start + self.profile.scrub_scan_blocks, total)
+        self._cursor = end if end < total else 0
+        found = self._segment_at_risk(ftl, start, end, now_ns)
+        victim: Optional[int] = None
+        for block in found:
+            block = int(block)
+            if victim is None:
+                victim = block
+            elif block not in self._queued:
+                self._queued.add(block)
+                self._queue.append(block)
+        return victim
+
+    def pending(self) -> int:
+        """Queued at-risk blocks awaiting refresh (observability)."""
+        return len(self._queue)

@@ -90,6 +90,28 @@ class FtlStats:
     #: Blocks retired at runtime: grown bad (program/erase fail) + worn out.
     blocks_retired: int = 0
 
+    #: ECC escalation ladder (repro.nand.reliability); all zero when the
+    #: reliability profile is off.
+    #: Reads whose expected codeword errors fit the default-threshold
+    #: hard decode (no extra latency).
+    ecc_fast_reads: int = 0
+    #: Reads that needed at least one read-retry voltage level (the
+    #: per-level breakdown lives in ``PageMappedFtl.ecc_retry_histogram``).
+    ecc_retry_reads: int = 0
+    #: Reads rescued by the soft-decision decoder after the whole hard
+    #: retry ladder failed.
+    ecc_soft_decodes: int = 0
+    #: Reads beyond even soft decode: uncorrectable, data lost.  Unlike
+    #: ``uncorrectable_reads`` (any unrecovered read, injector faults
+    #: included) this counts only ladder-modelled ECC cliff events.
+    uecc_count: int = 0
+
+    #: Refresh scrubber (repro.ftl.scrub): at-risk blocks relocated and
+    #: the pages those relocations migrated (subset of
+    #: ``gc_pages_migrated``, charged into WAF like any GC work).
+    scrub_blocks_refreshed: int = 0
+    scrub_pages_migrated: int = 0
+
     def waf(self) -> float:
         """Write amplification factor; 1.0 before any GC migration.
 

@@ -127,6 +127,18 @@ class RunMetrics:
     trans_pages_migrated: int = 0
     #: Share of all window programs that were translation pages.
     translation_waf_share: float = 0.0
+    #: ECC escalation ladder (window deltas; all zero with the
+    #: reliability profile off -- see repro.nand.reliability).
+    ecc_fast_reads: int = 0
+    ecc_retry_reads: int = 0
+    ecc_soft_decodes: int = 0
+    uecc_count: int = 0
+    #: ``{retry level (str): successful reads}``; the deepest level is
+    #: the soft decoder.  String keys keep the wire form JSON-safe.
+    ecc_retry_histogram: Dict[str, int] = field(default_factory=dict)
+    #: Refresh scrubber (window deltas; zero with the scrubber off).
+    scrub_blocks_refreshed: int = 0
+    scrub_pages_migrated: int = 0
 
     def cmt_hit_rate(self) -> float:
         """CMT hit fraction over the window (1.0 when nothing missed)."""
@@ -148,6 +160,10 @@ class RunMetrics:
             str(cause): [int(pair[0]), int(pair[1])]
             for cause, pair in self.tail_causes.items()
         }
+        wire["ecc_retry_histogram"] = {
+            str(level): int(count)
+            for level, count in self.ecc_retry_histogram.items()
+        }
         return wire
 
     @classmethod
@@ -161,6 +177,10 @@ class RunMetrics:
         kwargs["tail_causes"] = {
             str(cause): [int(pair[0]), int(pair[1])]
             for cause, pair in (kwargs.get("tail_causes") or {}).items()
+        }
+        kwargs["ecc_retry_histogram"] = {
+            str(level): int(count)
+            for level, count in (kwargs.get("ecc_retry_histogram") or {}).items()
         }
         return cls(**kwargs)
 
@@ -204,6 +224,7 @@ class MetricsCollector:
         self._begin_ns = 0
         self._end_ns = -1
         self._sip_begin = (0, 0)
+        self._ecc_hist_begin: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Workload-facing hooks
@@ -251,6 +272,11 @@ class MetricsCollector:
         self._begin_stats = self.host.ftl.stats.snapshot()
         self._begin_ns = now
         self._sip_begin = self._sip_counters()
+        # ECC retry-level histogram lives off FtlStats (it is a dict);
+        # window-scope it the same way via a begin copy.
+        self._ecc_hist_begin = dict(
+            getattr(self.host.ftl, "ecc_retry_histogram", {})
+        )
 
     def end(self) -> None:
         now = self.host.sim.now
@@ -260,6 +286,16 @@ class MetricsCollector:
     def _sip_counters(self) -> tuple:
         stats = self.host.ftl.stats
         return (stats.victim_selections, stats.victims_filtered_by_sip)
+
+    def _ecc_retry_delta(self) -> Dict[str, int]:
+        """Window delta of the FTL's retry-level histogram (str keys)."""
+        current = getattr(self.host.ftl, "ecc_retry_histogram", {})
+        delta: Dict[str, int] = {}
+        for level, count in current.items():
+            window = count - self._ecc_hist_begin.get(level, 0)
+            if window > 0:
+                delta[str(level)] = window
+        return delta
 
     # ------------------------------------------------------------------
     def _latency_summary(self) -> dict:
@@ -356,6 +392,13 @@ class MetricsCollector:
             trans_pages_written=delta.trans_pages_written,
             trans_pages_migrated=delta.trans_pages_migrated,
             translation_waf_share=delta.translation_waf_share(),
+            ecc_fast_reads=delta.ecc_fast_reads,
+            ecc_retry_reads=delta.ecc_retry_reads,
+            ecc_soft_decodes=delta.ecc_soft_decodes,
+            uecc_count=delta.uecc_count,
+            ecc_retry_histogram=self._ecc_retry_delta(),
+            scrub_blocks_refreshed=delta.scrub_blocks_refreshed,
+            scrub_pages_migrated=delta.scrub_pages_migrated,
             **self._latency_summary(),
             **self._tail_summary(),
         )

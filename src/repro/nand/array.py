@@ -109,6 +109,14 @@ class NandDurableState:
     #: then starts the region fresh, like a drive whose BBT predates the
     #: firmware feature.
     meta_wear: Optional[dict] = None
+    #: Per-block retention clock: sim time (ns) of each block's most
+    #: recent program, the age base the reliability model's retention
+    #: term works from.  Charge leaks whether the rail is up or not, so
+    #: unlike the read-disturb counters (volatile DRAM state, reset at
+    #: power-on) this vector *does* ride the durable image.  ``None``
+    #: for images captured before the retention clock existed -- restore
+    #: then treats all data as just-written.
+    last_program_ns: Optional[np.ndarray] = None
 
 
 class NandArray:
@@ -217,6 +225,15 @@ class NandArray:
         #: Sim-time tracer; replaced by Observability.install when tracing.
         self.tracer = NULL_TRACER
 
+        #: Per-block retention clock: sim time (ns) of the most recent
+        #: program.  Always allocated (it rides the durable image), but
+        #: only *stamped* when a reliability clock is installed via
+        #: :meth:`set_reliability_clock` -- with reliability off the
+        #: vector stays untouched and the program/erase paths pay one
+        #: ``is None`` check, keeping the off path bit-identical.
+        self.last_program_ns = np.zeros(n, dtype=np.int64)
+        self._reliability_clock = None
+
         # Operation counters (for WAF and profiling).
         self.page_reads = 0
         self.page_programs = 0
@@ -244,6 +261,15 @@ class NandArray:
             self._check_addr = self._check_addr_fast
         else:
             self._check_addr = self._check_addr_scan
+
+    def set_reliability_clock(self, clock) -> None:
+        """Install the zero-arg ns clock that stamps the retention vector.
+
+        Called by the FTL when a reliability profile is armed; without it
+        the retention clock never ticks (the off path stays bit-identical
+        to a build without the feature).
+        """
+        self._reliability_clock = clock
 
     @property
     def erase_counts(self) -> np.ndarray:
@@ -329,6 +355,8 @@ class NandArray:
             ppn = block * self._ppb + page
             self.oob_lpn[ppn] = lpn
             self.oob_seq[ppn] = seq
+        if self._reliability_clock is not None:
+            self.last_program_ns[block] = self._reliability_clock()
         self.page_programs += 1
         return self._program_ns
 
@@ -353,6 +381,10 @@ class NandArray:
         self.oob_seq[start:start + self._ppb] = OOB_UNSTAMPED
         if self.read_disturb is not None:
             self.read_disturb.reset(block)
+        if self._reliability_clock is not None:
+            # Erase re-bases the retention clock: whatever lands in the
+            # block next starts its charge-leak life from now.
+            self.last_program_ns[block] = self._reliability_clock()
         if self.endurance.record_erase(block):
             self.block_states[block] = STATE_BAD
             self._bad[block] = 1
@@ -447,6 +479,7 @@ class NandArray:
             grown_bad_blocks=self.grown_bad_blocks,
             meta=self.meta.capture(),
             meta_wear=self.meta_region.capture(),
+            last_program_ns=self.last_program_ns.copy(),
         )
 
     @classmethod
@@ -494,6 +527,13 @@ class NandArray:
         from repro.ftl.metastore import MetaLog  # local: import cycle
 
         nand.meta = MetaLog.restore(state.meta, geometry.page_size)
+        if state.last_program_ns is not None:
+            # Retention survives the power cut (cells leak regardless of
+            # the rail); the read-disturb counters deliberately do NOT --
+            # they are volatile controller DRAM, so the caller passes a
+            # *fresh* tracker and the count restarts at zero, exactly
+            # like a real power-on.
+            nand.last_program_ns[:] = state.last_program_ns
         if state.meta_wear is not None:
             nand.meta_region = MetaRegion.restore(
                 state.meta_wear,
@@ -588,6 +628,8 @@ class NandArray:
                 self.oob_lpn[base:base + count] = np.arange(
                     first_lpn, first_lpn + count, dtype=np.int64
                 )
+        if self._reliability_clock is not None:
+            self.last_program_ns[block] = self._reliability_clock()
         self.page_programs += count
         self.batch_programs += 1
         return self._program_ns * count

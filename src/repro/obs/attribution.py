@@ -23,19 +23,23 @@ phenomena is charged to the first match -- the most direct mechanism):
 2. ``bgc-overlap`` -- the window overlaps a background block collection
    (or wear-level move): the op arrived while the device was busy with
    supposedly-idle-time work and waited for the block to finish.
-3. ``flusher-backpressure`` -- the window overlaps a dirty-throttling
+3. ``scrub-interference`` -- the window overlaps a refresh-scrub
+   relocation (retention/read-disturb refresh): idle-time reliability
+   work, distinguished from reclaim BGC so the scrubber's host impact
+   is directly visible.
+4. ``flusher-backpressure`` -- the window overlaps a dirty-throttling
    span: the writer was parked until write-back drained the cache (how
    device-level stalls reach buffered applications).
-4. ``fault-retry`` -- a media-fault recovery (read retry, rewrite,
+5. ``fault-retry`` -- a media-fault recovery (read retry, rewrite,
    block retirement) fired inside the window.
-5. ``mapping-fault`` -- the window overlaps a CMT miss or dirty-entry
+6. ``mapping-fault`` -- the window overlaps a CMT miss or dirty-entry
    writeback on the DFTL translation path: the op paid a
    translation-page read and/or program out of its own budget.
-6. ``recovery-window`` -- the window overlaps a post-power-loss
+7. ``recovery-window`` -- the window overlaps a post-power-loss
    recovery scan (only possible in SPO runs).
-7. ``media-queueing`` -- none of the above, but the op was issued into
+8. ``media-queueing`` -- none of the above, but the op was issued into
    a non-empty device queue: it waited its turn behind normal traffic.
-8. ``none`` -- nothing in the timeline explains it (think-time jitter,
+9. ``none`` -- nothing in the timeline explains it (think-time jitter,
    large requests, cache-miss fills); the catch-all that makes the
    per-cause counts always sum to the slow-op count.
 
@@ -55,6 +59,7 @@ from repro.metrics.hdr import nearest_rank
 #: Cause labels, in attribution priority order (most direct first).
 CAUSE_FGC_STALL = "fgc-stall"
 CAUSE_BGC_OVERLAP = "bgc-overlap"
+CAUSE_SCRUB = "scrub-interference"
 CAUSE_FLUSHER = "flusher-backpressure"
 CAUSE_FAULT_RETRY = "fault-retry"
 CAUSE_MAPPING_FAULT = "mapping-fault"
@@ -65,6 +70,7 @@ CAUSE_NONE = "none"
 CAUSES: Tuple[str, ...] = (
     CAUSE_FGC_STALL,
     CAUSE_BGC_OVERLAP,
+    CAUSE_SCRUB,
     CAUSE_FLUSHER,
     CAUSE_FAULT_RETRY,
     CAUSE_MAPPING_FAULT,
@@ -224,8 +230,21 @@ def attribute_tail(
     fgc = SpanIndex(
         [(r.t_ns, r.t_ns + r.dur_ns) for r in getattr(audit, "gc_spans", []) if not r.background]
     )
+    # Background spans split by origin: refresh-scrub relocations get
+    # their own cause (getattr tolerates pre-scrub records on disk).
     bgc = SpanIndex(
-        [(r.t_ns, r.t_ns + r.dur_ns) for r in getattr(audit, "gc_spans", []) if r.background]
+        [
+            (r.t_ns, r.t_ns + r.dur_ns)
+            for r in getattr(audit, "gc_spans", [])
+            if r.background and not getattr(r, "scrub", False)
+        ]
+    )
+    scrub = SpanIndex(
+        [
+            (r.t_ns, r.t_ns + r.dur_ns)
+            for r in getattr(audit, "gc_spans", [])
+            if r.background and getattr(r, "scrub", False)
+        ]
     )
     backpressure = SpanIndex(
         [(r.t_ns, r.t_ns + r.dur_ns) for r in getattr(audit, "backpressure_spans", [])]
@@ -258,6 +277,8 @@ def attribute_tail(
             cause = CAUSE_FGC_STALL
         elif bgc.overlaps(issue, complete):
             cause = CAUSE_BGC_OVERLAP
+        elif scrub.overlaps(issue, complete):
+            cause = CAUSE_SCRUB
         elif backpressure.overlaps(issue, complete):
             cause = CAUSE_FLUSHER
         elif faults.any_in(issue, complete):

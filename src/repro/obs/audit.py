@@ -133,12 +133,16 @@ class GcSpanRecord:
             False for a foreground stall inside a host request.
         pages: foreground -- the stalled request's page count;
             background -- net pages freed by the collection.
+        scrub: True for refresh-scrub relocations (a background span
+            attributed as ``scrub-interference`` rather than
+            ``bgc-overlap``).
     """
 
     t_ns: int
     dur_ns: int
     background: bool
     pages: int = 0
+    scrub: bool = False
 
 
 @dataclass(frozen=True)

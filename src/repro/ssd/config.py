@@ -22,6 +22,11 @@ from repro.ftl.wear import StaticWearLeveler
 from repro.nand.array import NandArray, NandDurableState
 from repro.nand.endurance import EnduranceModel
 from repro.nand.geometry import NandGeometry
+from repro.nand.reliability import (
+    ReadDisturbTracker,
+    ReliabilityProfile,
+    resolve_reliability_profile,
+)
 from repro.nand.timing import NAND_20NM_MLC, NandTiming
 
 
@@ -88,6 +93,13 @@ class SsdConfig:
     #: interval becomes the recovery-tail bound).  Only meaningful when
     #: checkpoint_interval_pages is set.
     checkpoint_policy: str = "interval"
+    #: Live data-integrity subsystem: a
+    #: :class:`~repro.nand.reliability.ReliabilityProfile`, a preset name
+    #: from :data:`~repro.nand.reliability.RELIABILITY_PROFILES`
+    #: ("mlc-20nm", ...), or None/"off" for the historical
+    #: reliability-free device (bit-identical behaviour: no retention
+    #: stamping, no disturb tracking, no ECC ladder, no scrubber).
+    reliability: Optional[object] = None
 
     def __post_init__(self) -> None:
         # Catch misconfiguration here, with a clear message, instead of
@@ -150,6 +162,11 @@ class SsdConfig:
             if self.fault_profile is not None
             else None
         )
+        # Same eager resolution for the reliability profile; a profile
+        # instance re-validates its own knobs (thresholds non-negative,
+        # retry-level latencies monotonic) at construction, so a bad
+        # hand-built profile fails here too, at config time.
+        self.reliability = resolve_reliability_profile(self.reliability)
 
     def space_model(self) -> SpaceModel:
         return SpaceModel.from_op_ratio(self.geometry, self.op_ratio)
@@ -170,6 +187,23 @@ class SsdConfig:
     def resolved_fault_profile(self) -> FaultProfile:
         return resolve_fault_profile(self.fault_profile)
 
+    def resolved_reliability_profile(self) -> Optional[ReliabilityProfile]:
+        return resolve_reliability_profile(self.reliability)
+
+    def build_read_disturb(self) -> Optional[ReadDisturbTracker]:
+        """A fresh read-disturb tracker when reliability is armed.
+
+        Fresh on every call by design: the counters are volatile
+        controller DRAM, so both first boot and every power-on start
+        them at zero (DESIGN.md, power-on disturb-reset semantics).
+        """
+        profile = self.resolved_reliability_profile()
+        if profile is None:
+            return None
+        return ReadDisturbTracker(
+            self.geometry.total_blocks, scrub_threshold=profile.disturb_threshold
+        )
+
     def build_nand(self, seed: int = 0) -> NandArray:
         endurance = EnduranceModel(self.geometry.total_blocks, self.pe_cycle_limit)
         injector = None
@@ -180,6 +214,7 @@ class SsdConfig:
             self.geometry,
             self.timing,
             endurance,
+            read_disturb=self.build_read_disturb(),
             fault_injector=injector,
             meta_blocks=self.meta_blocks,
         )
@@ -226,6 +261,7 @@ class SsdConfig:
             mapping_mode=self.mapping_mode,
             cmt_budget_bytes=self.cmt_budget_bytes,
             checkpoint_policy=self._checkpoint_policy(),
+            reliability=self.resolved_reliability_profile(),
         )
 
     def recover_from(
@@ -263,6 +299,10 @@ class SsdConfig:
             timing=self.timing,
             pe_cycle_limit=self.pe_cycle_limit,
             fault_injector=injector,
+            # Power-on disturb-reset semantics: the tracker is rebuilt
+            # zeroed (volatile DRAM died with the rail) while the
+            # retention clock rides the durable image itself.
+            read_disturb=self.build_read_disturb(),
             meta_blocks=self.meta_blocks,
         )
         leveler = None
@@ -286,6 +326,7 @@ class SsdConfig:
             mapping_mode=self.mapping_mode,
             cmt_budget_bytes=self.cmt_budget_bytes,
             checkpoint_policy=self._checkpoint_policy(),
+            reliability=self.resolved_reliability_profile(),
         )
 
     @property

@@ -304,6 +304,11 @@ class SsdDevice:
             return
         demand = controller.reclaim_demand_pages(self)
         if demand <= 0 or not self.ftl.has_victim():
+            # Reclaim declined the window: refresh scrub gets first call
+            # on the spare idle time (data at risk beats wear spread),
+            # then wear levelling.  Both are no-ops unless armed.
+            if self._maybe_scrub():
+                return
             self._maybe_wear_level()
             return
         free_before = self.ftl.free_pages()
@@ -350,6 +355,55 @@ class SsdDevice:
         else:
             # Chain consecutive BGC blocks without re-waiting the grace:
             # the device is already in a confirmed idle period.
+            self._maybe_bgc()
+
+    def _maybe_scrub(self) -> bool:
+        """Run one refresh-scrub relocation if a block is at risk.
+
+        Returns True when a scrub block was launched (the device is busy
+        until :meth:`_scrub_done` fires).
+        """
+        raw = self.ftl.maybe_scrub()
+        if raw <= 0:
+            return False
+        latency = max(1, raw // self.parallelism)
+        self._busy = True
+        self.sim.schedule(
+            latency,
+            lambda: self._scrub_done(latency),
+            priority=PRIORITY_DEVICE,
+            name="ssd.scrub_done",
+        )
+        return True
+
+    def _scrub_done(self, latency: int) -> None:
+        self._busy = False
+        self.busy_ns += latency
+        self.bgc_busy_ns += latency
+        if self.tracer.enabled:
+            self.tracer.complete(
+                "device",
+                "scrub.block",
+                start_ns=self.sim.now - latency,
+                dur_ns=latency,
+            )
+        if self.audit.enabled:
+            # Scrub relocations occupy the device like a BGC block, but
+            # carry the scrub flag so tail attribution can report
+            # ``scrub-interference`` separately from ``bgc-overlap``.
+            self.audit.record_gc_span(
+                GcSpanRecord(
+                    t_ns=self.sim.now - latency,
+                    dur_ns=latency,
+                    background=True,
+                    scrub=True,
+                )
+            )
+        if self._queue:
+            self._start_next()
+        else:
+            # Confirmed idle period: drain the at-risk queue (and let
+            # BGC reclaim) without re-waiting the grace.
             self._maybe_bgc()
 
     def _maybe_wear_level(self) -> None:

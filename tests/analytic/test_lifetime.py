@@ -1,0 +1,146 @@
+"""Tests for the years-to-ECC-cliff lifetime model (repro.analytic.lifetime)."""
+
+import math
+
+import pytest
+
+from repro.analytic.lifetime import (
+    DEFAULT_RETENTION_S,
+    DEFAULT_UBER_TARGET,
+    LifetimeModel,
+    LifetimeProjection,
+    max_tolerable_pe,
+    project_lifetime,
+)
+from repro.nand.reliability import RELIABILITY_PROFILES, BitErrorModel, EccConfig
+
+
+def test_max_tolerable_pe_is_exact_cliff_edge():
+    model = LifetimeModel(
+        bit_error_model=BitErrorModel(),
+        ecc=EccConfig(),
+        retention_target_s=DEFAULT_RETENTION_S,
+        uber_target=DEFAULT_UBER_TARGET,
+    )
+    pe = model.max_tolerable_pe()
+    assert pe > 0
+    # Bisection exactness: pe meets the target, pe+1 misses it.
+    assert model.uber_at(pe) <= model.uber_target < model.uber_at(pe + 1)
+
+
+def test_uber_monotone_in_wear():
+    model = LifetimeModel(
+        bit_error_model=BitErrorModel(),
+        ecc=EccConfig(),
+        retention_target_s=DEFAULT_RETENTION_S,
+        uber_target=DEFAULT_UBER_TARGET,
+    )
+    grid = [model.uber_at(pe) for pe in range(0, 20_001, 2_000)]
+    assert grid == sorted(grid)
+
+
+def test_fresh_cells_missing_target_yield_zero():
+    # No correction at all and a hot RBER: even pe=0 misses the target.
+    model = LifetimeModel(
+        bit_error_model=BitErrorModel(base_rber=1e-3),
+        ecc=EccConfig(correctable_bits=0),
+        retention_target_s=DEFAULT_RETENTION_S,
+        uber_target=1e-15,
+    )
+    assert model.max_tolerable_pe() == 0
+
+
+def test_limit_returned_when_cliff_never_binds():
+    model = LifetimeModel(
+        bit_error_model=BitErrorModel(),
+        ecc=EccConfig(),
+        retention_target_s=0.0,
+        uber_target=0.5,
+    )
+    assert model.max_tolerable_pe(limit=100) == 100
+
+
+def test_from_profile_matches_direct_construction():
+    profile = RELIABILITY_PROFILES["mlc-20nm"]
+    via_profile = LifetimeModel.from_profile(
+        profile, retention_target_s=DEFAULT_RETENTION_S, uber_target=1e-15
+    )
+    direct = LifetimeModel(
+        bit_error_model=profile.bit_error_model,
+        ecc=profile.ecc,
+        page_bytes=profile.page_bytes,
+        retention_target_s=DEFAULT_RETENTION_S,
+        uber_target=1e-15,
+    )
+    assert via_profile.max_tolerable_pe() == direct.max_tolerable_pe()
+
+
+def test_module_level_helper_uses_default_model():
+    assert max_tolerable_pe() > 0
+
+
+@pytest.mark.parametrize(
+    "kwargs, match",
+    [
+        ({"page_bytes": 0}, "page_bytes"),
+        ({"retention_target_s": -1.0}, "retention_target_s"),
+        ({"uber_target": 0.0}, "uber_target"),
+        ({"uber_target": 1.0}, "uber_target"),
+    ],
+)
+def test_model_validation(kwargs, match):
+    defaults = dict(
+        bit_error_model=BitErrorModel(),
+        ecc=EccConfig(),
+        retention_target_s=DEFAULT_RETENTION_S,
+        uber_target=DEFAULT_UBER_TARGET,
+    )
+    defaults.update(kwargs)
+    with pytest.raises(ValueError, match=match):
+        LifetimeModel(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Projection: endurance budget / (WAF * write rate)
+# ----------------------------------------------------------------------
+def test_project_lifetime_years_formula():
+    model = LifetimeModel(
+        bit_error_model=BitErrorModel(),
+        ecc=EccConfig(),
+        retention_target_s=DEFAULT_RETENTION_S,
+        uber_target=DEFAULT_UBER_TARGET,
+    )
+    max_pe = model.max_tolerable_pe()
+    physical = 16 * 2**30
+    daily = 10 * 2**30
+    projection = project_lifetime("JIT-GC", 1.5, physical, daily, model=model)
+    assert isinstance(projection, LifetimeProjection)
+    assert projection.policy == "JIT-GC"
+    assert projection.max_pe_cycles == max_pe
+    expected_years = max_pe * physical / (1.5 * daily * 365.25)
+    assert projection.years == pytest.approx(expected_years)
+
+
+def test_lower_waf_lives_proportionally_longer():
+    physical, daily = 16 * 2**30, 10 * 2**30
+    jit = project_lifetime("JIT-GC", 2.0, physical, daily)
+    greedy = project_lifetime("A-BGC", 4.0, physical, daily)
+    assert jit.years == pytest.approx(2.0 * greedy.years)
+
+
+def test_zero_write_rate_is_infinite_lifetime():
+    projection = project_lifetime("idle", 1.0, 16 * 2**30, 0.0)
+    assert math.isinf(projection.years)
+
+
+@pytest.mark.parametrize(
+    "waf, physical, daily, match",
+    [
+        (0.9, 2**30, 2**30, "waf"),
+        (1.5, 0, 2**30, "physical_bytes"),
+        (1.5, 2**30, -1.0, "daily_write_bytes"),
+    ],
+)
+def test_project_lifetime_validation(waf, physical, daily, match):
+    with pytest.raises(ValueError, match=match):
+        project_lifetime("JIT-GC", waf, physical, daily)

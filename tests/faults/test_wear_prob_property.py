@@ -1,0 +1,84 @@
+"""Property test: the injector's wear-read cache vs the exact ECC tail.
+
+:meth:`FaultInjector._wear_read_prob` buckets wear to 64 P/E cycles and
+caches one page-failure probability per bucket.  The stated tolerance of
+that approximation: it must equal :meth:`EccConfig.page_failure_probability`
+*exactly* at the bucket floor, and bracket the exact value at any P/E
+count inside the bucket from below (RBER -- hence the binomial tail --
+is monotone in wear, so flooring can only under-estimate, never
+over-estimate, and by no more than the next bucket boundary's value).
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.injector import FaultInjector, FaultProfile
+
+BUCKET = 64  # matches FaultInjector's pe_cycles >> 6 quantisation
+
+
+def make_injector(retention_s: float) -> FaultInjector:
+    profile = FaultProfile(wear_driven=True, retention_s=retention_s)
+    return FaultInjector(profile, seed=1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    pe=st.integers(min_value=0, max_value=6000),
+    retention_s=st.floats(
+        min_value=0.0, max_value=5e6, allow_nan=False, allow_infinity=False
+    ),
+)
+def test_wear_read_prob_matches_exact_tail_at_bucket_floor(pe, retention_s):
+    injector = make_injector(retention_s)
+    approx = injector._wear_read_prob(pe)
+    floor = (pe // BUCKET) * BUCKET
+    exact_floor = injector.ecc.page_failure_probability(
+        injector.bit_error_model.rber(floor, retention_s=retention_s)
+    )
+    # Equality, not approximation: the cache IS the exact tail at the floor.
+    assert approx == exact_floor
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    pe=st.integers(min_value=0, max_value=6000),
+    retention_s=st.floats(
+        min_value=0.0, max_value=5e6, allow_nan=False, allow_infinity=False
+    ),
+)
+def test_wear_read_prob_brackets_exact_tail_from_below(pe, retention_s):
+    injector = make_injector(retention_s)
+    approx = injector._wear_read_prob(pe)
+    bem, ecc = injector.bit_error_model, injector.ecc
+    exact_here = ecc.page_failure_probability(bem.rber(pe, retention_s=retention_s))
+    exact_next = ecc.page_failure_probability(
+        bem.rber((pe // BUCKET + 1) * BUCKET, retention_s=retention_s)
+    )
+    # Monotone in wear: floor value <= exact <= next bucket boundary.
+    assert approx <= exact_here <= exact_next
+    assert 0.0 <= approx <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(pe=st.integers(min_value=0, max_value=6000))
+def test_wear_read_prob_cache_is_stable_and_seed_independent(pe):
+    a = make_injector(2_500_000.0)
+    b = make_injector(2_500_000.0)
+    first = a._wear_read_prob(pe)
+    # Cached second call and an independent injector agree exactly: the
+    # probability is analytic, not drawn from the fault RNG streams.
+    assert a._wear_read_prob(pe) == first
+    assert b._wear_read_prob(pe) == first
+
+
+def test_wear_read_prob_monotone_across_bucket_grid():
+    injector = make_injector(1_000_000.0)
+    grid = [injector._wear_read_prob(pe) for pe in range(0, 50_001, 8 * BUCKET)]
+    assert grid == sorted(grid)
+    # The wearout regime actually moves: fresh ~0, deep wear decidedly not.
+    assert grid[0] < 1e-6
+    assert grid[-1] > 1e-3

@@ -127,3 +127,69 @@ def test_committed_trajectory_still_loads():
     baseline = bench_gate._load_baseline(REPO_ROOT / "BENCH_hotpaths.json", "full")
     assert baseline is not None
     assert bench_gate._gateable(baseline)
+
+
+# ----------------------------------------------------------------------
+# Reliability-overhead payloads
+# ----------------------------------------------------------------------
+def _reliability_payload(slowdown=1.01, scrubs=0, ueccs=0, fast_reads=1000):
+    return {
+        "schema": "bench-hotpaths/v1",
+        "benchmark": "reliability_overhead",
+        "mode": "quick",
+        "results": {
+            "reliability_overhead": {
+                "off": {"events_per_sec": 100_000.0, "waf": 3.0},
+                "armed": {
+                    "events_per_sec": round(100_000.0 / slowdown, 1),
+                    "waf": 3.0,
+                    "ecc_fast_reads": fast_reads,
+                    "ecc_retry_reads": 0,
+                    "uecc_count": ueccs,
+                    "scrub_blocks_refreshed": scrubs,
+                },
+                "slowdown": slowdown,
+                "waf_delta": 0.0,
+            }
+        },
+    }
+
+
+def _run_reliability(tmp_path, payload, extra_args=()):
+    current = tmp_path / "rel.json"
+    current.write_text(json.dumps(payload))
+    return bench_gate.main(["--current", str(current), *extra_args])
+
+
+def test_quiescent_reliability_run_passes(tmp_path):
+    assert _run_reliability(tmp_path, _reliability_payload(slowdown=1.01)) == 0
+
+
+def test_reliability_overhead_above_ceiling_fails(tmp_path, capsys):
+    assert _run_reliability(tmp_path, _reliability_payload(slowdown=1.10)) == 1
+    assert "exceeds the 1.03x ceiling" in capsys.readouterr().out
+
+
+def test_reliability_ceiling_is_configurable(tmp_path):
+    payload = _reliability_payload(slowdown=1.10)
+    assert (
+        _run_reliability(
+            tmp_path, payload, ["--max-reliability-overhead", "1.2"]
+        )
+        == 0
+    )
+
+
+def test_non_quiescent_reliability_run_fails(tmp_path, capsys):
+    assert _run_reliability(tmp_path, _reliability_payload(scrubs=3)) == 1
+    assert "not a no-data-at-risk measurement" in capsys.readouterr().out
+
+
+def test_reliability_uecc_fails(tmp_path, capsys):
+    assert _run_reliability(tmp_path, _reliability_payload(ueccs=1)) == 1
+    assert "ECC cliff" in capsys.readouterr().out
+
+
+def test_reliability_ladder_must_be_installed(tmp_path, capsys):
+    assert _run_reliability(tmp_path, _reliability_payload(fast_reads=0)) == 1
+    assert "not" in capsys.readouterr().out

@@ -42,6 +42,14 @@ dram/dftl events-per-sec ``slowdown`` must stay under
 programs under ``--max-trans-share`` (default 0.5), and the dftl WAF
 must not undercut the dram WAF (translation writes are real writes).
 
+Reliability payloads (``benchmarks/bench_reliability.py``,
+``benchmark`` starting with ``"reliability"``): the gate bounds what the
+armed-but-quiescent data-integrity subsystem costs -- the off/armed
+events-per-sec ``slowdown`` must stay under
+``--max-reliability-overhead`` (default 1.03: <3 % when no data is at
+risk) -- and requires the armed run to actually be quiescent (zero
+scrub relocations, zero UECCs, a fast-path count covering the reads).
+
 Hot-path baselines are matched like-for-like on the ``mapping`` stamp
 (entries predating the stamp count as dram), so a dftl measurement is
 never judged against a dram trajectory entry.
@@ -240,6 +248,51 @@ def check_cmt(current: dict, max_cmt_slowdown: float,
     return failures
 
 
+def check_reliability(current: dict, max_reliability_overhead: float) -> list:
+    """Gate a reliability payload on its quiescent-overhead ratio."""
+    rel = current["results"].get("reliability_overhead")
+    if rel is None:
+        return [
+            "reliability payload carries no reliability_overhead results "
+            "(re-run benchmarks/bench_reliability.py)"
+        ]
+    armed = rel["armed"]
+    print(
+        f"[bench_gate] reliability overhead: off "
+        f"{rel['off']['events_per_sec']} ev/s vs armed "
+        f"{armed['events_per_sec']} ev/s (slowdown {rel['slowdown']}x); "
+        f"{armed['ecc_fast_reads']} fast reads, "
+        f"{armed['scrub_blocks_refreshed']} scrubs, "
+        f"{armed['uecc_count']} UECCs, WAF delta {rel['waf_delta']:+}"
+    )
+    failures = []
+    if rel["slowdown"] > max_reliability_overhead:
+        failures.append(
+            f"reliability_overhead slowdown {rel['slowdown']}x exceeds the "
+            f"{max_reliability_overhead}x ceiling (quiescent subsystem must "
+            "cost <3% events/sec)"
+        )
+    # The bound only means anything if the armed run really was
+    # quiescent: a run where the scrubber fired or data decayed is
+    # measuring refresh work, not bookkeeping overhead.
+    if armed["scrub_blocks_refreshed"] != 0:
+        failures.append(
+            f"armed run refreshed {armed['scrub_blocks_refreshed']} blocks "
+            "-- not a no-data-at-risk measurement (wrong profile or scale?)"
+        )
+    if armed["uecc_count"] != 0:
+        failures.append(
+            f"armed run saw {armed['uecc_count']} UECCs -- the mlc-20nm "
+            "profile must stay below the ECC cliff over a benchmark run"
+        )
+    if armed["ecc_fast_reads"] <= 0:
+        failures.append(
+            "armed run counted no fast-path reads -- the ladder is not "
+            "actually installed on the read path"
+        )
+    return failures
+
+
 def check(current: dict, baseline: dict | None, min_speedup: float,
           tolerance: float) -> list:
     failures = []
@@ -316,6 +369,11 @@ def main(argv=None) -> int:
         help="ceiling for the translation-page share of all programs in "
         "a cmt payload's dftl run (default: 0.5)",
     )
+    parser.add_argument(
+        "--max-reliability-overhead", type=float, default=1.03,
+        help="ceiling for a reliability payload's off/armed events-per-sec "
+        "ratio when no data is at risk (default: 1.03, i.e. <3%%)",
+    )
     args = parser.parse_args(argv)
 
     current = _load_current(args.current)
@@ -324,11 +382,14 @@ def main(argv=None) -> int:
         benchmark.startswith("recovery")
         or benchmark.startswith("warmstart")
         or benchmark.startswith("cmt")
+        or benchmark.startswith("reliability")
     ):
         if benchmark.startswith("recovery"):
             failures = check_recovery(current, args.min_recovery_speedup)
         elif benchmark.startswith("warmstart"):
             failures = check_warmstart(current, args.min_warmstart_speedup)
+        elif benchmark.startswith("reliability"):
+            failures = check_reliability(current, args.max_reliability_overhead)
         else:
             failures = check_cmt(
                 current, args.max_cmt_slowdown, args.max_trans_share

@@ -23,6 +23,12 @@ the percentile counter tracks fails validation (the latency-report CI
 job passes it; plain smoke traces from runs without ``--trace``-time
 sampling or tail attribution may legitimately lack both).
 
+With ``--require-scrub`` a trace must carry at least one
+``device/scrub.block`` span (a refresh-scrub relocation, emitted with
+``--reliability`` armed and at-risk data present); the reliability CI
+smoke job passes it.  Scrub spans are additionally checked to be
+duration events wherever they appear.
+
 Exit status 0 when every file passes; 1 with a diagnostic otherwise.
 """
 
@@ -39,6 +45,9 @@ LATENCY_COUNTER_TRACKS = (
 )
 
 OP_COMPLETE_NAME = "op.complete"
+
+#: Refresh-scrub relocation span (device track; reliability runs only).
+SCRUB_EVENT_NAME = "scrub.block"
 
 
 def _check_op_complete(event: dict, args: dict, has_dur: bool) -> None:
@@ -58,12 +67,19 @@ class _LatencyAudit:
     def __init__(self) -> None:
         self.op_completes = 0
         self.counter_tracks = set()
+        self.scrub_spans = 0
 
     def see(self, name: str, ph: str) -> None:
         if name == OP_COMPLETE_NAME and ph == "X":
             self.op_completes += 1
         if ph == "C" and name in LATENCY_COUNTER_TRACKS:
             self.counter_tracks.add(name)
+        if name == SCRUB_EVENT_NAME:
+            if ph != "X":
+                raise ValueError(
+                    f"{SCRUB_EVENT_NAME} must be a duration event, got ph={ph!r}"
+                )
+            self.scrub_spans += 1
 
     def enforce(self) -> None:
         if self.op_completes == 0:
@@ -77,8 +93,17 @@ class _LatencyAudit:
                 "(run with metrics sampling on)"
             )
 
+    def enforce_scrub(self) -> None:
+        if self.scrub_spans == 0:
+            raise ValueError(
+                "no device/scrub.block spans (run with --reliability armed "
+                "and at-risk data present)"
+            )
 
-def validate_jsonl(path: str, require_latency: bool = False) -> None:
+
+def validate_jsonl(
+    path: str, require_latency: bool = False, require_scrub: bool = False
+) -> None:
     with open(path, encoding="utf-8") as handle:
         lines = [json.loads(line) for line in handle if line.strip()]
     if not lines:
@@ -106,10 +131,14 @@ def validate_jsonl(path: str, require_latency: bool = False) -> None:
         audit.see(event["name"], event["ph"])
     if require_latency:
         audit.enforce()
+    if require_scrub:
+        audit.enforce_scrub()
     print(f"{path}: ok (jsonl, {len(events)} events)")
 
 
-def validate_chrome(path: str, require_latency: bool = False) -> None:
+def validate_chrome(
+    path: str, require_latency: bool = False, require_scrub: bool = False
+) -> None:
     with open(path, encoding="utf-8") as handle:
         document = json.load(handle)
     for key in ("traceEvents", "otherData", "displayTimeUnit"):
@@ -136,17 +165,21 @@ def validate_chrome(path: str, require_latency: bool = False) -> None:
         audit.see(event["name"], event["ph"])
     if require_latency:
         audit.enforce()
+    if require_scrub:
+        audit.enforce_scrub()
     print(f"{path}: ok (chrome, {len(events)} events, {len(last_ts)} tracks)")
 
 
-def validate(path: str, require_latency: bool = False) -> None:
+def validate(
+    path: str, require_latency: bool = False, require_scrub: bool = False
+) -> None:
     with open(path, encoding="utf-8") as handle:
         first = handle.read(1)
     # A chrome trace is one JSON object; JSONL starts with a header line.
     if first == "{" and _is_single_document(path):
-        validate_chrome(path, require_latency)
+        validate_chrome(path, require_latency, require_scrub)
     else:
-        validate_jsonl(path, require_latency)
+        validate_jsonl(path, require_latency, require_scrub)
 
 
 def _is_single_document(path: str) -> bool:
@@ -160,21 +193,25 @@ def _is_single_document(path: str) -> bool:
 
 def main(argv) -> int:
     require_latency = False
+    require_scrub = False
     paths = []
     for arg in argv:
         if arg == "--require-latency":
             require_latency = True
+        elif arg == "--require-scrub":
+            require_scrub = True
         else:
             paths.append(arg)
     if not paths:
         print(
-            "usage: validate_trace.py [--require-latency] TRACE [TRACE ...]",
+            "usage: validate_trace.py [--require-latency] [--require-scrub] "
+            "TRACE [TRACE ...]",
             file=sys.stderr,
         )
         return 2
     for path in paths:
         try:
-            validate(path, require_latency)
+            validate(path, require_latency, require_scrub)
         except (OSError, ValueError, json.JSONDecodeError) as error:
             print(f"{path}: FAIL: {error}", file=sys.stderr)
             return 1
